@@ -1,0 +1,102 @@
+// E5 — offload-chain length vs sustainable throughput (§4.2, Table 3).
+// Packets are chained through n pass-through engines before reaching the
+// host.  Each chain hop is one more mesh traversal, so beyond a knee the
+// on-chip network saturates and delivered throughput falls below offered.
+// Wider channels (the paper's "Bit Width" column) push the knee out.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "core/panic_nic.h"
+#include "net/packet.h"
+#include "workload/kvs_workload.h"
+#include "workload/traffic_gen.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+const Ipv4Addr kClient(10, 1, 0, 2);
+const Ipv4Addr kServer(10, 0, 0, 1);
+
+struct RunResult {
+  double delivered_ratio;
+  std::uint64_t p99;
+};
+
+RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
+              std::uint64_t frames) {
+  Simulator sim;
+  core::PanicConfig cfg;
+  cfg.mesh.k = 5;
+  cfg.mesh.channel_bits = channel_bits;
+  cfg.aux_engines = 8;
+  cfg.aux_fixed_cycles = 1;  // pass-through: the NoC is the resource
+  cfg.dma.base_latency = 2;  // fast host path so DMA never dominates
+  cfg.dma.bytes_per_cycle = 256.0;
+  cfg.customize_program = [chain_len](rmt::RmtProgram& program,
+                                      const core::PanicTopology& topo) {
+    auto& stage = program.add_stage("chain");
+    rmt::MatchTable t("chain", rmt::MatchKind::kTernary,
+                      {rmt::Field::kMetaMsgKind});
+    rmt::Action chain("chain");
+    chain.clear_chain();
+    for (int i = 0; i < chain_len; ++i) {
+      chain.push_hop(topo.aux[static_cast<std::size_t>(i)].value);
+    }
+    chain.push_hop(topo.dma.value);
+    t.add_ternary(0, ~0ull, 1, std::move(chain));  // kPacket == 0
+    stage.tables.push_back(std::move(t));
+  };
+  core::PanicNic nic(cfg, sim);
+
+  workload::TrafficConfig tcfg;
+  tcfg.mean_gap_cycles = gap;
+  tcfg.max_frames = frames;
+  workload::TrafficSource src(
+      "gen", &nic.eth_port(0),
+      workload::make_min_frame_factory(kClient, kServer), tcfg);
+  sim.add(&src);
+
+  // Fixed horizon: just enough to emit every frame plus a short drain.
+  // A chain the mesh can sustain delivers ~everything inside it; an
+  // unsustainable one leaves a backlog (and queue drops).
+  const auto horizon =
+      static_cast<Cycles>(gap * static_cast<double>(frames)) + 5000;
+  sim.run(horizon);
+
+  RunResult r;
+  r.delivered_ratio = static_cast<double>(nic.dma().packets_to_host()) /
+                      static_cast<double>(frames);
+  r.p99 = nic.dma().host_delivery_latency().p99();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PANIC reproduction — E5: chain length vs delivered throughput\n");
+  const double gap = 12.0;  // ~83 Mpps offered at 500 MHz (~56 Gbps wire)
+  const std::uint64_t frames = 4000;
+  std::printf("Offered: one 64B frame every %.0f cycles; chain of n\n"
+              "pass-through engines before the host.\n",
+              gap);
+
+  Report report({"Width", "Chain len", "Delivered/Offered", "p99 (cyc)"});
+  for (std::uint32_t width : {64u, 128u}) {
+    for (int n : {0, 1, 2, 3, 4, 6, 8}) {
+      const auto r = run(width, n, gap, frames);
+      report.add_row({strf("%u-bit", width), strf("%d", n),
+                      strf("%.3f", r.delivered_ratio),
+                      strf("%llu", static_cast<unsigned long long>(r.p99))});
+    }
+  }
+  report.print("Delivered fraction vs chain length (k=5 mesh)");
+
+  std::printf(
+      "\nShape check (Table 3): the 64-bit mesh sustains only short chains\n"
+      "at this rate before delivery collapses and p99 explodes; doubling\n"
+      "the channel width roughly doubles the sustainable chain length.\n");
+  return 0;
+}

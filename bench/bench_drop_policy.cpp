@@ -1,0 +1,108 @@
+// §6 open question: "What is the best way to simultaneously provide
+// lossless forwarding to ensure that important messages ... are never
+// dropped while also providing lossy forwarding to ensure that other
+// messages (e.g., packets from a DOS attack) are dropped as needed?"
+//
+// PANIC's mechanism: drops happen only at the scheduler queues, which see
+// the slack of every message.  We compare two drop policies at a flooded
+// DMA engine: tail-drop (arrivals dropped when full) vs slack-aware
+// eviction (urgent arrivals displace the loosest queued message).
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "core/panic_nic.h"
+#include "workload/kvs_workload.h"
+#include "workload/traffic_gen.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+struct Result {
+  double mouse_delivery;   // fraction of urgent packets delivered
+  std::uint64_t mouse_p99;
+  double flood_delivery;
+  std::uint64_t drops;
+};
+
+Result run(engines::DropPolicy policy) {
+  Simulator sim2;
+  core::PanicConfig cfg2;
+  cfg2.mesh.k = 4;
+  cfg2.tenant_slacks = {{1, 10}, {2, 100000}};
+  cfg2.engine_queue_capacity = 32;  // small shared buffer: drops will happen
+  cfg2.drop_policy = policy;
+  core::PanicNic nic2(cfg2, sim2);
+
+  // Flood: min-size frames at ~1 per 8 cycles (far beyond DMA capacity).
+  workload::TrafficConfig flood_cfg;
+  flood_cfg.mean_gap_cycles = 8.0;
+  flood_cfg.tenant = TenantId{2};
+  flood_cfg.max_frames = 20000;
+  workload::TrafficSource flood(
+      "flood", &nic2.eth_port(1),
+      workload::make_udp_factory(Ipv4Addr(10, 9, 9, 9), Ipv4Addr(10, 0, 0, 1),
+                                 64),
+      flood_cfg);
+  sim2.add(&flood);
+
+  // Urgent tenant: sparse requests.
+  workload::TrafficConfig mouse_cfg;
+  mouse_cfg.pattern = workload::ArrivalPattern::kPoisson;
+  mouse_cfg.mean_gap_cycles = 1500.0;
+  mouse_cfg.tenant = TenantId{1};
+  mouse_cfg.max_frames = 150;
+  workload::TrafficSource mouse(
+      "mouse", &nic2.eth_port(0),
+      workload::make_min_frame_factory(Ipv4Addr(10, 1, 0, 2),
+                                       Ipv4Addr(10, 0, 0, 1)),
+      mouse_cfg);
+  sim2.add(&mouse);
+
+  sim2.run(300000);
+
+  Result r;
+  const auto& t1 = nic2.dma().host_delivery_latency(TenantId{1});
+  const auto& t2 = nic2.dma().host_delivery_latency(TenantId{2});
+  r.mouse_delivery = static_cast<double>(t1.count()) /
+                     static_cast<double>(mouse.generated());
+  r.mouse_p99 = t1.p99();
+  r.flood_delivery = static_cast<double>(t2.count()) /
+                     static_cast<double>(flood.generated());
+  r.drops = nic2.dma().queue().dropped();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PANIC reproduction — drop policy at the logical scheduler (Sec 6)\n");
+  std::printf(
+      "A DOS-like flood (tenant 2) overloads the DMA engine's 32-slot\n"
+      "queue while an urgent tenant (1) trickles requests.\n");
+
+  Report report({"Drop policy", "urgent delivered", "urgent p99 (cyc)",
+                 "flood delivered", "queue drops"});
+  for (auto policy : {engines::DropPolicy::kDropArrival,
+                      engines::DropPolicy::kEvictLoosest}) {
+    const auto r = run(policy);
+    report.add_row(
+        {policy == engines::DropPolicy::kDropArrival
+             ? "tail-drop (baseline)"
+             : "slack-aware eviction (PANIC)",
+         strf("%.1f%%", 100.0 * r.mouse_delivery),
+         strf("%llu", static_cast<unsigned long long>(r.mouse_p99)),
+         strf("%.1f%%", 100.0 * r.flood_delivery),
+         strf("%llu", static_cast<unsigned long long>(r.drops))});
+  }
+  report.print("Urgent-traffic survival under flood");
+
+  std::printf(
+      "\nShape check: with tail-drop the urgent tenant loses packets\n"
+      "whenever the flood keeps the queue full; slack-aware eviction\n"
+      "delivers ~100%% of urgent traffic by dropping flood packets\n"
+      "instead — lossy and lossless coexisting, selected by slack.\n");
+  return 0;
+}

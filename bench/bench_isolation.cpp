@@ -1,0 +1,106 @@
+// E4 — performance isolation via slack scheduling (§1, §3.1.3): a
+// latency-sensitive tenant shares the (variable-performance) DMA engine
+// with a bulk-throughput tenant.  With FIFO queues the mice queue behind
+// the bulk burst (the "performance isolation anomaly" of Zhang et al.
+// cited by the paper); with PANIC's slack priority queues they overtake.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "core/panic_nic.h"
+#include "net/packet.h"
+#include "workload/kvs_workload.h"
+#include "workload/traffic_gen.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+const Ipv4Addr kMouseClient(10, 1, 0, 2);
+const Ipv4Addr kBulkClient(10, 2, 0, 9);
+const Ipv4Addr kServer(10, 0, 0, 1);
+
+struct TenantLatency {
+  Histogram mouse;
+  Histogram bulk;
+  std::uint64_t drops = 0;
+};
+
+TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
+  Simulator sim;
+  core::PanicConfig cfg;
+  cfg.mesh.k = 4;
+  cfg.sched_policy = policy;
+  cfg.tenant_slacks = {{1, 10}, {2, 100000}};  // tenant 1 = mice
+  cfg.dma.base_latency = 75;
+  cfg.dma.contention_mean = 150.0;  // §3.2 variable DMA performance
+  core::PanicNic nic(cfg, sim);
+
+  // Bulk tenant: 1500B frames, heavy on/off bursts.
+  workload::TrafficConfig bulk_cfg;
+  bulk_cfg.pattern = workload::ArrivalPattern::kOnOff;
+  bulk_cfg.mean_gap_cycles = bulk_gap;
+  bulk_cfg.on_cycles = 20000;
+  bulk_cfg.off_cycles = 5000;
+  bulk_cfg.tenant = TenantId{2};
+  bulk_cfg.seed = 99;
+  workload::TrafficSource bulk(
+      "bulk", &nic.eth_port(1),
+      workload::make_udp_factory(kBulkClient, kServer, 1500), bulk_cfg);
+  sim.add(&bulk);
+
+  // Latency-sensitive tenant: sparse min-size requests.
+  workload::TrafficConfig mouse_cfg;
+  mouse_cfg.pattern = workload::ArrivalPattern::kPoisson;
+  mouse_cfg.mean_gap_cycles = 2000.0;
+  mouse_cfg.tenant = TenantId{1};
+  mouse_cfg.seed = 7;
+  workload::TrafficSource mouse(
+      "mouse", &nic.eth_port(0),
+      workload::make_min_frame_factory(kMouseClient, kServer), mouse_cfg);
+  sim.add(&mouse);
+
+  sim.run(400000);
+
+  TenantLatency out;
+  out.mouse = nic.dma().host_delivery_latency(TenantId{1});
+  out.bulk = nic.dma().host_delivery_latency(TenantId{2});
+  out.drops = nic.dma().queue().dropped();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PANIC reproduction — E4: performance isolation (slack vs FIFO)\n");
+  std::printf(
+      "Latency-sensitive tenant (64B, sparse) shares the DMA engine with\n"
+      "a bursty bulk tenant (1500B).  Cycles @500MHz (2ns/cycle).\n");
+
+  Report report({"Bulk load", "Policy", "mouse p50", "mouse p99",
+                 "mouse max", "bulk p50", "mouse n"});
+  for (double gap : {40.0, 20.0, 10.0}) {
+    for (auto policy : {engines::SchedPolicy::kFifo,
+                        engines::SchedPolicy::kSlackPriority}) {
+      const auto r = run(policy, gap);
+      report.add_row(
+          {strf("1/%.0f cyc", gap),
+           policy == engines::SchedPolicy::kFifo ? "FIFO (baseline)"
+                                                 : "slack (PANIC)",
+           strf("%llu", static_cast<unsigned long long>(r.mouse.p50())),
+           strf("%llu", static_cast<unsigned long long>(r.mouse.p99())),
+           strf("%llu", static_cast<unsigned long long>(r.mouse.max())),
+           strf("%llu", static_cast<unsigned long long>(r.bulk.p50())),
+           strf("%llu", static_cast<unsigned long long>(r.mouse.count()))});
+    }
+  }
+  report.print("Per-tenant host-delivery latency under shared DMA");
+
+  std::printf(
+      "\nShape check: under FIFO the mouse tenant's p99 grows with the\n"
+      "bulk tenant's queue depth; under slack scheduling it stays near\n"
+      "the unloaded DMA latency regardless of bulk load — the paper's\n"
+      "claim that slack queues avoid performance-isolation anomalies.\n");
+  return 0;
+}

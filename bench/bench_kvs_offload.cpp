@@ -1,0 +1,142 @@
+// E7 — the motivating multi-tenant KVS offload (§2.2, §3.2): Zipf-skewed
+// GETs against the on-NIC location cache.  Cache hits are served from the
+// NIC via RDMA + DMA-read (CPU bypassed); misses go to host software.
+// Sweeps cache capacity (hit rate) and compares the location-cache and
+// value-cache designs (a design-choice ablation from §6's open question
+// about passing pointers vs whole packets).
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "core/panic_nic.h"
+#include "net/packet.h"
+#include "workload/kvs_workload.h"
+#include "workload/traffic_gen.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+const Ipv4Addr kClient(10, 1, 0, 2);
+const Ipv4Addr kServer(10, 0, 0, 1);
+
+struct KvsResult {
+  double hit_rate;
+  double cpu_bypass;  // fraction of GETs never delivered to the host
+  std::uint64_t reply_p50;
+  std::uint64_t reply_p99;
+  std::uint64_t replies;
+};
+
+KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
+              std::uint64_t num_keys, double zipf_skew) {
+  Simulator sim;
+  core::PanicConfig cfg;
+  cfg.mesh.k = 4;
+  cfg.kvs_mode = mode;
+  cfg.kvs_capacity = cache_entries;
+  core::PanicNic nic(cfg, sim);
+
+  Histogram reply_latency;
+  std::uint64_t replies = 0;
+  nic.eth_port(0).set_tx_sink([&](const Message& msg, Cycle now) {
+    ++replies;
+    if (now >= msg.nic_ingress_at) {
+      reply_latency.record(now - msg.nic_ingress_at);
+    }
+  });
+
+  // Warm the cache with SETs for the hottest `cache_entries` keys, coldest
+  // first so LRU keeps the hottest.  (An operator would install hot-key
+  // locations the same way; GET misses do not populate the location cache
+  // because the host serves them directly.)
+  {
+    const std::uint64_t warm =
+        std::min<std::uint64_t>(cache_entries, num_keys);
+    std::uint64_t warm_sets = 0;
+    for (std::uint64_t i = 0; i < warm; ++i) {
+      const std::uint64_t key = warm - 1 - i;
+      nic.inject_rx(0,
+                    frames::kvs_set(kClient, kServer, 1, key,
+                                    static_cast<std::uint32_t>(key), 128),
+                    sim.now());
+      ++warm_sets;
+      sim.run(150);  // below the DMA engine's service rate
+    }
+    sim.run_until(
+        [&] { return nic.dma().packets_to_host() >= warm_sets; }, 4000000);
+  }
+  const auto host_after_warm = nic.dma().packets_to_host();
+  const auto hits0 = nic.kvs().hits();
+  const auto misses0 = nic.kvs().misses();
+
+  // Measure: Zipf GET stream.
+  workload::KvsWorkloadConfig wcfg;
+  wcfg.client = kClient;
+  wcfg.server = kServer;
+  wcfg.num_keys = num_keys;
+  wcfg.zipf_skew = zipf_skew;
+  wcfg.value_size = 128;
+  wcfg.get_fraction = 1.0;
+  workload::TrafficConfig tcfg;
+  tcfg.mean_gap_cycles = 300.0;
+  tcfg.max_frames = 2000;
+  workload::TrafficSource src("gets", &nic.eth_port(0),
+                              workload::make_kvs_factory(wcfg), tcfg);
+  sim.add(&src);
+  sim.run_until(
+      [&] {
+        const auto served =
+            replies + (nic.dma().packets_to_host() - host_after_warm);
+        return src.done() && served >= tcfg.max_frames;
+      },
+      3000000);
+
+  KvsResult r;
+  const auto hits = nic.kvs().hits() - hits0;
+  const auto misses = nic.kvs().misses() - misses0;
+  const auto gets = hits + misses;
+  r.hit_rate = gets ? static_cast<double>(hits) / static_cast<double>(gets)
+                    : 0.0;
+  // CPU bypass: GETs answered without any host involvement.
+  r.cpu_bypass = static_cast<double>(replies) /
+                 static_cast<double>(tcfg.max_frames);
+  r.reply_p50 = reply_latency.p50();
+  r.reply_p99 = reply_latency.p99();
+  r.replies = replies;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PANIC reproduction — E7: on-NIC KVS cache (Sec 2.2 / 3.2)\n");
+  std::printf("10k keys, Zipf(0.99) GETs, 128B values; replies served\n"
+              "from the NIC via RDMA reads of host memory.\n");
+
+  Report report({"Cache mode", "Entries", "Hit rate", "CPU bypass",
+                 "reply p50 (cyc)", "reply p99 (cyc)"});
+  for (std::size_t entries : {64, 512, 4096}) {
+    const auto r = run(engines::KvsCacheMode::kLocation, entries, 10000,
+                       0.99);
+    report.add_row({"location (paper)", strf("%zu", entries),
+                    strf("%.2f", r.hit_rate), strf("%.2f", r.cpu_bypass),
+                    strf("%llu", static_cast<unsigned long long>(r.reply_p50)),
+                    strf("%llu", static_cast<unsigned long long>(r.reply_p99))});
+  }
+  {
+    const auto r = run(engines::KvsCacheMode::kValue, 4096, 10000, 0.99);
+    report.add_row({"value (ablation)", "4096", strf("%.2f", r.hit_rate),
+                    strf("%.2f", r.cpu_bypass),
+                    strf("%llu", static_cast<unsigned long long>(r.reply_p50)),
+                    strf("%llu", static_cast<unsigned long long>(r.reply_p99))});
+  }
+  report.print("Hit rate, CPU bypass and reply latency");
+
+  std::printf(
+      "\nShape check: hit rate (and hence CPU bypass) grows with cache\n"
+      "capacity under the Zipf workload; value-mode replies skip the\n"
+      "RDMA/DMA round trip, trading NIC SRAM for latency — the Sec 6\n"
+      "pointer-vs-payload open question, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The classic NoC characterization behind Table 3's sizing: average and
+// tail message latency vs offered load on the on-chip mesh, uniform
+// random traffic.  Latency is flat near zero load and diverges as the
+// offered load approaches the saturation fraction of the 4bk capacity —
+// the series the paper's "sustainable chain length" arithmetic depends
+// on staying left of.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "noc/mesh.h"
+#include "sim/simulator.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+struct Point {
+  double offered;     // fraction of per-tile injection capacity
+  double accepted;    // messages/tile/cycle actually delivered
+  double mean;
+  std::uint64_t p99;
+};
+
+Point run(int k, std::uint32_t width, double load_fraction) {
+  Simulator sim;
+  noc::MeshConfig cfg;
+  cfg.k = k;
+  cfg.channel_bits = width;
+  noc::Mesh mesh(cfg, sim);
+  Rng rng(2026);
+
+  const std::size_t payload = 64;
+  // Per-tile injection rate in messages/cycle for `load_fraction` of the
+  // uniform-traffic capacity C = 4bk: per-tile bits = 4b/k.
+  auto probe = make_message();
+  probe->data.resize(payload);
+  const double msg_bits = static_cast<double>(probe->wire_size()) * 8.0;
+  const double per_tile_rate =
+      load_fraction * (4.0 * width / k) / msg_bits;
+
+  Histogram latency;
+  std::uint64_t delivered = 0;
+  double credit = 0;
+  const Cycles warmup = 3000, window = 15000;
+
+  for (Cycles c = 0; c < warmup + window; ++c) {
+    credit += per_tile_rate * mesh.tiles();
+    while (credit >= 1.0) {
+      credit -= 1.0;
+      const EngineId src{static_cast<std::uint16_t>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(mesh.tiles() - 1)))};
+      if (!mesh.ni(src).can_inject()) continue;  // open loop: excess lost
+      EngineId dst;
+      do {
+        dst = EngineId{static_cast<std::uint16_t>(rng.uniform_int(
+            0, static_cast<std::uint64_t>(mesh.tiles() - 1)))};
+      } while (dst == src);
+      auto msg = make_message();
+      msg->data.resize(payload);
+      msg->created_at = sim.now();
+      mesh.ni(src).inject(std::move(msg), dst, sim.now());
+    }
+    for (int t = 0; t < mesh.tiles(); ++t) {
+      const EngineId tile{static_cast<std::uint16_t>(t)};
+      while (auto msg = mesh.ni(tile).try_receive(sim.now())) {
+        if (c >= warmup) {
+          ++delivered;
+          latency.record(sim.now() - msg->created_at);
+        }
+      }
+    }
+    sim.step();
+  }
+
+  Point p;
+  p.offered = load_fraction;
+  p.accepted = static_cast<double>(delivered) /
+               static_cast<double>(window) / mesh.tiles();
+  p.mean = latency.mean();
+  p.p99 = latency.p99();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PANIC reproduction — mesh latency vs offered load (Table 3 basis)\n");
+  std::printf("6x6 mesh, 128-bit channels, 64B messages, uniform random.\n");
+
+  Report report({"Offered (frac of 4bk)", "Accepted (msg/tile/cyc)",
+                 "Mean latency (cyc)", "p99 (cyc)"});
+  for (double load : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const auto p = run(6, 128, load);
+    report.add_row({strf("%.2f", p.offered), strf("%.4f", p.accepted),
+                    strf("%.0f", p.mean),
+                    strf("%llu", static_cast<unsigned long long>(p.p99))});
+  }
+  report.print("Load-latency curve");
+
+  std::printf(
+      "\nShape check: latency is flat at low load and diverges past the\n"
+      "saturation point (~0.45-0.55 of the ideal capacity for single-VC\n"
+      "wormhole); Table 3's chain-length budget keeps the NIC on the flat\n"
+      "part of this curve.\n");
+  return 0;
+}

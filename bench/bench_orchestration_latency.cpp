@@ -1,0 +1,150 @@
+// E3 — per-packet coordination latency (§2.3.2): the manycore baseline
+// pays an embedded-CPU orchestration overhead (~10 µs per Firestone et
+// al.); the RMT-only baseline punts heavy work to host software; PANIC's
+// logical switch chains engines directly.  We measure unloaded
+// single-packet host-delivery latency for (a) plain packets and (b)
+// IPSec-encrypted packets on all four architectures.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "baselines/manycore_nic.h"
+#include "baselines/pipeline_nic.h"
+#include "baselines/rmt_nic.h"
+#include "core/panic_nic.h"
+#include "engines/ipsec_engine.h"
+#include "net/packet.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+const Ipv4Addr kClient(10, 1, 0, 2);
+const Ipv4Addr kServer(10, 0, 0, 1);
+const Frequency kClock = Frequency::megahertz(500);
+
+std::vector<std::uint8_t> plain() {
+  return frames::min_udp(kClient, kServer);
+}
+std::vector<std::uint8_t> encrypted() {
+  return engines::IpsecEngine::encapsulate(plain(), 0x1001, 1);
+}
+
+/// Unloaded latency: inject `n` packets one at a time, report the mean.
+template <typename InjectFn, typename CountFn, typename HistFn>
+double measure(Simulator& sim, InjectFn inject, CountFn count,
+               HistFn hist, int n) {
+  for (int i = 0; i < n; ++i) {
+    const auto before = count();
+    inject();
+    sim.run_until([&] { return count() > before; }, 1000000);
+  }
+  return hist().mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PANIC reproduction — E3: coordination latency per architecture\n");
+  std::printf("(unloaded; mean of 20 packets; 1 cycle = 2 ns @ 500 MHz)\n");
+
+  Report report({"Architecture", "plain pkt (us)", "IPSec pkt (us)",
+                 "plain (cycles)", "IPSec (cycles)"});
+  const int n = 20;
+  const auto specs = std::vector<baselines::OffloadSpec>{
+      baselines::ipsec_offload_spec()};
+
+  double panic_plain = 0, panic_esp = 0;
+  {
+    Simulator sim;
+    core::PanicConfig cfg;
+    cfg.mesh.k = 4;
+    core::PanicNic nic(cfg, sim);
+    panic_plain = measure(
+        sim, [&] { nic.inject_rx(0, plain(), sim.now()); },
+        [&] { return nic.dma().packets_to_host(); },
+        [&]() -> const Histogram& { return nic.dma().host_delivery_latency(); },
+        n);
+    Simulator sim2;
+    core::PanicNic nic2(cfg, sim2);
+    panic_esp = measure(
+        sim2, [&] { nic2.inject_rx(0, encrypted(), sim2.now()); },
+        [&] { return nic2.dma().packets_to_host(); },
+        [&]() -> const Histogram& {
+          return nic2.dma().host_delivery_latency();
+        },
+        n);
+    report.add_row({"PANIC", strf("%.2f", panic_plain * 0.002),
+                    strf("%.2f", panic_esp * 0.002),
+                    strf("%.0f", panic_plain), strf("%.0f", panic_esp)});
+  }
+
+  {
+    Simulator sim;
+    baselines::PipelineNic nic("pipe", specs, baselines::PipelineNicConfig{},
+                               sim);
+    const double lat_plain = measure(
+        sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
+        [&] { return nic.packets_to_host(); },
+        [&]() -> const Histogram& { return nic.host_latency(); }, n);
+    Simulator sim2;
+    baselines::PipelineNic nic2("pipe", specs,
+                                baselines::PipelineNicConfig{}, sim2);
+    const double lat_esp = measure(
+        sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
+        [&] { return nic2.packets_to_host(); },
+        [&]() -> const Histogram& { return nic2.host_latency(); }, n);
+    report.add_row({"pipeline (bump-in-wire)", strf("%.2f", lat_plain * 0.002),
+                    strf("%.2f", lat_esp * 0.002), strf("%.0f", lat_plain),
+                    strf("%.0f", lat_esp)});
+  }
+
+  {
+    Simulator sim;
+    baselines::ManycoreNicConfig mcfg;  // 5000-cycle (10 us) orchestration
+    baselines::ManycoreNic nic("mc", specs, mcfg, sim);
+    const double lat_plain = measure(
+        sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
+        [&] { return nic.packets_to_host(); },
+        [&]() -> const Histogram& { return nic.host_latency(); }, n);
+    Simulator sim2;
+    baselines::ManycoreNic nic2("mc", specs, mcfg, sim2);
+    const double lat_esp = measure(
+        sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
+        [&] { return nic2.packets_to_host(); },
+        [&]() -> const Histogram& { return nic2.host_latency(); }, n);
+    report.add_row({"manycore (CPU orchestration)",
+                    strf("%.2f", lat_plain * 0.002),
+                    strf("%.2f", lat_esp * 0.002), strf("%.0f", lat_plain),
+                    strf("%.0f", lat_esp)});
+  }
+
+  {
+    Simulator sim;
+    baselines::RmtNic nic("rmt", specs, baselines::RmtNicConfig{}, sim);
+    const double lat_plain = measure(
+        sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
+        [&] { return nic.packets_to_host(); },
+        [&]() -> const Histogram& { return nic.host_latency(); }, n);
+    Simulator sim2;
+    baselines::RmtNic nic2("rmt", specs, baselines::RmtNicConfig{}, sim2);
+    const double lat_esp = measure(
+        sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
+        [&] { return nic2.packets_to_host(); },
+        [&]() -> const Histogram& { return nic2.host_latency(); }, n);
+    report.add_row({"RMT-only (FlexNIC)", strf("%.2f", lat_plain * 0.002),
+                    strf("%.2f", lat_esp * 0.002), strf("%.0f", lat_plain),
+                    strf("%.0f", lat_esp)});
+  }
+
+  report.print("Unloaded host-delivery latency");
+
+  std::printf(
+      "\nShape check (paper, Sec 2.3): the manycore design adds ~10us per\n"
+      "packet; the RMT-only design matches PANIC on plain traffic but\n"
+      "pays host software costs (~20us) for IPSec it cannot offload;\n"
+      "PANIC stays in the sub-microsecond range for plain traffic and\n"
+      "adds only the crypto engine's service time for IPSec.\n");
+  return 0;
+}

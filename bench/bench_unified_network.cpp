@@ -1,0 +1,113 @@
+// Ablation of footnote 1 (§3.1): one unified on-chip network vs multiple
+// class-partitioned networks of the same aggregate bit width.  With the
+// same total wires, the unified network can lend idle capacity to
+// whichever traffic class is busy; the split design strands it.
+//
+// Setup: two traffic classes (packets, DMA requests) on a k x k mesh.
+//   unified: one mesh with W-bit channels carrying both classes.
+//   split:   two meshes with W/2-bit channels, one class each.
+// Load is asymmetric (class A heavy, class B light), the regime where the
+// paper's argument bites.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "common/rng.h"
+#include "noc/mesh.h"
+#include "sim/simulator.h"
+
+using namespace panic;
+using namespace panic::analysis;
+
+namespace {
+
+struct Load {
+  double class_a;  // messages per tile per cycle (heavy)
+  double class_b;  // (light)
+};
+
+/// Returns delivered bits/cycle for the given per-class offered loads.
+/// `meshes` is 1 (unified) or 2 (split by class).
+double simulate(int k, std::uint32_t total_width, int meshes, Load load,
+                Cycles warmup, Cycles window) {
+  Simulator sim;
+  std::vector<std::unique_ptr<noc::Mesh>> nets;
+  const auto width = static_cast<std::uint32_t>(total_width / meshes);
+  for (int m = 0; m < meshes; ++m) {
+    noc::MeshConfig cfg;
+    cfg.k = k;
+    cfg.channel_bits = width;
+    nets.push_back(std::make_unique<noc::Mesh>(cfg, sim));
+  }
+  Rng rng(17);
+  const int tiles = k * k;
+
+  std::uint64_t delivered_bits = 0;
+  double credit_a = 0, credit_b = 0;
+
+  auto inject = [&](noc::Mesh& mesh, std::size_t bytes) {
+    for (int t = 0; t < tiles; ++t) {
+      const EngineId src{static_cast<std::uint16_t>(t)};
+      if (!mesh.ni(src).can_inject()) continue;
+      EngineId dst{static_cast<std::uint16_t>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(tiles - 1)))};
+      auto msg = make_message();
+      msg->data.resize(bytes);
+      mesh.ni(src).inject(std::move(msg), dst, sim.now());
+      return true;
+    }
+    return false;
+  };
+  auto drain = [&](noc::Mesh& mesh, bool measuring) {
+    for (int t = 0; t < tiles; ++t) {
+      const EngineId tile{static_cast<std::uint16_t>(t)};
+      while (auto msg = mesh.ni(tile).try_receive(sim.now())) {
+        if (measuring) delivered_bits += msg->wire_size() * 8;
+      }
+    }
+  };
+
+  noc::Mesh& net_a = *nets[0];
+  noc::Mesh& net_b = *nets[meshes - 1];
+
+  for (Cycles c = 0; c < warmup + window; ++c) {
+    const bool measuring = c >= warmup;
+    credit_a += load.class_a * tiles;
+    credit_b += load.class_b * tiles;
+    while (credit_a >= 1.0 && inject(net_a, 64)) credit_a -= 1.0;
+    while (credit_b >= 1.0 && inject(net_b, 16)) credit_b -= 1.0;
+    if (credit_a > tiles) credit_a = tiles;  // open-loop: excess is lost
+    if (credit_b > tiles) credit_b = tiles;
+    drain(net_a, measuring);
+    if (meshes == 2) drain(net_b, measuring);
+    sim.step();
+  }
+  return static_cast<double>(delivered_bits) / static_cast<double>(window);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PANIC reproduction — unified vs split on-chip network (footnote 1)\n");
+  std::printf(
+      "Same aggregate wire budget (128 bits/channel); class A = 64B\n"
+      "packets (heavy), class B = 16B DMA descriptors (light).\n");
+
+  Report report({"Offered A (msg/tile/cyc)", "Unified (bits/cyc)",
+                 "Split (bits/cyc)", "Unified / Split"});
+  for (double a : {0.02, 0.05, 0.1, 0.2}) {
+    const Load load{a, 0.005};
+    const double uni = simulate(4, 128, 1, load, 2000, 12000);
+    const double split = simulate(4, 128, 2, load, 2000, 12000);
+    report.add_row({strf("%.3f", a), strf("%.0f", uni), strf("%.0f", split),
+                    strf("%.2fx", uni / split)});
+  }
+  report.print("Delivered throughput under asymmetric load");
+
+  std::printf(
+      "\nShape check: as class A's load grows past what a half-width\n"
+      "network can carry, the unified design keeps scaling (it uses the\n"
+      "wires the idle class B network would have stranded) — footnote 1's\n"
+      "\"higher peak throughputs for a given aggregate bit width\".\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Performance isolation with the logical scheduler (§3.1.3): an
+// interactive tenant shares the NIC with a bulk tenant.  Run with FIFO
+// scheduling to see the isolation anomaly, then with slack scheduling to
+// see PANIC fix it.
+//
+//   $ ./build/examples/multi_tenant_isolation            # slack (default)
+//   $ ./build/examples/multi_tenant_isolation policy=fifo
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/panic_nic.h"
+#include "workload/kvs_workload.h"
+#include "workload/traffic_gen.h"
+
+using namespace panic;
+
+int main(int argc, char** argv) {
+  const Config args = Config::from_args(argc, argv);
+  const bool fifo = args.get_string("policy", "slack") == "fifo";
+
+  Simulator sim(Frequency::megahertz(500));
+  core::PanicConfig config;
+  config.mesh.k = 4;
+  config.sched_policy = fifo ? engines::SchedPolicy::kFifo
+                             : engines::SchedPolicy::kSlackPriority;
+  // Interactive tenant 1 gets tight slack; bulk tenant 2 gets loose slack.
+  config.tenant_slacks = {{1, 10}, {2, 100000}};
+  config.dma.contention_mean = 150.0;  // variable DMA performance (§3.2)
+  core::PanicNic nic(config, sim);
+
+  const Ipv4Addr interactive_client(10, 1, 0, 2);
+  const Ipv4Addr bulk_client(10, 2, 0, 9);
+  const Ipv4Addr server(10, 0, 0, 1);
+
+  // Bulk tenant: bursts of 1500B frames.
+  workload::TrafficConfig bulk_traffic;
+  bulk_traffic.pattern = workload::ArrivalPattern::kOnOff;
+  bulk_traffic.mean_gap_cycles = 15.0;
+  bulk_traffic.on_cycles = 20000;
+  bulk_traffic.off_cycles = 10000;
+  bulk_traffic.tenant = TenantId{2};
+  workload::TrafficSource bulk(
+      "bulk", &nic.eth_port(1),
+      workload::make_udp_factory(bulk_client, server, 1500), bulk_traffic);
+  sim.add(&bulk);
+
+  // Interactive tenant: sparse small requests.
+  workload::TrafficConfig inter_traffic;
+  inter_traffic.pattern = workload::ArrivalPattern::kPoisson;
+  inter_traffic.mean_gap_cycles = 2500.0;
+  inter_traffic.tenant = TenantId{1};
+  workload::TrafficSource interactive(
+      "interactive", &nic.eth_port(0),
+      workload::make_min_frame_factory(interactive_client, server),
+      inter_traffic);
+  sim.add(&interactive);
+
+  sim.run(500000);  // 1 ms at 500 MHz
+
+  const auto& t1 = nic.dma().host_delivery_latency(TenantId{1});
+  const auto& t2 = nic.dma().host_delivery_latency(TenantId{2});
+  std::printf("--- scheduling policy: %s ---\n", fifo ? "FIFO" : "slack");
+  std::printf("interactive tenant (n=%llu): p50=%llu p99=%llu max=%llu cyc\n",
+              static_cast<unsigned long long>(t1.count()),
+              static_cast<unsigned long long>(t1.p50()),
+              static_cast<unsigned long long>(t1.p99()),
+              static_cast<unsigned long long>(t1.max()));
+  std::printf("bulk tenant        (n=%llu): p50=%llu p99=%llu max=%llu cyc\n",
+              static_cast<unsigned long long>(t2.count()),
+              static_cast<unsigned long long>(t2.p50()),
+              static_cast<unsigned long long>(t2.p99()),
+              static_cast<unsigned long long>(t2.max()));
+  std::printf("DMA queue: max depth %zu, drops %llu\n",
+              nic.dma().queue().max_depth(),
+              static_cast<unsigned long long>(nic.dma().queue().dropped()));
+  std::printf(
+      "\n(1 cycle = 2 ns.  Compare both policies: slack keeps the\n"
+      "interactive tenant's p99 near the unloaded DMA latency; FIFO\n"
+      "queues it behind every in-flight bulk burst.)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Programming the logical switch from text (§4.1): extend the stock PANIC
+// program with a P4-lite ACL + DPI policy, compiled at startup.
+//
+// Policy: drop packets to port 666 at the pipeline; steer traffic to port
+// 8080 through the regex/DPI engine before the host; everything else
+// follows the default program.
+#include <cstdio>
+
+#include "core/panic_nic.h"
+#include "net/packet.h"
+#include "rmt/p4lite.h"
+
+using namespace panic;
+
+int main() {
+  Simulator sim(Frequency::megahertz(500));
+  core::PanicConfig config;
+  config.mesh.k = 4;
+
+  // Compile the extra stages against the engine names of this NIC's
+  // topology.
+  config.customize_program = [](rmt::RmtProgram& program,
+                                const core::PanicTopology& topo) {
+    const rmt::SymbolTable symbols = {
+        {"dma", topo.dma.value},
+        {"regex", topo.regex.value},
+    };
+    const char* policy = R"(
+      stage acl {
+        table deny exact(l4.dport) {
+          666 -> clear_chain, drop;
+        }
+      }
+      stage dpi {
+        table inspect exact(l4.dport) {
+          8080 -> clear_chain, chain(regex, dma);
+        }
+      }
+    )";
+    std::string error;
+    if (!rmt::append_p4lite_stages(program, policy, symbols, &error)) {
+      std::fprintf(stderr, "policy compile failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+  };
+
+  core::PanicNic nic(config, sim);
+  nic.regex().add_pattern("(UNION|union) +(SELECT|select)");
+
+  const Ipv4Addr client(10, 1, 0, 2);
+  const Ipv4Addr server(10, 0, 0, 1);
+
+  // 1. Blocked port.
+  nic.inject_rx(0, frames::min_udp(client, server, 1234, 666), sim.now());
+  // 2. Clean web traffic to the inspected port.
+  nic.inject_rx(0,
+                FrameBuilder()
+                    .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                         *MacAddr::parse("02:00:00:00:00:02"))
+                    .ipv4(client, server)
+                    .udp(40000, 8080)
+                    .payload_size(100)
+                    .build(),
+                sim.now());
+  // 3. SQL injection to the inspected port.
+  const std::string evil = "id=1 UNION  SELECT password FROM users";
+  nic.inject_rx(0,
+                FrameBuilder()
+                    .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                         *MacAddr::parse("02:00:00:00:00:02"))
+                    .ipv4(client, server)
+                    .udp(40001, 8080)
+                    .payload(std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(evil.data()),
+                        evil.size()))
+                    .build(),
+                sim.now());
+  // 4. Ordinary traffic: untouched by the policy.
+  nic.inject_rx(0, frames::min_udp(client, server, 1234, 80), sim.now());
+
+  sim.run(20000);
+
+  std::printf("--- P4-lite firewall results ---\n");
+  std::printf("dropped at the pipeline (ACL):   %llu\n",
+              static_cast<unsigned long long>(
+                  nic.rmt(0).messages_dropped() +
+                  nic.rmt(1).messages_dropped()));
+  std::printf("scanned by the DPI engine:       %llu (matched: %llu)\n",
+              static_cast<unsigned long long>(nic.regex().scanned()),
+              static_cast<unsigned long long>(nic.regex().matched()));
+  std::printf("delivered to host:               %llu of 4 injected\n",
+              static_cast<unsigned long long>(nic.dma().packets_to_host()));
+  return 0;
+}

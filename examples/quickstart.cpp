@@ -1,0 +1,68 @@
+// Quickstart: build a PANIC NIC, push a few packets through it, and look
+// at where they went.
+//
+//   $ ./build/examples/quickstart
+//
+// What happens: three frames enter Ethernet port 0.  The heavyweight RMT
+// pipeline parses each one and stamps a chain header; the mesh carries it
+// to the engines on its chain; the DMA engine delivers host-bound traffic
+// and raises (coalesced) interrupts via the PCIe engine.
+#include <cstdio>
+
+#include "core/panic_nic.h"
+#include "net/packet.h"
+
+using namespace panic;
+
+int main() {
+  // A 4x4-mesh NIC: 2x100G ports, 2 RMT engines, the full offload set.
+  Simulator sim(Frequency::megahertz(500));
+  core::PanicConfig config;
+  config.mesh.k = 4;
+  config.mesh.channel_bits = 128;
+  core::PanicNic nic(config, sim);
+
+  const Ipv4Addr client(10, 1, 0, 2);
+  const Ipv4Addr server(10, 0, 0, 1);
+
+  // Watch transmitted frames (NIC-generated replies leave here).
+  nic.eth_port(0).set_tx_sink([&](const Message& msg, Cycle now) {
+    const auto parsed = parse_frame(msg.data);
+    std::printf("[%6.0f ns] TX frame, %zu bytes%s\n", sim.clock().cycles_to_ns(now),
+                msg.data.size(),
+                parsed && parsed->kvs ? " (KVS reply)" : "");
+  });
+
+  // 1. A plain UDP packet -> host receive queue.
+  nic.inject_rx(0, frames::min_udp(client, server), sim.now());
+
+  // 2. A KVS SET installs a value (and continues to the host log).
+  nic.inject_rx(0, frames::kvs_set(client, server, /*tenant=*/1, /*key=*/7,
+                                   /*request_id=*/1, /*value_size=*/64),
+                sim.now());
+
+  // 3. A KVS GET for the same key: served entirely on the NIC (location
+  //    cache -> RDMA -> DMA read -> reply out the wire).
+  sim.run(2000);
+  nic.inject_rx(0, frames::kvs_get(client, server, 1, 7, 2), sim.now());
+
+  sim.run(5000);
+
+  std::printf("\n--- NIC statistics after %.0f ns ---\n", sim.now_ns());
+  std::printf("RMT pipeline passes:        %llu\n",
+              static_cast<unsigned long long>(nic.total_rmt_passes()));
+  std::printf("packets delivered to host:  %llu\n",
+              static_cast<unsigned long long>(nic.dma().packets_to_host()));
+  std::printf("KVS cache: %llu hit / %llu miss / %llu set\n",
+              static_cast<unsigned long long>(nic.kvs().hits()),
+              static_cast<unsigned long long>(nic.kvs().misses()),
+              static_cast<unsigned long long>(nic.kvs().sets()));
+  std::printf("RDMA replies generated:     %llu\n",
+              static_cast<unsigned long long>(nic.rdma().replies_generated()));
+  std::printf("interrupts: %llu delivered, %llu coalesced\n",
+              static_cast<unsigned long long>(nic.pcie().interrupts_delivered()),
+              static_cast<unsigned long long>(nic.pcie().interrupts_coalesced()));
+  std::printf("host-delivery latency:      %s\n",
+              nic.dma().host_delivery_latency().summary().c_str());
+  return 0;
+}

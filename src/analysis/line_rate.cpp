@@ -1,0 +1,44 @@
+#include "analysis/line_rate.h"
+
+#include <cstdio>
+
+namespace panic::analysis {
+
+LineRateResult evaluate_line_rate(const LineRateInput& in) {
+  LineRateResult r;
+  r.pps_per_port_per_direction =
+      in.line_rate.packets_per_second(kMinWireSizeBytes);
+  r.total_pps = r.pps_per_port_per_direction * 2.0 * in.ports;  // RX + TX
+  return r;
+}
+
+std::vector<LineRateInput> table2_rows() {
+  return {
+      {DataRate::gbps(40), 2},
+      {DataRate::gbps(40), 4},
+      {DataRate::gbps(100), 1},
+      {DataRate::gbps(100), 2},
+  };
+}
+
+std::string format_table2_row(const LineRateInput& in,
+                              const LineRateResult& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%3.0fGbps  %d  %6.1fMpps",
+                in.line_rate.gigabits_per_second(), in.ports,
+                r.total_pps / 1e6);
+  return buf;
+}
+
+double rmt_pipeline_pps(Frequency freq, int parallel) {
+  return freq.hz() * parallel;
+}
+
+bool rmt_sustains_line_rate(Frequency freq, int parallel,
+                            const LineRateInput& in,
+                            double passes_per_packet) {
+  const auto need = evaluate_line_rate(in).total_pps * passes_per_packet;
+  return rmt_pipeline_pps(freq, parallel) >= need;
+}
+
+}  // namespace panic::analysis

@@ -1,0 +1,44 @@
+// Analytical model behind Table 2: packets-per-second required to sustain
+// line rate with minimum-size packets in both RX and TX directions, and
+// the §4.2 RMT pipeline throughput law (pps = F · P).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace panic::analysis {
+
+struct LineRateInput {
+  DataRate line_rate = DataRate::gbps(40);
+  int ports = 2;
+};
+
+struct LineRateResult {
+  /// Minimum-size pps for one direction of one port.
+  double pps_per_port_per_direction;
+  /// Total RX+TX pps across all ports (the paper's "PPS" column).
+  double total_pps;
+};
+
+LineRateResult evaluate_line_rate(const LineRateInput& in);
+
+/// The four rows of Table 2: {40G x2, 40G x4, 100G x1, 100G x2}.
+std::vector<LineRateInput> table2_rows();
+
+/// "40Gbps  2  238.1Mpps (paper: 240Mpps)".
+std::string format_table2_row(const LineRateInput& in,
+                              const LineRateResult& r);
+
+/// §4.2: throughput of the heavyweight RMT pipeline with `parallel`
+/// pipelines at `freq` — F · P packets per second.
+double rmt_pipeline_pps(Frequency freq, int parallel);
+
+/// Whether the configured RMT pipelines can process every min-size packet
+/// `passes_per_packet` times at line rate (the §4.2 feasibility check).
+bool rmt_sustains_line_rate(Frequency freq, int parallel,
+                            const LineRateInput& in,
+                            double passes_per_packet = 1.0);
+
+}  // namespace panic::analysis

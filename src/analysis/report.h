@@ -1,0 +1,30 @@
+// Minimal fixed-width table renderer for benchmark output, so every bench
+// prints its paper-table reproduction in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace panic::analysis {
+
+class Report {
+ public:
+  explicit Report(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  std::string render() const;
+
+  /// Convenience: prints to stdout with a title line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace panic::analysis

@@ -1,0 +1,79 @@
+#include "baselines/manycore_nic.h"
+
+#include <cmath>
+
+namespace panic::baselines {
+
+ManycoreNic::ManycoreNic(std::string name, std::vector<OffloadSpec> offloads,
+                         const ManycoreNicConfig& config, Simulator& sim)
+    : Component(std::move(name)),
+      config_(config),
+      offloads_(std::move(offloads)),
+      cores_(static_cast<std::size_t>(config.num_cores)) {
+  sim.add(this);
+}
+
+void ManycoreNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                            TenantId tenant) {
+  auto msg = make_message(MessageKind::kPacket);
+  msg->data = std::move(frame);
+  msg->tenant = tenant;
+  msg->created_at = now;
+  msg->nic_ingress_at = now;
+  annotate_message(*msg);
+
+  std::size_t core;
+  if (config_.dispatch == ManycoreNicConfig::Dispatch::kFlowHash) {
+    const std::uint64_t h =
+        msg->meta.udp_dst_port * 0x9E3779B97F4A7C15ull + msg->tenant.value;
+    core = static_cast<std::size_t>(h % cores_.size());
+  } else {
+    core = static_cast<std::size_t>(next_core_++ % static_cast<int>(cores_.size()));
+  }
+  if (cores_[core].queue.size() >= config_.core_queue_depth) {
+    ++dropped_;
+    return;
+  }
+  cores_[core].queue.push_back(std::move(msg));
+}
+
+void ManycoreNic::tick(Cycle now) {
+  // DMA completion.
+  if (dma_in_service_ != nullptr && now >= dma_done_at_) {
+    ++delivered_;
+    if (now >= dma_in_service_->nic_ingress_at) {
+      latency_.record(now - dma_in_service_->nic_ingress_at);
+    }
+    dma_in_service_ = nullptr;
+  }
+  if (dma_in_service_ == nullptr && !dma_queue_.empty()) {
+    dma_in_service_ = std::move(dma_queue_.front());
+    dma_queue_.pop_front();
+    const Cycles t = config_.dma_base +
+                     static_cast<Cycles>(std::ceil(
+                         static_cast<double>(dma_in_service_->data.size()) /
+                         config_.dma_bytes_per_cycle));
+    dma_done_at_ = now + t;
+  }
+
+  // Cores.
+  for (Core& core : cores_) {
+    if (core.in_service != nullptr && now >= core.done_at) {
+      dma_queue_.push_back(std::move(core.in_service));
+      core.in_service = nullptr;
+    }
+    if (core.in_service == nullptr && !core.queue.empty()) {
+      core.in_service = std::move(core.queue.front());
+      core.queue.pop_front();
+      Cycles t = config_.orchestration_cycles;
+      for (const OffloadSpec& spec : offloads_) {
+        if (spec.applies(*core.in_service)) {
+          t += spec.service_cycles(*core.in_service);
+        }
+      }
+      core.done_at = now + (t == 0 ? 1 : t);
+    }
+  }
+}
+
+}  // namespace panic::baselines

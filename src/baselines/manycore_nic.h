@@ -1,0 +1,68 @@
+// Manycore NIC baseline — Figure 2b (Tile-GX / LiquidIO style).
+//
+// Packets are load-balanced across embedded CPU cores; the core
+// orchestrates all processing for its packet.  The defining cost is the
+// per-packet orchestration overhead: §2.3.2 quotes Firestone et al. that
+// core processing "adds a latency of 10 µs or more" (5000 cycles at
+// 500 MHz, our default).  Offload work itself uses the same service scales
+// as PANIC's engines; the orchestration overhead is what PANIC's logical
+// switch removes.
+#pragma once
+
+#include <deque>
+
+#include "baselines/nic_model.h"
+#include "sim/component.h"
+#include "sim/simulator.h"
+
+namespace panic::baselines {
+
+struct ManycoreNicConfig {
+  int num_cores = 8;
+  /// Per-packet CPU orchestration overhead (10 µs @ 500 MHz by default).
+  Cycles orchestration_cycles = 5000;
+  std::size_t core_queue_depth = 256;
+  Cycles dma_base = 75;
+  double dma_bytes_per_cycle = 32.0;
+  /// kFlowHash pins a flow to a core (preserves order); kRoundRobin
+  /// maximizes balance.
+  enum class Dispatch { kRoundRobin, kFlowHash } dispatch = Dispatch::kRoundRobin;
+};
+
+class ManycoreNic : public Component, public NicModel {
+ public:
+  ManycoreNic(std::string name, std::vector<OffloadSpec> offloads,
+              const ManycoreNicConfig& config, Simulator& sim);
+
+  void inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                 TenantId tenant) override;
+
+  const Histogram& host_latency() const override { return latency_; }
+  std::uint64_t packets_to_host() const override { return delivered_; }
+  std::uint64_t packets_dropped() const override { return dropped_; }
+
+  void tick(Cycle now) override;
+
+ private:
+  struct Core {
+    std::deque<MessagePtr> queue;
+    MessagePtr in_service;
+    Cycle done_at = 0;
+  };
+
+  ManycoreNicConfig config_;
+  std::vector<OffloadSpec> offloads_;
+  std::vector<Core> cores_;
+  int next_core_ = 0;
+
+  // Shared DMA engine behind the cores.
+  std::deque<MessagePtr> dma_queue_;
+  MessagePtr dma_in_service_;
+  Cycle dma_done_at_ = 0;
+
+  Histogram latency_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace panic::baselines

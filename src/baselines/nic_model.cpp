@@ -1,0 +1,70 @@
+#include "baselines/nic_model.h"
+
+#include "net/headers.h"
+
+namespace panic::baselines {
+
+void annotate_message(Message& msg) {
+  const auto parsed = parse_frame(msg.data);
+  MessageMeta meta;
+  if (parsed.has_value()) {
+    meta.has_ipv4 = parsed->ipv4.has_value();
+    meta.has_udp = parsed->udp.has_value();
+    meta.has_tcp = parsed->tcp.has_value();
+    meta.is_esp = parsed->esp.has_value();
+    meta.is_kvs = parsed->kvs.has_value();
+    if (parsed->ipv4) meta.ip_proto = parsed->ipv4->protocol;
+    if (parsed->udp) meta.udp_dst_port = parsed->udp->dst_port;
+    if (parsed->kvs) {
+      meta.kvs_op = static_cast<std::uint8_t>(parsed->kvs->op);
+      meta.kvs_key = parsed->kvs->key;
+      meta.kvs_request_id = parsed->kvs->request_id;
+    }
+  }
+  msg.meta = meta;
+  msg.meta_valid = true;
+}
+
+OffloadSpec ipsec_offload_spec() {
+  OffloadSpec spec;
+  spec.name = "ipsec";
+  spec.fixed_cycles = 24;      // matches engines::IpsecConfig
+  spec.cycles_per_byte = 0.25;
+  spec.applies = [](const Message& msg) { return msg.meta.is_esp; };
+  return spec;
+}
+
+OffloadSpec compression_offload_spec() {
+  OffloadSpec spec;
+  spec.name = "compression";
+  spec.fixed_cycles = 16;      // matches engines::CompressionConfig
+  spec.cycles_per_byte = 0.5;
+  spec.applies = [](const Message& msg) {
+    return msg.meta.is_kvs;  // KVS values get compressed
+  };
+  return spec;
+}
+
+OffloadSpec checksum_offload_spec() {
+  OffloadSpec spec;
+  spec.name = "checksum";
+  spec.fixed_cycles = 2;       // matches engines::ChecksumConfig
+  spec.cycles_per_byte = 0.0625;
+  spec.applies = [](const Message& msg) {
+    return msg.meta.has_udp || msg.meta.has_tcp;
+  };
+  return spec;
+}
+
+OffloadSpec slow_offload_spec(Cycles fixed_cycles, std::uint16_t udp_port) {
+  OffloadSpec spec;
+  spec.name = "slow";
+  spec.fixed_cycles = fixed_cycles;
+  spec.cycles_per_byte = 0.0;
+  spec.applies = [udp_port](const Message& msg) {
+    return msg.meta.udp_dst_port == udp_port;
+  };
+  return spec;
+}
+
+}  // namespace panic::baselines

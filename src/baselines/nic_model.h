@@ -1,0 +1,68 @@
+// Common vocabulary for the baseline NIC architectures of §2.3, so the
+// benchmarks can offer identical workloads to PANIC and to each baseline
+// and compare end-to-end behaviour.
+//
+// All baselines share PANIC's service-time scales (an IPSec unit costs the
+// same cycles/byte everywhere); what differs is the *architecture*: how
+// packets reach offloads and what coordination costs they pay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "net/message.h"
+#include "net/packet.h"
+
+namespace panic::baselines {
+
+/// One offload unit as seen by a baseline NIC.
+struct OffloadSpec {
+  std::string name;
+  Cycles fixed_cycles = 0;
+  double cycles_per_byte = 0.0;
+  /// Whether a given frame needs this offload (decided from parsed
+  /// headers, e.g. "ESP packets need IPSec").
+  std::function<bool(const Message&)> applies;
+
+  Cycles service_cycles(const Message& msg) const {
+    const auto data_cost = static_cast<Cycles>(
+        static_cast<double>(msg.data.size()) * cycles_per_byte + 0.999999);
+    const Cycles t = fixed_cycles + data_cost;
+    return t == 0 ? 1 : t;
+  }
+};
+
+/// Abstract NIC: the benchmarks inject RX frames and read host-delivery
+/// statistics.
+class NicModel {
+ public:
+  virtual ~NicModel() = default;
+
+  virtual void inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                         TenantId tenant) = 0;
+
+  /// Latency from injection to host delivery.
+  virtual const Histogram& host_latency() const = 0;
+  virtual std::uint64_t packets_to_host() const = 0;
+  virtual std::uint64_t packets_dropped() const = 0;
+};
+
+/// Standard offload specs matching the PANIC engines' cost models.
+OffloadSpec ipsec_offload_spec();
+OffloadSpec compression_offload_spec();
+OffloadSpec checksum_offload_spec();
+/// A deliberately slow offload for HOL-blocking experiments: applies to
+/// frames addressed to `udp_port`.
+OffloadSpec slow_offload_spec(Cycles fixed_cycles, std::uint16_t udp_port);
+
+/// Marks `msg.meta` from a software parse (baselines don't have the RMT
+/// parser; they look at headers directly).
+void annotate_message(Message& msg);
+
+}  // namespace panic::baselines

@@ -1,0 +1,75 @@
+#include "baselines/pipeline_nic.h"
+
+#include <cmath>
+
+namespace panic::baselines {
+
+PipelineNic::PipelineNic(std::string name, std::vector<OffloadSpec> offloads,
+                         const PipelineNicConfig& config, Simulator& sim)
+    : Component(std::move(name)), config_(config) {
+  for (auto& spec : offloads) {
+    stages_.push_back(StageState{std::move(spec), {}, nullptr, 0});
+  }
+  // Final stage: the DMA engine moving the packet to host memory.
+  OffloadSpec dma;
+  dma.name = "dma";
+  dma.fixed_cycles = config_.dma_base;
+  dma.cycles_per_byte = 1.0 / config_.dma_bytes_per_cycle;
+  dma.applies = [](const Message&) { return true; };
+  stages_.push_back(StageState{std::move(dma), {}, nullptr, 0});
+  sim.add(this);
+}
+
+bool PipelineNic::stage_push(std::size_t stage, MessagePtr msg) {
+  auto& st = stages_[stage];
+  if (st.queue.size() >= config_.stage_queue_depth) return false;
+  st.queue.push_back(std::move(msg));
+  return true;
+}
+
+void PipelineNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                            TenantId tenant) {
+  auto msg = make_message(MessageKind::kPacket);
+  msg->data = std::move(frame);
+  msg->tenant = tenant;
+  msg->created_at = now;
+  msg->nic_ingress_at = now;
+  annotate_message(*msg);
+  if (!stage_push(0, std::move(msg))) ++dropped_;
+}
+
+void PipelineNic::tick(Cycle now) {
+  // Walk stages back to front so a packet finishing stage i can enter
+  // stage i+1 the same cycle only if i+1 just freed — conservative and
+  // stable.
+  for (std::size_t i = stages_.size(); i-- > 0;) {
+    auto& st = stages_[i];
+
+    // Completion: hand to the next stage (blocking if it is full — this
+    // back-pressure is what propagates HOL blocking upstream).
+    if (st.in_service != nullptr && now >= st.done_at) {
+      if (i + 1 == stages_.size()) {
+        ++delivered_;
+        if (now >= st.in_service->nic_ingress_at) {
+          latency_.record(now - st.in_service->nic_ingress_at);
+        }
+        st.in_service = nullptr;
+      } else if (stage_push(i + 1, std::move(st.in_service))) {
+        st.in_service = nullptr;
+      }
+      // else: stalled, retry next cycle.
+    }
+
+    // Issue.
+    if (st.in_service == nullptr && !st.queue.empty()) {
+      st.in_service = std::move(st.queue.front());
+      st.queue.pop_front();
+      const bool needed = st.spec.applies(*st.in_service);
+      const Cycles t = needed ? st.spec.service_cycles(*st.in_service)
+                              : config_.passthrough_cycles;
+      st.done_at = now + (t == 0 ? 1 : t);
+    }
+  }
+}
+
+}  // namespace panic::baselines

@@ -1,0 +1,60 @@
+// Pipeline ("bump-in-the-wire") NIC baseline — Figure 2a.
+//
+// Offloads sit in a fixed linear sequence on the wire; EVERY packet passes
+// through EVERY offload position in FIFO order.  Packets that do not need
+// an offload still occupy its queue slot: with bypass enabled they take
+// only a passthrough cycle of service, but they cannot overtake (the wire
+// preserves order), so a slow offload head-of-line blocks everything
+// behind it — the §2.3.1 limitation measured by bench_hol_blocking.
+#pragma once
+
+#include <deque>
+
+#include "baselines/nic_model.h"
+#include "sim/component.h"
+#include "sim/simulator.h"
+
+namespace panic::baselines {
+
+struct PipelineNicConfig {
+  std::size_t stage_queue_depth = 64;
+  /// Service cycles for packets that don't need the stage's offload.
+  Cycles passthrough_cycles = 1;
+  /// DMA stage parameters (same scale as engines::DmaConfig).
+  Cycles dma_base = 75;
+  double dma_bytes_per_cycle = 32.0;
+};
+
+class PipelineNic : public Component, public NicModel {
+ public:
+  PipelineNic(std::string name, std::vector<OffloadSpec> offloads,
+              const PipelineNicConfig& config, Simulator& sim);
+
+  void inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                 TenantId tenant) override;
+
+  const Histogram& host_latency() const override { return latency_; }
+  std::uint64_t packets_to_host() const override { return delivered_; }
+  std::uint64_t packets_dropped() const override { return dropped_; }
+
+  void tick(Cycle now) override;
+
+ private:
+  struct StageState {
+    OffloadSpec spec;
+    std::deque<MessagePtr> queue;
+    MessagePtr in_service;
+    Cycle done_at = 0;
+  };
+
+  bool stage_push(std::size_t stage, MessagePtr msg);
+
+  PipelineNicConfig config_;
+  std::vector<StageState> stages_;  // last stage is the DMA engine
+
+  Histogram latency_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace panic::baselines

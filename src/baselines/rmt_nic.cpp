@@ -1,0 +1,81 @@
+#include "baselines/rmt_nic.h"
+
+#include <cmath>
+
+namespace panic::baselines {
+
+RmtNic::RmtNic(std::string name, std::vector<OffloadSpec> heavy_offloads,
+               const RmtNicConfig& config, Simulator& sim)
+    : Component(std::move(name)),
+      config_(config),
+      heavy_(std::move(heavy_offloads)) {
+  sim.add(this);
+}
+
+void RmtNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                       TenantId tenant) {
+  if (in_pipeline_.size() + dma_queue_.size() >= config_.queue_depth) {
+    ++dropped_;
+    return;
+  }
+  auto msg = make_message(MessageKind::kPacket);
+  msg->data = std::move(frame);
+  msg->tenant = tenant;
+  msg->created_at = now;
+  msg->nic_ingress_at = now;
+  annotate_message(*msg);
+  in_pipeline_.emplace_back(std::move(msg), now + config_.pipeline_latency);
+}
+
+void RmtNic::tick(Cycle now) {
+  // Pipeline exits (full rate, latency only).
+  while (!in_pipeline_.empty() && now >= in_pipeline_.front().second) {
+    dma_queue_.push_back(std::move(in_pipeline_.front().first));
+    in_pipeline_.pop_front();
+  }
+
+  // DMA engine.
+  if (dma_in_service_ != nullptr && now >= dma_done_at_) {
+    MessagePtr msg = std::move(dma_in_service_);
+    bool needs_host_work = false;
+    for (const OffloadSpec& spec : heavy_) {
+      if (spec.applies(*msg)) {
+        needs_host_work = true;
+        break;
+      }
+    }
+    if (needs_host_work) {
+      ++punted_;
+      host_queue_.push_back(std::move(msg));
+    } else {
+      ++delivered_;
+      if (now >= msg->nic_ingress_at) {
+        latency_.record(now - msg->nic_ingress_at);
+      }
+    }
+  }
+  if (dma_in_service_ == nullptr && !dma_queue_.empty()) {
+    dma_in_service_ = std::move(dma_queue_.front());
+    dma_queue_.pop_front();
+    dma_done_at_ = now + config_.dma_base +
+                   static_cast<Cycles>(std::ceil(
+                       static_cast<double>(dma_in_service_->data.size()) /
+                       config_.dma_bytes_per_cycle));
+  }
+
+  // Host software processing of punted packets.
+  if (host_in_service_ != nullptr && now >= host_done_at_) {
+    ++delivered_;
+    if (now >= host_in_service_->nic_ingress_at) {
+      latency_.record(now - host_in_service_->nic_ingress_at);
+    }
+    host_in_service_ = nullptr;
+  }
+  if (host_in_service_ == nullptr && !host_queue_.empty()) {
+    host_in_service_ = std::move(host_queue_.front());
+    host_queue_.pop_front();
+    host_done_at_ = now + config_.host_software_cycles;
+  }
+}
+
+}  // namespace panic::baselines

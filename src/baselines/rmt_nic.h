@@ -1,0 +1,68 @@
+// RMT-only NIC baseline — Figure 2c (FlexNIC style).
+//
+// A line-rate match+action pipeline parses and steers every packet, but
+// each stage must finish in one cycle, so heavy offloads (IPSec,
+// compression) cannot run on the NIC at all (§2.3.3).  Packets needing
+// them are punted to host software, paying a software-processing penalty;
+// everything else DMAs straight to its receive queue.  This baseline wins
+// on simple steering and loses exactly where the paper says it must.
+#pragma once
+
+#include <deque>
+
+#include "baselines/nic_model.h"
+#include "sim/component.h"
+#include "sim/simulator.h"
+
+namespace panic::baselines {
+
+struct RmtNicConfig {
+  Cycles pipeline_latency = 5;    ///< parse + M+A stages + deparse
+  /// Host software cost for work the RMT pipeline cannot do (per packet);
+  /// ~20 µs @ 500 MHz for a software IPSec stack.
+  Cycles host_software_cycles = 10000;
+  std::size_t queue_depth = 4096;
+  Cycles dma_base = 75;
+  double dma_bytes_per_cycle = 32.0;
+};
+
+class RmtNic : public Component, public NicModel {
+ public:
+  /// `heavy_offloads` — offloads the pipeline cannot host; packets that
+  /// need any of them pay the host-software penalty after DMA.
+  RmtNic(std::string name, std::vector<OffloadSpec> heavy_offloads,
+         const RmtNicConfig& config, Simulator& sim);
+
+  void inject_rx(std::vector<std::uint8_t> frame, Cycle now,
+                 TenantId tenant) override;
+
+  /// Latency to *usable* delivery: DMA completion plus, for punted
+  /// packets, the host software processing time.
+  const Histogram& host_latency() const override { return latency_; }
+  std::uint64_t packets_to_host() const override { return delivered_; }
+  std::uint64_t packets_dropped() const override { return dropped_; }
+  std::uint64_t packets_punted() const { return punted_; }
+
+  void tick(Cycle now) override;
+
+ private:
+  RmtNicConfig config_;
+  std::vector<OffloadSpec> heavy_;
+
+  /// Pipeline is full-rate: modelled as a pure latency element.
+  std::deque<std::pair<MessagePtr, Cycle>> in_pipeline_;
+  std::deque<MessagePtr> dma_queue_;
+  MessagePtr dma_in_service_;
+  Cycle dma_done_at_ = 0;
+  /// Punted packets being processed by host software (one CPU core).
+  std::deque<MessagePtr> host_queue_;
+  MessagePtr host_in_service_;
+  Cycle host_done_at_ = 0;
+
+  Histogram latency_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t punted_ = 0;
+};
+
+}  // namespace panic::baselines

@@ -1,0 +1,68 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace panic {
+
+Config Config::from_args(int argc, const char* const* argv,
+                         std::vector<std::string>* unparsed) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (unparsed) unparsed->push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(0, eq);
+    // Accept both "key=v" and "--key=v".
+    while (!key.empty() && key.front() == '-') key.erase(key.begin());
+    cfg.set(key, arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace panic

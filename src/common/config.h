@@ -1,0 +1,40 @@
+// Typed key-value configuration with defaults, used by benches and examples
+// to parametrize NIC builds ("topology=8x8 bitwidth=128 freq_mhz=500") from
+// the command line without a heavyweight flags library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace panic {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; unrecognized tokens are returned so callers
+  /// can report usage errors.
+  static Config from_args(int argc, const char* const* argv,
+                          std::vector<std::string>* unparsed = nullptr);
+
+  void set(const std::string& key, std::string value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys, for diagnostics.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace panic

@@ -1,0 +1,31 @@
+#include "common/log.h"
+
+namespace panic {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel lvl, std::string_view tag, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] %.*s: ", level_name(lvl),
+               static_cast<int>(tag.size()), tag.data());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace panic

@@ -1,0 +1,47 @@
+// Minimal leveled logger.  The simulator is single-threaded per run, so this
+// is deliberately simple: a global level, printf-style formatting, and a
+// compile-away fast path when the level is disabled.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string_view>
+
+namespace panic {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static bool enabled(LogLevel lvl) { return lvl >= level_; }
+
+  /// Writes "[LEVEL] tag: message\n" to stderr.
+  static void write(LogLevel lvl, std::string_view tag, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+ private:
+  static LogLevel level_;
+};
+
+#define PANIC_LOG(lvl, tag, ...)                      \
+  do {                                                \
+    if (::panic::Log::enabled(lvl)) {                 \
+      ::panic::Log::write(lvl, tag, __VA_ARGS__);     \
+    }                                                 \
+  } while (0)
+
+#define PANIC_TRACE(tag, ...) \
+  PANIC_LOG(::panic::LogLevel::kTrace, tag, __VA_ARGS__)
+#define PANIC_DEBUG(tag, ...) \
+  PANIC_LOG(::panic::LogLevel::kDebug, tag, __VA_ARGS__)
+#define PANIC_INFO(tag, ...) \
+  PANIC_LOG(::panic::LogLevel::kInfo, tag, __VA_ARGS__)
+#define PANIC_WARN(tag, ...) \
+  PANIC_LOG(::panic::LogLevel::kWarn, tag, __VA_ARGS__)
+#define PANIC_ERROR(tag, ...) \
+  PANIC_LOG(::panic::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace panic

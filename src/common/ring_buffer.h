@@ -1,0 +1,75 @@
+// Fixed-capacity single-threaded ring buffer.  Engines use these for their
+// input/output staging so that the steady-state simulation loop performs no
+// allocations.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace panic {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity ? capacity : 1) {}
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t free_slots() const { return capacity() - size_; }
+
+  /// Pushes an element; caller must check !full() first.
+  void push(T value) {
+    assert(!full());
+    slots_[tail_] = std::move(value);
+    tail_ = advance(tail_);
+    ++size_;
+  }
+
+  /// Attempts to push; returns false (leaving the buffer unchanged) if full.
+  bool try_push(T value) {
+    if (full()) return false;
+    push(std::move(value));
+    return true;
+  }
+
+  /// Reference to the oldest element; caller must check !empty() first.
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Removes and returns the oldest element; caller must check !empty().
+  T pop() {
+    assert(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = advance(head_);
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    return (i + 1 == slots_.size()) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace panic

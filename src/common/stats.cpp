@@ -1,0 +1,160 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace panic {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+void StreamingStats::reset() { *this = StreamingStats{}; }
+
+Histogram::Histogram() : buckets_(kMagnitudes * kSubBuckets, 0) {}
+
+std::uint32_t Histogram::bucket_index(std::uint64_t value) {
+  // Values below kSubBuckets map linearly into magnitude 0.
+  if (value < kSubBuckets) return static_cast<std::uint32_t>(value);
+  const auto msb = static_cast<std::uint32_t>(63 - std::countl_zero(value));
+  const std::uint32_t magnitude = msb - kSubBucketBits + 1;
+  const auto sub =
+      static_cast<std::uint32_t>(value >> (msb - kSubBucketBits)) &
+      (kSubBuckets - 1);
+  return magnitude * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_low(std::uint32_t index) {
+  const std::uint32_t magnitude = index / kSubBuckets;
+  const std::uint32_t sub = index % kSubBuckets;
+  if (magnitude == 0) return sub;
+  const std::uint32_t shift = magnitude - 1;
+  return (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift;
+}
+
+std::uint64_t Histogram::bucket_mid(std::uint32_t index) {
+  const std::uint64_t lo = bucket_low(index);
+  const std::uint64_t hi =
+      (index + 1 < kMagnitudes * kSubBuckets) ? bucket_low(index + 1) : lo + 1;
+  return lo + (hi - lo) / 2;
+}
+
+void Histogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[bucket_index(value)] += count;
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double Histogram::mean() const {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_mid(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p99=%llu p999=%llu max=%llu",
+                static_cast<unsigned long long>(total_), mean(),
+                static_cast<unsigned long long>(p50()),
+                static_cast<unsigned long long>(p99()),
+                static_cast<unsigned long long>(p999()),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+double RateMeter::pps(std::uint64_t elapsed_cycles, double hz) const {
+  if (elapsed_cycles == 0) return 0.0;
+  return static_cast<double>(packets_) * hz /
+         static_cast<double>(elapsed_cycles);
+}
+
+double RateMeter::gbps(std::uint64_t elapsed_cycles, double hz) const {
+  if (elapsed_cycles == 0) return 0.0;
+  return static_cast<double>(bytes_) * 8.0 * hz /
+         static_cast<double>(elapsed_cycles) / 1e9;
+}
+
+}  // namespace panic

@@ -1,0 +1,112 @@
+// Measurement utilities used by every benchmark: streaming moments,
+// log-bucketed latency histograms with percentile queries, and windowed
+// rate meters.  All are allocation-free on the hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace panic {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const StreamingStats& other);
+
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Latency histogram with HdrHistogram-style log-linear buckets: values are
+/// grouped by power-of-two magnitude, with `kSubBuckets` linear sub-buckets
+/// per magnitude, giving a bounded relative error (~1/kSubBuckets) across a
+/// huge dynamic range.  Records integer values (we use cycles).
+class Histogram {
+ public:
+  static constexpr std::uint32_t kSubBucketBits = 5;  // 32 sub-buckets ≈ 3% err
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::uint32_t kMagnitudes = 64 - kSubBucketBits;
+
+  Histogram();
+
+  void record(std::uint64_t value);
+  void record_n(std::uint64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t min() const { return total_ ? min_ : 0; }
+  std::uint64_t max() const { return total_ ? max_ : 0; }
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]; e.g. quantile(0.99) is the p99.
+  /// Returns the representative (midpoint) value of the bucket containing q.
+  std::uint64_t quantile(double q) const;
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  void merge(const Histogram& other);
+  void reset();
+
+  /// One-line summary: "n=... mean=... p50=... p99=... max=...".
+  std::string summary() const;
+
+ private:
+  static std::uint32_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_low(std::uint32_t index);
+  static std::uint64_t bucket_mid(std::uint32_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Counts events/bytes over the simulation run and converts to rates given
+/// the elapsed cycles and clock frequency.
+class RateMeter {
+ public:
+  void add_packet(std::uint64_t bytes) {
+    ++packets_;
+    bytes_ += bytes;
+  }
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Packets per second over `elapsed` cycles at frequency hz.
+  double pps(std::uint64_t elapsed_cycles, double hz) const;
+
+  /// Goodput in Gbps over `elapsed` cycles at frequency hz.
+  double gbps(std::uint64_t elapsed_cycles, double hz) const;
+
+  void reset() { packets_ = bytes_ = 0; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace panic

@@ -1,0 +1,15 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace panic {
+
+std::string format_cycles(Cycles c, Frequency f) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%llu cyc (%.1f ns @ %.0f MHz)",
+                static_cast<unsigned long long>(c), f.cycles_to_ns(c),
+                f.mhz());
+  return buf;
+}
+
+}  // namespace panic

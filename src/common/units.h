@@ -1,0 +1,107 @@
+// Strong unit types used throughout the PANIC simulator.
+//
+// The paper's analysis (§4.2) is expressed in clock cycles, frequencies
+// (MHz), line-rates (Gbps) and channel bit widths.  We mirror those units
+// here as small value types so that rate/time conversions are explicit and
+// unit errors are caught by the type system rather than at debug time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace panic {
+
+/// Simulation time, measured in clock cycles of the NIC's core clock.
+using Cycle = std::uint64_t;
+
+/// A duration measured in clock cycles.
+using Cycles = std::uint64_t;
+
+/// Clock frequency.  Stored in hertz; constructed from MHz/GHz helpers.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  static constexpr Frequency hertz(double hz) { return Frequency{hz}; }
+  static constexpr Frequency megahertz(double mhz) {
+    return Frequency{mhz * 1e6};
+  }
+  static constexpr Frequency gigahertz(double ghz) {
+    return Frequency{ghz * 1e9};
+  }
+
+  constexpr double hz() const { return hz_; }
+  constexpr double mhz() const { return hz_ / 1e6; }
+
+  /// Duration of one clock period in picoseconds.
+  constexpr double period_ps() const { return 1e12 / hz_; }
+
+  /// Converts a cycle count to nanoseconds at this frequency.
+  constexpr double cycles_to_ns(Cycles c) const {
+    return static_cast<double>(c) * 1e9 / hz_;
+  }
+
+  /// Converts nanoseconds to a cycle count (rounded up) at this frequency.
+  constexpr Cycles ns_to_cycles(double ns) const {
+    const double c = ns * hz_ / 1e9;
+    const auto floor = static_cast<Cycles>(c);
+    return (static_cast<double>(floor) < c) ? floor + 1 : floor;
+  }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  explicit constexpr Frequency(double hz) : hz_(hz) {}
+  double hz_ = 0.0;
+};
+
+/// A data rate (line-rate, link bandwidth).  Stored in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate bps(double v) { return DataRate{v}; }
+  static constexpr DataRate gbps(double v) { return DataRate{v * 1e9}; }
+  static constexpr DataRate mbps(double v) { return DataRate{v * 1e6}; }
+
+  constexpr double bits_per_second() const { return bps_; }
+  constexpr double gigabits_per_second() const { return bps_ / 1e9; }
+
+  /// Bits transferred per clock cycle at frequency `f`.
+  constexpr double bits_per_cycle(Frequency f) const { return bps_ / f.hz(); }
+
+  /// Bytes transferred per clock cycle at frequency `f`.
+  constexpr double bytes_per_cycle(Frequency f) const {
+    return bits_per_cycle(f) / 8.0;
+  }
+
+  /// Packets per second at a fixed on-the-wire packet size (bytes).
+  /// The wire size should include preamble + IFG for Ethernet (see
+  /// `kMinWireSizeBytes`).
+  constexpr double packets_per_second(double wire_bytes) const {
+    return bps_ / (wire_bytes * 8.0);
+  }
+
+  constexpr DataRate operator*(double k) const { return DataRate{bps_ * k}; }
+  constexpr DataRate operator+(DataRate o) const {
+    return DataRate{bps_ + o.bps_};
+  }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  explicit constexpr DataRate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+/// Minimum Ethernet frame: 64 bytes.
+inline constexpr std::uint32_t kMinFrameBytes = 64;
+
+/// Minimum Ethernet frame as seen on the wire: 64 byte frame + 8 byte
+/// preamble/SFD + 12 byte inter-frame gap = 84 bytes.  This is the figure
+/// behind Table 2 of the paper: 100 Gbps / (84 B * 8) ≈ 148.8 Mpps per
+/// direction per port — the paper rounds to ~150 Mpps per direction.
+inline constexpr std::uint32_t kMinWireSizeBytes = 84;
+
+/// Formats a cycle count as "N cyc (X ns @ F MHz)" for reports.
+std::string format_cycles(Cycles c, Frequency f);
+
+}  // namespace panic

@@ -1,0 +1,59 @@
+#include "core/offload_taxonomy.h"
+
+namespace panic::core {
+
+const char* to_string(OffloadScope v) {
+  switch (v) {
+    case OffloadScope::kInfrastructure: return "Infrastructure";
+    case OffloadScope::kApplication: return "Application";
+  }
+  return "?";
+}
+
+const char* to_string(OffloadPath v) {
+  switch (v) {
+    case OffloadPath::kInline: return "Inline";
+    case OffloadPath::kCpuBypass: return "CPU-bypass";
+    case OffloadPath::kBoth: return "Inline/CPU-bypass";
+  }
+  return "?";
+}
+
+const char* to_string(OffloadKind v) {
+  switch (v) {
+    case OffloadKind::kComputation: return "Computation";
+    case OffloadKind::kMemory: return "Memory";
+    case OffloadKind::kNetwork: return "Network";
+    case OffloadKind::kMemoryAndNetwork: return "Network/Memory";
+  }
+  return "?";
+}
+
+const std::vector<TaxonomyRow>& table1_rows() {
+  static const std::vector<TaxonomyRow> rows = {
+      {"FlexNIC", OffloadScope::kApplication, OffloadPath::kInline,
+       OffloadKind::kComputation, "rmt pipeline (steering/rewrite)"},
+      {"Emu (app)", OffloadScope::kApplication, OffloadPath::kCpuBypass,
+       OffloadKind::kMemory, "kvs cache engine"},
+      {"Emu (infra)", OffloadScope::kInfrastructure, OffloadPath::kCpuBypass,
+       OffloadKind::kNetwork, "regex/DPI engine"},
+      {"SENIC", OffloadScope::kInfrastructure, OffloadPath::kInline,
+       OffloadKind::kNetwork, "rate limiter engine"},
+      {"sNICh", OffloadScope::kInfrastructure, OffloadPath::kCpuBypass,
+       OffloadKind::kNetwork, "logical switch (chains)"},
+      {"DCQCN", OffloadScope::kInfrastructure, OffloadPath::kCpuBypass,
+       OffloadKind::kNetwork, "rate limiter engine (policing)"},
+      {"TCP offload engines", OffloadScope::kInfrastructure,
+       OffloadPath::kCpuBypass, OffloadKind::kNetwork, "tso engine"},
+      {"UNO", OffloadScope::kInfrastructure, OffloadPath::kCpuBypass,
+       OffloadKind::kNetwork, "ipsec engines"},
+      {"Azure SmartNIC", OffloadScope::kInfrastructure,
+       OffloadPath::kCpuBypass, OffloadKind::kNetwork,
+       "rmt pipeline + chains"},
+      {"RDMA", OffloadScope::kApplication, OffloadPath::kBoth,
+       OffloadKind::kMemoryAndNetwork, "rdma + dma engines"},
+  };
+  return rows;
+}
+
+}  // namespace panic::core

@@ -1,0 +1,39 @@
+// Table 1 of the paper as code: the offload taxonomy (§2.1) and, for each
+// prior-work row, the engine in this repository that exercises the same
+// offload class.  The taxonomy dimensions:
+//   * Infrastructure vs Application offloads
+//   * CPU-bypass vs Inline
+//   * Computation vs Memory vs Network
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace panic::core {
+
+enum class OffloadScope : std::uint8_t { kInfrastructure, kApplication };
+enum class OffloadPath : std::uint8_t { kInline, kCpuBypass, kBoth };
+enum class OffloadKind : std::uint8_t {
+  kComputation,
+  kMemory,
+  kNetwork,
+  kMemoryAndNetwork,
+};
+
+struct TaxonomyRow {
+  const char* project;     ///< the prior work cited in Table 1
+  OffloadScope scope;
+  OffloadPath path;
+  OffloadKind kind;
+  const char* panic_engine;  ///< the engine here exercising that class
+};
+
+const char* to_string(OffloadScope v);
+const char* to_string(OffloadPath v);
+const char* to_string(OffloadKind v);
+
+/// The rows of Table 1, in paper order.
+const std::vector<TaxonomyRow>& table1_rows();
+
+}  // namespace panic::core

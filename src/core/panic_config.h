@@ -1,0 +1,91 @@
+// Configuration and tile placement for a PANIC NIC instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "engines/dma_engine.h"
+#include "engines/ipsec_engine.h"
+#include "engines/kvs_cache_engine.h"
+#include "engines/pcie_engine.h"
+#include "engines/rdma_engine.h"
+#include "engines/sched_queue.h"
+#include "noc/mesh.h"
+#include "rmt/pipeline.h"
+
+namespace panic::core {
+
+/// Which tile each functional unit occupies (EngineId == tile id).
+/// Computed by PanicNic from the mesh size; exposed so RMT programs can
+/// name engines in chain actions.
+struct PanicTopology {
+  std::vector<EngineId> eth_ports;
+  std::vector<EngineId> rmt_engines;
+  EngineId dma;
+  EngineId pcie;
+  EngineId ipsec_rx;      ///< decrypt direction
+  EngineId ipsec_tx;      ///< encrypt direction
+  EngineId kvs;
+  EngineId rdma;
+  EngineId compression;
+  EngineId checksum;
+  EngineId regex;
+  EngineId tso;
+  EngineId rate_limiter;
+  std::vector<EngineId> aux;    ///< generic delay engines for experiments
+  std::vector<EngineId> spare;  ///< reserved tiles with no engine attached
+                                ///< (callers attach their own, see
+                                ///< examples/custom_offload.cpp)
+};
+
+struct PanicConfig {
+  noc::MeshConfig mesh{.k = 4, .channel_bits = 128};
+  Frequency freq = Frequency::megahertz(500);
+  DataRate line_rate = DataRate::gbps(100);
+  int eth_ports = 2;
+  int rmt_engines = 2;
+
+  engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
+  engines::DropPolicy drop_policy = engines::DropPolicy::kDropArrival;
+  std::size_t engine_queue_capacity = 256;
+  std::size_t rmt_input_queue = 512;
+
+  engines::DmaConfig dma;
+  engines::PcieConfig pcie;
+  engines::KvsCacheMode kvs_mode = engines::KvsCacheMode::kLocation;
+  std::size_t kvs_capacity = 4096;
+
+  /// Number of host receive queues load-balanced across (kMetaQueue).
+  std::uint32_t rx_queues = 8;
+
+  /// Slack assigned to messages whose tenant has no explicit entry.
+  std::uint32_t default_slack = 1000;
+  /// Per-tenant slack values (lower = higher priority), installed into the
+  /// slack stage of the default program.
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> tenant_slacks;
+
+  /// IPv4 prefix classified as WAN: replies to these destinations are
+  /// routed through the IPSec encrypt engine (§2.2: "only packets sent
+  /// over the WAN need to be encrypted").
+  std::uint32_t wan_prefix = 0xCB007100;  // 203.0.113.0
+  int wan_prefix_len = 24;
+
+  /// Extra pass-through delay engines (HOL / chain-length experiments).
+  int aux_engines = 0;
+  Cycles aux_fixed_cycles = 100;
+  double aux_cycles_per_byte = 0.0;
+
+  /// Tiles reserved for caller-attached custom engines.
+  int spare_tiles = 0;
+
+  /// TCP segmentation offload: max payload per TX segment.
+  std::uint32_t tso_mss = 1460;
+
+  /// Called after the default RMT program is built, so benchmarks and
+  /// examples can add or override table entries.
+  std::function<void(rmt::RmtProgram&, const PanicTopology&)> customize_program;
+};
+
+}  // namespace panic::core

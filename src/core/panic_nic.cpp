@@ -1,0 +1,196 @@
+#include "core/panic_nic.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/program_factory.h"
+
+namespace panic::core {
+
+PanicTopology PanicNic::plan_topology(const PanicConfig& config) {
+  PanicTopology topo;
+  const int tiles = config.mesh.k * config.mesh.k;
+  int next = 0;
+  auto take = [&]() {
+    if (next >= tiles) {
+      throw std::runtime_error(
+          "PanicConfig: mesh too small for the configured engines");
+    }
+    return EngineId{static_cast<std::uint16_t>(next++)};
+  };
+
+  // Interleave ports and RMT engines so each port sits next to its home
+  // pipeline and the port->RMT flows use disjoint mesh links (sequential
+  // placement would funnel every port through the same row segment).
+  const int head = std::max(config.eth_ports, config.rmt_engines);
+  for (int i = 0; i < head; ++i) {
+    if (i < config.eth_ports) topo.eth_ports.push_back(take());
+    if (i < config.rmt_engines) topo.rmt_engines.push_back(take());
+  }
+  topo.dma = take();
+  topo.pcie = take();
+  topo.ipsec_rx = take();
+  topo.ipsec_tx = take();
+  topo.kvs = take();
+  topo.rdma = take();
+  topo.compression = take();
+  topo.checksum = take();
+  topo.regex = take();
+  topo.tso = take();
+  topo.rate_limiter = take();
+  for (int i = 0; i < config.aux_engines; ++i) topo.aux.push_back(take());
+  for (int i = 0; i < config.spare_tiles; ++i) topo.spare.push_back(take());
+  return topo;
+}
+
+PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
+    : config_(config), topo_(plan_topology(config)) {
+  assert(config_.eth_ports >= 1);
+  assert(config_.rmt_engines >= 1);
+
+  mesh_ = std::make_unique<noc::Mesh>(config_.mesh, sim);
+  const auto program = build_default_program(config_, topo_);
+
+  engines::EngineConfig ecfg;
+  ecfg.sched_policy = config_.sched_policy;
+  ecfg.drop_policy = config_.drop_policy;
+  ecfg.queue_capacity = config_.engine_queue_capacity;
+
+  // Round-robin assignment of a "home" RMT engine, spreading load across
+  // the parallel pipelines.
+  int rmt_rr = 0;
+  auto home_rmt = [&]() {
+    const EngineId id = topo_.rmt_engines[static_cast<std::size_t>(
+        rmt_rr % config_.rmt_engines)];
+    ++rmt_rr;
+    return id;
+  };
+
+  auto adopt = [&](auto* engine) {
+    owned_.emplace_back(engine);
+    sim.add(engine);
+    return engine;
+  };
+
+  // Ethernet ports: RX default route goes to their home RMT engine.
+  for (int i = 0; i < config_.eth_ports; ++i) {
+    auto* port = adopt(new engines::EthernetPortEngine(
+        "eth" + std::to_string(i), &mesh_->ni(topo_.eth_ports[static_cast<std::size_t>(i)]),
+        ecfg, config_.line_rate, config_.freq));
+    port->lookup_table().set_default(home_rmt());
+    eth_ports_.push_back(port);
+  }
+
+  // RMT engines: kind routes for pipeline-mediated engine requests and no
+  // packet default (the program always builds a chain for packets).
+  RmtEngineConfig rcfg;
+  rcfg.input_queue = config_.rmt_input_queue;
+  rcfg.sched_policy = config_.sched_policy;
+  for (int i = 0; i < config_.rmt_engines; ++i) {
+    auto* engine = adopt(new RmtEngine(
+        "rmt" + std::to_string(i),
+        &mesh_->ni(topo_.rmt_engines[static_cast<std::size_t>(i)]), program,
+        rcfg));
+    engine->lookup_table().set_kind_route(MessageKind::kDmaRead, topo_.dma);
+    engine->lookup_table().set_kind_route(MessageKind::kDmaWrite, topo_.dma);
+    engine->lookup_table().set_kind_route(MessageKind::kDescriptorFetch,
+                                          topo_.dma);
+    engine->lookup_table().set_kind_route(MessageKind::kInterrupt,
+                                          topo_.pcie);
+    rmt_engines_.push_back(engine);
+  }
+
+  dma_ = adopt(new engines::DmaEngine("dma", &mesh_->ni(topo_.dma), ecfg,
+                                      config_.dma, &host_));
+  dma_->lookup_table().set_kind_route(MessageKind::kInterrupt, topo_.pcie);
+
+  engines::PcieConfig pcie_cfg = config_.pcie;
+  pcie_cfg.eth_ports = topo_.eth_ports;
+  pcie_ = adopt(new engines::PcieEngine("pcie", &mesh_->ni(topo_.pcie), ecfg,
+                                        pcie_cfg));
+  pcie_->lookup_table().set_kind_route(MessageKind::kDescriptorFetch,
+                                       topo_.dma);
+  pcie_->lookup_table().set_kind_route(MessageKind::kDmaRead, topo_.dma);
+  pcie_->lookup_table().set_kind_route(MessageKind::kPacket, home_rmt());
+
+  host_driver_ = std::make_unique<engines::HostDriver>(&host_, pcie_);
+
+  engines::IpsecConfig rx_cfg;
+  rx_cfg.mode = engines::IpsecMode::kDecrypt;
+  ipsec_rx_ = adopt(new engines::IpsecEngine(
+      "ipsec_rx", &mesh_->ni(topo_.ipsec_rx), ecfg, rx_cfg));
+  ipsec_rx_->lookup_table().set_default(home_rmt());
+
+  engines::IpsecConfig tx_cfg;
+  tx_cfg.mode = engines::IpsecMode::kEncrypt;
+  ipsec_tx_ = adopt(new engines::IpsecEngine(
+      "ipsec_tx", &mesh_->ni(topo_.ipsec_tx), ecfg, tx_cfg));
+
+  engines::KvsCacheConfig kvs_cfg;
+  kvs_cfg.mode = config_.kvs_mode;
+  kvs_cfg.capacity_entries = config_.kvs_capacity;
+  kvs_cfg.rdma_engine = topo_.rdma;
+  kvs_cfg.reply_route = home_rmt();
+  kvs_ = adopt(new engines::KvsCacheEngine("kvs", &mesh_->ni(topo_.kvs), ecfg,
+                                           kvs_cfg, &host_));
+  // Misses fall off the chain's end toward the host; replies generated in
+  // kValue mode go back through the pipeline for egress routing.
+  kvs_->lookup_table().set_kind_route(MessageKind::kPacket, topo_.dma);
+  kvs_->lookup_table().set_default(home_rmt());
+
+  engines::RdmaConfig rdma_cfg;
+  rdma_cfg.dma_engine = topo_.dma;
+  rdma_ = adopt(new engines::RdmaEngine("rdma", &mesh_->ni(topo_.rdma), ecfg,
+                                        rdma_cfg));
+  rdma_->lookup_table().set_default(home_rmt());
+
+  compression_ = adopt(new engines::CompressionEngine(
+      "compression", &mesh_->ni(topo_.compression), ecfg,
+      engines::CompressionConfig{}));
+  compression_->lookup_table().set_default(home_rmt());
+
+  checksum_ = adopt(new engines::ChecksumEngine(
+      "checksum", &mesh_->ni(topo_.checksum), ecfg,
+      engines::ChecksumConfig{}));
+  checksum_->lookup_table().set_default(home_rmt());
+
+  regex_ = adopt(new engines::RegexEngine("regex", &mesh_->ni(topo_.regex),
+                                          ecfg, engines::RegexConfig{}));
+  regex_->lookup_table().set_default(home_rmt());
+
+  tso_ = adopt(new engines::TsoEngine("tso", &mesh_->ni(topo_.tso), ecfg,
+                                      engines::TsoConfig{.mss = config_.tso_mss}));
+  tso_->lookup_table().set_default(home_rmt());
+
+  rate_limiter_ = adopt(new engines::RateLimiterEngine(
+      "rate_limiter", &mesh_->ni(topo_.rate_limiter), ecfg,
+      engines::RateLimiterConfig{}));
+  rate_limiter_->lookup_table().set_default(home_rmt());
+  rate_limiter_->lookup_table().set_kind_route(MessageKind::kPacket,
+                                               topo_.dma);
+
+  for (int i = 0; i < config_.aux_engines; ++i) {
+    auto* aux = adopt(new engines::DelayEngine(
+        "aux" + std::to_string(i),
+        &mesh_->ni(topo_.aux[static_cast<std::size_t>(i)]), ecfg,
+        config_.aux_fixed_cycles, config_.aux_cycles_per_byte));
+    aux->lookup_table().set_default(home_rmt());
+    aux_.push_back(aux);
+  }
+}
+
+void PanicNic::inject_rx(int port, std::vector<std::uint8_t> frame,
+                         Cycle now, TenantId tenant) {
+  eth_ports_[static_cast<std::size_t>(port)]->deliver_rx(std::move(frame),
+                                                         now, now, tenant);
+}
+
+std::uint64_t PanicNic::total_rmt_passes() const {
+  std::uint64_t total = 0;
+  for (const auto* engine : rmt_engines_) {
+    total += engine->messages_processed();
+  }
+  return total;
+}
+
+}  // namespace panic::core

@@ -1,0 +1,67 @@
+#include "core/rmt_engine.h"
+
+#include <cassert>
+
+namespace panic::core {
+
+RmtEngine::RmtEngine(std::string name, noc::NetworkInterface* ni,
+                     std::shared_ptr<const rmt::RmtProgram> program,
+                     const RmtEngineConfig& config)
+    : Component(std::move(name)),
+      ni_(ni),
+      pipeline_(std::move(program)),
+      queue_(config.sched_policy, config.input_queue) {
+  assert(ni_ != nullptr);
+}
+
+void RmtEngine::tick(Cycle now) {
+  // Arrivals into the scheduler queue.
+  while (MessagePtr msg = ni_->try_receive(now)) {
+    if (const auto hop = msg->chain.current();
+        hop.has_value() && hop->engine == id()) {
+      msg->chain.advance();  // consume the hop naming this RMT engine
+      msg->slack = hop->slack;
+    }
+    queue_.try_enqueue(std::move(msg), now);
+  }
+
+  // Issue one message per cycle into the pipeline.
+  if (!queue_.empty()) {
+    MessagePtr msg = queue_.dequeue(now);
+    // Match+action executes combinationally here; the result becomes
+    // visible after the pipeline's latency.
+    const auto result = pipeline_.process(*msg);
+    if (result.drop || (!result.parsed && msg->kind == MessageKind::kPacket)) {
+      ++dropped_;
+    } else {
+      in_flight_.try_push(std::move(msg), now + pipeline_.latency_cycles());
+    }
+  }
+
+  // Completions exit the pipeline and are routed onward.
+  while (auto done = in_flight_.try_pop(now)) {
+    MessagePtr msg = std::move(*done);
+    ++processed_;
+    std::optional<EngineId> next;
+    if (const auto hop = msg->chain.current(); hop.has_value()) {
+      next = hop->engine;
+      msg->slack = hop->slack;
+    } else {
+      next = lookup_.route(*msg);
+    }
+    if (next.has_value() && *next != id()) {
+      out_.emplace_back(std::move(msg), *next);
+    }
+    // No route: the program terminated the message here (counted as
+    // processed; visible in tests via processed - forwarded).
+  }
+
+  // Drain toward the NI.
+  while (!out_.empty() && ni_->can_inject()) {
+    auto [msg, dst] = std::move(out_.front());
+    out_.pop_front();
+    ni_->inject(std::move(msg), dst, now);
+  }
+}
+
+}  // namespace panic::core

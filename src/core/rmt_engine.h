@@ -1,0 +1,58 @@
+// RMT engine tile (Figure 3b): one pipelined match+action unit on the
+// mesh.  Unlike offload engines (single-server with a service time), an
+// RMT engine is fully pipelined: it issues one message per cycle and each
+// message completes `pipeline latency` cycles later — this is what makes
+// the F·P packets-per-second law of §4.2 hold.
+//
+// Several RMT engines instantiated with the same program form the
+// "heavyweight RMT pipeline"; Ethernet ports and offload engines are
+// assigned one of them as their default route, which load-spreads traffic
+// across the parallel pipelines.
+#pragma once
+
+#include <memory>
+
+#include "engines/lookup_table.h"
+#include "engines/sched_queue.h"
+#include "noc/network_interface.h"
+#include "rmt/pipeline.h"
+#include "sim/component.h"
+#include "sim/timed_queue.h"
+
+namespace panic::core {
+
+struct RmtEngineConfig {
+  std::size_t input_queue = 256;  ///< messages buffered before the parser
+  engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
+};
+
+class RmtEngine : public Component {
+ public:
+  RmtEngine(std::string name, noc::NetworkInterface* ni,
+            std::shared_ptr<const rmt::RmtProgram> program,
+            const RmtEngineConfig& config);
+
+  EngineId id() const { return ni_->tile(); }
+  rmt::Pipeline& pipeline() { return pipeline_; }
+  engines::LocalLookupTable& lookup_table() { return lookup_; }
+
+  void tick(Cycle now) override;
+
+  std::uint64_t messages_processed() const { return processed_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t queue_drops() const { return queue_.dropped(); }
+
+ private:
+  noc::NetworkInterface* ni_;
+  rmt::Pipeline pipeline_;
+  engines::SchedulerQueue queue_;
+  engines::LocalLookupTable lookup_;
+  /// Messages inside the pipeline; ready = issue cycle + latency.
+  TimedQueue<MessagePtr> in_flight_;
+  std::deque<std::pair<MessagePtr, EngineId>> out_;
+
+  std::uint64_t processed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace panic::core

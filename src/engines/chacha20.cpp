@@ -1,0 +1,117 @@
+#include "engines/chacha20.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace panic::engines {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce,
+                   std::uint32_t initial_counter)
+    : counter_(initial_counter) {
+  assert(key.size() == kKeyBytes);
+  assert(nonce.size() == kNonceBytes);
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = load_le32(key.data() + 4 * i);
+  }
+  state_[12] = 0;  // counter, set per block
+  state_[13] = load_le32(nonce.data());
+  state_[14] = load_le32(nonce.data() + 4);
+  state_[15] = load_le32(nonce.data() + 8);
+}
+
+std::array<std::uint8_t, ChaCha20::kBlockBytes> ChaCha20::keystream_block(
+    std::uint32_t counter) const {
+  std::array<std::uint32_t, 16> x = state_;
+  x[12] = counter;
+  std::array<std::uint32_t, 16> working = x;
+  for (int round = 0; round < 10; ++round) {  // 20 rounds = 10 double rounds
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  std::array<std::uint8_t, kBlockBytes> out;
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, working[i] + x[i]);
+  }
+  return out;
+}
+
+void ChaCha20::apply_inplace(std::span<std::uint8_t> data) {
+  std::uint32_t counter = counter_;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const auto block = keystream_block(counter++);
+    const std::size_t n = std::min(kBlockBytes, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[offset + i] ^= block[i];
+    }
+    offset += n;
+  }
+  counter_ = counter;
+}
+
+std::vector<std::uint8_t> ChaCha20::apply(
+    std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out(input.begin(), input.end());
+  apply_inplace(out);
+  return out;
+}
+
+std::uint64_t auth_tag(std::span<const std::uint8_t> data,
+                       std::span<const std::uint8_t> key) {
+  // Polynomial MAC over 2^61-1 with a key-derived evaluation point.
+  // Sufficient for detecting corruption inside the simulator.
+  constexpr std::uint64_t kPrime = (1ull << 61) - 1;
+  std::uint64_t r = 0;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    r = r * 131 + key[i];
+  }
+  r = (r % (kPrime - 2)) + 2;
+  unsigned __int128 acc = 0;
+  for (std::uint8_t byte : data) {
+    acc = (acc * r + byte + 1) % kPrime;
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+}  // namespace panic::engines

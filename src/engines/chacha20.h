@@ -1,0 +1,47 @@
+// ChaCha20 stream cipher (RFC 8439) — the real transformation behind the
+// IPSec offload engine.  The paper needs an offload with genuine variable,
+// size-dependent compute that cannot run as an RMT action (§2.3.3 "it is
+// not possible to perform IPSec offloading with an RMT pipeline"); a real
+// cipher keeps that honest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace panic::engines {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeyBytes = 32;
+  static constexpr std::size_t kNonceBytes = 12;
+  static constexpr std::size_t kBlockBytes = 64;
+
+  ChaCha20(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// Encrypts or decrypts (the operation is symmetric) `input` into a new
+  /// buffer.
+  std::vector<std::uint8_t> apply(std::span<const std::uint8_t> input);
+
+  /// In-place variant.
+  void apply_inplace(std::span<std::uint8_t> data);
+
+  /// One keystream block for `counter` (exposed for tests against the
+  /// RFC 8439 vectors).
+  std::array<std::uint8_t, kBlockBytes> keystream_block(
+      std::uint32_t counter) const;
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::uint32_t counter_;
+};
+
+/// Poly1305-style 64-bit authentication tag (truncated, non-standard — we
+/// only need integrity checking inside the simulation, not interop).
+std::uint64_t auth_tag(std::span<const std::uint8_t> data,
+                       std::span<const std::uint8_t> key);
+
+}  // namespace panic::engines

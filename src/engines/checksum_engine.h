@@ -1,0 +1,42 @@
+// Checksum offload engine: fills in the UDP or TCP checksum (with the IPv4
+// pseudo-header) of packets passing through — the classic fixed-function
+// inline offload (§2.3.1 mentions NICs with "fixed function offloads for
+// TCP checksums").
+#pragma once
+
+#include "engines/engine.h"
+
+namespace panic::engines {
+
+struct ChecksumConfig {
+  Cycles setup_cycles = 2;
+  double cycles_per_byte = 0.0625;  ///< 16 B/cycle — near line rate
+};
+
+class ChecksumEngine : public Engine {
+ public:
+  ChecksumEngine(std::string name, noc::NetworkInterface* ni,
+                 const EngineConfig& config, const ChecksumConfig& checksum);
+
+  std::uint64_t checksummed() const { return done_; }
+  std::uint64_t skipped() const { return skipped_; }
+
+  /// Computes the L4 checksum of `frame` in place.  Returns false if the
+  /// frame carries no UDP/TCP.  Exposed for tests and for the software
+  /// verification path.
+  static bool fill_l4_checksum(std::vector<std::uint8_t>& frame);
+
+  /// Verifies the L4 checksum; true if valid (or checksum==0 for UDP).
+  static bool verify_l4_checksum(std::span<const std::uint8_t> frame);
+
+ protected:
+  Cycles service_time(const Message& msg) const override;
+  bool process(Message& msg, Cycle now) override;
+
+ private:
+  ChecksumConfig checksum_;
+  std::uint64_t done_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace panic::engines

@@ -1,0 +1,67 @@
+#include "engines/compression_engine.h"
+
+#include <cmath>
+
+#include "net/packet.h"
+
+namespace panic::engines {
+namespace {
+constexpr std::uint8_t kMarkerCompressed = 0xC7;
+}
+
+CompressionEngine::CompressionEngine(std::string name,
+                                     noc::NetworkInterface* ni,
+                                     const EngineConfig& config,
+                                     const CompressionConfig& compression)
+    : Engine(std::move(name), ni, config), compression_(compression) {}
+
+Cycles CompressionEngine::service_time(const Message& msg) const {
+  return compression_.setup_cycles +
+         static_cast<Cycles>(std::ceil(static_cast<double>(msg.data.size()) *
+                                       compression_.cycles_per_byte));
+}
+
+bool CompressionEngine::transform_payload(Message& msg) {
+  auto transform = [&](std::span<const std::uint8_t> in)
+      -> std::optional<std::vector<std::uint8_t>> {
+    if (compression_.mode == CompressionMode::kCompress) {
+      auto packed = lz77_compress(in);
+      packed.insert(packed.begin(), kMarkerCompressed);
+      return packed;
+    }
+    if (in.empty() || in[0] != kMarkerCompressed) return std::nullopt;
+    return lz77_decompress(in.subspan(1));
+  };
+
+  if (msg.kind == MessageKind::kPacket) {
+    const auto parsed = parse_frame(msg.data);
+    if (!parsed.has_value() || parsed->payload_size == 0) return false;
+    const auto payload = parsed->payload(msg.data);
+    const auto replaced = transform(payload);
+    if (!replaced.has_value()) return false;
+    bytes_in_ += payload.size();
+    bytes_out_ += replaced->size();
+    msg.data = replace_l4_payload(msg.data, *parsed, *replaced);
+    msg.meta_valid = false;
+    return true;
+  }
+
+  const auto replaced = transform(msg.data);
+  if (!replaced.has_value()) return false;
+  bytes_in_ += msg.data.size();
+  bytes_out_ += replaced->size();
+  msg.data = *replaced;
+  return true;
+}
+
+bool CompressionEngine::process(Message& msg, Cycle now) {
+  (void)now;
+  if (transform_payload(msg)) {
+    ++ok_;
+  } else {
+    ++failed_;  // pass the message through unchanged
+  }
+  return true;
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,51 @@
+// Compression offload engine: LZ77-compresses (or decompresses) message
+// payloads.  Another §2.3.3 example of an offload too heavy for an RMT
+// stage — its service time is data-dependent and far above one cycle.
+//
+// For packets the innermost L4 payload is transformed and the frame is
+// rebuilt with corrected lengths; for non-packet messages (e.g. kDmaWrite
+// payloads being staged to host memory) the whole body is transformed.
+// A one-byte mode marker prefixes compressed payloads so decompression can
+// reject uncompressed input.
+#pragma once
+
+#include "engines/engine.h"
+#include "engines/lz77.h"
+
+namespace panic::engines {
+
+enum class CompressionMode { kCompress, kDecompress };
+
+struct CompressionConfig {
+  CompressionMode mode = CompressionMode::kCompress;
+  Cycles setup_cycles = 16;
+  double cycles_per_byte = 0.5;  ///< 2 B/cycle match pipeline
+};
+
+class CompressionEngine : public Engine {
+ public:
+  CompressionEngine(std::string name, noc::NetworkInterface* ni,
+                    const EngineConfig& config,
+                    const CompressionConfig& compression);
+
+  std::uint64_t processed_ok() const { return ok_; }
+  std::uint64_t failed() const { return failed_; }
+  /// Aggregate in/out byte counts (compression ratio = in/out).
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+ protected:
+  Cycles service_time(const Message& msg) const override;
+  bool process(Message& msg, Cycle now) override;
+
+ private:
+  bool transform_payload(Message& msg);
+
+  CompressionConfig compression_;
+  std::uint64_t ok_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace panic::engines

@@ -1,0 +1,83 @@
+#include "engines/engine.h"
+
+#include <cassert>
+
+namespace panic::engines {
+
+Engine::Engine(std::string name, noc::NetworkInterface* ni,
+               const EngineConfig& config)
+    : Component(std::move(name)),
+      ni_(ni),
+      config_(config),
+      queue_(config.sched_policy, config.queue_capacity,
+             config.drop_policy) {
+  assert(ni_ != nullptr);
+}
+
+void Engine::drain_arrivals(Cycle now) {
+  while (MessagePtr msg = ni_->try_receive(now)) {
+    // Adopt the slack of the hop that addressed this engine; the hop is
+    // consumed when the message is forwarded onward.
+    if (const auto hop = msg->chain.current();
+        hop.has_value() && hop->engine == id()) {
+      msg->slack = hop->slack;
+    }
+    queue_.try_enqueue(std::move(msg), now);  // full queue => drop
+  }
+}
+
+void Engine::emit(MessagePtr msg, EngineId dst, Cycle now) {
+  (void)now;
+  assert(msg != nullptr);
+  out_.push_back(Outbound{std::move(msg), dst});
+}
+
+void Engine::forward_along_chain(MessagePtr msg, Cycle now) {
+  // Consume the hop naming this engine, if it does.
+  if (const auto hop = msg->chain.current();
+      hop.has_value() && hop->engine == id()) {
+    msg->chain.advance();
+  }
+  const auto next = lookup_.route(*msg);
+  if (!next.has_value() || *next == id()) {
+    return;  // terminates here
+  }
+  emit(std::move(msg), *next, now);
+}
+
+void Engine::drain_output(Cycle now) {
+  while (!out_.empty() && ni_->can_inject()) {
+    Outbound ob = std::move(out_.front());
+    out_.pop_front();
+    ni_->inject(std::move(ob.msg), ob.dst, now);
+  }
+}
+
+void Engine::tick(Cycle now) {
+  drain_arrivals(now);
+
+  // Complete the in-service message.
+  if (in_service_ != nullptr && now >= service_done_) {
+    MessagePtr msg = std::move(in_service_);
+    ++msg->engines_visited;
+    ++processed_;
+    if (process(*msg, now)) {
+      forward_along_chain(std::move(msg), now);
+    }
+  }
+
+  // Start the next message if idle and there is room to stage the result.
+  if (in_service_ == nullptr && !queue_.empty() && can_stage()) {
+    in_service_ = queue_.dequeue(now);
+    Cycles t = service_time(*in_service_);
+    if (t == 0) t = 1;
+    service_hist_.record(t);
+    service_done_ = now + t;
+  }
+
+  if (in_service_ != nullptr) ++busy_cycles_;
+
+  drain_output(now);
+}
+
+}  // namespace panic::engines

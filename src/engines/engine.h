@@ -1,0 +1,111 @@
+// Base class for PANIC offload engines (Figure 3a).
+//
+// Every engine tile owns: a network interface onto the mesh router, the
+// local scheduling queue (the logical scheduler's slice at this engine),
+// and a lightweight lookup table (the logical switch's slice).  Derived
+// classes implement the offload itself: a service-time model plus the
+// actual data transformation.
+//
+// Per-cycle behaviour (tick):
+//   1. drain arriving messages from the NI into the scheduling queue
+//      (adopting the slack carried by the message's current chain hop);
+//   2. if idle, start servicing the highest-priority queued message;
+//   3. when the in-service message's time elapses, run `process()` and
+//      forward the result(s) along the chain / lookup table;
+//   4. drain the output staging buffer into the NI (backpressure-safe:
+//      an engine whose NI is busy simply holds its output, it never drops
+//      — drops only happen at the scheduler queue).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "engines/lookup_table.h"
+#include "engines/sched_queue.h"
+#include "noc/network_interface.h"
+#include "sim/component.h"
+
+namespace panic::engines {
+
+struct EngineConfig {
+  SchedPolicy sched_policy = SchedPolicy::kSlackPriority;
+  DropPolicy drop_policy = DropPolicy::kDropArrival;
+  std::size_t queue_capacity = 64;   ///< scheduler queue depth (messages)
+  std::size_t output_staging = 16;   ///< completed messages awaiting inject
+};
+
+class Engine : public Component {
+ public:
+  Engine(std::string name, noc::NetworkInterface* ni,
+         const EngineConfig& config);
+
+  EngineId id() const { return ni_->tile(); }
+
+  LocalLookupTable& lookup_table() { return lookup_; }
+  SchedulerQueue& queue() { return queue_; }
+  const SchedulerQueue& queue() const { return queue_; }
+
+  void tick(Cycle now) final;
+
+  // --- Counters. ---
+  std::uint64_t messages_processed() const { return processed_; }
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  const Histogram& service_histogram() const { return service_hist_; }
+
+ protected:
+  /// Cycles this engine needs to process `msg` (>= 1).  Called once when
+  /// service starts.
+  virtual Cycles service_time(const Message& msg) const = 0;
+
+  /// The offload's work.  May mutate `msg` in place.  Return true to
+  /// forward `msg` onward (the common case); return false if the engine
+  /// consumed it (e.g. it emitted replacement messages via `emit`, or the
+  /// message terminates here).
+  virtual bool process(Message& msg, Cycle now) = 0;
+
+  /// Queues an additional outbound message to an explicit destination
+  /// (DMA requests, generated replies, interrupts).  The message leaves
+  /// through the same NI as forwarded traffic.
+  void emit(MessagePtr msg, EngineId dst, Cycle now);
+
+  /// Forwards `msg` along its chain: consumes the current hop (which
+  /// names this engine), then sends to the next hop or the lookup-table
+  /// route.  If no route exists the message terminates here.
+  void forward_along_chain(MessagePtr msg, Cycle now);
+
+  /// True if the output staging buffer has room for `n` more messages —
+  /// engines that emit multiple messages per input should check before
+  /// starting service.
+  bool can_stage(std::size_t n = 1) const {
+    return out_.size() + n <= config_.output_staging;
+  }
+
+ private:
+  void drain_arrivals(Cycle now);
+  void drain_output(Cycle now);
+
+  noc::NetworkInterface* ni_;
+  EngineConfig config_;
+  LocalLookupTable lookup_;
+  SchedulerQueue queue_;
+
+  // In-service message (at most one; engines are single-server).
+  MessagePtr in_service_;
+  Cycle service_done_ = 0;
+
+  struct Outbound {
+    MessagePtr msg;
+    EngineId dst;
+  };
+  std::deque<Outbound> out_;
+
+  std::uint64_t processed_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  Histogram service_hist_;
+};
+
+}  // namespace panic::engines

@@ -1,0 +1,53 @@
+#include "engines/ethernet_port.h"
+
+#include <cmath>
+
+namespace panic::engines {
+
+EthernetPortEngine::EthernetPortEngine(std::string name,
+                                       noc::NetworkInterface* ni,
+                                       const EngineConfig& config,
+                                       DataRate line_rate, Frequency clock)
+    : Engine(std::move(name), ni, config),
+      line_rate_(line_rate),
+      clock_(clock) {}
+
+void EthernetPortEngine::deliver_rx(std::vector<std::uint8_t> frame_bytes,
+                                    Cycle now, Cycle created_at,
+                                    TenantId tenant) {
+  auto msg = make_message(MessageKind::kPacket);
+  rx_meter_.add_packet(frame_bytes.size());
+  msg->data = std::move(frame_bytes);
+  msg->created_at = created_at ? created_at : now;
+  msg->nic_ingress_at = now;
+  msg->tenant = tenant;
+  msg->ingress_port = id();
+  const auto next = lookup_table().route(*msg);
+  if (next.has_value()) {
+    emit(std::move(msg), *next, now);
+  }
+  // No route configured: the frame is dropped at the MAC (misconfigured
+  // NIC); RX meter still counts it so the loss is visible.
+}
+
+Cycles EthernetPortEngine::service_time(const Message& msg) const {
+  // Wire serialization time at line rate (+ preamble/IFG overhead).
+  const double wire_bits =
+      static_cast<double>(msg.data.size() +
+                          (kMinWireSizeBytes - kMinFrameBytes)) *
+      8.0;
+  const double cycles = wire_bits / line_rate_.bits_per_cycle(clock_);
+  return static_cast<Cycles>(std::ceil(cycles));
+}
+
+bool EthernetPortEngine::process(Message& msg, Cycle now) {
+  // A message reaching an Ethernet tile is a TX.
+  tx_meter_.add_packet(msg.data.size());
+  if (now >= msg.nic_ingress_at) {
+    tx_latency_.record(now - msg.nic_ingress_at);
+  }
+  if (tx_sink_) tx_sink_(msg, now);
+  return false;  // consumed: the frame leaves the NIC
+}
+
+}  // namespace panic::engines

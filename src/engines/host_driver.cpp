@@ -1,0 +1,37 @@
+#include "engines/host_driver.h"
+
+#include <cassert>
+#include <vector>
+
+namespace panic::engines {
+
+HostDriver::HostDriver(HostMemory* host, PcieEngine* pcie)
+    : host_(host), pcie_(pcie) {
+  assert(host_ != nullptr && pcie_ != nullptr);
+}
+
+std::uint64_t HostDriver::post_tx(std::span<const std::uint8_t> frame,
+                                  std::uint16_t port, Cycle now,
+                                  std::uint16_t tenant) {
+  const auto frame_addr =
+      host_->allocate(static_cast<std::uint32_t>(frame.size()));
+  host_->write(frame_addr, frame);
+
+  TxDescriptor desc;
+  desc.frame_addr = frame_addr;
+  desc.frame_len = static_cast<std::uint32_t>(frame.size());
+  desc.port = port;
+  desc.tenant = tenant;
+
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  desc.serialize(w);
+  const auto desc_addr = host_->allocate(TxDescriptor::kSize);
+  host_->write(desc_addr, bytes);
+
+  pcie_->ring_tx_doorbell(desc_addr, now);
+  ++posted_;
+  return desc_addr;
+}
+
+}  // namespace panic::engines

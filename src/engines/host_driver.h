@@ -1,0 +1,33 @@
+// Host driver model: the software side of the TX path.  Writes frames and
+// TX descriptors into host memory and rings the PCIe engine's doorbell —
+// exactly what a kernel driver does, minus the kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.h"
+#include "engines/host_memory.h"
+#include "engines/pcie_engine.h"
+
+namespace panic::engines {
+
+class HostDriver {
+ public:
+  HostDriver(HostMemory* host, PcieEngine* pcie);
+
+  /// Posts one TX frame on Ethernet port `port` and rings the doorbell.
+  /// Returns the descriptor address (useful for tests).
+  std::uint64_t post_tx(std::span<const std::uint8_t> frame,
+                        std::uint16_t port, Cycle now,
+                        std::uint16_t tenant = 0);
+
+  std::uint64_t frames_posted() const { return posted_; }
+
+ private:
+  HostMemory* host_;
+  PcieEngine* pcie_;
+  std::uint64_t posted_ = 0;
+};
+
+}  // namespace panic::engines

@@ -1,0 +1,36 @@
+#include "engines/host_memory.h"
+
+namespace panic::engines {
+
+void HostMemory::write(std::uint64_t addr,
+                       std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    store_[addr + i] = data[i];
+  }
+  bytes_written_ += data.size();
+}
+
+std::uint8_t HostMemory::deterministic_byte(std::uint64_t addr) {
+  std::uint64_t z = addr + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<std::uint8_t>(z ^ (z >> 31));
+}
+
+std::vector<std::uint8_t> HostMemory::read(std::uint64_t addr,
+                                           std::uint32_t len) const {
+  std::vector<std::uint8_t> out(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const auto it = store_.find(addr + i);
+    out[i] = it != store_.end() ? it->second : deterministic_byte(addr + i);
+  }
+  return out;
+}
+
+std::uint64_t HostMemory::allocate(std::uint32_t len) {
+  const std::uint64_t addr = next_alloc_;
+  next_alloc_ += (len + 63) & ~63ull;  // cache-line align
+  return addr;
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,34 @@
+// Synthetic host-memory model behind the DMA engine.
+//
+// The paper's NIC talks to real host DRAM over PCIe; we substitute a
+// deterministic store: writes are retained, reads return written bytes or
+// a deterministic pseudo-random fill for untouched addresses (so DMA reads
+// always produce stable, checkable data without pre-populating gigabytes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace panic::engines {
+
+class HostMemory {
+ public:
+  void write(std::uint64_t addr, std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> read(std::uint64_t addr, std::uint32_t len) const;
+
+  /// Simple bump allocator for tests/engines that need fresh regions.
+  std::uint64_t allocate(std::uint32_t len);
+
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  static std::uint8_t deterministic_byte(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, std::uint8_t> store_;
+  std::uint64_t next_alloc_ = 0x100000;  // start at 1 MiB
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace panic::engines

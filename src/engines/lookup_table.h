@@ -1,0 +1,51 @@
+// Lightweight per-engine lookup table (§3.1.2).
+//
+// After an engine finishes with a message it consults the chain header for
+// the next hop.  When the chain is exhausted (or was never computable —
+// e.g. freshly decrypted traffic), this table supplies the route: either a
+// per-message-kind entry or the default route back to the heavyweight RMT
+// pipeline ("either a default route back to the heavyweight RMT pipeline
+// is installed at the engine or the RMT pipeline includes itself as a
+// nexthop").  Lookups cost one cycle (modelled by the engine's forwarding
+// path).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/ids.h"
+#include "net/message.h"
+
+namespace panic::engines {
+
+class LocalLookupTable {
+ public:
+  /// Default next hop when nothing more specific matches.
+  void set_default(EngineId engine) { default_ = engine; }
+
+  /// Route for a particular message kind (e.g. kDmaRead -> the DMA tile).
+  void set_kind_route(MessageKind kind, EngineId engine) {
+    kind_routes_[static_cast<std::size_t>(kind)] = engine;
+  }
+
+  /// Next hop for `msg`: explicit chain hop if present, else kind route,
+  /// else the default.  Returns nullopt if no route exists (caller treats
+  /// the message as terminating here).
+  std::optional<EngineId> route(const Message& msg) const {
+    if (const auto hop = msg.chain.current(); hop.has_value()) {
+      return hop->engine;
+    }
+    const auto& kr = kind_routes_[static_cast<std::size_t>(msg.kind)];
+    if (kr.has_value()) return kr;
+    return default_;
+  }
+
+  bool has_default() const { return default_.has_value(); }
+
+ private:
+  static constexpr std::size_t kKinds = 16;  // >= number of MessageKinds
+  std::optional<EngineId> default_;
+  std::array<std::optional<EngineId>, kKinds> kind_routes_{};
+};
+
+}  // namespace panic::engines

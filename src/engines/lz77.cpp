@@ -1,0 +1,119 @@
+#include "engines/lz77.h"
+
+#include <array>
+#include <cstring>
+
+namespace panic::engines {
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void flush_literals(std::vector<std::uint8_t>& out,
+                    std::span<const std::uint8_t> input, std::size_t start,
+                    std::size_t end) {
+  while (start < end) {
+    const std::size_t n = std::min<std::size_t>(end - start, 255);
+    out.push_back(0x00);
+    out.push_back(static_cast<std::uint8_t>(n));
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(start),
+               input.begin() + static_cast<std::ptrdiff_t>(start + n));
+    start += n;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+
+  std::array<std::int64_t, kHashSize> head;
+  head.fill(-1);
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+
+  while (pos + kLzMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(input.data() + pos);
+    const std::int64_t candidate = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+
+    std::size_t match_len = 0;
+    if (candidate >= 0 &&
+        pos - static_cast<std::size_t>(candidate) <= kLzWindow) {
+      const auto* a = input.data() + candidate;
+      const auto* b = input.data() + pos;
+      const std::size_t limit =
+          std::min(kLzMaxMatch, input.size() - pos);
+      while (match_len < limit && a[match_len] == b[match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kLzMinMatch) {
+      flush_literals(out, input, literal_start, pos);
+      const auto dist =
+          static_cast<std::uint16_t>(pos - static_cast<std::size_t>(candidate));
+      out.push_back(0x01);
+      out.push_back(static_cast<std::uint8_t>(dist >> 8));
+      out.push_back(static_cast<std::uint8_t>(dist));
+      out.push_back(static_cast<std::uint8_t>(match_len));
+      // Index the skipped positions so later matches can refer into them.
+      const std::size_t end = pos + match_len;
+      for (++pos; pos < end && pos + kLzMinMatch <= input.size(); ++pos) {
+        head[hash4(input.data() + pos)] = static_cast<std::int64_t>(pos);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+
+  flush_literals(out, input, literal_start, input.size());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> lz77_decompress(
+    std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint8_t tag = input[pos++];
+    if (tag == 0x00) {
+      if (pos >= input.size()) return std::nullopt;
+      const std::size_t n = input[pos++];
+      if (n == 0 || pos + n > input.size()) return std::nullopt;
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+    } else if (tag == 0x01) {
+      if (pos + 3 > input.size()) return std::nullopt;
+      const std::size_t dist =
+          (static_cast<std::size_t>(input[pos]) << 8) | input[pos + 1];
+      const std::size_t len = input[pos + 2];
+      pos += 3;
+      if (dist == 0 || dist > out.size() || len < kLzMinMatch) {
+        return std::nullopt;
+      }
+      // Byte-by-byte copy: overlapping matches (dist < len) are valid and
+      // replicate the most recent bytes.
+      const std::size_t start = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(out[start + i]);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,32 @@
+// Byte-oriented LZ77 compressor/decompressor — the real transformation
+// behind the compression offload engine.  Format (self-contained, not
+// interoperable with any standard):
+//
+//   token := literal_run | match
+//   literal_run := 0x00 len:u8 bytes[len]          (len >= 1)
+//   match       := 0x01 dist:u16be len:u8          (len >= kMinMatch)
+//
+// Greedy matching against a 64 KiB sliding window with a 4-byte hash
+// chain.  Round-trips losslessly for arbitrary input; compresses repetitive
+// payloads well and expands incompressible ones by at most ~1/255 + 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace panic::engines {
+
+inline constexpr std::size_t kLzMinMatch = 4;
+inline constexpr std::size_t kLzMaxMatch = 255;
+inline constexpr std::size_t kLzWindow = 65535;
+
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input);
+
+/// Returns nullopt if the stream is malformed (truncated token, distance
+/// beyond the produced output).
+std::optional<std::vector<std::uint8_t>> lz77_decompress(
+    std::span<const std::uint8_t> input);
+
+}  // namespace panic::engines

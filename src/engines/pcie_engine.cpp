@@ -1,0 +1,106 @@
+#include "engines/pcie_engine.h"
+
+namespace panic::engines {
+
+PcieEngine::PcieEngine(std::string name, noc::NetworkInterface* ni,
+                       const EngineConfig& config, const PcieConfig& pcie)
+    : Engine(std::move(name), ni, config), pcie_(pcie) {}
+
+Cycles PcieEngine::service_time(const Message& msg) const {
+  (void)msg;
+  return 1;
+}
+
+void PcieEngine::ring_tx_doorbell(std::uint64_t descriptor_addr, Cycle now) {
+  auto doorbell = make_message(MessageKind::kDoorbell);
+  doorbell->dma_addr = descriptor_addr;
+  queue().try_enqueue(std::move(doorbell), now);
+}
+
+void PcieEngine::handle_doorbell(Message& msg, Cycle now) {
+  auto fetch = make_message(MessageKind::kDescriptorFetch);
+  fetch->dma_addr = msg.dma_addr;
+  fetch->reply_to = id();
+  fetch->meta.cache_hint = kFetchDescriptor;
+  fetch->meta_valid = true;
+  const auto route = lookup_table().route(*fetch);
+  if (route.has_value() && *route != id()) {
+    emit(std::move(fetch), *route, now);
+  }
+}
+
+void PcieEngine::handle_completion(Message& msg, Cycle now) {
+  if (msg.meta.cache_hint == kFetchDescriptor) {
+    ByteReader r(msg.data);
+    const auto desc = TxDescriptor::parse(r);
+    if (!desc.has_value() || desc->frame_len == 0 ||
+        desc->port >= pcie_.eth_ports.size()) {
+      ++tx_errors_;
+      return;
+    }
+    pending_tx_[desc->frame_addr] = *desc;
+
+    auto fetch = make_message(MessageKind::kDmaRead);
+    fetch->dma_addr = desc->frame_addr;
+    fetch->dma_bytes = desc->frame_len;
+    fetch->reply_to = id();
+    fetch->tenant = TenantId{desc->tenant};
+    fetch->meta.cache_hint = kFetchFrame;
+    fetch->meta_valid = true;
+    const auto route = lookup_table().route(*fetch);
+    if (route.has_value() && *route != id()) {
+      emit(std::move(fetch), *route, now);
+    }
+    return;
+  }
+
+  if (msg.meta.cache_hint == kFetchFrame) {
+    const auto it = pending_tx_.find(msg.dma_addr);
+    if (it == pending_tx_.end()) {
+      ++tx_errors_;
+      return;
+    }
+    const TxDescriptor desc = it->second;
+    pending_tx_.erase(it);
+
+    auto packet = make_message(MessageKind::kPacket);
+    packet->data = std::move(msg.data);
+    packet->from_host = true;
+    packet->tenant = TenantId{desc.tenant};
+    packet->egress_port = pcie_.eth_ports[desc.port];
+    packet->nic_ingress_at = now;
+    packet->created_at = now;
+    ++tx_launched_;
+    // Toward the RMT pipeline, which classifies TX traffic (checksum,
+    // optional encryption) and routes it to its egress port.
+    const auto route = lookup_table().route(*packet);
+    if (route.has_value() && *route != id()) {
+      emit(std::move(packet), *route, now);
+    }
+    return;
+  }
+  // Unmarked completion: not ours; drop.
+}
+
+bool PcieEngine::process(Message& msg, Cycle now) {
+  switch (msg.kind) {
+    case MessageKind::kInterrupt:
+      if (now >= window_expires_) {
+        ++delivered_;
+        window_expires_ = now + pcie_.coalesce_window;
+      } else {
+        ++coalesced_;
+      }
+      return false;
+    case MessageKind::kDoorbell:
+      handle_doorbell(msg, now);
+      return false;
+    case MessageKind::kDmaCompletion:
+      handle_completion(msg, now);
+      return false;
+    default:
+      return true;  // unrelated traffic continues along its chain
+  }
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,51 @@
+#include "engines/regex_engine.h"
+
+#include <cmath>
+
+#include "net/packet.h"
+
+namespace panic::engines {
+
+RegexEngine::RegexEngine(std::string name, noc::NetworkInterface* ni,
+                         const EngineConfig& config, const RegexConfig& regex)
+    : Engine(std::move(name), ni, config), regex_(regex) {}
+
+bool RegexEngine::add_pattern(std::string_view pattern) {
+  auto compiled = Regex::compile(pattern);
+  if (!compiled.has_value()) return false;
+  patterns_.push_back(std::move(*compiled));
+  return true;
+}
+
+Cycles RegexEngine::service_time(const Message& msg) const {
+  return regex_.setup_cycles +
+         static_cast<Cycles>(std::ceil(static_cast<double>(msg.data.size()) *
+                                       regex_.cycles_per_byte));
+}
+
+bool RegexEngine::process(Message& msg, Cycle now) {
+  (void)now;
+  if (msg.kind != MessageKind::kPacket) return true;
+  ++scanned_;
+
+  std::span<const std::uint8_t> haystack = msg.data;
+  if (const auto parsed = parse_frame(msg.data);
+      parsed.has_value() && parsed->payload_size > 0) {
+    haystack = parsed->payload(msg.data);
+  }
+
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i].search(haystack)) {
+      ++matched_;
+      if (regex_.policy == RegexPolicy::kDropOnMatch) {
+        ++dropped_;
+        return false;
+      }
+      msg.meta.cache_hint = static_cast<std::uint8_t>(i + 1);
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,267 @@
+#include "engines/regex_nfa.h"
+
+namespace panic::engines {
+
+// Recursive-descent compiler producing Thompson NFA fragments.
+// Grammar:  alt := cat ('|' cat)*
+//           cat := rep*
+//           rep := atom ('*' | '+' | '?')?
+//           atom := literal | '.' | class | '(' alt ')'
+class Regex::Compiler {
+ public:
+  explicit Compiler(std::string_view pattern, std::vector<State>& states)
+      : pattern_(pattern), states_(states) {}
+
+  /// Fragment: start state + list of dangling "out" slots to patch.
+  struct Frag {
+    int start = -1;
+    std::vector<int*> outs;  // invalidated by state vector growth — so we
+                             // store (state index, which slot) instead
+    std::vector<std::pair<int, int>> dangling;  // (state, slot 0|1)
+  };
+
+  std::optional<int> compile() {
+    auto frag = parse_alt();
+    if (!frag.has_value() || pos_ != pattern_.size()) return std::nullopt;
+    const int accept = add_state(State::Kind::kAccept);
+    patch(*frag, accept);
+    return frag->start;
+  }
+
+ private:
+  int add_state(State::Kind kind) {
+    State s;
+    s.kind = kind;
+    states_.push_back(std::move(s));
+    return static_cast<int>(states_.size() - 1);
+  }
+
+  void patch(Frag& frag, int target) {
+    for (const auto& [state, slot] : frag.dangling) {
+      (slot == 0 ? states_[static_cast<std::size_t>(state)].next
+                 : states_[static_cast<std::size_t>(state)].next2) = target;
+    }
+    frag.dangling.clear();
+  }
+
+  bool eof() const { return pos_ >= pattern_.size(); }
+  char peek() const { return pattern_[pos_]; }
+
+  std::optional<Frag> parse_alt() {
+    auto left = parse_cat();
+    if (!left.has_value()) return std::nullopt;
+    while (!eof() && peek() == '|') {
+      ++pos_;
+      auto right = parse_cat();
+      if (!right.has_value()) return std::nullopt;
+      const int split = add_state(State::Kind::kSplit);
+      states_[static_cast<std::size_t>(split)].next = left->start;
+      states_[static_cast<std::size_t>(split)].next2 = right->start;
+      Frag merged;
+      merged.start = split;
+      merged.dangling = std::move(left->dangling);
+      merged.dangling.insert(merged.dangling.end(),
+                             right->dangling.begin(),
+                             right->dangling.end());
+      left = std::move(merged);
+    }
+    return left;
+  }
+
+  std::optional<Frag> parse_cat() {
+    Frag result;
+    while (!eof() && peek() != '|' && peek() != ')') {
+      auto piece = parse_rep();
+      if (!piece.has_value()) return std::nullopt;
+      if (result.start < 0) {
+        result = std::move(*piece);
+      } else {
+        patch(result, piece->start);
+        result.dangling = std::move(piece->dangling);
+      }
+    }
+    if (result.start < 0) {
+      // Empty expression: a split that immediately accepts (epsilon).
+      const int s = add_state(State::Kind::kSplit);
+      result.start = s;
+      result.dangling = {{s, 0}, {s, 1}};
+    }
+    return result;
+  }
+
+  std::optional<Frag> parse_rep() {
+    auto atom = parse_atom();
+    if (!atom.has_value()) return std::nullopt;
+    if (eof()) return atom;
+    const char op = peek();
+    if (op == '*') {
+      ++pos_;
+      const int split = add_state(State::Kind::kSplit);
+      states_[static_cast<std::size_t>(split)].next = atom->start;
+      patch(*atom, split);
+      Frag f;
+      f.start = split;
+      f.dangling = {{split, 1}};
+      return f;
+    }
+    if (op == '+') {
+      ++pos_;
+      const int split = add_state(State::Kind::kSplit);
+      states_[static_cast<std::size_t>(split)].next = atom->start;
+      patch(*atom, split);
+      Frag f;
+      f.start = atom->start;
+      f.dangling = {{split, 1}};
+      return f;
+    }
+    if (op == '?') {
+      ++pos_;
+      const int split = add_state(State::Kind::kSplit);
+      states_[static_cast<std::size_t>(split)].next = atom->start;
+      Frag f;
+      f.start = split;
+      f.dangling = std::move(atom->dangling);
+      f.dangling.emplace_back(split, 1);
+      return f;
+    }
+    return atom;
+  }
+
+  std::optional<Frag> parse_atom() {
+    if (eof()) return std::nullopt;
+    const char c = pattern_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto inner = parse_alt();
+      if (!inner.has_value() || eof() || peek() != ')') return std::nullopt;
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') {
+      return parse_class();
+    }
+    if (c == '*' || c == '+' || c == '?' || c == ')' || c == '|') {
+      return std::nullopt;  // dangling operator
+    }
+
+    std::bitset<256> klass;
+    if (c == '.') {
+      klass.set();
+      ++pos_;
+    } else if (c == '\\') {
+      ++pos_;
+      if (eof()) return std::nullopt;
+      klass.set(static_cast<unsigned char>(pattern_[pos_]));
+      ++pos_;
+    } else {
+      klass.set(static_cast<unsigned char>(c));
+      ++pos_;
+    }
+    const int s = add_state(State::Kind::kByte);
+    states_[static_cast<std::size_t>(s)].klass = klass;
+    Frag f;
+    f.start = s;
+    f.dangling = {{s, 0}};
+    return f;
+  }
+
+  std::optional<Frag> parse_class() {
+    ++pos_;  // '['
+    std::bitset<256> klass;
+    bool negate = false;
+    if (!eof() && peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool any = false;
+    while (!eof() && peek() != ']') {
+      unsigned char lo = static_cast<unsigned char>(pattern_[pos_++]);
+      if (lo == '\\') {
+        if (eof()) return std::nullopt;
+        lo = static_cast<unsigned char>(pattern_[pos_++]);
+      }
+      unsigned char hi = lo;
+      if (!eof() && peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        pos_ += 1;  // '-'
+        hi = static_cast<unsigned char>(pattern_[pos_++]);
+      }
+      if (hi < lo) return std::nullopt;
+      for (unsigned v = lo; v <= hi; ++v) klass.set(v);
+      any = true;
+    }
+    if (eof() || !any) return std::nullopt;
+    ++pos_;  // ']'
+    if (negate) klass.flip();
+    const int s = add_state(State::Kind::kByte);
+    states_[static_cast<std::size_t>(s)].klass = klass;
+    Frag f;
+    f.start = s;
+    f.dangling = {{s, 0}};
+    return f;
+  }
+
+  std::string_view pattern_;
+  std::vector<State>& states_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<Regex> Regex::compile(std::string_view pattern) {
+  Regex re;
+  re.pattern_ = std::string(pattern);
+  Compiler compiler(pattern, re.states_);
+  const auto start = compiler.compile();
+  if (!start.has_value()) return std::nullopt;
+  re.start_ = *start;
+  return re;
+}
+
+void Regex::add_closure(int state, std::vector<bool>& set,
+                        std::vector<int>& list) const {
+  if (state < 0 || set[static_cast<std::size_t>(state)]) return;
+  set[static_cast<std::size_t>(state)] = true;
+  const State& s = states_[static_cast<std::size_t>(state)];
+  if (s.kind == State::Kind::kSplit) {
+    add_closure(s.next, set, list);
+    add_closure(s.next2, set, list);
+  } else {
+    list.push_back(state);
+  }
+}
+
+bool Regex::search(std::span<const std::uint8_t> input) const {
+  std::vector<bool> in_current(states_.size(), false);
+  std::vector<int> current;
+  add_closure(start_, in_current, current);
+
+  auto accepts = [&](const std::vector<int>& list) {
+    for (int s : list) {
+      if (states_[static_cast<std::size_t>(s)].kind ==
+          State::Kind::kAccept) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (accepts(current)) return true;
+
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    std::vector<bool> in_next(states_.size(), false);
+    std::vector<int> next;
+    for (int s : current) {
+      const State& st = states_[static_cast<std::size_t>(s)];
+      if (st.kind == State::Kind::kByte && st.klass[input[i]]) {
+        add_closure(st.next, in_next, next);
+      }
+    }
+    // Unanchored search: also allow a fresh match starting at i+1.
+    add_closure(start_, in_next, next);
+    current = std::move(next);
+    in_current = std::move(in_next);
+    if (accepts(current)) return true;
+  }
+  return false;
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,60 @@
+// Thompson-construction NFA regex matcher — the compute core of the
+// regex/DPI offload engine (§1 lists "regular expression engines" among
+// the offload types PANIC must host).
+//
+// Supported syntax: literals, '.', character classes [a-z], '*', '+',
+// '?', alternation '|', grouping '()', and '\' escapes.  Matching runs all
+// NFA states in lockstep (Thompson's algorithm: O(states · bytes), no
+// backtracking blowup) and reports whether the pattern occurs anywhere in
+// the input (unanchored search).
+#pragma once
+
+#include <cstdint>
+#include <bitset>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panic::engines {
+
+class Regex {
+ public:
+  /// Compiles `pattern`; returns nullopt on syntax errors.
+  static std::optional<Regex> compile(std::string_view pattern);
+
+  /// True if the pattern matches anywhere in `input`.
+  bool search(std::span<const std::uint8_t> input) const;
+  bool search(std::string_view input) const {
+    return search(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size()));
+  }
+
+  std::size_t num_states() const { return states_.size(); }
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  struct State {
+    // A state either consumes a byte matching `klass` and moves to `next`,
+    // or is an epsilon split to `next` and `next2`, or is the accept.
+    enum class Kind : std::uint8_t { kByte, kSplit, kAccept } kind;
+    std::bitset<256> klass;  // kByte: accepted bytes
+    int next = -1;
+    int next2 = -1;
+  };
+
+  Regex() = default;
+
+  class Compiler;
+
+  void add_closure(int state, std::vector<bool>& set,
+                   std::vector<int>& list) const;
+
+  std::string pattern_;
+  std::vector<State> states_;
+  int start_ = -1;
+};
+
+}  // namespace panic::engines

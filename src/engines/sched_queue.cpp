@@ -1,0 +1,57 @@
+#include "engines/sched_queue.h"
+
+#include <algorithm>
+
+namespace panic::engines {
+
+SchedulerQueue::SchedulerQueue(SchedPolicy policy, std::size_t capacity,
+                               DropPolicy drop_policy)
+    : policy_(policy),
+      capacity_(capacity ? capacity : 1),
+      drop_policy_(drop_policy) {}
+
+bool SchedulerQueue::try_enqueue(MessagePtr msg, Cycle now) {
+  if (full() && drop_policy_ == DropPolicy::kEvictLoosest) {
+    // Find the loosest (largest-slack, then youngest) queued message; if
+    // it is looser than the arrival, evict it to make room.  Linear scan:
+    // the heap only exposes the tightest element.
+    std::size_t loosest = items_.size();
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (loosest == items_.size() ||
+          Order{policy_}(items_[i], items_[loosest])) {
+        loosest = i;
+      }
+    }
+    if (loosest < items_.size() &&
+        items_[loosest].msg->slack > msg->slack) {
+      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(loosest));
+      std::make_heap(items_.begin(), items_.end(), Order{policy_});
+      ++dropped_;
+    }
+  }
+  if (full()) {
+    ++dropped_;
+    return false;  // msg destroyed: the logical scheduler drops it
+  }
+  items_.push_back(Item{std::move(msg), next_seq_++, now});
+  std::push_heap(items_.begin(), items_.end(), Order{policy_});
+  ++enqueued_;
+  max_depth_ = std::max(max_depth_, items_.size());
+  return true;
+}
+
+MessagePtr SchedulerQueue::dequeue(Cycle now) {
+  if (items_.empty()) return nullptr;
+  std::pop_heap(items_.begin(), items_.end(), Order{policy_});
+  Item item = std::move(items_.back());
+  items_.pop_back();
+  ++dequeued_;
+  total_wait_ += now >= item.enqueued_at ? now - item.enqueued_at : 0;
+  return std::move(item.msg);
+}
+
+std::uint32_t SchedulerQueue::head_slack() const {
+  return items_.empty() ? 0 : items_.front().msg->slack;
+}
+
+}  // namespace panic::engines

@@ -1,0 +1,98 @@
+// The logical scheduler's per-engine queue (§3.1.3).
+//
+// Every engine owns one of these.  Messages are inserted according to the
+// slack time computed by the RMT pipeline and carried in the chain header:
+// lower slack dequeues first, so latency-critical messages bypass queued
+// bulk traffic.  The paper notes this "although simple ... is able to
+// implement any arbitrary local scheduling algorithm" (citing UPS); the
+// FIFO policy exists as the baseline that exhibits the performance
+// isolation anomalies PANIC avoids.
+//
+// The on-chip network is lossless; drops happen here, at enqueue, when the
+// queue is full (§3.1.2 "If it is necessary to drop messages, this is done
+// by the logical scheduler").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "net/message.h"
+
+namespace panic::engines {
+
+enum class SchedPolicy : std::uint8_t {
+  kSlackPriority,  ///< PANIC: dequeue lowest slack first
+  kFifo,           ///< baseline: arrival order
+};
+
+/// What to do when a message arrives at a full queue — one of the paper's
+/// §6 open questions ("lossless forwarding ... while also providing lossy
+/// forwarding to ensure that other messages are dropped as needed").
+enum class DropPolicy : std::uint8_t {
+  kDropArrival,   ///< tail-drop the arriving message
+  kEvictLoosest,  ///< admit the arrival by evicting the queued message
+                  ///< with the largest slack (if looser than the arrival)
+};
+
+class SchedulerQueue {
+ public:
+  SchedulerQueue(SchedPolicy policy, std::size_t capacity,
+                 DropPolicy drop_policy = DropPolicy::kDropArrival);
+
+  SchedPolicy policy() const { return policy_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  /// Enqueues `msg` (keyed by msg->slack under kSlackPriority).  Returns
+  /// false and drops the message if the queue is full.
+  bool try_enqueue(MessagePtr msg, Cycle now);
+
+  /// Removes and returns the highest-priority message (nullptr if empty).
+  MessagePtr dequeue(Cycle now);
+
+  /// Slack of the message that would dequeue next (0 if empty).
+  std::uint32_t head_slack() const;
+
+  // --- Counters. ---
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t max_depth() const { return max_depth_; }
+  /// Total cycles messages spent queued (divide by dequeued() for mean).
+  std::uint64_t total_wait_cycles() const { return total_wait_; }
+  std::uint64_t dequeued() const { return dequeued_; }
+
+ private:
+  struct Item {
+    MessagePtr msg;
+    std::uint64_t seq;  // FIFO tie-break
+    Cycle enqueued_at;
+  };
+  struct Order {
+    SchedPolicy policy;
+    // Heap comparator: returns true when a is LOWER priority than b.
+    bool operator()(const Item& a, const Item& b) const {
+      if (policy == SchedPolicy::kSlackPriority &&
+          a.msg->slack != b.msg->slack) {
+        return a.msg->slack > b.msg->slack;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SchedPolicy policy_;
+  std::size_t capacity_;
+  DropPolicy drop_policy_;
+  std::vector<Item> items_;  // maintained as a heap under Order
+  std::uint64_t next_seq_ = 0;
+
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t dequeued_ = 0;
+  std::uint64_t total_wait_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace panic::engines

@@ -1,0 +1,39 @@
+// Transmit descriptor format shared by the host driver and the PCIe
+// engine.  16 bytes in host memory: where the frame lives, how long it
+// is, which port it leaves from, and the owning tenant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/bytes.h"
+
+namespace panic::engines {
+
+struct TxDescriptor {
+  static constexpr std::size_t kSize = 16;
+
+  std::uint64_t frame_addr = 0;
+  std::uint32_t frame_len = 0;
+  std::uint16_t port = 0;    ///< Ethernet port index
+  std::uint16_t tenant = 0;
+
+  void serialize(ByteWriter& w) const {
+    w.u64(frame_addr);
+    w.u32(frame_len);
+    w.u16(port);
+    w.u16(tenant);
+  }
+
+  static std::optional<TxDescriptor> parse(ByteReader& r) {
+    TxDescriptor d;
+    d.frame_addr = r.u64();
+    d.frame_len = r.u32();
+    d.port = r.u16();
+    d.tenant = r.u16();
+    if (!r.ok()) return std::nullopt;
+    return d;
+  }
+};
+
+}  // namespace panic::engines

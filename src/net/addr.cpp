@@ -1,0 +1,84 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace panic {
+namespace {
+
+std::optional<unsigned> parse_hex_byte(std::string_view s) {
+  if (s.size() != 2) return std::nullopt;
+  unsigned v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> bytes{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+    if (pos + 2 > text.size()) return std::nullopt;
+    const auto b = parse_hex_byte(text.substr(pos, 2));
+    if (!b) return std::nullopt;
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(*b);
+    pos += 2;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddr{bytes};
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return std::nullopt;
+    }
+    unsigned octet = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      octet = octet * 10 + static_cast<unsigned>(text[pos] - '0');
+      if (octet > 255 || ++digits > 3) return std::nullopt;
+      ++pos;
+    }
+    value = (value << 8) | octet;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace panic

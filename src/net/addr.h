@@ -1,0 +1,63 @@
+// Network address types with parsing and formatting.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace panic {
+
+/// 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  explicit constexpr MacAddr(std::array<std::uint8_t, 6> bytes)
+      : bytes_(bytes) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  static std::optional<MacAddr> parse(std::string_view text);
+
+  /// Broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddr broadcast() {
+    return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  std::string to_string() const;
+
+  bool is_broadcast() const { return *this == broadcast(); }
+  bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+/// IPv4 address, stored in host order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  explicit constexpr Ipv4Addr(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad "10.0.0.1"; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace panic

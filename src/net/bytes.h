@@ -1,0 +1,104 @@
+// Bounds-checked big-endian byte readers/writers for header serialization.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace panic {
+
+/// Appends big-endian (network order) fields to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+  /// Patches a previously written 16-bit field (e.g. a checksum) in place.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Reads big-endian fields from a byte span.  All reads are bounds-checked;
+/// a failed read sets the error flag and returns 0, so parsers can check
+/// `ok()` once at the end instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!check(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  /// Reads `n` bytes into `out` (must have room for n).
+  void bytes(std::uint8_t* out, std::size_t n) {
+    if (!check(n)) return;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  /// Returns a view of the next `n` bytes and skips them.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    if (!check(n)) return {};
+    auto v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  void skip(std::size_t n) { check(n) ? void(pos_ += n) : void(); }
+
+ private:
+  bool check(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace panic

@@ -1,0 +1,25 @@
+#include "net/chain_header.h"
+
+namespace panic {
+
+void ChainHeader::serialize(ByteWriter& w) const {
+  w.u16(static_cast<std::uint16_t>(hops_.size()));
+  for (const ChainHop& hop : hops_) {
+    w.u16(hop.engine.value);
+    w.u32(hop.slack);
+  }
+}
+
+std::optional<ChainHeader> ChainHeader::parse(ByteReader& r) {
+  const std::uint16_t count = r.u16();
+  ChainHeader h;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint16_t engine = r.u16();
+    const std::uint32_t slack = r.u32();
+    h.push_hop(EngineId{engine}, slack);
+  }
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+}  // namespace panic

@@ -1,0 +1,82 @@
+// The PANIC lightweight chain header (§3.1.2).
+//
+// When the heavyweight RMT pipeline processes a message it computes the
+// full chain of engine destinations the message must visit, plus a slack
+// time per hop (§3.1.3), and prepends this header.  Each engine's
+// lightweight lookup logic then just pops the next hop — no further RMT
+// traversal is needed.  If the chain cannot be fully known (e.g. encrypted
+// messages), the pipeline includes itself as a hop so it can extend the
+// chain after decryption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/bytes.h"
+
+namespace panic {
+
+/// One hop of the chain: the engine to visit and the scheduling slack the
+/// message has at that engine (lower slack = more urgent).
+struct ChainHop {
+  EngineId engine;
+  std::uint32_t slack = 0;
+
+  constexpr auto operator<=>(const ChainHop&) const = default;
+};
+
+class ChainHeader {
+ public:
+  ChainHeader() = default;
+
+  /// Appends a hop to the end of the chain.
+  void push_hop(EngineId engine, std::uint32_t slack = 0) {
+    hops_.push_back(ChainHop{engine, slack});
+  }
+
+  /// The hop the message is currently headed to (nullopt when exhausted).
+  std::optional<ChainHop> current() const {
+    if (next_ >= hops_.size()) return std::nullopt;
+    return hops_[next_];
+  }
+
+  /// Consumes the current hop; returns the hop after it, if any.
+  std::optional<ChainHop> advance() {
+    if (next_ < hops_.size()) ++next_;
+    return current();
+  }
+
+  bool exhausted() const { return next_ >= hops_.size(); }
+  std::size_t remaining() const { return hops_.size() - next_; }
+  std::size_t total_hops() const { return hops_.size(); }
+  std::size_t consumed() const { return next_; }
+
+  const std::vector<ChainHop>& hops() const { return hops_; }
+
+  /// Resets to an empty chain (used when the RMT pipeline recomputes the
+  /// route on a re-entry pass).
+  void clear() {
+    hops_.clear();
+    next_ = 0;
+  }
+
+  /// Wire size in bytes: 2-byte count + 6 bytes per hop (2 engine id +
+  /// 4 slack).  Counted against on-chip bandwidth, as the header is carried
+  /// by every message on the mesh.
+  std::size_t wire_size() const { return 2 + hops_.size() * 6; }
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<ChainHeader> parse(ByteReader& r);
+
+  bool operator==(const ChainHeader& o) const {
+    return hops_ == o.hops_ && next_ == o.next_;
+  }
+
+ private:
+  std::vector<ChainHop> hops_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace panic

@@ -1,0 +1,26 @@
+// Internet checksum (RFC 1071) and CRC-32 (IEEE 802.3) used by the packet
+// model and by the checksum-offload engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace panic {
+
+/// RFC 1071 ones-complement checksum over `data`.  Returns the checksum in
+/// host order, ready to be stored into a header field (already negated).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Incremental variant: fold an additional buffer into a running 32-bit sum.
+/// Call `internet_checksum_finish` at the end.
+std::uint32_t internet_checksum_partial(std::span<const std::uint8_t> data,
+                                        std::uint32_t sum);
+std::uint16_t internet_checksum_finish(std::uint32_t sum);
+
+/// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320) as used by the Ethernet
+/// FCS.  `seed` defaults to the standard initial value.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0xFFFFFFFFu);
+
+}  // namespace panic

@@ -1,0 +1,158 @@
+#include "net/headers.h"
+
+#include "net/checksum.h"
+
+namespace panic {
+
+void EthernetHeader::serialize(ByteWriter& w) const {
+  w.bytes(dst.bytes());
+  w.bytes(src.bytes());
+  w.u16(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(ByteReader& r) {
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> dst{}, src{};
+  r.bytes(dst.data(), 6);
+  r.bytes(src.data(), 6);
+  h.dst = MacAddr{dst};
+  h.src = MacAddr{src};
+  h.ether_type = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  std::uint8_t hdr[kSize];
+  hdr[0] = 0x45;  // version 4, IHL 5
+  hdr[1] = static_cast<std::uint8_t>(dscp << 2);
+  hdr[2] = static_cast<std::uint8_t>(total_length >> 8);
+  hdr[3] = static_cast<std::uint8_t>(total_length);
+  hdr[4] = static_cast<std::uint8_t>(identification >> 8);
+  hdr[5] = static_cast<std::uint8_t>(identification);
+  hdr[6] = 0x40;  // DF, no fragmentation
+  hdr[7] = 0x00;
+  hdr[8] = ttl;
+  hdr[9] = protocol;
+  hdr[10] = 0;  // checksum placeholder
+  hdr[11] = 0;
+  hdr[12] = static_cast<std::uint8_t>(src.value() >> 24);
+  hdr[13] = static_cast<std::uint8_t>(src.value() >> 16);
+  hdr[14] = static_cast<std::uint8_t>(src.value() >> 8);
+  hdr[15] = static_cast<std::uint8_t>(src.value());
+  hdr[16] = static_cast<std::uint8_t>(dst.value() >> 24);
+  hdr[17] = static_cast<std::uint8_t>(dst.value() >> 16);
+  hdr[18] = static_cast<std::uint8_t>(dst.value() >> 8);
+  hdr[19] = static_cast<std::uint8_t>(dst.value());
+  const std::uint16_t sum = internet_checksum({hdr, kSize});
+  hdr[10] = static_cast<std::uint8_t>(sum >> 8);
+  hdr[11] = static_cast<std::uint8_t>(sum);
+  w.bytes({hdr, kSize});
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& r,
+                                            bool verify_checksum) {
+  const auto raw = r.view(kSize);
+  if (raw.size() != kSize) return std::nullopt;
+  if ((raw[0] >> 4) != 4 || (raw[0] & 0x0F) != 5) return std::nullopt;
+  if (verify_checksum && internet_checksum(raw) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = raw[1] >> 2;
+  h.total_length = static_cast<std::uint16_t>((raw[2] << 8) | raw[3]);
+  h.identification = static_cast<std::uint16_t>((raw[4] << 8) | raw[5]);
+  h.ttl = raw[8];
+  h.protocol = raw[9];
+  h.src = Ipv4Addr{(std::uint32_t{raw[12]} << 24) |
+                   (std::uint32_t{raw[13]} << 16) |
+                   (std::uint32_t{raw[14]} << 8) | raw[15]};
+  h.dst = Ipv4Addr{(std::uint32_t{raw[16]} << 24) |
+                   (std::uint32_t{raw[17]} << 16) |
+                   (std::uint32_t{raw[18]} << 8) | raw[19]};
+  return h;
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  if (!r.ok() || h.length < kSize) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(5 << 4);  // data offset 5 words, no options
+  w.u8(flags);
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::parse(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t offset = r.u8() >> 4;
+  h.flags = r.u8();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  r.skip(2);  // urgent pointer
+  if (!r.ok() || offset < 5) return std::nullopt;
+  // Skip TCP options if present.
+  r.skip(static_cast<std::size_t>(offset - 5) * 4);
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void EspHeader::serialize(ByteWriter& w) const {
+  w.u32(spi);
+  w.u32(seq);
+}
+
+std::optional<EspHeader> EspHeader::parse(ByteReader& r) {
+  EspHeader h;
+  h.spi = r.u32();
+  h.seq = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void KvsHeader::serialize(ByteWriter& w) const {
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u8(flags);
+  w.u16(tenant);
+  w.u64(key);
+  w.u32(value_length);
+  w.u32(request_id);
+}
+
+std::optional<KvsHeader> KvsHeader::parse(ByteReader& r) {
+  if (r.u32() != kMagic) return std::nullopt;
+  KvsHeader h;
+  h.op = static_cast<KvsOp>(r.u8());
+  h.flags = r.u8();
+  h.tenant = r.u16();
+  h.key = r.u64();
+  h.value_length = r.u32();
+  h.request_id = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if (h.op < KvsOp::kGet || h.op > KvsOp::kGetMiss) return std::nullopt;
+  return h;
+}
+
+}  // namespace panic

@@ -1,0 +1,136 @@
+// Protocol headers with real wire-format serialization.  The RMT pipeline's
+// programmable parser (src/rmt/parser.*) operates on these encodings, so the
+// formats follow the actual RFC layouts (Ethernet II, IPv4, UDP, TCP,
+// IPSec ESP) plus one application header for the paper's motivating
+// key-value-store workload (§2.2, §3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/bytes.h"
+
+namespace panic {
+
+// EtherTypes.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+// IPv4 protocol numbers.
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoEsp = 50;
+
+/// UDP destination port carrying the KVS application header.
+inline constexpr std::uint16_t kKvsUdpPort = 6379;
+
+/// Ethernet II header (14 bytes, no VLAN).
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<EthernetHeader> parse(ByteReader& r);
+};
+
+/// IPv4 header (20 bytes, no options).  `serialize` computes the header
+/// checksum; `parse` verifies it when `verify_checksum` is set.
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<Ipv4Header> parse(ByteReader& r,
+                                         bool verify_checksum = true);
+};
+
+/// UDP header (8 bytes).  Checksum left 0 (valid per RFC 768 for IPv4);
+/// the checksum-offload engine fills it on demand.
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<UdpHeader> parse(ByteReader& r);
+};
+
+/// TCP header (20 bytes, no options).
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  // Flag bits.
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<TcpHeader> parse(ByteReader& r);
+};
+
+/// IPSec ESP header (8 bytes: SPI + sequence).  The encrypted payload
+/// follows; the trailer/ICV are folded into the payload bytes produced by
+/// the IPSec engine.
+struct EspHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint32_t spi = 0;
+  std::uint32_t seq = 0;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<EspHeader> parse(ByteReader& r);
+};
+
+/// Operations of the key-value-store application protocol (§3.2).
+enum class KvsOp : std::uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kGetReply = 3,
+  kSetReply = 4,
+  kGetMiss = 5,
+};
+
+/// KVS application header carried over UDP (24 bytes).  Fixed-width key,
+/// explicit tenant id (the RMT pipeline matches on it for scheduling), and
+/// a value length for SETs / GET replies.
+struct KvsHeader {
+  static constexpr std::size_t kSize = 24;
+  static constexpr std::uint32_t kMagic = 0x50414B56;  // "PAKV"
+
+  KvsOp op = KvsOp::kGet;
+  std::uint8_t flags = 0;
+  std::uint16_t tenant = 0;
+  std::uint64_t key = 0;
+  std::uint32_t value_length = 0;
+  std::uint32_t request_id = 0;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<KvsHeader> parse(ByteReader& r);
+};
+
+}  // namespace panic

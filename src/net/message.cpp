@@ -1,0 +1,29 @@
+#include "net/message.h"
+
+#include <atomic>
+
+namespace panic {
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPacket: return "packet";
+    case MessageKind::kDmaRead: return "dma-read";
+    case MessageKind::kDmaWrite: return "dma-write";
+    case MessageKind::kDmaCompletion: return "dma-completion";
+    case MessageKind::kDescriptorFetch: return "descriptor-fetch";
+    case MessageKind::kInterrupt: return "interrupt";
+    case MessageKind::kRdmaRequest: return "rdma-request";
+    case MessageKind::kDoorbell: return "doorbell";
+  }
+  return "?";
+}
+
+MessagePtr make_message(MessageKind kind) {
+  static std::atomic<std::uint64_t> next_id{1};
+  auto msg = std::make_unique<Message>();
+  msg->id = MessageId{next_id.fetch_add(1, std::memory_order_relaxed)};
+  msg->kind = kind;
+  return msg;
+}
+
+}  // namespace panic

@@ -1,0 +1,106 @@
+// The unified message abstraction (§3.1): Ethernet frames, DMA
+// reads/writes, descriptor fetches, RDMA operations and interrupts are all
+// `Message`s travelling on the same on-chip network.  This is the paper's
+// key insight enabling a single unified NoC (footnote 1: separate networks
+// waste idle wires).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/chain_header.h"
+
+namespace panic {
+
+enum class MessageKind : std::uint8_t {
+  kPacket = 0,       // an Ethernet frame (RX or TX)
+  kDmaRead,          // engine -> DMA: read from host memory
+  kDmaWrite,         // engine -> DMA: write to host memory
+  kDmaCompletion,    // DMA -> engine: data / ack
+  kDescriptorFetch,  // driver descriptor ring read
+  kInterrupt,        // DMA/PCIe -> host interrupt
+  kRdmaRequest,      // RDMA engine operation
+  kDoorbell,         // host driver MMIO write (TX descriptors posted)
+};
+
+const char* to_string(MessageKind kind);
+
+/// Metadata extracted by the RMT parser and carried with the message while
+/// it is on the NIC.  Engines read these fields instead of re-parsing raw
+/// bytes on every hop (the hardware analogue: the PHV travels with the
+/// packet through the chain header's metadata words).
+struct MessageMeta {
+  bool has_ipv4 = false;
+  bool has_udp = false;
+  bool has_tcp = false;
+  bool is_esp = false;   // IPSec-encapsulated (needs decrypt pass)
+  bool is_kvs = false;   // carries the KVS application header
+  bool from_wan = false; // classified as WAN traffic (needs IPSec on TX)
+  std::uint8_t ip_proto = 0;
+  std::uint16_t udp_dst_port = 0;
+  std::uint8_t kvs_op = 0;
+  std::uint64_t kvs_key = 0;
+  std::uint32_t kvs_request_id = 0;
+  std::uint8_t cache_hint = 0;  ///< engine-local marker (regex match, ...)
+};
+
+struct Message {
+  MessageId id;
+  MessageKind kind = MessageKind::kPacket;
+
+  /// Raw wire bytes for packets; payload/descriptor bytes for DMA ops.
+  std::vector<std::uint8_t> data;
+
+  TenantId tenant;
+  FlowId flow;
+
+  /// The PANIC chain header: remaining engine hops + per-hop slack.
+  ChainHeader chain;
+
+  /// Scheduling slack at the engine currently processing the message
+  /// (copied from the chain hop on arrival; lower = more urgent).
+  std::uint32_t slack = 0;
+
+  /// Parsed metadata (valid once `meta_valid`).
+  MessageMeta meta;
+  bool meta_valid = false;
+
+  /// For request/response message kinds (DMA, RDMA): the engine to send
+  /// the completion to.
+  EngineId reply_to;
+  /// DMA descriptor: host address and length.  The address space is
+  /// synthetic (the host-memory model hashes it to deterministic content).
+  std::uint64_t dma_addr = 0;
+  std::uint32_t dma_bytes = 0;
+
+  /// Ethernet port the packet arrived on / should leave from.
+  EngineId ingress_port;
+  EngineId egress_port;
+
+  /// True for packets originating from the host (TX path): the RMT
+  /// program routes them toward the wire instead of back to the host.
+  bool from_host = false;
+
+  // --- Bookkeeping for experiments (not part of the architecture). ---
+  Cycle created_at = 0;       ///< when the workload generated it
+  Cycle nic_ingress_at = 0;   ///< when it entered the NIC
+  std::uint32_t rmt_passes = 0;  ///< heavyweight pipeline traversals (E6)
+  std::uint32_t noc_hops = 0;    ///< mesh router hops taken
+  std::uint32_t engines_visited = 0;  ///< offload engines that processed it
+
+  /// Bytes the message occupies on the on-chip network: payload plus the
+  /// chain header it carries.
+  std::size_t wire_size() const { return data.size() + chain.wire_size(); }
+
+  std::size_t size() const { return data.size(); }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/// Allocates a message with a fresh process-wide unique id.
+MessagePtr make_message(MessageKind kind = MessageKind::kPacket);
+
+}  // namespace panic

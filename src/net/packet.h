@@ -1,0 +1,127 @@
+// Frame construction and parsing utilities.
+//
+// `FrameBuilder` assembles real wire-format frames (Ethernet/IPv4/UDP/TCP/
+// ESP/KVS) with correct lengths and checksums.  `ParsedFrame` is the
+// software-side decode used by offload engines' internals and by tests; the
+// RMT pipeline's *programmable* parser (src/rmt/parser.*) performs its own
+// table-driven parse of the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace panic {
+
+/// Result of decoding a frame.  Optional layers are absent when the frame
+/// doesn't carry them.  `payload_offset/payload_size` locate the innermost
+/// payload in the original buffer.
+struct ParsedFrame {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  std::optional<EspHeader> esp;
+  std::optional<KvsHeader> kvs;
+  std::size_t payload_offset = 0;
+  std::size_t payload_size = 0;
+
+  std::span<const std::uint8_t> payload(
+      std::span<const std::uint8_t> frame) const {
+    return frame.subspan(payload_offset, payload_size);
+  }
+};
+
+/// Decodes a frame; returns nullopt if the frame is malformed at any layer
+/// it claims to carry.  ESP payloads are left opaque (they are ciphertext).
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+/// Builds wire-format frames.  Typical use:
+///
+///   auto bytes = FrameBuilder()
+///       .eth(src_mac, dst_mac)
+///       .ipv4(src_ip, dst_ip)
+///       .udp(1234, kKvsUdpPort)
+///       .kvs(KvsHeader{...})
+///       .payload(value_bytes)
+///       .build();
+class FrameBuilder {
+ public:
+  FrameBuilder& eth(MacAddr src, MacAddr dst,
+                    std::uint16_t ether_type = kEtherTypeIpv4);
+  FrameBuilder& ipv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t dscp = 0,
+                     std::uint8_t ttl = 64);
+  FrameBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  FrameBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port,
+                    std::uint32_t seq = 0, std::uint32_t ack = 0,
+                    std::uint8_t flags = TcpHeader::kAck);
+  FrameBuilder& esp(std::uint32_t spi, std::uint32_t seq);
+  FrameBuilder& kvs(const KvsHeader& header);
+  FrameBuilder& payload(std::span<const std::uint8_t> data);
+  /// Payload of `size` deterministic pseudo-random bytes (seeded by size).
+  FrameBuilder& payload_size(std::size_t size);
+
+  /// Pads to at least `min_size` total frame bytes (default: Ethernet
+  /// minimum 64).  Assembles all layers, fixing up IPv4 total_length /
+  /// checksum and UDP length.
+  std::vector<std::uint8_t> build(std::size_t min_size = 64) const;
+
+ private:
+  struct Spec {
+    bool has_eth = false;
+    EthernetHeader eth;
+    bool has_ipv4 = false;
+    Ipv4Header ipv4;
+    bool has_udp = false;
+    UdpHeader udp;
+    bool has_tcp = false;
+    TcpHeader tcp;
+    bool has_esp = false;
+    EspHeader esp;
+    bool has_kvs = false;
+    KvsHeader kvs;
+    std::vector<std::uint8_t> payload;
+  };
+  Spec spec_;
+};
+
+/// Rebuilds `frame` with its innermost payload replaced by `new_payload`,
+/// fixing the IPv4 total_length/checksum and UDP length fields.  Used by
+/// transforming engines (compression, crypto) that change payload size.
+/// `parsed` must be the result of parse_frame(frame).
+std::vector<std::uint8_t> replace_l4_payload(
+    std::span<const std::uint8_t> frame, const ParsedFrame& parsed,
+    std::span<const std::uint8_t> new_payload);
+
+/// Convenience constructors for the workloads used across the benchmarks.
+namespace frames {
+
+/// Minimum-size (64 B) UDP frame — the Table 2 line-rate stress unit.
+std::vector<std::uint8_t> min_udp(Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint16_t src_port = 40000,
+                                  std::uint16_t dst_port = 9);
+
+/// KVS GET request (§3.2).
+std::vector<std::uint8_t> kvs_get(Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint16_t tenant, std::uint64_t key,
+                                  std::uint32_t request_id);
+
+/// KVS SET request carrying `value_size` bytes.
+std::vector<std::uint8_t> kvs_set(Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint16_t tenant, std::uint64_t key,
+                                  std::uint32_t request_id,
+                                  std::size_t value_size);
+
+/// KVS GET reply carrying `value` (built by the on-NIC cache / RDMA path).
+std::vector<std::uint8_t> kvs_get_reply(Ipv4Addr src, Ipv4Addr dst,
+                                        std::uint16_t tenant,
+                                        std::uint64_t key,
+                                        std::uint32_t request_id,
+                                        std::span<const std::uint8_t> value);
+
+}  // namespace frames
+
+}  // namespace panic

@@ -1,0 +1,54 @@
+#include "net/pcap_writer.h"
+
+namespace panic {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xA1B2C3D4;   // microsecond pcap
+constexpr std::uint32_t kLinkTypeEthernet = 1;  // LINKTYPE_ETHERNET
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, Frequency clock)
+    : clock_(clock) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  u32(kMagic);
+  u32(0x00040002);  // version 2.4 (major, minor as two u16 LE)
+  u32(0);           // thiszone
+  u32(0);           // sigfigs
+  u32(65535);       // snaplen
+  u32(kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() { close(); }
+
+void PcapWriter::u32(std::uint32_t v) {
+  // Little-endian, the native byte order pcap readers expect with this
+  // magic on every common platform.
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  std::fwrite(bytes, 1, 4, file_);
+}
+
+void PcapWriter::write(std::span<const std::uint8_t> frame, Cycle at) {
+  if (file_ == nullptr) return;
+  const double us = clock_.cycles_to_ns(at) / 1000.0;
+  const auto sec = static_cast<std::uint32_t>(us / 1e6);
+  const auto usec =
+      static_cast<std::uint32_t>(us - static_cast<double>(sec) * 1e6);
+  u32(sec);
+  u32(usec);
+  u32(static_cast<std::uint32_t>(frame.size()));  // captured length
+  u32(static_cast<std::uint32_t>(frame.size()));  // original length
+  std::fwrite(frame.data(), 1, frame.size(), file_);
+  ++frames_;
+}
+
+void PcapWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace panic

@@ -1,0 +1,47 @@
+// Minimal pcap (libpcap classic format) writer, so transmitted/received
+// frames can be inspected with tcpdump/wireshark:
+//
+//   PcapWriter pcap("tx.pcap", Frequency::megahertz(500));
+//   nic.eth_port(0).set_tx_sink([&](const Message& m, Cycle now) {
+//     pcap.write(m.data, now);
+//   });
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "common/units.h"
+
+namespace panic {
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global header.  `clock` converts cycle
+  /// timestamps into the pcap's microsecond timestamps.
+  PcapWriter(const std::string& path, Frequency clock);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Appends one frame stamped at simulation cycle `at`.
+  void write(std::span<const std::uint8_t> frame, Cycle at);
+
+  std::uint64_t frames_written() const { return frames_; }
+
+  /// Flushes and closes early (also done by the destructor).
+  void close();
+
+ private:
+  void u32(std::uint32_t v);
+
+  std::FILE* file_ = nullptr;
+  Frequency clock_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace panic

@@ -1,0 +1,42 @@
+// Flit-level representation of messages on the on-chip network.
+//
+// A message of S wire bytes on a W-bit channel is carried by
+// ceil((8*S + header bits) / W) flits using wormhole switching: the head
+// flit locks the path hop by hop, body flits stream behind it, and the tail
+// flit releases the path.  The Message object itself rides on the tail flit
+// (the simulation equivalent of the last flit completing delivery).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "net/message.h"
+
+namespace panic::noc {
+
+/// NoC-level header overhead per message, in bits (destination address,
+/// length, type).  Charged once per message against channel bandwidth.
+inline constexpr std::uint32_t kNocHeaderBits = 64;
+
+struct Flit {
+  EngineId dst;            ///< destination tile
+  bool is_head = false;
+  bool is_tail = false;
+  std::uint32_t seq = 0;   ///< flit index within the message (debug/trace)
+  MessagePtr msg;          ///< carried on the tail flit only
+
+  Flit() = default;
+  Flit(EngineId dst_, bool head, bool tail, std::uint32_t seq_)
+      : dst(dst_), is_head(head), is_tail(tail), seq(seq_) {}
+};
+
+/// Number of flits needed to carry `wire_bytes` on a `channel_bits`-wide
+/// link.
+constexpr std::uint32_t flits_for(std::size_t wire_bytes,
+                                  std::uint32_t channel_bits) {
+  const std::uint64_t bits = static_cast<std::uint64_t>(wire_bytes) * 8 +
+                             kNocHeaderBits;
+  return static_cast<std::uint32_t>((bits + channel_bits - 1) / channel_bits);
+}
+
+}  // namespace panic::noc

@@ -1,0 +1,69 @@
+#include "noc/mesh.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace panic::noc {
+
+Mesh::Mesh(const MeshConfig& config, Simulator& sim) : config_(config) {
+  const int k = config_.k;
+  assert(k >= 2);
+  routers_.reserve(static_cast<std::size_t>(k) * k);
+  nis_.reserve(static_cast<std::size_t>(k) * k);
+
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      routers_.push_back(std::make_unique<Router>(
+          x, y, k, config_.buffer_flits, config_.routing));
+    }
+  }
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      Router* r = routers_[static_cast<std::size_t>(y) * k + x].get();
+      if (y > 0) {
+        r->connect(Direction::kNorth,
+                   routers_[static_cast<std::size_t>(y - 1) * k + x].get());
+      }
+      if (y + 1 < k) {
+        r->connect(Direction::kSouth,
+                   routers_[static_cast<std::size_t>(y + 1) * k + x].get());
+      }
+      if (x > 0) {
+        r->connect(Direction::kWest,
+                   routers_[static_cast<std::size_t>(y) * k + x - 1].get());
+      }
+      if (x + 1 < k) {
+        r->connect(Direction::kEast,
+                   routers_[static_cast<std::size_t>(y) * k + x + 1].get());
+      }
+    }
+  }
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      const EngineId tile = tile_id(x, y);
+      nis_.push_back(std::make_unique<NetworkInterface>(
+          tile, config_.channel_bits, routers_[tile.value].get(),
+          config_.inject_depth));
+    }
+  }
+
+  // Tick NIs before routers so an injected flit can be considered by the
+  // router on the next cycle (both use ready = now + 1, so order only
+  // affects constant staging latency, not correctness).
+  for (auto& ni : nis_) sim.add(ni.get());
+  for (auto& r : routers_) sim.add(r.get());
+}
+
+int Mesh::distance(EngineId a, EngineId b) const {
+  const int ax = a.value % config_.k, ay = a.value / config_.k;
+  const int bx = b.value % config_.k, by = b.value / config_.k;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+std::uint64_t Mesh::total_flits_routed() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r->flits_routed();
+  return total;
+}
+
+}  // namespace panic::noc

@@ -1,0 +1,56 @@
+// Builds the k×k mesh of routers and network interfaces that forms the
+// PANIC on-chip network (Figure 3c).  Tile addresses are row-major:
+// tile(x, y) = y*k + x; EngineId values are tile addresses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "noc/network_interface.h"
+#include "noc/router.h"
+#include "sim/simulator.h"
+
+namespace panic::noc {
+
+struct MeshConfig {
+  int k = 6;                         ///< mesh side (k×k tiles)
+  std::uint32_t channel_bits = 64;   ///< link width per cycle
+  std::size_t buffer_flits = 8;      ///< input FIFO depth per port
+  std::size_t inject_depth = 4;      ///< NI message injection queue
+  RoutingAlgo routing = RoutingAlgo::kXY;
+};
+
+class Mesh {
+ public:
+  /// Constructs the routers/NIs and registers them with `sim`.
+  Mesh(const MeshConfig& config, Simulator& sim);
+
+  int k() const { return config_.k; }
+  int tiles() const { return config_.k * config_.k; }
+  std::uint32_t channel_bits() const { return config_.channel_bits; }
+  const MeshConfig& config() const { return config_; }
+
+  EngineId tile_id(int x, int y) const {
+    return EngineId{static_cast<std::uint16_t>(y * config_.k + x)};
+  }
+
+  Router& router(EngineId tile) { return *routers_[tile.value]; }
+  NetworkInterface& ni(EngineId tile) { return *nis_[tile.value]; }
+
+  /// Manhattan distance between two tiles (minimum hop count - 1 ... the
+  /// head flit also traverses the destination router, so latency lower
+  /// bound is distance + 1 router cycles).
+  int distance(EngineId a, EngineId b) const;
+
+  /// Sum of flits routed across all routers (for utilization accounting).
+  std::uint64_t total_flits_routed() const;
+
+ private:
+  MeshConfig config_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+};
+
+}  // namespace panic::noc

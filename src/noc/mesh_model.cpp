@@ -1,0 +1,49 @@
+#include "noc/mesh_model.h"
+
+#include <cstdio>
+
+namespace panic::noc {
+
+MeshModelResult evaluate_mesh_model(const MeshModelInput& in) {
+  MeshModelResult r;
+  r.channel_bw = DataRate::bps(in.channel_bits * in.freq.hz());
+  r.bisection_bw = r.channel_bw * (2.0 * in.k);
+  r.capacity = r.channel_bw * (4.0 * in.k);
+  const double aggregate =
+      in.line_rate.bits_per_second() * static_cast<double>(in.ports);
+  r.chain_length = r.capacity.bits_per_second() / aggregate -
+                   2.0 * kBaseTraversalsPerDirection;
+  if (r.chain_length < 0) r.chain_length = 0;
+  return r;
+}
+
+std::vector<MeshModelInput> table3_rows() {
+  std::vector<MeshModelInput> rows;
+  for (const auto& [rate, width] :
+       std::vector<std::pair<double, std::uint32_t>>{{40, 64}, {100, 128}}) {
+    for (int k : {6, 8}) {
+      MeshModelInput in;
+      in.k = k;
+      in.channel_bits = width;
+      in.freq = Frequency::megahertz(500);
+      in.line_rate = DataRate::gbps(rate);
+      in.ports = 2;
+      rows.push_back(in);
+    }
+  }
+  // Paper order: 40G 6x6, 40G 8x8, 100G 6x6, 100G 8x8.
+  return rows;
+}
+
+std::string format_table3_row(const MeshModelInput& in,
+                              const MeshModelResult& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%3.0fGbps x%d  %4.0fMHz  %3u  %dx%d Mesh  %5.0fGbps  %5.2f",
+                in.line_rate.gigabits_per_second(), in.ports, in.freq.mhz(),
+                in.channel_bits, in.k, in.k,
+                r.bisection_bw.gigabits_per_second(), r.chain_length);
+  return buf;
+}
+
+}  // namespace panic::noc

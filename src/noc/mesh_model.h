@@ -1,0 +1,62 @@
+// Analytical model of the on-chip mesh (Table 3 of the paper).
+//
+// Following Dally & Towles ("Principles and Practices of Interconnection
+// Networks") for a k-ary 2-mesh under uniform random traffic:
+//
+//   * channel bandwidth        b  = width_bits × frequency            [bps]
+//   * bisection channels:      2k (k links each direction across the cut)
+//   * bisection bandwidth      B  = 2·k·b                             [bps]
+//   * capacity (all-to-all)    C  = 4·b·k
+//       — the uniform-traffic throughput bound: half of all traffic
+//         crosses the bisection, so aggregate injection ≤ 2·B = 4·b·k.
+//
+// Chain length (the paper's "Chain Len" column): every packet makes
+// `kBaseTraversalsPerDirection` fixed mesh traversals in each direction
+// (port → RMT pipeline and RMT pipeline → DMA/port) plus one traversal per
+// offload in its chain, and both the RX and TX streams run at line rate:
+//
+//   C = ports·rate · (chain + 2·kBaseTraversalsPerDirection)
+//   chain = C / (ports·rate) − 4
+//
+// This reproduces Table 3 exactly: 5.60 / 8.80 / 3.68 / 6.24 offloads for
+// the four configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace panic::noc {
+
+/// Fixed traversals per direction that are not offload chain hops:
+/// ingress → RMT pipeline, and RMT pipeline → final destination.
+inline constexpr int kBaseTraversalsPerDirection = 2;
+
+struct MeshModelInput {
+  int k = 6;                        ///< mesh side
+  std::uint32_t channel_bits = 64;  ///< link width
+  Frequency freq = Frequency::megahertz(500);
+  DataRate line_rate = DataRate::gbps(40);
+  int ports = 2;
+};
+
+struct MeshModelResult {
+  DataRate channel_bw;    ///< b — one link's bandwidth
+  DataRate bisection_bw;  ///< B = 2·k·b (the paper's "Bisec BW" column)
+  DataRate capacity;      ///< C = 4·k·b (uniform all-to-all throughput)
+  double chain_length;    ///< sustainable offloads per packet ("Chain Len")
+};
+
+MeshModelResult evaluate_mesh_model(const MeshModelInput& in);
+
+/// The four rows of Table 3 as published.
+std::vector<MeshModelInput> table3_rows();
+
+/// Renders one row in the paper's format, e.g.
+/// "40Gbps x2  500MHz  64  6x6 Mesh  384Gbps  5.60".
+std::string format_table3_row(const MeshModelInput& in,
+                              const MeshModelResult& r);
+
+}  // namespace panic::noc

@@ -1,0 +1,66 @@
+#include "noc/network_interface.h"
+
+#include <cassert>
+
+namespace panic::noc {
+
+NetworkInterface::NetworkInterface(EngineId tile, std::uint32_t channel_bits,
+                                   Router* router, std::size_t inject_depth)
+    : Component("ni(" + std::to_string(tile.value) + ")"),
+      tile_(tile),
+      channel_bits_(channel_bits),
+      router_(router),
+      inject_depth_(inject_depth) {
+  assert(router_ != nullptr);
+  assert(channel_bits_ > 0);
+}
+
+void NetworkInterface::inject(MessagePtr msg, EngineId dst, Cycle now) {
+  (void)now;
+  assert(can_inject());
+  assert(msg != nullptr);
+  PendingMessage p;
+  p.total_flits = flits_for(msg->wire_size(), channel_bits_);
+  p.msg = std::move(msg);
+  p.dst = dst;
+  pending_.push_back(std::move(p));
+}
+
+MessagePtr NetworkInterface::try_receive(Cycle now) {
+  (void)now;
+  if (received_.empty()) return nullptr;
+  MessagePtr msg = std::move(received_.front());
+  received_.pop_front();
+  return msg;
+}
+
+void NetworkInterface::tick(Cycle now) {
+  // Injection: one flit per cycle into the router's local input.
+  if (!pending_.empty() && router_->can_accept(Direction::kLocal)) {
+    PendingMessage& p = pending_.front();
+    const bool head = p.sent_flits == 0;
+    const bool tail = p.sent_flits + 1 == p.total_flits;
+    Flit flit(p.dst, head, tail, p.sent_flits);
+    if (tail) flit.msg = std::move(p.msg);
+    router_->accept(Direction::kLocal, std::move(flit), now);
+    ++p.sent_flits;
+    ++flits_sent_;
+    if (tail) {
+      ++messages_sent_;
+      pending_.pop_front();
+    }
+  }
+
+  // Ejection: one flit per cycle from the router's eject queue.  Wormhole
+  // switching guarantees flits of a message arrive contiguously, so the
+  // message is complete when its tail flit appears.
+  if (auto flit = router_->eject_queue().try_pop(now)) {
+    if (flit->is_tail) {
+      assert(flit->msg != nullptr);
+      received_.push_back(std::move(flit->msg));
+      ++messages_received_;
+    }
+  }
+}
+
+}  // namespace panic::noc

@@ -1,0 +1,65 @@
+// Network interface (NI): the shim between an engine and its mesh router.
+// Segments outgoing messages into flits at the channel bit width, feeds
+// them into the router's local input port at one flit per cycle, and
+// reassembles arriving flits back into messages.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/units.h"
+#include "noc/flit.h"
+#include "noc/router.h"
+#include "sim/component.h"
+
+namespace panic::noc {
+
+class NetworkInterface : public Component {
+ public:
+  /// `tile` — this NI's address; `channel_bits` — mesh channel width;
+  /// `inject_depth` — how many *messages* may be queued for injection
+  /// before `can_inject` goes false (engine-side backpressure).
+  NetworkInterface(EngineId tile, std::uint32_t channel_bits,
+                   Router* router, std::size_t inject_depth = 4);
+
+  EngineId tile() const { return tile_; }
+
+  /// True if another message can be queued for injection.
+  bool can_inject() const { return pending_.size() < inject_depth_; }
+
+  /// Queues `msg` for transmission to `dst`.  Precondition: can_inject().
+  void inject(MessagePtr msg, EngineId dst, Cycle now);
+
+  /// Returns a fully reassembled incoming message, or nullptr.
+  MessagePtr try_receive(Cycle now);
+
+  /// Pushes at most one flit per cycle into the router and drains at most
+  /// one ejected flit per cycle (matching the single local port).
+  void tick(Cycle now) override;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_received() const { return messages_received_; }
+  std::uint64_t flits_sent() const { return flits_sent_; }
+
+ private:
+  struct PendingMessage {
+    MessagePtr msg;
+    EngineId dst;
+    std::uint32_t total_flits = 0;
+    std::uint32_t sent_flits = 0;
+  };
+
+  EngineId tile_;
+  std::uint32_t channel_bits_;
+  Router* router_;
+  std::size_t inject_depth_;
+
+  std::deque<PendingMessage> pending_;   // segmentation in progress
+  std::deque<MessagePtr> received_;      // reassembled, waiting for engine
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t flits_sent_ = 0;
+};
+
+}  // namespace panic::noc

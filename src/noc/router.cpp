@@ -1,0 +1,147 @@
+#include "noc/router.h"
+
+#include <cassert>
+
+namespace panic::noc {
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return "N";
+    case Direction::kEast: return "E";
+    case Direction::kSouth: return "S";
+    case Direction::kWest: return "W";
+    case Direction::kLocal: return "L";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::size_t kEjectDepth = 8;  // flits buffered toward the NI
+}
+
+Router::Router(int x, int y, int k, std::size_t buffer_flits,
+               RoutingAlgo algo)
+    : Component("router(" + std::to_string(x) + "," + std::to_string(y) + ")"),
+      x_(x),
+      y_(y),
+      k_(k),
+      algo_(algo),
+      inputs_{TimedQueue<Flit>(buffer_flits), TimedQueue<Flit>(buffer_flits),
+              TimedQueue<Flit>(buffer_flits), TimedQueue<Flit>(buffer_flits),
+              TimedQueue<Flit>(buffer_flits)},
+      eject_(kEjectDepth) {
+  output_owner_.fill(-1);
+  rr_.fill(0);
+}
+
+void Router::connect(Direction dir, Router* neighbor) {
+  neighbors_[static_cast<int>(dir)] = neighbor;
+}
+
+bool Router::can_accept(Direction from) const {
+  return !inputs_[static_cast<int>(from)].full();
+}
+
+void Router::accept(Direction from, Flit flit, Cycle now) {
+  auto& q = inputs_[static_cast<int>(from)];
+  assert(!q.full());
+  // +1: the hop latency — the flit is routable the cycle after it arrives.
+  const bool ok = q.try_push(std::move(flit), now + 1);
+  assert(ok);
+  (void)ok;
+}
+
+bool Router::permitted(Direction dir, EngineId dst) const {
+  const int dx = dst.value % k_ - x_;
+  const int dy = dst.value / k_ - y_;
+  if (dx == 0 && dy == 0) return dir == Direction::kLocal;
+
+  if (algo_ == RoutingAlgo::kXY) {
+    // Dimension order: X fully, then Y.
+    if (dx > 0) return dir == Direction::kEast;
+    if (dx < 0) return dir == Direction::kWest;
+    return dir == (dy > 0 ? Direction::kSouth : Direction::kNorth);
+  }
+
+  // West-first: all West hops first; afterwards any productive direction
+  // (E/N/S toward the destination) is allowed — turns into West are the
+  // only ones prohibited, which breaks every cycle of the turn graph.
+  if (dx < 0) return dir == Direction::kWest;
+  switch (dir) {
+    case Direction::kEast: return dx > 0;
+    case Direction::kSouth: return dy > 0;
+    case Direction::kNorth: return dy < 0;
+    default: return false;
+  }
+}
+
+bool Router::downstream_ready(Direction out) const {
+  if (out == Direction::kLocal) return !eject_.full();
+  const Router* n = neighbors_[static_cast<int>(out)];
+  assert(n != nullptr && "flit routed toward a missing neighbor");
+  // The reverse direction on the neighbor: our East output feeds its West
+  // input, etc.
+  static constexpr Direction kReverse[] = {
+      Direction::kSouth, Direction::kWest, Direction::kNorth,
+      Direction::kEast, Direction::kLocal};
+  return n->can_accept(kReverse[static_cast<int>(out)]);
+}
+
+void Router::forward(Direction out, Flit flit, Cycle now) {
+  ++flits_routed_;
+  if (out == Direction::kLocal) {
+    const bool ok = eject_.try_push(std::move(flit), now + 1);
+    assert(ok);
+    (void)ok;
+    return;
+  }
+  Router* n = neighbors_[static_cast<int>(out)];
+  static constexpr Direction kReverse[] = {
+      Direction::kSouth, Direction::kWest, Direction::kNorth,
+      Direction::kEast, Direction::kLocal};
+  n->accept(kReverse[static_cast<int>(out)], std::move(flit), now);
+}
+
+void Router::tick(Cycle now) {
+  // One flit may leave per output port per cycle; one flit may leave per
+  // input port per cycle.
+  std::array<bool, kNumPorts> input_used{};
+
+  for (int o = 0; o < kNumPorts; ++o) {
+    const auto out = static_cast<Direction>(o);
+
+    int chosen = -1;
+    if (output_owner_[o] >= 0) {
+      // Wormhole: the output is locked to an input until the tail passes.
+      const int i = output_owner_[o];
+      if (!input_used[i] && inputs_[i].ready(now)) chosen = i;
+    } else {
+      // Allocate: round-robin over inputs whose ready head flit is a head
+      // flit routed to this output.
+      for (int step = 0; step < kNumPorts; ++step) {
+        const int i = (rr_[o] + step) % kNumPorts;
+        if (input_used[i]) continue;
+        const Flit* f = inputs_[i].peek(now);
+        if (f == nullptr || !f->is_head) continue;
+        if (!permitted(out, f->dst)) continue;
+        chosen = i;
+        rr_[o] = (i + 1) % kNumPorts;
+        break;
+      }
+    }
+
+    if (chosen < 0) continue;
+    if (!downstream_ready(out)) {
+      ++stall_cycles_;  // a flit was ready but the downstream buffer was full
+      continue;
+    }
+
+    Flit flit = *inputs_[chosen].try_pop(now);
+    input_used[chosen] = true;
+    output_owner_[o] = flit.is_tail ? -1 : chosen;
+    if (flit.msg != nullptr) ++flit.msg->noc_hops;  // tail flit carries msg
+    forward(out, std::move(flit), now);
+  }
+}
+
+}  // namespace panic::noc

@@ -1,0 +1,104 @@
+// 5-port wormhole mesh router with XY dimension-order routing.
+//
+// Properties matching §3.1.2 of the paper:
+//   * one cycle of latency per hop (flits become visible downstream one
+//     cycle after they are forwarded),
+//   * lossless operation — a flit only moves when the downstream input
+//     buffer has a free slot (credit-based flow control with an idealized
+//     single-cycle credit loop),
+//   * XY routing on a 2D mesh, which is deadlock-free without virtual
+//     channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "noc/flit.h"
+#include "sim/component.h"
+#include "sim/timed_queue.h"
+
+namespace panic::noc {
+
+enum class Direction : std::uint8_t {
+  kNorth = 0,
+  kEast,
+  kSouth,
+  kWest,
+  kLocal,
+};
+inline constexpr int kNumPorts = 5;
+
+const char* to_string(Direction d);
+
+/// Routing algorithm.  kXY is deterministic dimension-order routing.
+/// kWestFirst is the classic turn-model adaptive algorithm: all West hops
+/// are taken first (deterministically), after which the flit may choose
+/// adaptively among the remaining productive directions — deadlock-free
+/// on a mesh without virtual channels, and able to route around congested
+/// links for east-bound traffic.
+enum class RoutingAlgo : std::uint8_t { kXY, kWestFirst };
+
+class Router : public Component {
+ public:
+  /// `x`,`y` — coordinates in a `k`×`k` mesh; `buffer_flits` — depth of
+  /// each input FIFO.
+  Router(int x, int y, int k, std::size_t buffer_flits,
+         RoutingAlgo algo = RoutingAlgo::kXY);
+
+  int x() const { return x_; }
+  int y() const { return y_; }
+
+  /// Wires this router's `dir` output to the neighbor (and expects the
+  /// symmetric call on the neighbor).
+  void connect(Direction dir, Router* neighbor);
+
+  /// True if the input buffer for `from` can accept a flit (the upstream
+  /// credit check).
+  bool can_accept(Direction from) const;
+
+  /// Delivers a flit into the `from` input buffer; visible to the router's
+  /// allocation logic from cycle `now + 1` (the hop latency).
+  /// Precondition: can_accept(from).
+  void accept(Direction from, Flit flit, Cycle now);
+
+  /// The local ejection queue the attached network interface drains.
+  TimedQueue<Flit>& eject_queue() { return eject_; }
+
+  /// One allocation + switch traversal cycle.
+  void tick(Cycle now) override;
+
+  // --- Counters for experiments. ---
+  std::uint64_t flits_routed() const { return flits_routed_; }
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
+
+ private:
+  /// Whether output `dir` is productive and permitted for a flit to `dst`
+  /// under the configured routing algorithm (tile id = y*k + x).
+  bool permitted(Direction dir, EngineId dst) const;
+
+  /// True if the downstream of output `out` can accept a flit now.
+  bool downstream_ready(Direction out) const;
+
+  /// Sends `flit` out of `out`.
+  void forward(Direction out, Flit flit, Cycle now);
+
+  int x_;
+  int y_;
+  int k_;
+  RoutingAlgo algo_;
+
+  std::array<TimedQueue<Flit>, kNumPorts> inputs_;
+  std::array<Router*, kNumPorts> neighbors_{};
+  TimedQueue<Flit> eject_;
+
+  /// Wormhole state: which input currently owns each output (-1 = free).
+  std::array<int, kNumPorts> output_owner_;
+  /// Round-robin arbitration pointer per output.
+  std::array<int, kNumPorts> rr_;
+
+  std::uint64_t flits_routed_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace panic::noc

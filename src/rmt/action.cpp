@@ -1,0 +1,183 @@
+#include "rmt/action.h"
+
+namespace panic::rmt {
+
+Action& Action::set_field(Field dst, std::uint64_t imm) {
+  primitives.push_back({ActionOp::kSetField, dst, Field::kCount,
+                        Field::kCount, imm, 0});
+  return *this;
+}
+
+Action& Action::copy_field(Field dst, Field src) {
+  primitives.push_back(
+      {ActionOp::kCopyField, dst, src, Field::kCount, 0, 0});
+  return *this;
+}
+
+Action& Action::add_imm(Field dst, std::uint64_t imm) {
+  primitives.push_back(
+      {ActionOp::kAddImm, dst, Field::kCount, Field::kCount, imm, 0});
+  return *this;
+}
+
+Action& Action::and_imm(Field dst, std::uint64_t imm) {
+  primitives.push_back(
+      {ActionOp::kAndImm, dst, Field::kCount, Field::kCount, imm, 0});
+  return *this;
+}
+
+Action& Action::hash_fields(Field dst, Field a, Field b,
+                            std::uint64_t modulo) {
+  primitives.push_back({ActionOp::kHashFields, dst, a, b, modulo, 0});
+  return *this;
+}
+
+Action& Action::push_hop(std::uint16_t engine) {
+  primitives.push_back({ActionOp::kPushChainHop, Field::kCount, Field::kCount,
+                        Field::kCount, engine, 0});
+  return *this;
+}
+
+Action& Action::push_hop_from(Field engine_field) {
+  primitives.push_back({ActionOp::kPushChainHopFromField, Field::kCount,
+                        engine_field, Field::kCount, 0, 0});
+  return *this;
+}
+
+Action& Action::clear_chain() {
+  primitives.push_back({ActionOp::kClearChain, Field::kCount, Field::kCount,
+                        Field::kCount, 0, 0});
+  return *this;
+}
+
+Action& Action::set_slack(std::uint64_t slack) {
+  primitives.push_back({ActionOp::kSetSlack, Field::kCount, Field::kCount,
+                        Field::kCount, slack, 0});
+  return *this;
+}
+
+Action& Action::mark_drop() {
+  primitives.push_back({ActionOp::kMarkDrop, Field::kCount, Field::kCount,
+                        Field::kCount, 0, 0});
+  return *this;
+}
+
+Action& Action::reg_read(Field dst, std::uint32_t reg, Field index) {
+  primitives.push_back(
+      {ActionOp::kRegRead, dst, index, Field::kCount, reg, 0});
+  return *this;
+}
+
+Action& Action::reg_write(std::uint32_t reg, Field index, Field value) {
+  primitives.push_back(
+      {ActionOp::kRegWrite, Field::kCount, index, value, reg, 0});
+  return *this;
+}
+
+Action& Action::reg_add(Field dst, std::uint32_t reg, Field index,
+                        std::uint64_t delta) {
+  primitives.push_back({ActionOp::kRegAdd, dst, index, Field::kCount, reg,
+                        delta});
+  return *this;
+}
+
+RegisterFile::RegisterFile(std::size_t num_registers,
+                           std::size_t entries_per_register)
+    : entries_(entries_per_register),
+      regs_(num_registers,
+            std::vector<std::uint64_t>(entries_per_register, 0)) {}
+
+std::uint64_t RegisterFile::read(std::uint32_t reg,
+                                 std::uint64_t index) const {
+  if (reg >= regs_.size()) return 0;
+  return regs_[reg][index % entries_];
+}
+
+void RegisterFile::write(std::uint32_t reg, std::uint64_t index,
+                         std::uint64_t value) {
+  if (reg >= regs_.size()) return;
+  regs_[reg][index % entries_] = value;
+}
+
+std::uint64_t RegisterFile::add(std::uint32_t reg, std::uint64_t index,
+                                std::uint64_t delta) {
+  if (reg >= regs_.size()) return 0;
+  auto& slot = regs_[reg][index % entries_];
+  slot += delta;
+  return slot;
+}
+
+namespace {
+
+// 64-bit mix for kHashFields (splitmix64 finalizer).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void apply_action(const Action& action, ActionContext& ctx) {
+  for (const ActionPrimitive& p : action.primitives) {
+    switch (p.op) {
+      case ActionOp::kNoop:
+        break;
+      case ActionOp::kSetField:
+        ctx.phv.set(p.dst, p.imm);
+        break;
+      case ActionOp::kCopyField:
+        ctx.phv.set(p.dst, ctx.phv.get(p.src));
+        break;
+      case ActionOp::kAddImm:
+        ctx.phv.set(p.dst, ctx.phv.get(p.dst) + p.imm);
+        break;
+      case ActionOp::kAndImm:
+        ctx.phv.set(p.dst, ctx.phv.get(p.dst) & p.imm);
+        break;
+      case ActionOp::kHashFields: {
+        const std::uint64_t h =
+            mix(ctx.phv.get(p.src) * 0x9E3779B97F4A7C15ull ^
+                ctx.phv.get(p.src2));
+        ctx.phv.set(p.dst, p.imm ? h % p.imm : h);
+        break;
+      }
+      case ActionOp::kPushChainHop:
+        ctx.chain.push_hop(
+            EngineId{static_cast<std::uint16_t>(p.imm)},
+            static_cast<std::uint32_t>(ctx.phv.get(Field::kMetaSlack)));
+        break;
+      case ActionOp::kPushChainHopFromField:
+        ctx.chain.push_hop(
+            EngineId{static_cast<std::uint16_t>(ctx.phv.get(p.src))},
+            static_cast<std::uint32_t>(ctx.phv.get(Field::kMetaSlack)));
+        break;
+      case ActionOp::kClearChain:
+        ctx.chain.clear();
+        break;
+      case ActionOp::kSetSlack:
+        ctx.phv.set(Field::kMetaSlack, p.imm);
+        break;
+      case ActionOp::kMarkDrop:
+        ctx.phv.set(Field::kMetaDrop, 1);
+        break;
+      case ActionOp::kRegRead:
+        ctx.phv.set(p.dst, ctx.regs.read(static_cast<std::uint32_t>(p.imm),
+                                         ctx.phv.get(p.src)));
+        break;
+      case ActionOp::kRegWrite:
+        ctx.regs.write(static_cast<std::uint32_t>(p.imm),
+                       ctx.phv.get(p.src), ctx.phv.get(p.src2));
+        break;
+      case ActionOp::kRegAdd: {
+        const std::uint64_t v =
+            ctx.regs.add(static_cast<std::uint32_t>(p.imm),
+                         ctx.phv.get(p.src), p.imm2);
+        if (p.dst != Field::kCount) ctx.phv.set(p.dst, v);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace panic::rmt

@@ -1,0 +1,72 @@
+// Fields of the Packet Header Vector (PHV).
+//
+// An RMT pipeline parses packet headers into a fixed vector of fields, then
+// each match+action stage matches on fields and rewrites fields.  We model
+// every field as a 64-bit value (wide-enough for everything in our header
+// set; MAC addresses are truncated into 48 bits of the slot).
+#pragma once
+
+#include <cstdint>
+
+namespace panic::rmt {
+
+enum class Field : std::uint8_t {
+  // Header validity bits (set by the parser; 1 when the header is present).
+  kValidEth = 0,
+  kValidIpv4,
+  kValidUdp,
+  kValidTcp,
+  kValidEsp,
+  kValidKvs,
+
+  // Ethernet.
+  kEthDst,
+  kEthSrc,
+  kEthType,
+
+  // IPv4.
+  kIpDscp,
+  kIpLen,
+  kIpTtl,
+  kIpProto,
+  kIpSrc,
+  kIpDst,
+
+  // L4 (UDP or TCP share the port slots).
+  kL4SrcPort,
+  kL4DstPort,
+  kTcpFlags,
+
+  // IPSec ESP.
+  kEspSpi,
+  kEspSeq,
+
+  // KVS application header.
+  kKvsOp,
+  kKvsTenant,
+  kKvsKey,
+  kKvsValueLen,
+  kKvsReqId,
+
+  // Metadata (not parsed from bytes; set by the NIC or by actions).
+  kMetaIngressPort,  ///< Ethernet port the message arrived on
+  kMetaEgressPort,   ///< Ethernet port the message should exit from
+  kMetaMsgKind,      ///< MessageKind as an integer
+  kMetaTenant,       ///< scheduling tenant
+  kMetaQueue,        ///< receive-queue selection (load balancing)
+  kMetaSlack,        ///< slack value actions assign to pushed chain hops
+  kMetaDrop,         ///< 1 => the scheduler should drop this message
+  kMetaFromWan,      ///< 1 => classified as WAN traffic (IPSec required)
+  kMetaFromHost,     ///< 1 => TX packet originating from the host
+  kMetaCacheHint,    ///< opaque hint (e.g. KVS cache set/probe result)
+
+  kCount,
+};
+
+inline constexpr std::size_t kFieldCount =
+    static_cast<std::size_t>(Field::kCount);
+
+/// Human-readable field name for traces and error messages.
+const char* field_name(Field f);
+
+}  // namespace panic::rmt

@@ -1,0 +1,524 @@
+#include "rmt/p4lite.h"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace panic::rmt {
+
+std::optional<Field> field_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    const auto f = static_cast<Field>(i);
+    if (name == field_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // identifiers and dotted field names: stage, ipv4.dst
+  kNumber,   // 42, 0x1F, 10.0.0.1 (dotted quad)
+  kArrow,    // ->
+  kLBrace, kRBrace, kLParen, kRParen,
+  kComma, kSemi, kSlash,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::uint64_t value = 0;  // for kNumber
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_ws();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      t.kind = TokKind::kEnd;
+      return t;
+    }
+    const char c = src_[pos_];
+    if (c == '{') { ++pos_; t.kind = TokKind::kLBrace; return t; }
+    if (c == '}') { ++pos_; t.kind = TokKind::kRBrace; return t; }
+    if (c == '(') { ++pos_; t.kind = TokKind::kLParen; return t; }
+    if (c == ')') { ++pos_; t.kind = TokKind::kRParen; return t; }
+    if (c == ',') { ++pos_; t.kind = TokKind::kComma; return t; }
+    if (c == ';') { ++pos_; t.kind = TokKind::kSemi; return t; }
+    if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] != '/') {
+      ++pos_;
+      t.kind = TokKind::kSlash;
+      return t;
+    }
+    if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
+      pos_ += 2;
+      t.kind = TokKind::kArrow;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident();
+    }
+    t.kind = TokKind::kEnd;
+    t.text = std::string(1, c);
+    error_ = true;
+    return t;
+  }
+
+  bool had_error() const { return error_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < src_.size() &&
+                  src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_number() {
+    Token t;
+    t.line = line_;
+    t.kind = TokKind::kNumber;
+    const std::size_t start = pos_;
+    // Dotted quad?
+    std::size_t probe = pos_;
+    int dots = 0;
+    while (probe < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[probe])) ||
+            src_[probe] == '.')) {
+      if (src_[probe] == '.') ++dots;
+      ++probe;
+    }
+    if (dots == 3) {
+      std::uint64_t value = 0;
+      std::uint64_t octet = 0;
+      for (; pos_ < probe; ++pos_) {
+        if (src_[pos_] == '.') {
+          value = (value << 8) | octet;
+          octet = 0;
+        } else {
+          octet = octet * 10 + static_cast<std::uint64_t>(src_[pos_] - '0');
+        }
+      }
+      t.value = (value << 8) | octet;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+        (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      std::uint64_t value = 0;
+      while (pos_ < src_.size() &&
+             std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+        const char d = src_[pos_++];
+        value = value * 16 +
+                static_cast<std::uint64_t>(
+                    d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10);
+      }
+      t.value = value;
+      return t;
+    }
+    std::uint64_t value = 0;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      value = value * 10 + static_cast<std::uint64_t>(src_[pos_++] - '0');
+    }
+    t.value = value;
+    return t;
+  }
+
+  Token lex_ident() {
+    Token t;
+    t.line = line_;
+    t.kind = TokKind::kIdent;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_' || src_[pos_] == '.')) {
+      ++pos_;
+    }
+    t.text = std::string(src_.substr(start, pos_ - start));
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool error_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Parser / compiler
+// ---------------------------------------------------------------------
+
+class Compiler {
+ public:
+  Compiler(std::string_view src, const SymbolTable& symbols)
+      : lexer_(src), symbols_(symbols) {
+    advance();
+  }
+
+  bool compile_into(RmtProgram& program, bool require_parser) {
+    bool saw_parser = false;
+    while (cur_.kind != TokKind::kEnd) {
+      if (cur_.kind == TokKind::kIdent && cur_.text == "parser") {
+        advance();
+        if (!expect_ident("default") || !expect(TokKind::kSemi)) return false;
+        program.parser = make_default_parser();
+        saw_parser = true;
+      } else if (cur_.kind == TokKind::kIdent && cur_.text == "stage") {
+        if (!parse_stage(program)) return false;
+      } else {
+        return fail("expected 'parser' or 'stage'");
+      }
+    }
+    if (require_parser && !saw_parser) {
+      return fail("program must declare 'parser default;'");
+    }
+    return !lexer_.had_error() || fail("bad character in input");
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  bool fail(const std::string& message) {
+    if (error_.empty()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "p4lite:%d: %s", cur_.line,
+                    message.c_str());
+      error_ = buf;
+    }
+    return false;
+  }
+
+  bool expect(TokKind kind) {
+    if (cur_.kind != kind) return fail("unexpected token '" + cur_.text + "'");
+    advance();
+    return true;
+  }
+
+  bool expect_ident(const std::string& word) {
+    if (cur_.kind != TokKind::kIdent || cur_.text != word) {
+      return fail("expected '" + word + "'");
+    }
+    advance();
+    return true;
+  }
+
+  bool parse_field(Field* out) {
+    if (cur_.kind != TokKind::kIdent) return fail("expected field name");
+    const auto f = field_from_name(cur_.text);
+    if (!f.has_value()) return fail("unknown field '" + cur_.text + "'");
+    *out = *f;
+    advance();
+    return true;
+  }
+
+  bool parse_number(std::uint64_t* out) {
+    if (cur_.kind != TokKind::kNumber) return fail("expected number");
+    *out = cur_.value;
+    advance();
+    return true;
+  }
+
+  bool parse_stage(RmtProgram& program) {
+    advance();  // 'stage'
+    if (cur_.kind != TokKind::kIdent) return fail("expected stage name");
+    Stage& stage = program.add_stage(cur_.text);
+    advance();
+    if (!expect(TokKind::kLBrace)) return false;
+    while (cur_.kind != TokKind::kRBrace) {
+      if (!parse_table(stage)) return false;
+    }
+    return expect(TokKind::kRBrace);
+  }
+
+  bool parse_table(Stage& stage) {
+    if (!expect_ident("table")) return false;
+    if (cur_.kind != TokKind::kIdent) return fail("expected table name");
+    const std::string name = cur_.text;
+    advance();
+
+    MatchKind kind;
+    if (cur_.kind != TokKind::kIdent) return fail("expected match kind");
+    if (cur_.text == "exact") {
+      kind = MatchKind::kExact;
+    } else if (cur_.text == "lpm") {
+      kind = MatchKind::kLpm;
+    } else if (cur_.text == "ternary") {
+      kind = MatchKind::kTernary;
+    } else {
+      return fail("match kind must be exact/lpm/ternary");
+    }
+    advance();
+
+    if (!expect(TokKind::kLParen)) return false;
+    std::vector<Field> key_fields;
+    while (true) {
+      Field f;
+      if (!parse_field(&f)) return false;
+      key_fields.push_back(f);
+      if (cur_.kind == TokKind::kComma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokKind::kRParen)) return false;
+    if (kind == MatchKind::kLpm && key_fields.size() != 1) {
+      return fail("lpm tables take exactly one key field");
+    }
+
+    MatchTable table(name, kind, key_fields);
+    if (!expect(TokKind::kLBrace)) return false;
+    while (cur_.kind != TokKind::kRBrace) {
+      if (cur_.kind == TokKind::kIdent && cur_.text == "default") {
+        advance();
+        if (!expect(TokKind::kArrow)) return false;
+        Action action("default");
+        if (!parse_actions(&action)) return false;
+        table.set_default_action(std::move(action));
+        if (!expect(TokKind::kSemi)) return false;
+        continue;
+      }
+      if (!parse_entry(table, kind, key_fields.size())) return false;
+    }
+    if (!expect(TokKind::kRBrace)) return false;
+    stage.tables.push_back(std::move(table));
+    return true;
+  }
+
+  bool parse_value_mask(std::uint64_t* value, std::uint64_t* mask,
+                        bool* has_mask) {
+    if (!parse_number(value)) return false;
+    *has_mask = false;
+    if (cur_.kind == TokKind::kSlash) {
+      advance();
+      if (!parse_number(mask)) return false;
+      *has_mask = true;
+    }
+    return true;
+  }
+
+  bool parse_entry(MatchTable& table, MatchKind kind, std::size_t keys) {
+    TableEntry entry;
+    std::vector<std::uint64_t> masks;
+    std::vector<bool> has_mask;
+
+    auto read_one = [&]() {
+      std::uint64_t v = 0, m = 0;
+      bool hm = false;
+      if (!parse_value_mask(&v, &m, &hm)) return false;
+      entry.key.push_back(v);
+      masks.push_back(m);
+      has_mask.push_back(hm);
+      return true;
+    };
+
+    if (cur_.kind == TokKind::kLParen) {
+      advance();
+      while (true) {
+        if (!read_one()) return false;
+        if (cur_.kind == TokKind::kComma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (!expect(TokKind::kRParen)) return false;
+    } else {
+      if (!read_one()) return false;
+    }
+    if (entry.key.size() != keys) {
+      return fail("entry key arity does not match the table");
+    }
+
+    if (cur_.kind == TokKind::kIdent && cur_.text == "prio") {
+      advance();
+      std::uint64_t prio = 0;
+      if (!parse_number(&prio)) return false;
+      entry.priority = static_cast<int>(prio);
+    }
+
+    if (!expect(TokKind::kArrow)) return false;
+    entry.action = Action("entry");
+    if (!parse_actions(&entry.action)) return false;
+    if (!expect(TokKind::kSemi)) return false;
+
+    switch (kind) {
+      case MatchKind::kExact:
+        table.add_entry(std::move(entry));
+        break;
+      case MatchKind::kLpm: {
+        // "V/len" means a prefix length for LPM.
+        const int len = has_mask[0] ? static_cast<int>(masks[0]) : 32;
+        if (len < 0 || len > 64) return fail("bad prefix length");
+        table.add_lpm(entry.key[0], len, std::move(entry.action),
+                      /*width_bits=*/32);
+        break;
+      }
+      case MatchKind::kTernary:
+        entry.masks.resize(entry.key.size());
+        for (std::size_t i = 0; i < entry.key.size(); ++i) {
+          entry.masks[i] = has_mask[i] ? masks[i] : ~0ull;
+        }
+        table.add_entry(std::move(entry));
+        break;
+    }
+    return true;
+  }
+
+  bool parse_actions(Action* action) {
+    while (true) {
+      if (!parse_action(action)) return false;
+      if (cur_.kind == TokKind::kComma) {
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool resolve_engine(std::uint16_t* out) {
+    if (cur_.kind == TokKind::kNumber) {
+      *out = static_cast<std::uint16_t>(cur_.value);
+      advance();
+      return true;
+    }
+    if (cur_.kind != TokKind::kIdent) return fail("expected engine name");
+    const auto it = symbols_.find(cur_.text);
+    if (it == symbols_.end()) {
+      return fail("unknown engine '" + cur_.text + "'");
+    }
+    *out = it->second;
+    advance();
+    return true;
+  }
+
+  bool parse_action(Action* action) {
+    if (cur_.kind != TokKind::kIdent) return fail("expected action");
+    const std::string op = cur_.text;
+    advance();
+
+    if (op == "drop") {
+      action->mark_drop();
+      return true;
+    }
+    if (op == "clear_chain") {
+      action->clear_chain();
+      return true;
+    }
+
+    if (!expect(TokKind::kLParen)) return false;
+    if (op == "set_slack") {
+      std::uint64_t v = 0;
+      if (!parse_number(&v)) return false;
+      action->set_slack(v);
+    } else if (op == "set") {
+      Field f;
+      std::uint64_t v = 0;
+      if (!parse_field(&f) || !expect(TokKind::kComma) || !parse_number(&v)) {
+        return false;
+      }
+      action->set_field(f, v);
+    } else if (op == "copy") {
+      Field dst, src;
+      if (!parse_field(&dst) || !expect(TokKind::kComma) ||
+          !parse_field(&src)) {
+        return false;
+      }
+      action->copy_field(dst, src);
+    } else if (op == "lb") {
+      Field dst, a, b;
+      std::uint64_t buckets = 0;
+      if (!parse_field(&dst) || !expect(TokKind::kComma) ||
+          !parse_field(&a) || !expect(TokKind::kComma) || !parse_field(&b) ||
+          !expect(TokKind::kComma) || !parse_number(&buckets)) {
+        return false;
+      }
+      action->hash_fields(dst, a, b, buckets);
+    } else if (op == "chain") {
+      while (true) {
+        std::uint16_t engine = 0;
+        if (!resolve_engine(&engine)) return false;
+        action->push_hop(engine);
+        if (cur_.kind == TokKind::kComma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    } else if (op == "chain_from") {
+      Field f;
+      if (!parse_field(&f)) return false;
+      action->push_hop_from(f);
+    } else if (op == "reg_add") {
+      Field dst, index;
+      std::uint64_t reg = 0, delta = 0;
+      if (!parse_field(&dst) || !expect(TokKind::kComma) ||
+          !parse_number(&reg) || !expect(TokKind::kComma) ||
+          !parse_field(&index) || !expect(TokKind::kComma) ||
+          !parse_number(&delta)) {
+        return false;
+      }
+      action->reg_add(dst, static_cast<std::uint32_t>(reg), index, delta);
+    } else {
+      return fail("unknown action '" + op + "'");
+    }
+    return expect(TokKind::kRParen);
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  const SymbolTable& symbols_;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<RmtProgram> compile_p4lite(std::string_view source,
+                                         const SymbolTable& symbols,
+                                         std::string* error) {
+  RmtProgram program;
+  Compiler compiler(source, symbols);
+  if (!compiler.compile_into(program, /*require_parser=*/true)) {
+    if (error) *error = compiler.error();
+    return std::nullopt;
+  }
+  return program;
+}
+
+bool append_p4lite_stages(RmtProgram& program, std::string_view source,
+                          const SymbolTable& symbols, std::string* error) {
+  Compiler compiler(source, symbols);
+  if (!compiler.compile_into(program, /*require_parser=*/false)) {
+    if (error) *error = compiler.error();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace panic::rmt

@@ -1,0 +1,171 @@
+#include "rmt/parser.h"
+
+#include "net/headers.h"
+
+namespace panic::rmt {
+
+void Parser::add_state(ParserState state) {
+  if (states_.empty()) start_ = state.name;
+  states_[state.name] = std::move(state);
+}
+
+bool Parser::parse(std::span<const std::uint8_t> frame, Phv& phv,
+                   std::map<Field, FieldLocation>* locations) const {
+  if (states_.empty()) return false;
+
+  std::size_t cursor = 0;
+  std::string current = start_;
+  // A parse graph over a finite frame terminates as long as every state
+  // advances; bound the walk to catch zero-advance loops in bad programs.
+  const std::size_t max_states = states_.size() + 4;
+
+  for (std::size_t depth = 0; depth < max_states; ++depth) {
+    const auto it = states_.find(current);
+    if (it == states_.end()) return false;
+    const ParserState& state = it->second;
+
+    if (state.set_valid) phv.set_parsed(*state.set_valid, 1);
+
+    std::uint64_t select_value = 0;
+    bool have_select = false;
+    for (const ParserExtract& ex : state.extracts) {
+      const std::size_t end = cursor + ex.offset + ex.width_bytes;
+      if (end > frame.size() || ex.width_bytes > 8) return false;
+      std::uint64_t v = 0;
+      for (std::uint8_t b = 0; b < ex.width_bytes; ++b) {
+        v = (v << 8) | frame[cursor + ex.offset + b];
+      }
+      phv.set_parsed(ex.field, v);
+      if (locations) {
+        (*locations)[ex.field] =
+            FieldLocation{static_cast<std::uint32_t>(cursor + ex.offset),
+                          ex.width_bytes};
+      }
+      if (state.select && *state.select == ex.field) {
+        select_value = v;
+        have_select = true;
+      }
+    }
+    if (state.select && !have_select) {
+      // Select on a previously extracted field.
+      select_value = phv.get(*state.select);
+    }
+
+    if (cursor + state.header_bytes > frame.size()) return false;
+    cursor += state.header_bytes;
+
+    std::string next = state.default_next;
+    if (state.select) {
+      for (const ParserTransition& t : state.transitions) {
+        if ((select_value & t.mask) == (t.value & t.mask)) {
+          next = t.next_state;
+          break;
+        }
+      }
+    }
+    if (next.empty()) return true;  // accept
+    current = next;
+  }
+  return false;  // too many transitions: malformed graph
+}
+
+Parser make_default_parser() {
+  Parser p;
+
+  ParserState eth;
+  eth.name = "ethernet";
+  eth.set_valid = Field::kValidEth;
+  eth.extracts = {
+      {Field::kEthDst, 0, 6},
+      {Field::kEthSrc, 6, 6},
+      {Field::kEthType, 12, 2},
+  };
+  eth.header_bytes = 14;
+  eth.select = Field::kEthType;
+  eth.transitions = {{kEtherTypeIpv4, 0xFFFF, "ipv4"}};
+  eth.default_next = "";  // accept non-IP as opaque
+  p.add_state(std::move(eth));
+
+  ParserState ipv4;
+  ipv4.name = "ipv4";
+  ipv4.set_valid = Field::kValidIpv4;
+  ipv4.extracts = {
+      {Field::kIpDscp, 1, 1},
+      {Field::kIpLen, 2, 2},
+      {Field::kIpTtl, 8, 1},
+      {Field::kIpProto, 9, 1},
+      {Field::kIpSrc, 12, 4},
+      {Field::kIpDst, 16, 4},
+  };
+  ipv4.header_bytes = 20;
+  ipv4.select = Field::kIpProto;
+  ipv4.transitions = {
+      {kIpProtoUdp, 0xFF, "udp"},
+      {kIpProtoTcp, 0xFF, "tcp"},
+      {kIpProtoEsp, 0xFF, "esp"},
+  };
+  p.add_state(std::move(ipv4));
+
+  ParserState udp;
+  udp.name = "udp";
+  udp.set_valid = Field::kValidUdp;
+  udp.extracts = {
+      {Field::kL4SrcPort, 0, 2},
+      {Field::kL4DstPort, 2, 2},
+  };
+  udp.header_bytes = 8;
+  udp.select = Field::kL4DstPort;
+  udp.transitions = {{kKvsUdpPort, 0xFFFF, "kvs"}};
+  udp.default_next = "udp_src_check";
+  p.add_state(std::move(udp));
+
+  // KVS replies carry the KVS port as the *source*; a second select state
+  // catches them (a parse graph selects on one field per state).
+  ParserState udp_src;
+  udp_src.name = "udp_src_check";
+  udp_src.header_bytes = 0;
+  udp_src.select = Field::kL4SrcPort;
+  udp_src.transitions = {{kKvsUdpPort, 0xFFFF, "kvs"}};
+  p.add_state(std::move(udp_src));
+
+  ParserState tcp;
+  tcp.name = "tcp";
+  tcp.set_valid = Field::kValidTcp;
+  tcp.extracts = {
+      {Field::kL4SrcPort, 0, 2},
+      {Field::kL4DstPort, 2, 2},
+      {Field::kTcpFlags, 13, 1},
+  };
+  tcp.header_bytes = 20;
+  p.add_state(std::move(tcp));
+
+  ParserState esp;
+  esp.name = "esp";
+  esp.set_valid = Field::kValidEsp;
+  esp.extracts = {
+      {Field::kEspSpi, 0, 4},
+      {Field::kEspSeq, 4, 4},
+  };
+  esp.header_bytes = 8;
+  p.add_state(std::move(esp));
+
+  ParserState kvs;
+  kvs.name = "kvs";
+  kvs.set_valid = Field::kValidKvs;
+  // Skip the 4-byte magic; real hardware would select on it one state
+  // earlier — we accept the misparse risk for brevity here, and the KVS
+  // engine re-validates the magic in software.
+  kvs.extracts = {
+      {Field::kKvsOp, 4, 1},
+      {Field::kKvsTenant, 6, 2},
+      {Field::kKvsKey, 8, 8},
+      {Field::kKvsValueLen, 16, 4},
+      {Field::kKvsReqId, 20, 4},
+  };
+  kvs.header_bytes = 24;
+  p.add_state(std::move(kvs));
+
+  return p;
+}
+
+}  // namespace panic::rmt

@@ -1,0 +1,63 @@
+#include "rmt/phv.h"
+
+#include <cstdio>
+
+namespace panic::rmt {
+
+const char* field_name(Field f) {
+  switch (f) {
+    case Field::kValidEth: return "valid_eth";
+    case Field::kValidIpv4: return "valid_ipv4";
+    case Field::kValidUdp: return "valid_udp";
+    case Field::kValidTcp: return "valid_tcp";
+    case Field::kValidEsp: return "valid_esp";
+    case Field::kValidKvs: return "valid_kvs";
+    case Field::kEthDst: return "eth.dst";
+    case Field::kEthSrc: return "eth.src";
+    case Field::kEthType: return "eth.type";
+    case Field::kIpDscp: return "ipv4.dscp";
+    case Field::kIpLen: return "ipv4.len";
+    case Field::kIpTtl: return "ipv4.ttl";
+    case Field::kIpProto: return "ipv4.proto";
+    case Field::kIpSrc: return "ipv4.src";
+    case Field::kIpDst: return "ipv4.dst";
+    case Field::kL4SrcPort: return "l4.sport";
+    case Field::kL4DstPort: return "l4.dport";
+    case Field::kTcpFlags: return "tcp.flags";
+    case Field::kEspSpi: return "esp.spi";
+    case Field::kEspSeq: return "esp.seq";
+    case Field::kKvsOp: return "kvs.op";
+    case Field::kKvsTenant: return "kvs.tenant";
+    case Field::kKvsKey: return "kvs.key";
+    case Field::kKvsValueLen: return "kvs.value_len";
+    case Field::kKvsReqId: return "kvs.req_id";
+    case Field::kMetaIngressPort: return "meta.ingress_port";
+    case Field::kMetaEgressPort: return "meta.egress_port";
+    case Field::kMetaMsgKind: return "meta.msg_kind";
+    case Field::kMetaTenant: return "meta.tenant";
+    case Field::kMetaQueue: return "meta.queue";
+    case Field::kMetaSlack: return "meta.slack";
+    case Field::kMetaDrop: return "meta.drop";
+    case Field::kMetaFromWan: return "meta.from_wan";
+    case Field::kMetaFromHost: return "meta.from_host";
+    case Field::kMetaCacheHint: return "meta.cache_hint";
+    case Field::kCount: break;
+  }
+  return "?";
+}
+
+std::string Phv::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if (!valid_[i]) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=0x%llx ",
+                  field_name(static_cast<Field>(i)),
+                  static_cast<unsigned long long>(values_[i]));
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace panic::rmt

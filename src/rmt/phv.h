@@ -1,0 +1,65 @@
+// Packet Header Vector: the working state of a message inside the RMT
+// pipeline.  Tracks which fields are valid (parsed or assigned) and which
+// were modified by actions (so the deparser knows what to write back).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+#include "rmt/field.h"
+
+namespace panic::rmt {
+
+class Phv {
+ public:
+  Phv() { values_.fill(0); }
+
+  bool valid(Field f) const { return valid_[index(f)]; }
+  bool modified(Field f) const { return modified_[index(f)]; }
+
+  /// Value of `f`; reads of invalid fields return 0 (matching hardware
+  /// behaviour where un-parsed PHV containers read as zero).
+  std::uint64_t get(Field f) const {
+    return valid_[index(f)] ? values_[index(f)] : 0;
+  }
+
+  /// Parser-side write: marks valid but not modified.
+  void set_parsed(Field f, std::uint64_t v) {
+    values_[index(f)] = v;
+    valid_[index(f)] = true;
+  }
+
+  /// Action-side write: marks valid and modified.
+  void set(Field f, std::uint64_t v) {
+    values_[index(f)] = v;
+    valid_[index(f)] = true;
+    modified_[index(f)] = true;
+  }
+
+  void invalidate(Field f) {
+    valid_[index(f)] = false;
+    modified_[index(f)] = false;
+  }
+
+  void clear() {
+    values_.fill(0);
+    valid_.reset();
+    modified_.reset();
+  }
+
+  /// Debug rendering of all valid fields.
+  std::string to_string() const;
+
+ private:
+  static constexpr std::size_t index(Field f) {
+    return static_cast<std::size_t>(f);
+  }
+
+  std::array<std::uint64_t, kFieldCount> values_;
+  std::bitset<kFieldCount> valid_;
+  std::bitset<kFieldCount> modified_;
+};
+
+}  // namespace panic::rmt

@@ -1,0 +1,108 @@
+#include "rmt/pipeline.h"
+
+#include <cassert>
+
+namespace panic::rmt {
+
+Pipeline::Pipeline(std::shared_ptr<const RmtProgram> program)
+    : program_(std::move(program)) {
+  assert(program_ != nullptr);
+}
+
+void Pipeline::seed_metadata(const Message& msg, Phv& phv) const {
+  phv.set_parsed(Field::kMetaMsgKind,
+                 static_cast<std::uint64_t>(msg.kind));
+  phv.set_parsed(Field::kMetaTenant, msg.tenant.value);
+  phv.set_parsed(Field::kMetaSlack, msg.slack);
+  if (msg.ingress_port.valid()) {
+    phv.set_parsed(Field::kMetaIngressPort, msg.ingress_port.value);
+  }
+  if (msg.egress_port.valid()) {
+    phv.set_parsed(Field::kMetaEgressPort, msg.egress_port.value);
+  }
+  if (msg.from_host) {
+    phv.set_parsed(Field::kMetaFromHost, 1);
+  }
+}
+
+void Pipeline::fill_message_meta(const Phv& phv, Message& msg) const {
+  MessageMeta meta;
+  meta.has_ipv4 = phv.get(Field::kValidIpv4) != 0;
+  meta.has_udp = phv.get(Field::kValidUdp) != 0;
+  meta.has_tcp = phv.get(Field::kValidTcp) != 0;
+  meta.is_esp = phv.get(Field::kValidEsp) != 0;
+  meta.is_kvs = phv.get(Field::kValidKvs) != 0;
+  meta.from_wan = phv.get(Field::kMetaFromWan) != 0;
+  meta.ip_proto = static_cast<std::uint8_t>(phv.get(Field::kIpProto));
+  meta.udp_dst_port =
+      static_cast<std::uint16_t>(phv.get(Field::kL4DstPort));
+  meta.kvs_op = static_cast<std::uint8_t>(phv.get(Field::kKvsOp));
+  meta.kvs_key = phv.get(Field::kKvsKey);
+  meta.kvs_request_id =
+      static_cast<std::uint32_t>(phv.get(Field::kKvsReqId));
+  msg.meta = meta;
+  msg.meta_valid = true;
+  if (phv.valid(Field::kKvsTenant) && phv.get(Field::kKvsTenant) != 0) {
+    msg.tenant = TenantId{
+        static_cast<std::uint16_t>(phv.get(Field::kKvsTenant))};
+  } else if (phv.modified(Field::kMetaTenant)) {
+    msg.tenant = TenantId{
+        static_cast<std::uint16_t>(phv.get(Field::kMetaTenant))};
+  }
+}
+
+void Pipeline::deparse(const Phv& phv,
+                       const std::map<Field, FieldLocation>& locations,
+                       Message& msg) const {
+  for (const auto& [field, loc] : locations) {
+    if (!phv.modified(field)) continue;
+    if (loc.offset + loc.width_bytes > msg.data.size()) continue;
+    std::uint64_t v = phv.get(field);
+    for (int b = loc.width_bytes - 1; b >= 0; --b) {
+      msg.data[loc.offset + b] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+ProcessResult Pipeline::process(Message& msg) {
+  ProcessResult result;
+  Phv phv;
+  std::map<Field, FieldLocation> locations;
+
+  seed_metadata(msg, phv);
+  if (msg.kind == MessageKind::kPacket && !msg.data.empty()) {
+    result.parsed = program_->parser.parse(msg.data, phv, &locations);
+  } else {
+    // Engine-to-engine messages skip the byte parser; programs match on
+    // the metadata fields instead (§3.1: requests are treated as packets).
+    result.parsed = true;
+  }
+
+  // The pipeline recomputes the route: any hops remaining from a previous
+  // pass were consumed up to this point; actions build the new chain.
+  ChainHeader new_chain;
+  ActionContext ctx{phv, new_chain, regs_};
+  for (const Stage& stage : program_->stages) {
+    for (const MatchTable& table : stage.tables) {
+      if (const Action* action = table.lookup(phv)) {
+        apply_action(*action, ctx);
+      }
+    }
+  }
+
+  if (new_chain.total_hops() > 0) {
+    msg.chain = std::move(new_chain);
+  }
+  result.drop = phv.get(Field::kMetaDrop) != 0;
+  result.queue = phv.get(Field::kMetaQueue);
+
+  fill_message_meta(phv, msg);
+  deparse(phv, locations, msg);
+
+  ++msg.rmt_passes;
+  ++processed_;
+  return result;
+}
+
+}  // namespace panic::rmt

@@ -1,0 +1,84 @@
+// Match+action tables: exact, longest-prefix and ternary match kinds over
+// one or more PHV fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rmt/action.h"
+#include "rmt/phv.h"
+
+namespace panic::rmt {
+
+enum class MatchKind : std::uint8_t { kExact, kLpm, kTernary };
+
+/// One table entry.  For kExact, `masks` is ignored.  For kLpm (single key
+/// field), `masks[0]` holds the prefix mask.  For kTernary, entries are
+/// matched in descending `priority` order.
+struct TableEntry {
+  std::vector<std::uint64_t> key;
+  std::vector<std::uint64_t> masks;
+  int priority = 0;
+  Action action;
+};
+
+class MatchTable {
+ public:
+  MatchTable(std::string name, MatchKind kind, std::vector<Field> key_fields);
+
+  const std::string& name() const { return name_; }
+  MatchKind kind() const { return kind_; }
+  const std::vector<Field>& key_fields() const { return key_fields_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Adds an entry.  Preconditions: key size matches the table's key
+  /// fields; for kLpm the table has exactly one key field.
+  void add_entry(TableEntry entry);
+
+  /// Convenience for exact tables with a single key field.
+  void add_exact(std::uint64_t key, Action action);
+
+  /// Convenience for LPM tables: match the top `prefix_len` bits of a
+  /// `width_bits`-wide value.
+  void add_lpm(std::uint64_t key, int prefix_len, Action action,
+               int width_bits = 32);
+
+  /// Convenience for ternary tables with a single key field.
+  void add_ternary(std::uint64_t key, std::uint64_t mask, int priority,
+                   Action action);
+
+  /// Action to run when nothing matches (defaults to no-op / miss).
+  void set_default_action(Action action) {
+    default_action_ = std::move(action);
+  }
+  const Action* default_action() const {
+    return default_action_ ? &*default_action_ : nullptr;
+  }
+
+  /// Looks up the PHV; returns the matching entry's action, the default
+  /// action on miss, or nullptr when there is no default either.
+  const Action* lookup(const Phv& phv) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::uint64_t exact_hash(const std::vector<std::uint64_t>& key) const;
+
+  std::string name_;
+  MatchKind kind_;
+  std::vector<Field> key_fields_;
+  std::vector<TableEntry> entries_;
+  /// Exact-match index: hash of key words -> entry index.
+  std::unordered_map<std::uint64_t, std::size_t> exact_index_;
+  std::optional<Action> default_action_;
+
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace panic::rmt

@@ -1,0 +1,35 @@
+// Base class for everything that advances with the NIC clock: routers,
+// engines, RMT stages, traffic generators.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace panic {
+
+class Simulator;
+
+/// A clocked hardware block.  `tick()` is called once per simulated cycle;
+/// a component reads inputs that became visible in earlier cycles and
+/// produces outputs that become visible in later cycles (queues and links
+/// carry ready-cycle timestamps, so ordering between components within one
+/// cycle does not matter).
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Advance one clock cycle.  `now` is the cycle being executed.
+  virtual void tick(Cycle now) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace panic

@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace panic {
+
+void Simulator::schedule_at(Cycle cycle, std::function<void()> fn) {
+  if (cycle < now_) cycle = now_;  // late events fire on the next step
+  events_.push(Event{cycle, next_seq_++, std::move(fn)});
+}
+
+void Simulator::step() {
+  while (!events_.empty() && events_.top().cycle <= now_) {
+    // Copy out before pop: the callback may schedule new events.
+    auto fn = events_.top().fn;
+    events_.pop();
+    ++events_executed_;
+    fn();
+  }
+  for (Component* c : components_) {
+    c->tick(now_);
+  }
+  ++now_;
+}
+
+void Simulator::run(Cycles cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) step();
+}
+
+bool Simulator::run_until(const std::function<bool()>& done,
+                          Cycles max_cycles) {
+  const Cycle end = now_ + max_cycles;
+  while (now_ < end) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace panic

@@ -1,0 +1,75 @@
+// Cycle-driven simulation kernel.
+//
+// The kernel advances a single global clock (the paper analyses the NIC at
+// one core frequency, e.g. 500 MHz, §4.2).  Per cycle it first fires any
+// events scheduled for that cycle (DMA completions, timer expirations,
+// packet-injection times), then ticks every registered component once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/component.h"
+
+namespace panic {
+
+class Simulator {
+ public:
+  explicit Simulator(Frequency clock = Frequency::megahertz(500))
+      : clock_(clock) {}
+
+  /// Registers a component to be ticked every cycle.  The simulator does not
+  /// own components; the NIC composition that creates them must outlive the
+  /// simulator run.
+  void add(Component* c) { components_.push_back(c); }
+
+  /// Schedules `fn` to run at the start of `cycle` (>= now, else runs next
+  /// processed cycle).  Events at the same cycle run in scheduling order.
+  void schedule_at(Cycle cycle, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` cycles from now.
+  void schedule_in(Cycles delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  Cycle now() const { return now_; }
+  Frequency clock() const { return clock_; }
+  double now_ns() const { return clock_.cycles_to_ns(now_); }
+
+  /// Runs exactly `cycles` cycles.
+  void run(Cycles cycles);
+
+  /// Runs until `done()` returns true or `max_cycles` elapse.  Returns true
+  /// if the predicate fired.
+  bool run_until(const std::function<bool()>& done, Cycles max_cycles);
+
+  /// Executes one cycle: pending events for `now`, then all component ticks.
+  void step();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    Cycle cycle;
+    std::uint64_t seq;  // FIFO order within a cycle
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.cycle != b.cycle) return a.cycle > b.cycle;
+      return a.seq > b.seq;
+    }
+  };
+
+  Frequency clock_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::vector<Component*> components_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+};
+
+}  // namespace panic

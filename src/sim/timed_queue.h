@@ -1,0 +1,73 @@
+// A queue whose elements become visible only after a per-element ready
+// cycle.  This is the primitive that gives links and pipelines their
+// latency without requiring two-phase component ticking: a producer pushes
+// at cycle t with latency L, and the consumer cannot pop it before t+L.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/units.h"
+
+namespace panic {
+
+template <typename T>
+class TimedQueue {
+ public:
+  /// `capacity` bounds the number of in-flight elements (0 = unbounded).
+  explicit TimedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  bool full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Pushes `value`, visible to the consumer at `ready` or later.
+  /// FIFO order is preserved even if ready cycles are non-monotonic: an
+  /// element is poppable only when it is at the head AND ready.
+  bool try_push(T value, Cycle ready) {
+    if (full()) return false;
+    items_.push_back(Item{std::move(value), ready});
+    return true;
+  }
+
+  /// True if the head element exists and is ready at `now`.
+  bool ready(Cycle now) const {
+    return !items_.empty() && items_.front().ready <= now;
+  }
+
+  /// Peeks the head element if ready.
+  const T* peek(Cycle now) const {
+    return ready(now) ? &items_.front().value : nullptr;
+  }
+
+  /// Pops the head element if ready.
+  std::optional<T> try_pop(Cycle now) {
+    if (!ready(now)) return std::nullopt;
+    T value = std::move(items_.front().value);
+    items_.pop_front();
+    return value;
+  }
+
+  /// Cycle at which the head element becomes ready (max if empty).
+  Cycle next_ready() const {
+    return items_.empty() ? std::numeric_limits<Cycle>::max()
+                          : items_.front().ready;
+  }
+
+  void clear() { items_.clear(); }
+
+ private:
+  struct Item {
+    T value;
+    Cycle ready;
+  };
+  std::size_t capacity_;
+  std::deque<Item> items_;
+};
+
+}  // namespace panic

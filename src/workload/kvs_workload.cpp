@@ -1,0 +1,55 @@
+#include "workload/kvs_workload.h"
+
+#include "engines/ipsec_engine.h"
+#include "net/packet.h"
+
+namespace panic::workload {
+
+FrameFactory make_kvs_factory(const KvsWorkloadConfig& config) {
+  // The Zipf sampler is shared across calls; captured by value in a
+  // mutable lambda so the factory is self-contained.
+  ZipfDistribution zipf(config.num_keys, config.zipf_skew);
+  std::uint32_t esp_seq = 1;
+  return [config, zipf, esp_seq](Rng& rng,
+                                 std::uint64_t seq) mutable {
+    const std::uint64_t key = zipf(rng);
+    std::vector<std::uint8_t> frame;
+    if (rng.bernoulli(config.get_fraction)) {
+      frame = frames::kvs_get(config.client, config.server, config.tenant,
+                              key, static_cast<std::uint32_t>(seq));
+    } else {
+      frame = frames::kvs_set(config.client, config.server, config.tenant,
+                              key, static_cast<std::uint32_t>(seq),
+                              config.value_size);
+    }
+    if (config.wan_fraction > 0.0 && rng.bernoulli(config.wan_fraction)) {
+      frame = engines::IpsecEngine::encapsulate(frame, config.spi, esp_seq++);
+    }
+    return frame;
+  };
+}
+
+FrameFactory make_udp_factory(Ipv4Addr src, Ipv4Addr dst,
+                              std::size_t frame_bytes,
+                              std::uint16_t dst_port) {
+  return [=](Rng& rng, std::uint64_t seq) {
+    (void)rng;
+    const std::size_t headers =
+        EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize;
+    const std::size_t payload =
+        frame_bytes > headers ? frame_bytes - headers : 0;
+    return FrameBuilder()
+        .eth(*MacAddr::parse("02:00:00:00:00:01"),
+             *MacAddr::parse("02:00:00:00:00:02"))
+        .ipv4(src, dst)
+        .udp(static_cast<std::uint16_t>(40000 + seq % 1024), dst_port)
+        .payload_size(payload)
+        .build(frame_bytes);
+  };
+}
+
+FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst) {
+  return make_udp_factory(src, dst, kMinFrameBytes);
+}
+
+}  // namespace panic::workload

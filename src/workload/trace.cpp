@@ -1,0 +1,157 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace panic::workload {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  std::uint8_t b[4] = {static_cast<std::uint8_t>(v),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 24)};
+  std::fwrite(b, 1, 4, f);
+}
+
+void put_u64(std::FILE* f, std::uint64_t v) {
+  put_u32(f, static_cast<std::uint32_t>(v));
+  put_u32(f, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_u16(std::FILE* f, std::uint16_t v) {
+  std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                       static_cast<std::uint8_t>(v >> 8)};
+  std::fwrite(b, 1, 2, f);
+}
+
+bool get_bytes(std::FILE* f, void* out, std::size_t n) {
+  return std::fread(out, 1, n, f) == n;
+}
+
+bool get_u16(std::FILE* f, std::uint16_t* v) {
+  std::uint8_t b[2];
+  if (!get_bytes(f, b, 2)) return false;
+  *v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool get_u32(std::FILE* f, std::uint32_t* v) {
+  std::uint8_t b[4];
+  if (!get_bytes(f, b, 4)) return false;
+  *v = static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+       (static_cast<std::uint32_t>(b[2]) << 16) |
+       (static_cast<std::uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool get_u64(std::FILE* f, std::uint64_t* v) {
+  std::uint32_t lo, hi;
+  if (!get_u32(f, &lo) || !get_u32(f, &hi)) return false;
+  *v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  std::fwrite(kMagic, 1, 4, file_);
+  put_u32(file_, kVersion);
+  put_u64(file_, 0);  // record count, patched in close()
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::append(const TraceRecord& record) {
+  if (file_ == nullptr) return;
+  put_u64(file_, record.cycle);
+  put_u16(file_, record.port);
+  put_u16(file_, record.tenant);
+  put_u32(file_, static_cast<std::uint32_t>(record.frame.size()));
+  std::fwrite(record.frame.data(), 1, record.frame.size(), file_);
+  ++records_;
+}
+
+void TraceWriter::close() {
+  if (file_ == nullptr) return;
+  std::fseek(file_, 8, SEEK_SET);
+  put_u64(file_, records_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+std::optional<std::vector<TraceRecord>> load_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!get_bytes(f, magic, 4) || std::memcmp(magic, kMagic, 4) != 0 ||
+      !get_u32(f, &version) || version != kVersion || !get_u64(f, &count)) {
+    return std::nullopt;
+  }
+
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    std::uint32_t len = 0;
+    if (!get_u64(f, &r.cycle) || !get_u16(f, &r.port) ||
+        !get_u16(f, &r.tenant) || !get_u32(f, &len)) {
+      return std::nullopt;
+    }
+    if (len > 1 << 20) return std::nullopt;  // sanity: 1 MiB frame cap
+    r.frame.resize(len);
+    if (!get_bytes(f, r.frame.data(), len)) return std::nullopt;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+TraceReplayer::TraceReplayer(std::string name,
+                             std::vector<TraceRecord> records,
+                             std::vector<engines::EthernetPortEngine*> ports,
+                             Cycles start_offset)
+    : Component(std::move(name)),
+      records_(std::move(records)),
+      ports_(std::move(ports)),
+      start_offset_(start_offset) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+void TraceReplayer::tick(Cycle now) {
+  if (done()) return;
+  if (!started_) {
+    started_ = true;
+    // Shift the trace so its first record fires start_offset_ from now.
+    base_ = static_cast<std::int64_t>(now + start_offset_) -
+            static_cast<std::int64_t>(records_.front().cycle);
+  }
+  while (next_ < records_.size() &&
+         static_cast<std::int64_t>(records_[next_].cycle) + base_ <=
+             static_cast<std::int64_t>(now)) {
+    TraceRecord& r = records_[next_++];
+    if (r.port < ports_.size() && ports_[r.port] != nullptr) {
+      ports_[r.port]->deliver_rx(std::move(r.frame), now, now,
+                                 TenantId{r.tenant});
+      ++replayed_;
+    } else {
+      ++skipped_;
+    }
+  }
+}
+
+}  // namespace panic::workload

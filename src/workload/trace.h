@@ -1,0 +1,88 @@
+// Workload trace record / replay.
+//
+// The paper's evaluation workloads (multi-tenant KVS, WAN mixes) are
+// synthetic because production NIC traces are proprietary; this module
+// makes runs reproducible and shareable anyway: any frame stream can be
+// recorded to a compact binary trace and replayed cycle-accurately into
+// any NIC model (PANIC or a baseline), so two architectures can be
+// compared on byte-identical input.
+//
+// File format (little-endian):
+//   header:  magic "PTRC" | u32 version | u64 record_count
+//   record:  u64 cycle | u16 port | u16 tenant | u32 len | len bytes
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engines/ethernet_port.h"
+#include "sim/component.h"
+
+namespace panic::workload {
+
+struct TraceRecord {
+  Cycle cycle = 0;
+  std::uint16_t port = 0;
+  std::uint16_t tenant = 0;
+  std::vector<std::uint8_t> frame;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Streams records to a trace file.  The record count in the header is
+/// fixed up on close().
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  void append(const TraceRecord& record);
+  std::uint64_t records_written() const { return records_; }
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+/// Loads a whole trace.  Returns nullopt on malformed input.
+std::optional<std::vector<TraceRecord>> load_trace(const std::string& path);
+
+/// A Component that replays a loaded trace into Ethernet ports at the
+/// recorded cycles (shifted so the first record fires `start_offset`
+/// cycles after the replayer starts ticking).
+class TraceReplayer : public Component {
+ public:
+  /// `ports[i]` receives records with port == i; records naming a missing
+  /// port are counted in `skipped()`.
+  TraceReplayer(std::string name, std::vector<TraceRecord> records,
+                std::vector<engines::EthernetPortEngine*> ports,
+                Cycles start_offset = 0);
+
+  void tick(Cycle now) override;
+
+  bool done() const { return next_ >= records_.size(); }
+  std::uint64_t replayed() const { return replayed_; }
+  std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  std::vector<TraceRecord> records_;  // sorted by cycle
+  std::vector<engines::EthernetPortEngine*> ports_;
+  Cycles start_offset_;
+  bool started_ = false;
+  std::int64_t base_ = 0;  ///< signed shift applied to recorded cycles
+  std::size_t next_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace panic::workload

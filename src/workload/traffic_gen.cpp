@@ -1,0 +1,64 @@
+#include "workload/traffic_gen.h"
+
+#include <cassert>
+
+namespace panic::workload {
+
+TrafficSource::TrafficSource(std::string name,
+                             engines::EthernetPortEngine* port,
+                             FrameFactory factory,
+                             const TrafficConfig& config)
+    : Component(std::move(name)),
+      port_(port),
+      factory_(std::move(factory)),
+      config_(config),
+      rng_(config.seed) {
+  assert(port_ != nullptr);
+  assert(config_.mean_gap_cycles > 0.0);
+  phase_end_ = config_.on_cycles;
+}
+
+void TrafficSource::schedule_next(Cycle now) {
+  (void)now;
+  switch (config_.pattern) {
+    case ArrivalPattern::kConstantRate:
+    case ArrivalPattern::kOnOff:
+      next_emit_ += config_.mean_gap_cycles;
+      break;
+    case ArrivalPattern::kPoisson:
+      next_emit_ += rng_.exponential(config_.mean_gap_cycles);
+      break;
+  }
+}
+
+void TrafficSource::tick(Cycle now) {
+  if (done()) return;
+
+  if (!started_) {
+    // Anchor the schedule at the first tick so a source created (or
+    // registered) mid-simulation doesn't "catch up" with a burst.
+    started_ = true;
+    next_emit_ = static_cast<double>(now);
+    phase_end_ = now + config_.on_cycles;
+  }
+
+  if (config_.pattern == ArrivalPattern::kOnOff) {
+    if (now >= phase_end_) {
+      in_burst_ = !in_burst_;
+      phase_end_ =
+          now + (in_burst_ ? config_.on_cycles : config_.off_cycles);
+      if (in_burst_) next_emit_ = static_cast<double>(now);
+    }
+    if (!in_burst_) return;
+  }
+
+  // Emit every frame whose (fractional) time has come; multiple frames per
+  // cycle are possible when the gap is < 1 cycle (rates above the clock).
+  while (!done() && next_emit_ <= static_cast<double>(now)) {
+    port_->deliver_rx(factory_(rng_, generated_), now, now, config_.tenant);
+    ++generated_;
+    schedule_next(now);
+  }
+}
+
+}  // namespace panic::workload

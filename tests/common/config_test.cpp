@@ -1,0 +1,56 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace panic {
+namespace {
+
+TEST(Config, FromArgs) {
+  const char* argv[] = {"prog", "k=8", "--freq_mhz=500", "name=mesh",
+                        "flag"};
+  std::vector<std::string> unparsed;
+  const Config cfg = Config::from_args(5, argv, &unparsed);
+  EXPECT_EQ(cfg.get_int("k", 0), 8);
+  EXPECT_EQ(cfg.get_int("freq_mhz", 0), 500);
+  EXPECT_EQ(cfg.get_string("name", ""), "mesh");
+  ASSERT_EQ(unparsed.size(), 1u);
+  EXPECT_EQ(unparsed[0], "flag");
+}
+
+TEST(Config, Fallbacks) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cfg.get_string("missing", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, BoolParsing) {
+  Config cfg;
+  cfg.set("a", "true");
+  cfg.set("b", "0");
+  cfg.set("c", "YES");
+  cfg.set("d", "off");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Config, OverwriteAndKeys) {
+  Config cfg;
+  cfg.set("k", "1");
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+  EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+TEST(Config, DoubleParsing) {
+  Config cfg;
+  cfg.set("x", "3.14");
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 0.0), 3.14);
+}
+
+}  // namespace
+}  // namespace panic

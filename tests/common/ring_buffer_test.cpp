@@ -1,0 +1,76 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace panic {
+namespace {
+
+TEST(RingBuffer, Basics) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.capacity(), 3u);
+
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.free_slots(), 0u);
+  EXPECT_FALSE(rb.try_push(4));
+
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_TRUE(rb.try_push(4));
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAround) {
+  RingBuffer<int> rb(2);
+  for (int round = 0; round < 10; ++round) {
+    rb.push(round * 2);
+    rb.push(round * 2 + 1);
+    EXPECT_EQ(rb.pop(), round * 2);
+    EXPECT_EQ(rb.pop(), round * 2 + 1);
+  }
+}
+
+TEST(RingBuffer, MoveOnlyTypes) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(7));
+  auto p = rb.pop();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(RingBuffer, FrontPeek) {
+  RingBuffer<int> rb(2);
+  rb.push(5);
+  EXPECT_EQ(rb.front(), 5);
+  EXPECT_EQ(rb.size(), 1u);  // peek does not consume
+  rb.front() = 6;
+  EXPECT_EQ(rb.pop(), 6);
+}
+
+TEST(RingBuffer, Clear) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.pop(), 9);
+}
+
+TEST(RingBuffer, ZeroCapacityClampedToOne) {
+  RingBuffer<int> rb(0);
+  EXPECT_EQ(rb.capacity(), 1u);
+  rb.push(1);
+  EXPECT_TRUE(rb.full());
+}
+
+}  // namespace
+}  // namespace panic

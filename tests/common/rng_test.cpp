@@ -1,0 +1,152 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace panic {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9u);
+}
+
+TEST(Rng, UniformIntUnbiased) {
+  // Chi-square-ish check over a small range.
+  Rng rng(13);
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 5)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, n / 6, n / 60) << "value " << v;
+  }
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  Rng rng(23);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 50);
+}
+
+TEST(Zipf, SkewConcentratesOnHotKeys) {
+  Rng rng(29);
+  ZipfDistribution zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  // Rank 0 should be by far the most popular; the top-10 should take a
+  // large share of the mass.
+  const int top1 = counts[0];
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(top1, counts[100] * 20);
+  EXPECT_GT(static_cast<double>(top10) / n, 0.25);
+}
+
+TEST(Zipf, RatioMatchesTheory) {
+  // For Zipf(s), P(rank 0) / P(rank 1) = 2^s.
+  Rng rng(31);
+  const double s = 1.0;
+  ZipfDistribution zipf(100, s);
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const auto v = zipf(rng);
+    if (v == 0) ++c0;
+    if (v == 1) ++c1;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / c1, std::pow(2.0, s), 0.15);
+}
+
+TEST(Zipf, SingleItem) {
+  Rng rng(37);
+  ZipfDistribution zipf(1, 0.99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(WeightedChoice, RespectsWeights) {
+  Rng rng(41);
+  WeightedChoice choice({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[choice(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(WeightedChoice, ZeroWeightNeverChosen) {
+  Rng rng(43);
+  WeightedChoice choice({0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(choice(rng), 1u);
+}
+
+}  // namespace
+}  // namespace panic

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace panic {
+namespace {
+
+TEST(StreamingStats, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, Basic) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);  // sample variance
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, Empty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.p50(), 100u);
+  EXPECT_EQ(h.p99(), 100u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below the sub-bucket count land in exact unit buckets.
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max());
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  // Log-linear bucketing with 32 sub-buckets: ~3% relative error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 50000.0, 50000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 99000.0, 99000.0 * 0.05);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record_n(10, 3);
+  h.record(40);
+  EXPECT_DOUBLE_EQ(h.mean(), 70.0 / 4.0);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (std::uint64_t v = 0; v < 1000; ++v) (v % 2 ? a : b).record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 999u);
+}
+
+TEST(Histogram, HugeValues) {
+  Histogram h;
+  h.record(1ull << 60);
+  h.record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1ull << 60);
+  EXPECT_GE(h.quantile(1.0), (1ull << 60) * 97 / 100);
+}
+
+TEST(RateMeter, Rates) {
+  RateMeter m;
+  for (int i = 0; i < 1000; ++i) m.add_packet(64);
+  // 1000 packets in 10000 cycles at 500 MHz = 50 Mpps.
+  EXPECT_DOUBLE_EQ(m.pps(10000, 500e6), 50e6);
+  // 64000 bytes in 10000 cycles at 500 MHz = 25.6 Gbps.
+  EXPECT_NEAR(m.gbps(10000, 500e6), 25.6, 1e-9);
+}
+
+TEST(RateMeter, ZeroElapsed) {
+  RateMeter m;
+  m.add_packet(100);
+  EXPECT_DOUBLE_EQ(m.pps(0, 500e6), 0.0);
+}
+
+}  // namespace
+}  // namespace panic

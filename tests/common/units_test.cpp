@@ -1,0 +1,58 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace panic {
+namespace {
+
+TEST(Frequency, Conversions) {
+  const auto f = Frequency::megahertz(500);
+  EXPECT_DOUBLE_EQ(f.hz(), 500e6);
+  EXPECT_DOUBLE_EQ(f.mhz(), 500.0);
+  EXPECT_DOUBLE_EQ(f.period_ps(), 2000.0);  // 2 ns
+}
+
+TEST(Frequency, CyclesToNs) {
+  const auto f = Frequency::gigahertz(1);
+  EXPECT_DOUBLE_EQ(f.cycles_to_ns(1000), 1000.0);
+  const auto f500 = Frequency::megahertz(500);
+  EXPECT_DOUBLE_EQ(f500.cycles_to_ns(500), 1000.0);
+}
+
+TEST(Frequency, NsToCyclesRoundsUp) {
+  const auto f = Frequency::megahertz(500);  // 2 ns per cycle
+  EXPECT_EQ(f.ns_to_cycles(2.0), 1u);
+  EXPECT_EQ(f.ns_to_cycles(2.1), 2u);
+  EXPECT_EQ(f.ns_to_cycles(10000.0), 5000u);  // 10 us = 5000 cycles
+  EXPECT_EQ(f.ns_to_cycles(0.0), 0u);
+}
+
+TEST(DataRate, BitsPerCycle) {
+  const auto rate = DataRate::gbps(100);
+  const auto f = Frequency::megahertz(500);
+  EXPECT_DOUBLE_EQ(rate.bits_per_cycle(f), 200.0);
+  EXPECT_DOUBLE_EQ(rate.bytes_per_cycle(f), 25.0);
+}
+
+TEST(DataRate, PacketsPerSecondMinFrame) {
+  // The Table 2 building block: 100 Gbps of minimum-size frames is
+  // ~148.8 Mpps per direction (84 wire bytes per frame).
+  const auto rate = DataRate::gbps(100);
+  const double pps = rate.packets_per_second(kMinWireSizeBytes);
+  EXPECT_NEAR(pps / 1e6, 148.8, 0.1);
+}
+
+TEST(DataRate, Arithmetic) {
+  const auto a = DataRate::gbps(40);
+  EXPECT_DOUBLE_EQ((a * 2).gigabits_per_second(), 80.0);
+  EXPECT_DOUBLE_EQ((a + a).gigabits_per_second(), 80.0);
+  EXPECT_LT(DataRate::gbps(40), DataRate::gbps(100));
+}
+
+TEST(Units, FormatCycles) {
+  const auto f = Frequency::megahertz(500);
+  EXPECT_EQ(format_cycles(500, f), "500 cyc (1000.0 ns @ 500 MHz)");
+}
+
+}  // namespace
+}  // namespace panic

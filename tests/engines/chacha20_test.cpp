@@ -1,0 +1,121 @@
+#include "engines/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace panic::engines {
+namespace {
+
+// RFC 8439 §2.3.2 test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  std::array<std::uint8_t, 32> key;
+  std::iota(key.begin(), key.end(), 0);  // 00 01 02 ... 1f
+  const std::array<std::uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09,
+                                              0x00, 0x00, 0x00, 0x4a,
+                                              0x00, 0x00, 0x00, 0x00};
+  ChaCha20 cipher(key, nonce);
+  const auto block = cipher.keystream_block(1);
+  const std::array<std::uint8_t, 16> expected_head = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15,
+      0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20, 0x71, 0xc4};
+  for (std::size_t i = 0; i < expected_head.size(); ++i) {
+    EXPECT_EQ(block[i], expected_head[i]) << "byte " << i;
+  }
+  const std::array<std::uint8_t, 8> expected_tail = {
+      0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(block[59 + i], expected_tail[i]) << "tail byte " << i;
+  }
+}
+
+// RFC 8439 §2.4.2: encryption of the "sunscreen" plaintext.
+TEST(ChaCha20, Rfc8439EncryptVector) {
+  std::array<std::uint8_t, 32> key;
+  std::iota(key.begin(), key.end(), 0);
+  const std::array<std::uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x00,
+                                              0x00, 0x00, 0x00, 0x4a,
+                                              0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  ChaCha20 cipher(key, nonce, /*initial_counter=*/1);
+  const auto ct = cipher.apply(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(plaintext.data()),
+      plaintext.size()));
+  const std::array<std::uint8_t, 16> expected_head = {
+      0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80,
+      0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81};
+  ASSERT_EQ(ct.size(), plaintext.size());
+  for (std::size_t i = 0; i < expected_head.size(); ++i) {
+    EXPECT_EQ(ct[i], expected_head[i]) << "byte " << i;
+  }
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 0xAB;
+  const std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const auto original = data;
+
+  ChaCha20 enc(key, nonce);
+  enc.apply_inplace(data);
+  EXPECT_NE(data, original);
+
+  ChaCha20 dec(key, nonce);
+  dec.apply_inplace(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, DifferentNoncesDifferentStreams) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> n1{}, n2{};
+  n2[0] = 1;
+  ChaCha20 a(key, n1), b(key, n2);
+  EXPECT_NE(a.keystream_block(0), b.keystream_block(0));
+}
+
+TEST(ChaCha20, CounterAdvancesAcrossCalls) {
+  std::array<std::uint8_t, 32> key{};
+  const std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> zeros(128, 0);
+
+  // One 128-byte call == two 64-byte calls.
+  ChaCha20 one(key, nonce);
+  const auto full = one.apply(zeros);
+  ChaCha20 two(key, nonce);
+  const auto first = two.apply(std::span<const std::uint8_t>(zeros).first(64));
+  const auto second =
+      two.apply(std::span<const std::uint8_t>(zeros).subspan(64));
+  std::vector<std::uint8_t> stitched = first;
+  stitched.insert(stitched.end(), second.begin(), second.end());
+  EXPECT_EQ(full, stitched);
+}
+
+TEST(AuthTag, DetectsCorruption) {
+  std::vector<std::uint8_t> data(256, 0x42);
+  const std::vector<std::uint8_t> key = {1, 2, 3, 4};
+  const auto tag = auth_tag(data, key);
+  data[100] ^= 0x01;
+  EXPECT_NE(auth_tag(data, key), tag);
+}
+
+TEST(AuthTag, KeyDependent) {
+  const std::vector<std::uint8_t> data(64, 0x11);
+  EXPECT_NE(auth_tag(data, std::vector<std::uint8_t>{1}),
+            auth_tag(data, std::vector<std::uint8_t>{2}));
+}
+
+TEST(AuthTag, LengthSensitive) {
+  const std::vector<std::uint8_t> a(64, 0);
+  const std::vector<std::uint8_t> b(65, 0);
+  const std::vector<std::uint8_t> key = {9};
+  EXPECT_NE(auth_tag(a, key), auth_tag(b, key));
+}
+
+}  // namespace
+}  // namespace panic::engines

@@ -1,0 +1,110 @@
+#include "engines/lz77.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace panic::engines {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lz77, EmptyInput) {
+  const auto packed = lz77_compress({});
+  EXPECT_TRUE(packed.empty());
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(Lz77, RoundTripText) {
+  const auto input = bytes_of(
+      "the quick brown fox jumps over the lazy dog, "
+      "the quick brown fox jumps over the lazy dog again");
+  const auto packed = lz77_compress(input);
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+  EXPECT_LT(packed.size(), input.size());  // repetition compresses
+}
+
+TEST(Lz77, RepetitiveDataCompressesWell) {
+  std::vector<std::uint8_t> input(4096, 'A');
+  const auto packed = lz77_compress(input);
+  EXPECT_LT(packed.size(), input.size() / 8);
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(Lz77, OverlappingMatch) {
+  // "abcabcabc..." exercises dist < len copies.
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 100; ++i) {
+    input.push_back(static_cast<std::uint8_t>('a' + i % 3));
+  }
+  const auto packed = lz77_compress(input);
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(Lz77, IncompressibleDataExpandsBounded) {
+  Rng rng(5);
+  std::vector<std::uint8_t> input(1000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+  const auto packed = lz77_compress(input);
+  // Worst case: literal runs add 2 bytes per 255.
+  EXPECT_LE(packed.size(), input.size() + input.size() / 255 * 2 + 4);
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+class Lz77RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lz77RoundTrip, RandomSizes) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> input(GetParam());
+  // Mix of random and runs to exercise both token kinds.
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = (i / 7) % 3 == 0 ? 0x55
+                                : static_cast<std::uint8_t>(rng.next());
+  }
+  const auto packed = lz77_compress(input);
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Lz77RoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 63, 64, 65, 255,
+                                           256, 1000, 4096, 70000));
+
+TEST(Lz77, DecompressRejectsTruncatedLiteral) {
+  std::vector<std::uint8_t> bad = {0x00, 10, 1, 2};  // promises 10 bytes
+  EXPECT_FALSE(lz77_decompress(bad).has_value());
+}
+
+TEST(Lz77, DecompressRejectsBadDistance) {
+  // Match referring before the start of output.
+  std::vector<std::uint8_t> bad = {0x00, 1, 'x', 0x01, 0x00, 5, 4};
+  EXPECT_FALSE(lz77_decompress(bad).has_value());
+}
+
+TEST(Lz77, DecompressRejectsUnknownTag) {
+  std::vector<std::uint8_t> bad = {0x02, 0, 0};
+  EXPECT_FALSE(lz77_decompress(bad).has_value());
+}
+
+TEST(Lz77, DecompressRejectsZeroLengthLiteral) {
+  std::vector<std::uint8_t> bad = {0x00, 0};
+  EXPECT_FALSE(lz77_decompress(bad).has_value());
+}
+
+}  // namespace
+}  // namespace panic::engines

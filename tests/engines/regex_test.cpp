@@ -1,0 +1,138 @@
+#include "engines/regex_nfa.h"
+
+#include <gtest/gtest.h>
+
+namespace panic::engines {
+namespace {
+
+TEST(Regex, LiteralSearchIsUnanchored) {
+  const auto re = Regex::compile("needle");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("haystack with a needle inside"));
+  EXPECT_TRUE(re->search("needle"));
+  EXPECT_FALSE(re->search("haystack"));
+  EXPECT_FALSE(re->search("need le"));
+}
+
+TEST(Regex, Dot) {
+  const auto re = Regex::compile("a.c");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("abc"));
+  EXPECT_TRUE(re->search("axc"));
+  EXPECT_FALSE(re->search("ac"));
+}
+
+TEST(Regex, Star) {
+  const auto re = Regex::compile("ab*c");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("ac"));
+  EXPECT_TRUE(re->search("abc"));
+  EXPECT_TRUE(re->search("abbbbc"));
+  EXPECT_FALSE(re->search("adc"));
+}
+
+TEST(Regex, Plus) {
+  const auto re = Regex::compile("ab+c");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_FALSE(re->search("ac"));
+  EXPECT_TRUE(re->search("abc"));
+  EXPECT_TRUE(re->search("abbc"));
+}
+
+TEST(Regex, Question) {
+  const auto re = Regex::compile("colou?r");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("color"));
+  EXPECT_TRUE(re->search("colour"));
+  EXPECT_FALSE(re->search("colouur"));
+}
+
+TEST(Regex, Alternation) {
+  const auto re = Regex::compile("cat|dog|bird");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("hotdog stand"));
+  EXPECT_TRUE(re->search("a cat"));
+  EXPECT_TRUE(re->search("birdhouse"));
+  EXPECT_FALSE(re->search("fish"));
+}
+
+TEST(Regex, Grouping) {
+  const auto re = Regex::compile("(ab)+c");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("ababc"));
+  EXPECT_FALSE(re->search("aabbc"));
+
+  const auto re2 = Regex::compile("x(a|b)y");
+  ASSERT_TRUE(re2.has_value());
+  EXPECT_TRUE(re2->search("xay"));
+  EXPECT_TRUE(re2->search("xby"));
+  EXPECT_FALSE(re2->search("xcy"));
+}
+
+TEST(Regex, CharacterClass) {
+  const auto re = Regex::compile("[a-f0-9]+z");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("deadbeefz"));
+  EXPECT_TRUE(re->search("42z"));
+  EXPECT_FALSE(re->search("gz"));
+}
+
+TEST(Regex, NegatedClass) {
+  const auto re = Regex::compile("a[^0-9]c");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("abc"));
+  EXPECT_FALSE(re->search("a5c"));
+}
+
+TEST(Regex, Escapes) {
+  const auto re = Regex::compile("1\\.2");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("v1.2"));
+  EXPECT_FALSE(re->search("1x2"));
+}
+
+TEST(Regex, BinaryInput) {
+  const auto re = Regex::compile("AB");
+  ASSERT_TRUE(re.has_value());
+  const std::vector<std::uint8_t> data = {0x00, 0xFF, 'A', 'B', 0x00};
+  EXPECT_TRUE(re->search(data));
+}
+
+TEST(Regex, PathologicalPatternIsLinear) {
+  // (a|a)*b on "aaaa...c" explodes with backtracking; Thompson NFA stays
+  // linear.  Just verify it terminates and answers correctly.
+  const auto re = Regex::compile("(a|a)*b");
+  ASSERT_TRUE(re.has_value());
+  std::string input(2000, 'a');
+  input.push_back('c');
+  EXPECT_FALSE(re->search(input));
+  input.back() = 'b';
+  EXPECT_TRUE(re->search(input));
+}
+
+TEST(Regex, RejectsMalformedPatterns) {
+  EXPECT_FALSE(Regex::compile("(unclosed").has_value());
+  EXPECT_FALSE(Regex::compile("unopened)").has_value());
+  EXPECT_FALSE(Regex::compile("*leading").has_value());
+  EXPECT_FALSE(Regex::compile("[unclosed").has_value());
+  EXPECT_FALSE(Regex::compile("[z-a]").has_value());
+  EXPECT_FALSE(Regex::compile("trailing\\").has_value());
+}
+
+TEST(Regex, EmptyPatternMatchesEverything) {
+  const auto re = Regex::compile("");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search(""));
+  EXPECT_TRUE(re->search("anything"));
+}
+
+TEST(Regex, SqlInjectionSignature) {
+  // The kind of pattern an on-NIC IDS offload would carry.
+  const auto re = Regex::compile("(UNION|union) +(SELECT|select)");
+  ASSERT_TRUE(re.has_value());
+  EXPECT_TRUE(re->search("id=1 UNION  SELECT password FROM users"));
+  EXPECT_FALSE(re->search("id=1 ORDER BY 2"));
+}
+
+}  // namespace
+}  // namespace panic::engines

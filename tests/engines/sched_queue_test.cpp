@@ -1,0 +1,144 @@
+#include "engines/sched_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace panic::engines {
+namespace {
+
+MessagePtr msg_with_slack(std::uint32_t slack) {
+  auto msg = make_message();
+  msg->slack = slack;
+  return msg;
+}
+
+TEST(SchedulerQueue, SlackPriorityOrdering) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 16);
+  q.try_enqueue(msg_with_slack(50), 0);
+  q.try_enqueue(msg_with_slack(10), 0);
+  q.try_enqueue(msg_with_slack(30), 0);
+
+  EXPECT_EQ(q.dequeue(0)->slack, 10u);
+  EXPECT_EQ(q.dequeue(0)->slack, 30u);
+  EXPECT_EQ(q.dequeue(0)->slack, 50u);
+  EXPECT_EQ(q.dequeue(0), nullptr);
+}
+
+TEST(SchedulerQueue, FifoPolicyIgnoresSlack) {
+  SchedulerQueue q(SchedPolicy::kFifo, 16);
+  q.try_enqueue(msg_with_slack(50), 0);
+  q.try_enqueue(msg_with_slack(10), 0);
+  EXPECT_EQ(q.dequeue(0)->slack, 50u);  // arrival order
+  EXPECT_EQ(q.dequeue(0)->slack, 10u);
+}
+
+TEST(SchedulerQueue, EqualSlackIsFifo) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 16);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto msg = msg_with_slack(7);
+    msg->flow = FlowId{i};
+    q.try_enqueue(std::move(msg), 0);
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.dequeue(0)->flow.value, i);
+  }
+}
+
+TEST(SchedulerQueue, UrgentArrivalOvertakesQueuedBulk) {
+  // The §3.1.3 scenario: bulk messages are queued; a high-priority (low
+  // slack) message arrives later and must dequeue first.
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 64);
+  for (int i = 0; i < 10; ++i) q.try_enqueue(msg_with_slack(1000), 0);
+  q.try_enqueue(msg_with_slack(1), 5);
+  EXPECT_EQ(q.dequeue(5)->slack, 1u);
+}
+
+TEST(SchedulerQueue, DropsWhenFull) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 2);
+  EXPECT_TRUE(q.try_enqueue(msg_with_slack(1), 0));
+  EXPECT_TRUE(q.try_enqueue(msg_with_slack(2), 0));
+  EXPECT_FALSE(q.try_enqueue(msg_with_slack(0), 0));  // dropped, even urgent
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.enqueued(), 2u);
+}
+
+TEST(SchedulerQueue, WaitAccounting) {
+  SchedulerQueue q(SchedPolicy::kFifo, 8);
+  q.try_enqueue(msg_with_slack(0), 10);
+  q.try_enqueue(msg_with_slack(0), 20);
+  q.dequeue(30);  // waited 20
+  q.dequeue(35);  // waited 15
+  EXPECT_EQ(q.dequeued(), 2u);
+  EXPECT_EQ(q.total_wait_cycles(), 35u);
+}
+
+TEST(SchedulerQueue, MaxDepthTracksHighWater) {
+  SchedulerQueue q(SchedPolicy::kFifo, 8);
+  q.try_enqueue(msg_with_slack(0), 0);
+  q.try_enqueue(msg_with_slack(0), 0);
+  q.dequeue(0);
+  q.try_enqueue(msg_with_slack(0), 0);
+  EXPECT_EQ(q.max_depth(), 2u);
+}
+
+TEST(SchedulerQueue, HeadSlack) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 8);
+  EXPECT_EQ(q.head_slack(), 0u);
+  q.try_enqueue(msg_with_slack(42), 0);
+  q.try_enqueue(msg_with_slack(7), 0);
+  EXPECT_EQ(q.head_slack(), 7u);
+}
+
+TEST(SchedulerQueue, ZeroCapacityClampedToOne) {
+  SchedulerQueue q(SchedPolicy::kFifo, 0);
+  EXPECT_TRUE(q.try_enqueue(msg_with_slack(0), 0));
+  EXPECT_FALSE(q.try_enqueue(msg_with_slack(0), 0));
+}
+
+TEST(SchedulerQueue, EvictLoosestAdmitsUrgentWhenFull) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 3,
+                   DropPolicy::kEvictLoosest);
+  q.try_enqueue(msg_with_slack(100), 0);
+  q.try_enqueue(msg_with_slack(500), 0);
+  q.try_enqueue(msg_with_slack(300), 0);
+  ASSERT_TRUE(q.full());
+
+  // An urgent arrival evicts the slack-500 message.
+  EXPECT_TRUE(q.try_enqueue(msg_with_slack(5), 1));
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.dequeue(1)->slack, 5u);
+  EXPECT_EQ(q.dequeue(1)->slack, 100u);
+  EXPECT_EQ(q.dequeue(1)->slack, 300u);
+  EXPECT_EQ(q.dequeue(1), nullptr);
+}
+
+TEST(SchedulerQueue, EvictLoosestStillDropsLooserArrival) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 2,
+                   DropPolicy::kEvictLoosest);
+  q.try_enqueue(msg_with_slack(10), 0);
+  q.try_enqueue(msg_with_slack(20), 0);
+  // The arrival is looser than everything queued: it is the one dropped.
+  EXPECT_FALSE(q.try_enqueue(msg_with_slack(99), 0));
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.dequeue(0)->slack, 10u);
+}
+
+TEST(SchedulerQueue, EvictLoosestEqualSlackDropsArrival) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 1,
+                   DropPolicy::kEvictLoosest);
+  q.try_enqueue(msg_with_slack(50), 0);
+  // Equal slack: the queued (older) message keeps its place.
+  EXPECT_FALSE(q.try_enqueue(msg_with_slack(50), 0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SchedulerQueue, DropArrivalNeverEvicts) {
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 1,
+                   DropPolicy::kDropArrival);
+  q.try_enqueue(msg_with_slack(1000), 0);
+  EXPECT_FALSE(q.try_enqueue(msg_with_slack(1), 0));  // urgent but dropped
+  EXPECT_EQ(q.dequeue(0)->slack, 1000u);
+}
+
+}  // namespace
+}  // namespace panic::engines

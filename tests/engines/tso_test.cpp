@@ -1,0 +1,115 @@
+#include "engines/tso_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/checksum_engine.h"
+#include "net/packet.h"
+
+namespace panic::engines {
+namespace {
+
+const Ipv4Addr kSrc(10, 0, 0, 1);
+const Ipv4Addr kDst(10, 1, 0, 2);
+
+std::vector<std::uint8_t> jumbo_tcp(std::size_t payload,
+                                    std::uint32_t seq = 1000,
+                                    std::uint8_t flags = TcpHeader::kAck |
+                                                         TcpHeader::kPsh) {
+  return FrameBuilder()
+      .eth(*MacAddr::parse("02:00:00:00:00:01"),
+           *MacAddr::parse("02:00:00:00:00:02"))
+      .ipv4(kSrc, kDst)
+      .tcp(5000, 80, seq, 777, flags)
+      .payload_size(payload)
+      .build();
+}
+
+TEST(TsoSegmentation, SmallFramePassesThrough) {
+  EXPECT_TRUE(TsoEngine::segment_frame(jumbo_tcp(1000), 1460).empty());
+  EXPECT_TRUE(TsoEngine::segment_frame(jumbo_tcp(1460), 1460).empty());
+}
+
+TEST(TsoSegmentation, NonTcpPassesThrough) {
+  const auto udp = frames::min_udp(kSrc, kDst);
+  EXPECT_TRUE(TsoEngine::segment_frame(udp, 1460).empty());
+}
+
+TEST(TsoSegmentation, SplitsIntoMssSegments) {
+  const auto segments = TsoEngine::segment_frame(jumbo_tcp(4000), 1460);
+  ASSERT_EQ(segments.size(), 3u);  // 1460 + 1460 + 1080
+
+  std::size_t total_payload = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto parsed = parse_frame(segments[i]);
+    ASSERT_TRUE(parsed.has_value()) << "segment " << i;
+    ASSERT_TRUE(parsed->tcp.has_value());
+    total_payload += parsed->payload_size;
+    EXPECT_LE(parsed->payload_size, 1460u);
+  }
+  EXPECT_EQ(total_payload, 4000u);
+}
+
+TEST(TsoSegmentation, SequenceNumbersAdvanceByPayload) {
+  const auto segments = TsoEngine::segment_frame(jumbo_tcp(3000, 5555), 1000);
+  ASSERT_EQ(segments.size(), 3u);
+  std::uint32_t expect_seq = 5555;
+  for (const auto& seg : segments) {
+    const auto parsed = parse_frame(seg);
+    EXPECT_EQ(parsed->tcp->seq, expect_seq);
+    expect_seq += static_cast<std::uint32_t>(parsed->payload_size);
+  }
+}
+
+TEST(TsoSegmentation, PshOnlyOnLastSegment) {
+  const auto segments = TsoEngine::segment_frame(jumbo_tcp(3000), 1460);
+  ASSERT_EQ(segments.size(), 3u);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto parsed = parse_frame(segments[i]);
+    const bool is_last = i + 1 == segments.size();
+    EXPECT_EQ((parsed->tcp->flags & TcpHeader::kPsh) != 0, is_last)
+        << "segment " << i;
+    EXPECT_TRUE(parsed->tcp->flags & TcpHeader::kAck);  // preserved on all
+  }
+}
+
+TEST(TsoSegmentation, PayloadBytesPreservedInOrder) {
+  const auto frame = jumbo_tcp(2500);
+  const auto original = parse_frame(frame);
+  const auto payload = original->payload(frame);
+
+  const auto segments = TsoEngine::segment_frame(frame, 1000);
+  std::vector<std::uint8_t> reassembled;
+  for (const auto& seg : segments) {
+    const auto parsed = parse_frame(seg);
+    const auto part = parsed->payload(seg);
+    reassembled.insert(reassembled.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(reassembled.size(), payload.size());
+  EXPECT_TRUE(
+      std::equal(reassembled.begin(), reassembled.end(), payload.begin()));
+}
+
+TEST(TsoSegmentation, IpIdsDistinctAndLengthsCorrect) {
+  const auto segments = TsoEngine::segment_frame(jumbo_tcp(4200), 1460);
+  std::vector<std::uint16_t> ids;
+  for (const auto& seg : segments) {
+    const auto parsed = parse_frame(seg);  // also verifies IPv4 checksum
+    ASSERT_TRUE(parsed.has_value());
+    ids.push_back(parsed->ipv4->identification);
+    EXPECT_EQ(parsed->ipv4->total_length,
+              Ipv4Header::kSize + TcpHeader::kSize + parsed->payload_size);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(TsoSegmentation, SegmentsChecksumCleanly) {
+  auto segments = TsoEngine::segment_frame(jumbo_tcp(3000), 1460);
+  for (auto& seg : segments) {
+    ASSERT_TRUE(ChecksumEngine::fill_l4_checksum(seg));
+    EXPECT_TRUE(ChecksumEngine::verify_l4_checksum(seg));
+  }
+}
+
+}  // namespace
+}  // namespace panic::engines

@@ -1,0 +1,67 @@
+#include "net/addr.h"
+
+#include <gtest/gtest.h>
+
+namespace panic {
+namespace {
+
+TEST(MacAddr, ParseAndFormatRoundTrip) {
+  const auto mac = MacAddr::parse("02:1a:ff:00:9b:7c");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:1a:ff:00:9b:7c");
+}
+
+TEST(MacAddr, ParseUppercase) {
+  const auto mac = MacAddr::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddr, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddr::parse(""));
+  EXPECT_FALSE(MacAddr::parse("02:1a:ff:00:9b"));        // too short
+  EXPECT_FALSE(MacAddr::parse("02:1a:ff:00:9b:7c:aa"));  // too long
+  EXPECT_FALSE(MacAddr::parse("02-1a-ff-00-9b-7c"));     // wrong separator
+  EXPECT_FALSE(MacAddr::parse("0g:00:00:00:00:00"));     // bad hex
+  EXPECT_FALSE(MacAddr::parse("2:00:00:00:00:00"));      // short octet
+}
+
+TEST(MacAddr, BroadcastAndMulticast) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  const auto mcast = MacAddr::parse("01:00:5e:00:00:01");
+  ASSERT_TRUE(mcast.has_value());
+  EXPECT_TRUE(mcast->is_multicast());
+  EXPECT_FALSE(mcast->is_broadcast());
+  const auto uni = MacAddr::parse("02:00:00:00:00:01");
+  EXPECT_FALSE(uni->is_multicast());
+}
+
+TEST(Ipv4Addr, ParseAndFormatRoundTrip) {
+  const auto ip = Ipv4Addr::parse("10.0.200.1");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "10.0.200.1");
+  EXPECT_EQ(ip->value(), 0x0A00C801u);
+}
+
+TEST(Ipv4Addr, OctetConstructor) {
+  const Ipv4Addr ip(192, 168, 1, 10);
+  EXPECT_EQ(ip.to_string(), "192.168.1.10");
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0"));
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.256"));
+  EXPECT_FALSE(Ipv4Addr::parse("10..0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.1x"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+}
+
+}  // namespace
+}  // namespace panic

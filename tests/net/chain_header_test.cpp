@@ -1,0 +1,118 @@
+#include "net/chain_header.h"
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+
+namespace panic {
+namespace {
+
+TEST(ChainHeader, EmptyChainIsExhausted) {
+  ChainHeader chain;
+  EXPECT_TRUE(chain.exhausted());
+  EXPECT_FALSE(chain.current().has_value());
+  EXPECT_EQ(chain.remaining(), 0u);
+}
+
+TEST(ChainHeader, WalkThroughHops) {
+  ChainHeader chain;
+  chain.push_hop(EngineId{3}, 100);
+  chain.push_hop(EngineId{7}, 50);
+  chain.push_hop(EngineId{1}, 10);
+
+  ASSERT_TRUE(chain.current().has_value());
+  EXPECT_EQ(chain.current()->engine, EngineId{3});
+  EXPECT_EQ(chain.current()->slack, 100u);
+  EXPECT_EQ(chain.remaining(), 3u);
+
+  auto next = chain.advance();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->engine, EngineId{7});
+  EXPECT_EQ(chain.consumed(), 1u);
+
+  chain.advance();
+  EXPECT_EQ(chain.current()->engine, EngineId{1});
+  EXPECT_FALSE(chain.advance().has_value());
+  EXPECT_TRUE(chain.exhausted());
+  EXPECT_EQ(chain.total_hops(), 3u);
+}
+
+TEST(ChainHeader, AdvancePastEndIsSafe) {
+  ChainHeader chain;
+  chain.push_hop(EngineId{1});
+  chain.advance();
+  EXPECT_FALSE(chain.advance().has_value());
+  EXPECT_FALSE(chain.advance().has_value());
+  EXPECT_EQ(chain.consumed(), 1u);
+}
+
+TEST(ChainHeader, WireSizeGrowsWithHops) {
+  ChainHeader chain;
+  EXPECT_EQ(chain.wire_size(), 2u);
+  chain.push_hop(EngineId{1});
+  EXPECT_EQ(chain.wire_size(), 8u);
+  chain.push_hop(EngineId{2});
+  EXPECT_EQ(chain.wire_size(), 14u);
+}
+
+TEST(ChainHeader, SerializeParseRoundTrip) {
+  ChainHeader chain;
+  chain.push_hop(EngineId{3}, 100);
+  chain.push_hop(EngineId{250}, 0xDEAD);
+
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  chain.serialize(w);
+  EXPECT_EQ(bytes.size(), chain.wire_size());
+
+  ByteReader r(bytes);
+  const auto parsed = ChainHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, chain);
+}
+
+TEST(ChainHeader, ParseRejectsTruncation) {
+  ChainHeader chain;
+  chain.push_hop(EngineId{3}, 100);
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  chain.serialize(w);
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_FALSE(ChainHeader::parse(r).has_value());
+}
+
+TEST(ChainHeader, ClearResets) {
+  ChainHeader chain;
+  chain.push_hop(EngineId{1});
+  chain.advance();
+  chain.clear();
+  EXPECT_TRUE(chain.exhausted());
+  chain.push_hop(EngineId{9}, 5);
+  ASSERT_TRUE(chain.current().has_value());
+  EXPECT_EQ(chain.current()->engine, EngineId{9});
+}
+
+TEST(Message, MakeMessageAssignsUniqueIds) {
+  const auto a = make_message();
+  const auto b = make_message();
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(a->kind, MessageKind::kPacket);
+}
+
+TEST(Message, WireSizeIncludesChainHeader) {
+  auto msg = make_message();
+  msg->data.resize(64);
+  EXPECT_EQ(msg->wire_size(), 64u + 2u);
+  msg->chain.push_hop(EngineId{1});
+  EXPECT_EQ(msg->wire_size(), 64u + 8u);
+}
+
+TEST(Message, KindNames) {
+  EXPECT_STREQ(to_string(MessageKind::kPacket), "packet");
+  EXPECT_STREQ(to_string(MessageKind::kDmaRead), "dma-read");
+  EXPECT_STREQ(to_string(MessageKind::kInterrupt), "interrupt");
+}
+
+}  // namespace
+}  // namespace panic

@@ -1,0 +1,77 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace panic {
+namespace {
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+  const std::array<std::uint8_t, 8> data = {0x00, 0x01, 0xf2, 0x03,
+                                            0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0xddf2 (after folding); checksum is its complement 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, ZeroData) {
+  const std::array<std::uint8_t, 4> data = {0, 0, 0, 0};
+  EXPECT_EQ(internet_checksum(data), 0xFFFF);
+}
+
+TEST(InternetChecksum, OddLength) {
+  // Odd final byte is padded with zero on the right.
+  const std::array<std::uint8_t, 3> data = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xFBFD.
+  EXPECT_EQ(internet_checksum(data), 0xFBFD);
+}
+
+TEST(InternetChecksum, VerifiesToZero) {
+  // A buffer with its checksum embedded sums to zero (the standard
+  // receiver-side verification).
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd,
+                                    0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                    0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00,
+                                    0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(InternetChecksum, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(999);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::uint32_t sum = 0;
+  // Split at an even boundary (the incremental API folds 16-bit words, so
+  // chunks must be even-length except the last).
+  sum = internet_checksum_partial({data.data(), 500}, sum);
+  sum = internet_checksum_partial({data.data() + 500, 499}, sum);
+  EXPECT_EQ(internet_checksum_finish(sum),
+            internet_checksum({data.data(), data.size()}));
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard CRC-32 check value).
+  const std::array<std::uint8_t, 9> data = {'1', '2', '3', '4', '5',
+                                            '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0xAA);
+  const auto base = crc32(data);
+  data[20] ^= 0x01;
+  EXPECT_NE(crc32(data), base);
+}
+
+}  // namespace
+}  // namespace panic

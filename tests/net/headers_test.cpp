@@ -1,0 +1,204 @@
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/checksum.h"
+
+namespace panic {
+namespace {
+
+template <typename H>
+std::vector<std::uint8_t> serialize(const H& h) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  h.serialize(w);
+  return out;
+}
+
+TEST(EthernetHeader, RoundTrip) {
+  EthernetHeader h;
+  h.src = *MacAddr::parse("02:00:00:00:00:01");
+  h.dst = *MacAddr::parse("02:00:00:00:00:02");
+  h.ether_type = kEtherTypeIpv4;
+  const auto bytes = serialize(h);
+  EXPECT_EQ(bytes.size(), EthernetHeader::kSize);
+
+  ByteReader r(bytes);
+  const auto parsed = EthernetHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->ether_type, kEtherTypeIpv4);
+}
+
+TEST(EthernetHeader, ParseRejectsTruncated) {
+  std::vector<std::uint8_t> bytes(10, 0);
+  ByteReader r(bytes);
+  EXPECT_FALSE(EthernetHeader::parse(r).has_value());
+}
+
+TEST(Ipv4Header, RoundTripAndChecksum) {
+  Ipv4Header h;
+  h.src = Ipv4Addr(10, 0, 0, 1);
+  h.dst = Ipv4Addr(10, 0, 0, 2);
+  h.protocol = kIpProtoUdp;
+  h.total_length = 120;
+  h.ttl = 17;
+  h.dscp = 5;
+  h.identification = 0xBEEF;
+  const auto bytes = serialize(h);
+  EXPECT_EQ(bytes.size(), Ipv4Header::kSize);
+  // Serialized header must verify (checksum over header == 0).
+  EXPECT_EQ(internet_checksum(bytes), 0);
+
+  ByteReader r(bytes);
+  const auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->protocol, kIpProtoUdp);
+  EXPECT_EQ(parsed->total_length, 120);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->dscp, 5);
+  EXPECT_EQ(parsed->identification, 0xBEEF);
+}
+
+TEST(Ipv4Header, ParseRejectsCorruptChecksum) {
+  Ipv4Header h;
+  h.src = Ipv4Addr(10, 0, 0, 1);
+  h.dst = Ipv4Addr(10, 0, 0, 2);
+  h.total_length = 40;
+  auto bytes = serialize(h);
+  bytes[8] ^= 0xFF;  // corrupt TTL
+  ByteReader r(bytes);
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+
+  // But parses when verification is disabled.
+  ByteReader r2(bytes);
+  EXPECT_TRUE(Ipv4Header::parse(r2, /*verify_checksum=*/false).has_value());
+}
+
+TEST(Ipv4Header, ParseRejectsWrongVersion) {
+  Ipv4Header h;
+  h.total_length = 40;
+  auto bytes = serialize(h);
+  bytes[0] = 0x65;  // version 6
+  ByteReader r(bytes);
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+}
+
+TEST(UdpHeader, RoundTrip) {
+  UdpHeader h;
+  h.src_port = 40000;
+  h.dst_port = kKvsUdpPort;
+  h.length = 100;
+  const auto bytes = serialize(h);
+  EXPECT_EQ(bytes.size(), UdpHeader::kSize);
+  ByteReader r(bytes);
+  const auto parsed = UdpHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 40000);
+  EXPECT_EQ(parsed->dst_port, kKvsUdpPort);
+  EXPECT_EQ(parsed->length, 100);
+}
+
+TEST(UdpHeader, ParseRejectsLengthBelowHeader) {
+  UdpHeader h;
+  h.length = 4;  // impossible: below the 8-byte header
+  const auto bytes = serialize(h);
+  ByteReader r(bytes);
+  EXPECT_FALSE(UdpHeader::parse(r).has_value());
+}
+
+TEST(TcpHeader, RoundTrip) {
+  TcpHeader h;
+  h.src_port = 1234;
+  h.dst_port = 80;
+  h.seq = 0xDEADBEEF;
+  h.ack = 0xCAFEF00D;
+  h.flags = TcpHeader::kSyn | TcpHeader::kAck;
+  h.window = 4096;
+  const auto bytes = serialize(h);
+  EXPECT_EQ(bytes.size(), TcpHeader::kSize);
+  ByteReader r(bytes);
+  const auto parsed = TcpHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->ack, 0xCAFEF00Du);
+  EXPECT_EQ(parsed->flags, TcpHeader::kSyn | TcpHeader::kAck);
+  EXPECT_EQ(parsed->window, 4096);
+}
+
+TEST(EspHeader, RoundTrip) {
+  EspHeader h;
+  h.spi = 0x12345678;
+  h.seq = 42;
+  const auto bytes = serialize(h);
+  EXPECT_EQ(bytes.size(), EspHeader::kSize);
+  ByteReader r(bytes);
+  const auto parsed = EspHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->spi, 0x12345678u);
+  EXPECT_EQ(parsed->seq, 42u);
+}
+
+TEST(KvsHeader, RoundTrip) {
+  KvsHeader h;
+  h.op = KvsOp::kSet;
+  h.tenant = 7;
+  h.key = 0xFEEDFACECAFEBEEFull;
+  h.value_length = 512;
+  h.request_id = 99;
+  const auto bytes = serialize(h);
+  EXPECT_EQ(bytes.size(), KvsHeader::kSize);
+  ByteReader r(bytes);
+  const auto parsed = KvsHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, KvsOp::kSet);
+  EXPECT_EQ(parsed->tenant, 7);
+  EXPECT_EQ(parsed->key, 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(parsed->value_length, 512u);
+  EXPECT_EQ(parsed->request_id, 99u);
+}
+
+TEST(KvsHeader, ParseRejectsBadMagic) {
+  KvsHeader h;
+  auto bytes = serialize(h);
+  bytes[0] ^= 0xFF;
+  ByteReader r(bytes);
+  EXPECT_FALSE(KvsHeader::parse(r).has_value());
+}
+
+TEST(KvsHeader, ParseRejectsBadOp) {
+  KvsHeader h;
+  auto bytes = serialize(h);
+  bytes[4] = 200;  // not a KvsOp
+  ByteReader r(bytes);
+  EXPECT_FALSE(KvsHeader::parse(r).has_value());
+}
+
+TEST(ByteReader, BoundsChecking) {
+  const std::vector<std::uint8_t> bytes = {1, 2};
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_TRUE(r.ok());
+  r.u8();  // past the end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteWriter, BigEndianLayout) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(0x01020304);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+  w.u64(0x0102030405060708ull);
+  EXPECT_EQ(out[4], 1);
+  EXPECT_EQ(out[11], 8);
+}
+
+}  // namespace
+}  // namespace panic

@@ -1,0 +1,164 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace panic {
+namespace {
+
+const Ipv4Addr kSrc(10, 0, 0, 1);
+const Ipv4Addr kDst(10, 0, 0, 2);
+
+TEST(FrameBuilder, MinUdpFrameIs64Bytes) {
+  const auto frame = frames::min_udp(kSrc, kDst);
+  EXPECT_EQ(frame.size(), 64u);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->ipv4.has_value());
+  ASSERT_TRUE(parsed->udp.has_value());
+  EXPECT_EQ(parsed->ipv4->src, kSrc);
+  EXPECT_EQ(parsed->ipv4->dst, kDst);
+}
+
+TEST(FrameBuilder, PayloadRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .udp(1111, 2222)
+                         .payload(payload)
+                         .build();
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  const auto got = parsed->payload(frame);
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+}
+
+TEST(FrameBuilder, PaddingDoesNotConfuseParser) {
+  // A tiny UDP payload forces Ethernet padding; the parser must use the
+  // IPv4/UDP lengths, not the frame size.
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .udp(1111, 2222)
+                         .payload_size(3)
+                         .build();
+  EXPECT_EQ(frame.size(), 64u);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload_size, 3u);
+}
+
+TEST(FrameBuilder, KvsGetParses) {
+  const auto frame = frames::kvs_get(kSrc, kDst, /*tenant=*/3,
+                                     /*key=*/0xABCD, /*request_id=*/17);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->kvs.has_value());
+  EXPECT_EQ(parsed->kvs->op, KvsOp::kGet);
+  EXPECT_EQ(parsed->kvs->tenant, 3);
+  EXPECT_EQ(parsed->kvs->key, 0xABCDu);
+  EXPECT_EQ(parsed->kvs->request_id, 17u);
+}
+
+TEST(FrameBuilder, KvsSetCarriesValue) {
+  const auto frame =
+      frames::kvs_set(kSrc, kDst, 1, 42, 5, /*value_size=*/256);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->kvs.has_value());
+  EXPECT_EQ(parsed->kvs->op, KvsOp::kSet);
+  EXPECT_EQ(parsed->kvs->value_length, 256u);
+  EXPECT_EQ(parsed->payload_size, 256u);
+}
+
+TEST(FrameBuilder, KvsGetReplyRoundTrip) {
+  const std::vector<std::uint8_t> value(100, 0x5A);
+  const auto frame = frames::kvs_get_reply(kDst, kSrc, 1, 42, 5, value);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->kvs.has_value());
+  EXPECT_EQ(parsed->kvs->op, KvsOp::kGetReply);
+  const auto got = parsed->payload(frame);
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_EQ(got[0], 0x5A);
+}
+
+TEST(FrameBuilder, EspFrame) {
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .esp(0x1001, 7)
+                         .payload_size(128)
+                         .build();
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->esp.has_value());
+  EXPECT_EQ(parsed->esp->spi, 0x1001u);
+  EXPECT_EQ(parsed->esp->seq, 7u);
+  EXPECT_EQ(parsed->payload_size, 128u);
+  EXPECT_FALSE(parsed->udp.has_value());
+}
+
+TEST(FrameBuilder, TcpFrame) {
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .tcp(5555, 80, 1000, 2000)
+                         .payload_size(64)
+                         .build();
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->tcp.has_value());
+  EXPECT_EQ(parsed->tcp->seq, 1000u);
+  EXPECT_EQ(parsed->payload_size, 64u);
+}
+
+TEST(ParseFrame, RejectsTruncatedIpv4) {
+  auto frame = frames::min_udp(kSrc, kDst);
+  frame.resize(20);  // cut inside the IPv4 header
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, RejectsCorruptIpChecksum) {
+  auto frame = frames::min_udp(kSrc, kDst);
+  frame[22] ^= 0xFF;  // inside IPv4 header
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, NonIpv4PassesThroughAsOpaque) {
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"),
+                              kEtherTypeArp)
+                         .payload_size(50)
+                         .build();
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ipv4.has_value());
+  // Non-IP ethertypes carry no length field, so the payload is everything
+  // after the Ethernet header (including any padding, as on a real wire).
+  EXPECT_EQ(parsed->payload_size, 50u);
+}
+
+TEST(ParseFrame, NonKvsTrafficOnKvsPortIsOpaque) {
+  // Payload on the KVS port without the magic: parsed as plain UDP.
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .udp(40000, kKvsUdpPort)
+                         .payload_size(32)
+                         .build();
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->kvs.has_value());
+  EXPECT_EQ(parsed->payload_size, 32u);
+}
+
+}  // namespace
+}  // namespace panic

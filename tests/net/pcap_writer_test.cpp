@@ -1,0 +1,75 @@
+#include "net/pcap_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "net/packet.h"
+
+namespace panic {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+struct TempPath {
+  TempPath() {
+    path = (std::filesystem::temp_directory_path() /
+            ("panic_pcap_test_" + std::to_string(::getpid()) + ".pcap"))
+               .string();
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(PcapWriter, WritesValidHeaderAndRecords) {
+  TempPath tmp;
+  const auto clock = Frequency::megahertz(500);
+  const auto frame = frames::min_udp(Ipv4Addr(10, 0, 0, 1),
+                                     Ipv4Addr(10, 0, 0, 2));
+  {
+    PcapWriter pcap(tmp.path, clock);
+    ASSERT_TRUE(pcap.ok());
+    pcap.write(frame, /*at=*/500);  // 1 us
+    pcap.write(frame, /*at=*/500000000);  // 1 s
+    EXPECT_EQ(pcap.frames_written(), 2u);
+  }
+
+  const auto bytes = slurp(tmp.path);
+  // Global header (24) + 2 x (16 + 64).
+  ASSERT_EQ(bytes.size(), 24u + 2 * (16 + 64));
+  // Magic, little-endian.
+  EXPECT_EQ(bytes[0], 0xD4);
+  EXPECT_EQ(bytes[1], 0xC3);
+  EXPECT_EQ(bytes[2], 0xB2);
+  EXPECT_EQ(bytes[3], 0xA1);
+  // Link type Ethernet.
+  EXPECT_EQ(bytes[20], 1);
+
+  // First record: ts_sec 0, ts_usec 1, lengths 64.
+  EXPECT_EQ(bytes[24 + 0], 0);  // sec
+  EXPECT_EQ(bytes[24 + 4], 1);  // usec = 1
+  EXPECT_EQ(bytes[24 + 8], 64);
+  EXPECT_EQ(bytes[24 + 12], 64);
+  // Payload equals the frame bytes.
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), bytes.begin() + 40));
+
+  // Second record: ts_sec = 1.
+  const std::size_t rec2 = 24 + 16 + 64;
+  EXPECT_EQ(bytes[rec2], 1);
+}
+
+TEST(PcapWriter, BadPathReportsNotOk) {
+  PcapWriter pcap("/nonexistent/dir/file.pcap", Frequency::megahertz(500));
+  EXPECT_FALSE(pcap.ok());
+  pcap.write(std::vector<std::uint8_t>(10), 0);  // must not crash
+  EXPECT_EQ(pcap.frames_written(), 0u);
+}
+
+}  // namespace
+}  // namespace panic

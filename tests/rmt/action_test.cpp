@@ -1,0 +1,137 @@
+#include "rmt/action.h"
+
+#include <gtest/gtest.h>
+
+namespace panic::rmt {
+namespace {
+
+struct ActionFixture {
+  Phv phv;
+  ChainHeader chain;
+  RegisterFile regs;
+  ActionContext ctx{phv, chain, regs};
+};
+
+TEST(Action, SetAndCopyFields) {
+  ActionFixture f;
+  f.phv.set_parsed(Field::kIpSrc, 99);
+  Action a("a");
+  a.set_field(Field::kMetaQueue, 7).copy_field(Field::kMetaTenant,
+                                               Field::kIpSrc);
+  apply_action(a, f.ctx);
+  EXPECT_EQ(f.phv.get(Field::kMetaQueue), 7u);
+  EXPECT_EQ(f.phv.get(Field::kMetaTenant), 99u);
+  EXPECT_TRUE(f.phv.modified(Field::kMetaQueue));
+}
+
+TEST(Action, Arithmetic) {
+  ActionFixture f;
+  Action a("a");
+  a.set_field(Field::kMetaSlack, 10).add_imm(Field::kMetaSlack, 5).and_imm(
+      Field::kMetaSlack, 0xF);
+  apply_action(a, f.ctx);
+  EXPECT_EQ(f.phv.get(Field::kMetaSlack), 15u & 0xF);
+}
+
+TEST(Action, HashIsDeterministicAndBounded) {
+  ActionFixture f;
+  f.phv.set_parsed(Field::kIpSrc, 0x0A000001);
+  f.phv.set_parsed(Field::kL4SrcPort, 40000);
+  Action a("lb");
+  a.hash_fields(Field::kMetaQueue, Field::kIpSrc, Field::kL4SrcPort, 8);
+  apply_action(a, f.ctx);
+  const auto q1 = f.phv.get(Field::kMetaQueue);
+  EXPECT_LT(q1, 8u);
+  apply_action(a, f.ctx);
+  EXPECT_EQ(f.phv.get(Field::kMetaQueue), q1);  // deterministic
+
+  // Different flow -> (almost certainly) different spread over many flows.
+  int distinct = 0;
+  std::uint64_t seen[8] = {0};
+  for (int flow = 0; flow < 64; ++flow) {
+    f.phv.set_parsed(Field::kL4SrcPort, 40000 + static_cast<std::uint64_t>(flow));
+    apply_action(a, f.ctx);
+    seen[f.phv.get(Field::kMetaQueue)]++;
+  }
+  for (auto c : seen) {
+    if (c > 0) ++distinct;
+  }
+  EXPECT_GE(distinct, 6);  // well spread across 8 queues
+}
+
+TEST(Action, ChainConstruction) {
+  ActionFixture f;
+  Action a("chain");
+  a.set_slack(42).push_hop(5).push_hop(9);
+  apply_action(a, f.ctx);
+  ASSERT_EQ(f.chain.total_hops(), 2u);
+  EXPECT_EQ(f.chain.hops()[0].engine, EngineId{5});
+  EXPECT_EQ(f.chain.hops()[0].slack, 42u);
+  EXPECT_EQ(f.chain.hops()[1].engine, EngineId{9});
+}
+
+TEST(Action, PushHopFromField) {
+  ActionFixture f;
+  f.phv.set_parsed(Field::kMetaEgressPort, 3);
+  Action a("egress");
+  a.set_slack(7).push_hop_from(Field::kMetaEgressPort);
+  apply_action(a, f.ctx);
+  ASSERT_EQ(f.chain.total_hops(), 1u);
+  EXPECT_EQ(f.chain.hops()[0].engine, EngineId{3});
+  EXPECT_EQ(f.chain.hops()[0].slack, 7u);
+}
+
+TEST(Action, ClearChain) {
+  ActionFixture f;
+  Action a("a");
+  a.push_hop(1).clear_chain().push_hop(2);
+  apply_action(a, f.ctx);
+  ASSERT_EQ(f.chain.total_hops(), 1u);
+  EXPECT_EQ(f.chain.hops()[0].engine, EngineId{2});
+}
+
+TEST(Action, MarkDrop) {
+  ActionFixture f;
+  Action a("drop");
+  a.mark_drop();
+  apply_action(a, f.ctx);
+  EXPECT_EQ(f.phv.get(Field::kMetaDrop), 1u);
+}
+
+TEST(Action, RegisterReadWrite) {
+  ActionFixture f;
+  f.phv.set_parsed(Field::kKvsKey, 12);
+  f.phv.set_parsed(Field::kMetaQueue, 77);
+  Action w("w");
+  w.reg_write(/*reg=*/2, Field::kKvsKey, Field::kMetaQueue);
+  apply_action(w, f.ctx);
+
+  Action r("r");
+  r.reg_read(Field::kMetaCacheHint, /*reg=*/2, Field::kKvsKey);
+  apply_action(r, f.ctx);
+  EXPECT_EQ(f.phv.get(Field::kMetaCacheHint), 77u);
+}
+
+TEST(Action, RegisterAddForCounters) {
+  ActionFixture f;
+  f.phv.set_parsed(Field::kMetaTenant, 4);
+  Action a("count");
+  a.reg_add(Field::kMetaCacheHint, /*reg=*/0, Field::kMetaTenant, 1);
+  apply_action(a, f.ctx);
+  apply_action(a, f.ctx);
+  apply_action(a, f.ctx);
+  EXPECT_EQ(f.phv.get(Field::kMetaCacheHint), 3u);
+  EXPECT_EQ(f.regs.read(0, 4), 3u);
+}
+
+TEST(RegisterFile, IndexWrapsAndBoundsChecked) {
+  RegisterFile regs(2, 8);
+  regs.write(0, 9, 5);  // index 9 wraps to 1
+  EXPECT_EQ(regs.read(0, 1), 5u);
+  EXPECT_EQ(regs.read(99, 0), 0u);  // out-of-range register reads 0
+  regs.write(99, 0, 1);             // silently ignored
+  EXPECT_EQ(regs.add(99, 0, 1), 0u);
+}
+
+}  // namespace
+}  // namespace panic::rmt

@@ -1,0 +1,163 @@
+#include "rmt/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace panic::rmt {
+namespace {
+
+const Ipv4Addr kSrc(10, 0, 0, 1);
+const Ipv4Addr kDst(10, 0, 0, 2);
+
+TEST(Parser, ParsesUdpFrame) {
+  const auto frame = frames::min_udp(kSrc, kDst, 1234, 80);
+  const Parser p = make_default_parser();
+  Phv phv;
+  ASSERT_TRUE(p.parse(frame, phv));
+  EXPECT_EQ(phv.get(Field::kValidEth), 1u);
+  EXPECT_EQ(phv.get(Field::kValidIpv4), 1u);
+  EXPECT_EQ(phv.get(Field::kValidUdp), 1u);
+  EXPECT_EQ(phv.get(Field::kValidKvs), 0u);
+  EXPECT_EQ(phv.get(Field::kIpSrc), kSrc.value());
+  EXPECT_EQ(phv.get(Field::kIpDst), kDst.value());
+  EXPECT_EQ(phv.get(Field::kIpProto), kIpProtoUdp);
+  EXPECT_EQ(phv.get(Field::kL4SrcPort), 1234u);
+  EXPECT_EQ(phv.get(Field::kL4DstPort), 80u);
+}
+
+TEST(Parser, ParsesKvsGet) {
+  const auto frame = frames::kvs_get(kSrc, kDst, 7, 0xABCDEF, 42);
+  const Parser p = make_default_parser();
+  Phv phv;
+  ASSERT_TRUE(p.parse(frame, phv));
+  EXPECT_EQ(phv.get(Field::kValidKvs), 1u);
+  EXPECT_EQ(phv.get(Field::kKvsOp),
+            static_cast<std::uint64_t>(KvsOp::kGet));
+  EXPECT_EQ(phv.get(Field::kKvsTenant), 7u);
+  EXPECT_EQ(phv.get(Field::kKvsKey), 0xABCDEFu);
+  EXPECT_EQ(phv.get(Field::kKvsReqId), 42u);
+}
+
+TEST(Parser, ParsesKvsReplyViaSourcePort) {
+  const std::vector<std::uint8_t> value(32, 1);
+  const auto frame = frames::kvs_get_reply(kDst, kSrc, 7, 5, 42, value);
+  const Parser p = make_default_parser();
+  Phv phv;
+  ASSERT_TRUE(p.parse(frame, phv));
+  EXPECT_EQ(phv.get(Field::kValidKvs), 1u);
+  EXPECT_EQ(phv.get(Field::kKvsOp),
+            static_cast<std::uint64_t>(KvsOp::kGetReply));
+}
+
+TEST(Parser, ParsesEsp) {
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .esp(0xBEEF, 3)
+                         .payload_size(64)
+                         .build();
+  const Parser p = make_default_parser();
+  Phv phv;
+  ASSERT_TRUE(p.parse(frame, phv));
+  EXPECT_EQ(phv.get(Field::kValidEsp), 1u);
+  EXPECT_EQ(phv.get(Field::kEspSpi), 0xBEEFu);
+  EXPECT_EQ(phv.get(Field::kEspSeq), 3u);
+  EXPECT_EQ(phv.get(Field::kValidUdp), 0u);
+}
+
+TEST(Parser, ParsesTcp) {
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"))
+                         .ipv4(kSrc, kDst)
+                         .tcp(5555, 443, 1, 2, TcpHeader::kSyn)
+                         .build();
+  const Parser p = make_default_parser();
+  Phv phv;
+  ASSERT_TRUE(p.parse(frame, phv));
+  EXPECT_EQ(phv.get(Field::kValidTcp), 1u);
+  EXPECT_EQ(phv.get(Field::kL4DstPort), 443u);
+  EXPECT_EQ(phv.get(Field::kTcpFlags), TcpHeader::kSyn);
+}
+
+TEST(Parser, NonIpAcceptsAtEthernet) {
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:01"),
+                              *MacAddr::parse("02:00:00:00:00:02"),
+                              kEtherTypeArp)
+                         .payload_size(50)
+                         .build();
+  const Parser p = make_default_parser();
+  Phv phv;
+  ASSERT_TRUE(p.parse(frame, phv));
+  EXPECT_EQ(phv.get(Field::kValidEth), 1u);
+  EXPECT_EQ(phv.get(Field::kValidIpv4), 0u);
+}
+
+TEST(Parser, RejectsTruncatedFrame) {
+  auto frame = frames::min_udp(kSrc, kDst);
+  frame.resize(30);  // cut inside UDP
+  const Parser p = make_default_parser();
+  Phv phv;
+  EXPECT_FALSE(p.parse(frame, phv));
+}
+
+TEST(Parser, RecordsFieldLocations) {
+  const auto frame = frames::min_udp(kSrc, kDst);
+  const Parser p = make_default_parser();
+  Phv phv;
+  std::map<Field, FieldLocation> locs;
+  ASSERT_TRUE(p.parse(frame, phv, &locs));
+  // IPv4 dst is at offset 14 (eth) + 16 = 30, width 4.
+  ASSERT_TRUE(locs.count(Field::kIpDst));
+  EXPECT_EQ(locs[Field::kIpDst].offset, 30u);
+  EXPECT_EQ(locs[Field::kIpDst].width_bytes, 4u);
+  // UDP dst port at 14 + 20 + 2 = 36.
+  ASSERT_TRUE(locs.count(Field::kL4DstPort));
+  EXPECT_EQ(locs[Field::kL4DstPort].offset, 36u);
+}
+
+TEST(Parser, RejectsMissingState) {
+  Parser p;
+  ParserState s;
+  s.name = "start";
+  s.header_bytes = 1;
+  s.default_next = "nowhere";
+  p.add_state(std::move(s));
+  Phv phv;
+  const std::vector<std::uint8_t> data(16, 0);
+  EXPECT_FALSE(p.parse(data, phv));
+}
+
+TEST(Parser, EmptyParserRejects) {
+  Parser p;
+  Phv phv;
+  const std::vector<std::uint8_t> data(16, 0);
+  EXPECT_FALSE(p.parse(data, phv));
+}
+
+TEST(Phv, ValidityAndModification) {
+  Phv phv;
+  EXPECT_FALSE(phv.valid(Field::kIpSrc));
+  EXPECT_EQ(phv.get(Field::kIpSrc), 0u);
+  phv.set_parsed(Field::kIpSrc, 42);
+  EXPECT_TRUE(phv.valid(Field::kIpSrc));
+  EXPECT_FALSE(phv.modified(Field::kIpSrc));
+  phv.set(Field::kIpSrc, 43);
+  EXPECT_TRUE(phv.modified(Field::kIpSrc));
+  phv.invalidate(Field::kIpSrc);
+  EXPECT_FALSE(phv.valid(Field::kIpSrc));
+  EXPECT_EQ(phv.get(Field::kIpSrc), 0u);
+}
+
+TEST(Phv, ToStringShowsValidFields) {
+  Phv phv;
+  phv.set_parsed(Field::kIpProto, 17);
+  const auto s = phv.to_string();
+  EXPECT_NE(s.find("ipv4.proto=0x11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace panic::rmt

@@ -1,0 +1,174 @@
+#include "rmt/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace panic::rmt {
+namespace {
+
+const Ipv4Addr kSrc(10, 0, 0, 1);
+const Ipv4Addr kDst(10, 0, 0, 2);
+
+std::shared_ptr<RmtProgram> steering_program() {
+  auto program = std::make_shared<RmtProgram>();
+  program->parser = make_default_parser();
+
+  auto& s0 = program->add_stage("slack");
+  MatchTable slack("slack", MatchKind::kExact, {Field::kMetaTenant});
+  slack.add_exact(1, Action("hi").set_slack(10));
+  slack.set_default_action(Action("lo").set_slack(1000));
+  s0.tables.push_back(std::move(slack));
+
+  auto& s1 = program->add_stage("classify");
+  MatchTable classify("classify", MatchKind::kTernary,
+                      {Field::kValidKvs, Field::kL4DstPort});
+  classify.add_ternary(0, 0, 1,
+                       Action("to_host").push_hop(30).push_hop(31));
+  {
+    TableEntry e;
+    e.key = {1, 0};
+    e.masks = {~0ull, 0};
+    e.priority = 10;
+    e.action = Action("kvs").push_hop(40);
+    classify.add_entry(std::move(e));
+  }
+  s1.tables.push_back(std::move(classify));
+  return program;
+}
+
+MessagePtr packet_message(std::vector<std::uint8_t> frame) {
+  auto msg = make_message(MessageKind::kPacket);
+  msg->data = std::move(frame);
+  return msg;
+}
+
+TEST(Pipeline, LatencyIsStagesPlusTwo) {
+  Pipeline p(steering_program());
+  EXPECT_EQ(p.latency_cycles(), 4u);  // 2 stages + parse + deparse
+}
+
+TEST(Pipeline, BuildsChainAndSlack) {
+  Pipeline p(steering_program());
+  auto msg = packet_message(frames::min_udp(kSrc, kDst));
+  const auto result = p.process(*msg);
+  EXPECT_TRUE(result.parsed);
+  EXPECT_FALSE(result.drop);
+  ASSERT_EQ(msg->chain.total_hops(), 2u);
+  EXPECT_EQ(msg->chain.hops()[0].engine, EngineId{30});
+  EXPECT_EQ(msg->chain.hops()[0].slack, 1000u);  // default slack
+  EXPECT_EQ(msg->rmt_passes, 1u);
+}
+
+TEST(Pipeline, TenantSlackApplied) {
+  Pipeline p(steering_program());
+  auto msg = packet_message(frames::min_udp(kSrc, kDst));
+  msg->tenant = TenantId{1};
+  p.process(*msg);
+  ASSERT_GE(msg->chain.total_hops(), 1u);
+  EXPECT_EQ(msg->chain.hops()[0].slack, 10u);
+}
+
+TEST(Pipeline, KvsRoutedDifferently) {
+  Pipeline p(steering_program());
+  auto msg = packet_message(frames::kvs_get(kSrc, kDst, 1, 5, 9));
+  p.process(*msg);
+  ASSERT_EQ(msg->chain.total_hops(), 1u);
+  EXPECT_EQ(msg->chain.hops()[0].engine, EngineId{40});
+}
+
+TEST(Pipeline, FillsMessageMeta) {
+  Pipeline p(steering_program());
+  auto msg = packet_message(frames::kvs_get(kSrc, kDst, 3, 0xFEED, 11));
+  p.process(*msg);
+  ASSERT_TRUE(msg->meta_valid);
+  EXPECT_TRUE(msg->meta.is_kvs);
+  EXPECT_TRUE(msg->meta.has_udp);
+  EXPECT_EQ(msg->meta.kvs_key, 0xFEEDu);
+  EXPECT_EQ(msg->meta.kvs_request_id, 11u);
+  EXPECT_EQ(msg->tenant.value, 3);  // adopted from the KVS header
+}
+
+TEST(Pipeline, NonPacketMessagesSkipParser) {
+  Pipeline p(steering_program());
+  auto msg = make_message(MessageKind::kDmaRead);
+  const auto result = p.process(*msg);
+  EXPECT_TRUE(result.parsed);
+  // The catch-all classify entry still routes it.
+  EXPECT_EQ(msg->chain.total_hops(), 2u);
+}
+
+TEST(Pipeline, MalformedPacketReportsParseFailure) {
+  Pipeline p(steering_program());
+  auto frame = frames::min_udp(kSrc, kDst);
+  frame.resize(20);
+  auto msg = packet_message(std::move(frame));
+  const auto result = p.process(*msg);
+  EXPECT_FALSE(result.parsed);
+}
+
+TEST(Pipeline, DropAction) {
+  auto program = std::make_shared<RmtProgram>();
+  program->parser = make_default_parser();
+  auto& s = program->add_stage("acl");
+  MatchTable acl("acl", MatchKind::kExact, {Field::kL4DstPort});
+  acl.add_exact(666, Action("deny").mark_drop());
+  s.tables.push_back(std::move(acl));
+
+  Pipeline p(program);
+  auto evil = packet_message(frames::min_udp(kSrc, kDst, 1234, 666));
+  EXPECT_TRUE(p.process(*evil).drop);
+  auto fine = packet_message(frames::min_udp(kSrc, kDst, 1234, 80));
+  EXPECT_FALSE(p.process(*fine).drop);
+}
+
+TEST(Pipeline, DeparseWritesModifiedFieldsBack) {
+  auto program = std::make_shared<RmtProgram>();
+  program->parser = make_default_parser();
+  auto& s = program->add_stage("rewrite");
+  MatchTable t("rewrite", MatchKind::kExact, {Field::kL4DstPort});
+  t.add_exact(80, Action("redirect").set_field(Field::kL4DstPort, 8080));
+  s.tables.push_back(std::move(t));
+
+  Pipeline p(program);
+  auto msg = packet_message(frames::min_udp(kSrc, kDst, 1234, 80));
+  p.process(*msg);
+  const auto parsed = parse_frame(msg->data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->udp->dst_port, 8080);
+}
+
+TEST(Pipeline, StatefulLoadBalancingAcrossQueues) {
+  // Round-robin queue assignment via a register counter: the classic
+  // "load-balancing messages across descriptor queues" use (§3.1.2).
+  auto program = std::make_shared<RmtProgram>();
+  program->parser = make_default_parser();
+  auto& s = program->add_stage("lb");
+  MatchTable t("lb", MatchKind::kTernary, {Field::kValidIpv4});
+  Action rr("rr");
+  rr.reg_add(Field::kMetaQueue, /*reg=*/0, Field::kValidEth, 1)
+      .and_imm(Field::kMetaQueue, 0x3);  // 4 queues
+  t.add_ternary(1, ~0ull, 1, rr);
+  s.tables.push_back(std::move(t));
+
+  Pipeline p(program);
+  std::uint64_t seen[4] = {0};
+  for (int i = 0; i < 16; ++i) {
+    auto msg = packet_message(frames::min_udp(kSrc, kDst));
+    const auto r = p.process(*msg);
+    seen[r.queue]++;
+  }
+  for (auto c : seen) EXPECT_EQ(c, 4u);  // perfectly round-robin
+}
+
+TEST(Pipeline, ProcessedCounter) {
+  Pipeline p(steering_program());
+  auto msg = packet_message(frames::min_udp(kSrc, kDst));
+  p.process(*msg);
+  p.process(*msg);
+  EXPECT_EQ(p.messages_processed(), 2u);
+  EXPECT_EQ(msg->rmt_passes, 2u);
+}
+
+}  // namespace
+}  // namespace panic::rmt

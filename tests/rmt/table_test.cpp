@@ -1,0 +1,107 @@
+#include "rmt/table.h"
+
+#include <gtest/gtest.h>
+
+namespace panic::rmt {
+namespace {
+
+Phv phv_with(Field f, std::uint64_t v) {
+  Phv phv;
+  phv.set_parsed(f, v);
+  return phv;
+}
+
+TEST(MatchTable, ExactHitAndMiss) {
+  MatchTable t("t", MatchKind::kExact, {Field::kL4DstPort});
+  t.add_exact(80, Action("a").set_field(Field::kMetaQueue, 1));
+  t.add_exact(443, Action("b").set_field(Field::kMetaQueue, 2));
+
+  const auto phv80 = phv_with(Field::kL4DstPort, 80);
+  const Action* a = t.lookup(phv80);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "a");
+
+  const auto phv22 = phv_with(Field::kL4DstPort, 22);
+  EXPECT_EQ(t.lookup(phv22), nullptr);
+  EXPECT_EQ(t.hits(), 1u);
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(MatchTable, DefaultActionOnMiss) {
+  MatchTable t("t", MatchKind::kExact, {Field::kL4DstPort});
+  t.set_default_action(Action("fallback"));
+  const auto phv = phv_with(Field::kL4DstPort, 9);
+  const Action* a = t.lookup(phv);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "fallback");
+}
+
+TEST(MatchTable, MultiFieldExact) {
+  MatchTable t("t", MatchKind::kExact,
+               {Field::kIpProto, Field::kL4DstPort});
+  TableEntry e;
+  e.key = {17, 53};
+  e.action = Action("dns");
+  t.add_entry(std::move(e));
+
+  Phv phv;
+  phv.set_parsed(Field::kIpProto, 17);
+  phv.set_parsed(Field::kL4DstPort, 53);
+  ASSERT_NE(t.lookup(phv), nullptr);
+  phv.set_parsed(Field::kL4DstPort, 54);
+  EXPECT_EQ(t.lookup(phv), nullptr);
+}
+
+TEST(MatchTable, LpmPrefersLongestPrefix) {
+  MatchTable t("t", MatchKind::kLpm, {Field::kIpDst});
+  t.add_lpm(0x0A000000, 8, Action("slash8"));    // 10.0.0.0/8
+  t.add_lpm(0x0A010000, 16, Action("slash16"));  // 10.1.0.0/16
+  t.add_lpm(0x0A010200, 24, Action("slash24"));  // 10.1.2.0/24
+
+  EXPECT_EQ(t.lookup(phv_with(Field::kIpDst, 0x0A010203))->name, "slash24");
+  EXPECT_EQ(t.lookup(phv_with(Field::kIpDst, 0x0A01FF01))->name, "slash16");
+  EXPECT_EQ(t.lookup(phv_with(Field::kIpDst, 0x0AFF0001))->name, "slash8");
+  EXPECT_EQ(t.lookup(phv_with(Field::kIpDst, 0x0B000001)), nullptr);
+}
+
+TEST(MatchTable, LpmDefaultRoute) {
+  MatchTable t("t", MatchKind::kLpm, {Field::kIpDst});
+  t.add_lpm(0, 0, Action("any"));  // 0.0.0.0/0
+  EXPECT_EQ(t.lookup(phv_with(Field::kIpDst, 0x12345678))->name, "any");
+}
+
+TEST(MatchTable, TernaryPriorityOrder) {
+  MatchTable t("t", MatchKind::kTernary, {Field::kL4DstPort});
+  t.add_ternary(0x0050, 0xFFFF, /*priority=*/10, Action("http"));
+  t.add_ternary(0x0000, 0x0000, /*priority=*/1, Action("any"));
+
+  EXPECT_EQ(t.lookup(phv_with(Field::kL4DstPort, 80))->name, "http");
+  EXPECT_EQ(t.lookup(phv_with(Field::kL4DstPort, 81))->name, "any");
+}
+
+TEST(MatchTable, TernaryMaskedBitsIgnored) {
+  MatchTable t("t", MatchKind::kTernary, {Field::kL4DstPort});
+  // Match any even port.
+  t.add_ternary(0, 0x1, 5, Action("even"));
+  EXPECT_NE(t.lookup(phv_with(Field::kL4DstPort, 8080)), nullptr);
+  EXPECT_EQ(t.lookup(phv_with(Field::kL4DstPort, 8081)), nullptr);
+}
+
+TEST(MatchTable, TernaryInsertionOrderStableWithinPriority) {
+  MatchTable t("t", MatchKind::kTernary, {Field::kL4DstPort});
+  t.add_ternary(0, 0, 5, Action("first"));
+  t.add_ternary(0, 0, 5, Action("second"));
+  EXPECT_EQ(t.lookup(phv_with(Field::kL4DstPort, 1))->name, "first");
+}
+
+TEST(MatchTable, InvalidFieldsReadAsZero) {
+  MatchTable t("t", MatchKind::kExact, {Field::kKvsKey});
+  t.add_exact(0, Action("zero"));
+  Phv phv;  // kKvsKey never parsed
+  const Action* a = t.lookup(phv);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "zero");
+}
+
+}  // namespace
+}  // namespace panic::rmt

@@ -1,0 +1,123 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace panic {
+namespace {
+
+class Counter : public Component {
+ public:
+  Counter() : Component("counter") {}
+  void tick(Cycle now) override {
+    ticks++;
+    last_cycle = now;
+  }
+  int ticks = 0;
+  Cycle last_cycle = 0;
+};
+
+TEST(Simulator, RunsExactCycleCount) {
+  Simulator sim;
+  Counter c;
+  sim.add(&c);
+  sim.run(100);
+  EXPECT_EQ(c.ticks, 100);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(c.last_cycle, 99u);
+}
+
+TEST(Simulator, EventsFireAtScheduledCycle) {
+  Simulator sim;
+  std::vector<Cycle> fired;
+  sim.schedule_at(5, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(2, [&] { fired.push_back(sim.now()); });
+  sim.run(10);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 2u);
+  EXPECT_EQ(fired[1], 5u);
+}
+
+TEST(Simulator, EventsSameCycleFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3, [&] { order.push_back(1); });
+  sim.schedule_at(3, [&] { order.push_back(2); });
+  sim.schedule_at(3, [&] { order.push_back(3); });
+  sim.run(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  sim.run(10);
+  Cycle fired_at = 0;
+  sim.schedule_in(5, [&] { fired_at = sim.now(); });
+  sim.run(10);
+  EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(Simulator, EventCanScheduleEvent) {
+  Simulator sim;
+  Cycle second = 0;
+  sim.schedule_at(1, [&] {
+    sim.schedule_in(3, [&] { second = sim.now(); });
+  });
+  sim.run(10);
+  EXPECT_EQ(second, 4u);
+}
+
+TEST(Simulator, EventSchedulingSameCycleRunsSameCycle) {
+  // An event scheduled for the current cycle from within an event handler
+  // runs before components tick that cycle.
+  Simulator sim;
+  int runs = 0;
+  sim.schedule_at(2, [&] {
+    sim.schedule_at(2, [&] { ++runs; });
+  });
+  sim.run(5);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, LateEventFiresNextStep) {
+  Simulator sim;
+  sim.run(10);
+  Cycle fired_at = 0;
+  sim.schedule_at(3, [&] { fired_at = sim.now(); });  // already past
+  sim.run(2);
+  EXPECT_EQ(fired_at, 10u);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim;
+  Counter c;
+  sim.add(&c);
+  const bool hit = sim.run_until([&] { return c.ticks >= 42; }, 1000);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(c.ticks, 42);
+}
+
+TEST(Simulator, RunUntilTimesOut) {
+  Simulator sim;
+  const bool hit = sim.run_until([] { return false; }, 50);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, NowNsUsesClock) {
+  Simulator sim(Frequency::megahertz(500));
+  sim.run(500);
+  EXPECT_DOUBLE_EQ(sim.now_ns(), 1000.0);
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  sim.run(5);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+}  // namespace
+}  // namespace panic

@@ -1,0 +1,72 @@
+#include "sim/timed_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace panic {
+namespace {
+
+TEST(TimedQueue, NotVisibleBeforeReady) {
+  TimedQueue<int> q;
+  q.try_push(7, 10);
+  EXPECT_FALSE(q.ready(9));
+  EXPECT_EQ(q.peek(9), nullptr);
+  EXPECT_FALSE(q.try_pop(9).has_value());
+  EXPECT_TRUE(q.ready(10));
+  EXPECT_EQ(*q.try_pop(10), 7);
+}
+
+TEST(TimedQueue, FifoOrderPreserved) {
+  TimedQueue<int> q;
+  q.try_push(1, 5);
+  q.try_push(2, 3);  // ready earlier but behind in FIFO order
+  // Element 2 cannot overtake element 1.
+  EXPECT_FALSE(q.ready(4));
+  EXPECT_EQ(*q.try_pop(5), 1);
+  EXPECT_EQ(*q.try_pop(5), 2);
+}
+
+TEST(TimedQueue, CapacityBound) {
+  TimedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1, 0));
+  EXPECT_TRUE(q.try_push(2, 0));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(3, 0));
+  q.try_pop(0);
+  EXPECT_TRUE(q.try_push(3, 0));
+}
+
+TEST(TimedQueue, UnboundedByDefault) {
+  TimedQueue<int> q;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(q.try_push(i, 0));
+  EXPECT_EQ(q.size(), 1000u);
+  EXPECT_FALSE(q.full());
+}
+
+TEST(TimedQueue, NextReady) {
+  TimedQueue<int> q;
+  EXPECT_EQ(q.next_ready(), std::numeric_limits<Cycle>::max());
+  q.try_push(1, 42);
+  EXPECT_EQ(q.next_ready(), 42u);
+}
+
+TEST(TimedQueue, MoveOnlyPayload) {
+  TimedQueue<std::unique_ptr<int>> q;
+  q.try_push(std::make_unique<int>(9), 0);
+  auto v = q.try_pop(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 9);
+}
+
+TEST(TimedQueue, Clear) {
+  TimedQueue<int> q(4);
+  q.try_push(1, 0);
+  q.try_push(2, 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.try_push(3, 0));
+}
+
+}  // namespace
+}  // namespace panic

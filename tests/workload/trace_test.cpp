@@ -1,0 +1,149 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/panic_nic.h"
+#include "net/packet.h"
+
+namespace panic::workload {
+namespace {
+
+const Ipv4Addr kClient(10, 1, 0, 2);
+const Ipv4Addr kServer(10, 0, 0, 1);
+
+struct TempTrace {
+  TempTrace() {
+    path = (std::filesystem::temp_directory_path() /
+            ("panic_trace_" + std::to_string(::getpid()) + ".trc"))
+               .string();
+  }
+  ~TempTrace() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::vector<TraceRecord> sample_records() {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord r;
+    r.cycle = static_cast<Cycle>(100 + i * 50);
+    r.port = static_cast<std::uint16_t>(i % 2);
+    r.tenant = static_cast<std::uint16_t>(1 + i % 3);
+    r.frame = frames::kvs_get(kClient, kServer, r.tenant,
+                              static_cast<std::uint64_t>(i),
+                              static_cast<std::uint32_t>(i));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+TEST(Trace, WriteLoadRoundTrip) {
+  TempTrace tmp;
+  const auto records = sample_records();
+  {
+    TraceWriter writer(tmp.path);
+    ASSERT_TRUE(writer.ok());
+    for (const auto& r : records) writer.append(r);
+    EXPECT_EQ(writer.records_written(), records.size());
+  }
+  const auto loaded = load_trace(tmp.path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, records);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  TempTrace tmp;
+  {
+    std::FILE* f = std::fopen(tmp.path.c_str(), "wb");
+    std::fputs("not a trace", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_trace(tmp.path).has_value());
+  EXPECT_FALSE(load_trace("/nonexistent/trace.trc").has_value());
+}
+
+TEST(Trace, LoadRejectsTruncation) {
+  TempTrace tmp;
+  {
+    TraceWriter writer(tmp.path);
+    for (const auto& r : sample_records()) writer.append(r);
+  }
+  // Chop off the tail of the final record.
+  const auto size = std::filesystem::file_size(tmp.path);
+  std::filesystem::resize_file(tmp.path, size - 10);
+  EXPECT_FALSE(load_trace(tmp.path).has_value());
+}
+
+TEST(Trace, ReplayPreservesTimingAndPorts) {
+  Simulator sim;
+  core::PanicConfig cfg;
+  cfg.mesh.k = 4;
+  core::PanicNic nic(cfg, sim);
+
+  auto records = sample_records();
+  TraceReplayer replayer("replay", records,
+                         {&nic.eth_port(0), &nic.eth_port(1)},
+                         /*start_offset=*/10);
+  sim.add(&replayer);
+
+  ASSERT_TRUE(sim.run_until([&] { return replayer.done(); }, 10000));
+  EXPECT_EQ(replayer.replayed(), records.size());
+  EXPECT_EQ(replayer.skipped(), 0u);
+  // Inter-record spacing preserved: the first record fires at
+  // start_offset (cycle 10), the last 200 cycles later.
+  EXPECT_GE(sim.now(), 210u);
+  EXPECT_LE(sim.now(), 220u);
+
+  // All five frames traverse the NIC (KVS GETs -> misses -> host).
+  ASSERT_TRUE(sim.run_until(
+      [&] { return nic.dma().packets_to_host() == records.size(); },
+      100000));
+  // Port split: 3 on port 0, 2 on port 1.
+  EXPECT_EQ(nic.eth_port(0).rx_meter().packets(), 3u);
+  EXPECT_EQ(nic.eth_port(1).rx_meter().packets(), 2u);
+}
+
+TEST(Trace, ReplaySkipsMissingPorts) {
+  Simulator sim;
+  core::PanicConfig cfg;
+  cfg.mesh.k = 4;
+  core::PanicNic nic(cfg, sim);
+
+  auto records = sample_records();  // uses ports 0 and 1
+  TraceReplayer replayer("replay", records, {&nic.eth_port(0)});
+  sim.add(&replayer);
+  ASSERT_TRUE(sim.run_until([&] { return replayer.done(); }, 10000));
+  EXPECT_EQ(replayer.replayed(), 3u);
+  EXPECT_EQ(replayer.skipped(), 2u);
+}
+
+TEST(Trace, RecordReplayProducesIdenticalNicBehaviour) {
+  // Determinism check: replaying a recorded workload yields the same
+  // engine counters as the original run.
+  auto run_and_count = [](const std::vector<TraceRecord>& records) {
+    Simulator sim;
+    core::PanicConfig cfg;
+    cfg.mesh.k = 4;
+    core::PanicNic nic(cfg, sim);
+    TraceReplayer replayer("replay", records,
+                           {&nic.eth_port(0), &nic.eth_port(1)});
+    sim.add(&replayer);
+    sim.run(20000);
+    return std::make_tuple(nic.dma().packets_to_host(),
+                           nic.total_rmt_passes(), nic.kvs().misses());
+  };
+  TempTrace tmp;
+  const auto records = sample_records();
+  {
+    TraceWriter writer(tmp.path);
+    for (const auto& r : records) writer.append(r);
+  }
+  const auto loaded = load_trace(tmp.path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(run_and_count(records), run_and_count(*loaded));
+}
+
+}  // namespace
+}  // namespace panic::workload
