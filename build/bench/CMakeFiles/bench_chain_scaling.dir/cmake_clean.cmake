@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_scaling.dir/bench_chain_scaling.cpp.o"
+  "CMakeFiles/bench_chain_scaling.dir/bench_chain_scaling.cpp.o.d"
+  "bench_chain_scaling"
+  "bench_chain_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

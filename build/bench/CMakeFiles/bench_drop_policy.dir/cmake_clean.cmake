@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drop_policy.dir/bench_drop_policy.cpp.o"
+  "CMakeFiles/bench_drop_policy.dir/bench_drop_policy.cpp.o.d"
+  "bench_drop_policy"
+  "bench_drop_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drop_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

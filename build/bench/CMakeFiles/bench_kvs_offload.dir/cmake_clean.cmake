@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kvs_offload.dir/bench_kvs_offload.cpp.o"
+  "CMakeFiles/bench_kvs_offload.dir/bench_kvs_offload.cpp.o.d"
+  "bench_kvs_offload"
+  "bench_kvs_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kvs_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

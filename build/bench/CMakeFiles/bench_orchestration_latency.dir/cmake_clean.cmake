@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orchestration_latency.dir/bench_orchestration_latency.cpp.o"
+  "CMakeFiles/bench_orchestration_latency.dir/bench_orchestration_latency.cpp.o.d"
+  "bench_orchestration_latency"
+  "bench_orchestration_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orchestration_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmt_passes.dir/bench_rmt_passes.cpp.o"
+  "CMakeFiles/bench_rmt_passes.dir/bench_rmt_passes.cpp.o.d"
+  "bench_rmt_passes"
+  "bench_rmt_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmt_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmt_throughput.dir/bench_rmt_throughput.cpp.o"
+  "CMakeFiles/bench_rmt_throughput.dir/bench_rmt_throughput.cpp.o.d"
+  "bench_rmt_throughput"
+  "bench_rmt_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmt_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_topology_sweep.cpp" "bench/CMakeFiles/bench_topology_sweep.dir/bench_topology_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_topology_sweep.dir/bench_topology_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/panic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/panic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/panic_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/panic_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/panic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/panic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/panic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/panic_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_sweep.dir/bench_topology_sweep.cpp.o"
+  "CMakeFiles/bench_topology_sweep.dir/bench_topology_sweep.cpp.o.d"
+  "bench_topology_sweep"
+  "bench_topology_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

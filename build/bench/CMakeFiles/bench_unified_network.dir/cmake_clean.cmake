@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unified_network.dir/bench_unified_network.cpp.o"
+  "CMakeFiles/bench_unified_network.dir/bench_unified_network.cpp.o.d"
+  "bench_unified_network"
+  "bench_unified_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unified_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

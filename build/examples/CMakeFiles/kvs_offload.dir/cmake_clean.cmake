@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_offload.dir/kvs_offload.cpp.o"
+  "CMakeFiles/kvs_offload.dir/kvs_offload.cpp.o.d"
+  "kvs_offload"
+  "kvs_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

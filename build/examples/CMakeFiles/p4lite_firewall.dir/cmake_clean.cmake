@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4lite_firewall.dir/p4lite_firewall.cpp.o"
+  "CMakeFiles/p4lite_firewall.dir/p4lite_firewall.cpp.o.d"
+  "p4lite_firewall"
+  "p4lite_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4lite_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/line_rate.cpp" "src/analysis/CMakeFiles/panic_analysis.dir/line_rate.cpp.o" "gcc" "src/analysis/CMakeFiles/panic_analysis.dir/line_rate.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/panic_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/panic_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

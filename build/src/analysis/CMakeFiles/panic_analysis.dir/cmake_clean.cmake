@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_analysis.dir/line_rate.cpp.o"
+  "CMakeFiles/panic_analysis.dir/line_rate.cpp.o.d"
+  "CMakeFiles/panic_analysis.dir/report.cpp.o"
+  "CMakeFiles/panic_analysis.dir/report.cpp.o.d"
+  "libpanic_analysis.a"
+  "libpanic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/manycore_nic.cpp" "src/baselines/CMakeFiles/panic_baselines.dir/manycore_nic.cpp.o" "gcc" "src/baselines/CMakeFiles/panic_baselines.dir/manycore_nic.cpp.o.d"
+  "/root/repo/src/baselines/nic_model.cpp" "src/baselines/CMakeFiles/panic_baselines.dir/nic_model.cpp.o" "gcc" "src/baselines/CMakeFiles/panic_baselines.dir/nic_model.cpp.o.d"
+  "/root/repo/src/baselines/pipeline_nic.cpp" "src/baselines/CMakeFiles/panic_baselines.dir/pipeline_nic.cpp.o" "gcc" "src/baselines/CMakeFiles/panic_baselines.dir/pipeline_nic.cpp.o.d"
+  "/root/repo/src/baselines/rmt_nic.cpp" "src/baselines/CMakeFiles/panic_baselines.dir/rmt_nic.cpp.o" "gcc" "src/baselines/CMakeFiles/panic_baselines.dir/rmt_nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/panic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

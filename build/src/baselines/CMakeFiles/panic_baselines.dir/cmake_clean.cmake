@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_baselines.dir/manycore_nic.cpp.o"
+  "CMakeFiles/panic_baselines.dir/manycore_nic.cpp.o.d"
+  "CMakeFiles/panic_baselines.dir/nic_model.cpp.o"
+  "CMakeFiles/panic_baselines.dir/nic_model.cpp.o.d"
+  "CMakeFiles/panic_baselines.dir/pipeline_nic.cpp.o"
+  "CMakeFiles/panic_baselines.dir/pipeline_nic.cpp.o.d"
+  "CMakeFiles/panic_baselines.dir/rmt_nic.cpp.o"
+  "CMakeFiles/panic_baselines.dir/rmt_nic.cpp.o.d"
+  "libpanic_baselines.a"
+  "libpanic_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

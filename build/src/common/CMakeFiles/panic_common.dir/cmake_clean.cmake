@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_common.dir/config.cpp.o"
+  "CMakeFiles/panic_common.dir/config.cpp.o.d"
+  "CMakeFiles/panic_common.dir/log.cpp.o"
+  "CMakeFiles/panic_common.dir/log.cpp.o.d"
+  "CMakeFiles/panic_common.dir/rng.cpp.o"
+  "CMakeFiles/panic_common.dir/rng.cpp.o.d"
+  "CMakeFiles/panic_common.dir/stats.cpp.o"
+  "CMakeFiles/panic_common.dir/stats.cpp.o.d"
+  "CMakeFiles/panic_common.dir/units.cpp.o"
+  "CMakeFiles/panic_common.dir/units.cpp.o.d"
+  "libpanic_common.a"
+  "libpanic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

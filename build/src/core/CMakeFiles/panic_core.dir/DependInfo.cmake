@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/offload_taxonomy.cpp" "src/core/CMakeFiles/panic_core.dir/offload_taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/panic_core.dir/offload_taxonomy.cpp.o.d"
+  "/root/repo/src/core/panic_nic.cpp" "src/core/CMakeFiles/panic_core.dir/panic_nic.cpp.o" "gcc" "src/core/CMakeFiles/panic_core.dir/panic_nic.cpp.o.d"
+  "/root/repo/src/core/program_factory.cpp" "src/core/CMakeFiles/panic_core.dir/program_factory.cpp.o" "gcc" "src/core/CMakeFiles/panic_core.dir/program_factory.cpp.o.d"
+  "/root/repo/src/core/rmt_engine.cpp" "src/core/CMakeFiles/panic_core.dir/rmt_engine.cpp.o" "gcc" "src/core/CMakeFiles/panic_core.dir/rmt_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/panic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/panic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/panic_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/panic_engines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

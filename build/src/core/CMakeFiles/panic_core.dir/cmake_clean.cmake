@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_core.dir/offload_taxonomy.cpp.o"
+  "CMakeFiles/panic_core.dir/offload_taxonomy.cpp.o.d"
+  "CMakeFiles/panic_core.dir/panic_nic.cpp.o"
+  "CMakeFiles/panic_core.dir/panic_nic.cpp.o.d"
+  "CMakeFiles/panic_core.dir/program_factory.cpp.o"
+  "CMakeFiles/panic_core.dir/program_factory.cpp.o.d"
+  "CMakeFiles/panic_core.dir/rmt_engine.cpp.o"
+  "CMakeFiles/panic_core.dir/rmt_engine.cpp.o.d"
+  "libpanic_core.a"
+  "libpanic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/chacha20.cpp" "src/engines/CMakeFiles/panic_engines.dir/chacha20.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/chacha20.cpp.o.d"
+  "/root/repo/src/engines/checksum_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/checksum_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/checksum_engine.cpp.o.d"
+  "/root/repo/src/engines/compression_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/compression_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/compression_engine.cpp.o.d"
+  "/root/repo/src/engines/dma_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/dma_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/dma_engine.cpp.o.d"
+  "/root/repo/src/engines/engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/engine.cpp.o.d"
+  "/root/repo/src/engines/ethernet_port.cpp" "src/engines/CMakeFiles/panic_engines.dir/ethernet_port.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/ethernet_port.cpp.o.d"
+  "/root/repo/src/engines/host_driver.cpp" "src/engines/CMakeFiles/panic_engines.dir/host_driver.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/host_driver.cpp.o.d"
+  "/root/repo/src/engines/host_memory.cpp" "src/engines/CMakeFiles/panic_engines.dir/host_memory.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/host_memory.cpp.o.d"
+  "/root/repo/src/engines/ipsec_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/ipsec_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/ipsec_engine.cpp.o.d"
+  "/root/repo/src/engines/kvs_cache_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/kvs_cache_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/kvs_cache_engine.cpp.o.d"
+  "/root/repo/src/engines/lz77.cpp" "src/engines/CMakeFiles/panic_engines.dir/lz77.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/lz77.cpp.o.d"
+  "/root/repo/src/engines/pcie_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/pcie_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/pcie_engine.cpp.o.d"
+  "/root/repo/src/engines/rate_limiter_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/rate_limiter_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/rate_limiter_engine.cpp.o.d"
+  "/root/repo/src/engines/rdma_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/rdma_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/rdma_engine.cpp.o.d"
+  "/root/repo/src/engines/regex_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/regex_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/regex_engine.cpp.o.d"
+  "/root/repo/src/engines/regex_nfa.cpp" "src/engines/CMakeFiles/panic_engines.dir/regex_nfa.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/regex_nfa.cpp.o.d"
+  "/root/repo/src/engines/sched_queue.cpp" "src/engines/CMakeFiles/panic_engines.dir/sched_queue.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/sched_queue.cpp.o.d"
+  "/root/repo/src/engines/tso_engine.cpp" "src/engines/CMakeFiles/panic_engines.dir/tso_engine.cpp.o" "gcc" "src/engines/CMakeFiles/panic_engines.dir/tso_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/panic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/panic_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

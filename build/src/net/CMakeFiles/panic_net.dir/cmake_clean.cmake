@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_net.dir/addr.cpp.o"
+  "CMakeFiles/panic_net.dir/addr.cpp.o.d"
+  "CMakeFiles/panic_net.dir/chain_header.cpp.o"
+  "CMakeFiles/panic_net.dir/chain_header.cpp.o.d"
+  "CMakeFiles/panic_net.dir/checksum.cpp.o"
+  "CMakeFiles/panic_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/panic_net.dir/headers.cpp.o"
+  "CMakeFiles/panic_net.dir/headers.cpp.o.d"
+  "CMakeFiles/panic_net.dir/message.cpp.o"
+  "CMakeFiles/panic_net.dir/message.cpp.o.d"
+  "CMakeFiles/panic_net.dir/packet.cpp.o"
+  "CMakeFiles/panic_net.dir/packet.cpp.o.d"
+  "CMakeFiles/panic_net.dir/pcap_writer.cpp.o"
+  "CMakeFiles/panic_net.dir/pcap_writer.cpp.o.d"
+  "libpanic_net.a"
+  "libpanic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_noc.dir/mesh.cpp.o"
+  "CMakeFiles/panic_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/panic_noc.dir/mesh_model.cpp.o"
+  "CMakeFiles/panic_noc.dir/mesh_model.cpp.o.d"
+  "CMakeFiles/panic_noc.dir/network_interface.cpp.o"
+  "CMakeFiles/panic_noc.dir/network_interface.cpp.o.d"
+  "CMakeFiles/panic_noc.dir/router.cpp.o"
+  "CMakeFiles/panic_noc.dir/router.cpp.o.d"
+  "libpanic_noc.a"
+  "libpanic_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmt/action.cpp" "src/rmt/CMakeFiles/panic_rmt.dir/action.cpp.o" "gcc" "src/rmt/CMakeFiles/panic_rmt.dir/action.cpp.o.d"
+  "/root/repo/src/rmt/p4lite.cpp" "src/rmt/CMakeFiles/panic_rmt.dir/p4lite.cpp.o" "gcc" "src/rmt/CMakeFiles/panic_rmt.dir/p4lite.cpp.o.d"
+  "/root/repo/src/rmt/parser.cpp" "src/rmt/CMakeFiles/panic_rmt.dir/parser.cpp.o" "gcc" "src/rmt/CMakeFiles/panic_rmt.dir/parser.cpp.o.d"
+  "/root/repo/src/rmt/phv.cpp" "src/rmt/CMakeFiles/panic_rmt.dir/phv.cpp.o" "gcc" "src/rmt/CMakeFiles/panic_rmt.dir/phv.cpp.o.d"
+  "/root/repo/src/rmt/pipeline.cpp" "src/rmt/CMakeFiles/panic_rmt.dir/pipeline.cpp.o" "gcc" "src/rmt/CMakeFiles/panic_rmt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/rmt/table.cpp" "src/rmt/CMakeFiles/panic_rmt.dir/table.cpp.o" "gcc" "src/rmt/CMakeFiles/panic_rmt.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

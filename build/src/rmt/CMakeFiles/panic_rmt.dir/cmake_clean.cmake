@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_rmt.dir/action.cpp.o"
+  "CMakeFiles/panic_rmt.dir/action.cpp.o.d"
+  "CMakeFiles/panic_rmt.dir/p4lite.cpp.o"
+  "CMakeFiles/panic_rmt.dir/p4lite.cpp.o.d"
+  "CMakeFiles/panic_rmt.dir/parser.cpp.o"
+  "CMakeFiles/panic_rmt.dir/parser.cpp.o.d"
+  "CMakeFiles/panic_rmt.dir/phv.cpp.o"
+  "CMakeFiles/panic_rmt.dir/phv.cpp.o.d"
+  "CMakeFiles/panic_rmt.dir/pipeline.cpp.o"
+  "CMakeFiles/panic_rmt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/panic_rmt.dir/table.cpp.o"
+  "CMakeFiles/panic_rmt.dir/table.cpp.o.d"
+  "libpanic_rmt.a"
+  "libpanic_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_sim.dir/simulator.cpp.o"
+  "CMakeFiles/panic_sim.dir/simulator.cpp.o.d"
+  "libpanic_sim.a"
+  "libpanic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

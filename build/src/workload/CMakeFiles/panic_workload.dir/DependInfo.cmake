@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kvs_workload.cpp" "src/workload/CMakeFiles/panic_workload.dir/kvs_workload.cpp.o" "gcc" "src/workload/CMakeFiles/panic_workload.dir/kvs_workload.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/panic_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/panic_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/panic_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/panic_workload.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/panic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/panic_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/panic_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panic_workload.dir/kvs_workload.cpp.o"
+  "CMakeFiles/panic_workload.dir/kvs_workload.cpp.o.d"
+  "CMakeFiles/panic_workload.dir/trace.cpp.o"
+  "CMakeFiles/panic_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/panic_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/panic_workload.dir/traffic_gen.cpp.o.d"
+  "libpanic_workload.a"
+  "libpanic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

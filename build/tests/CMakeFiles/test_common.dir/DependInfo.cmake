@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/ring_buffer_test.cpp" "tests/CMakeFiles/test_common.dir/common/ring_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/ring_buffer_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/units_test.cpp" "tests/CMakeFiles/test_common.dir/common/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/panic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/panic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/panic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/panic_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/panic_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/panic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/panic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/panic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/panic_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines.dir/engines/chacha20_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/chacha20_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/coverage_gaps_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/coverage_gaps_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/engine_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/engine_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/host_memory_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/host_memory_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/kvs_rdma_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/kvs_rdma_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/lz77_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/lz77_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/offload_engines_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/offload_engines_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/rate_limiter_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/rate_limiter_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/regex_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/regex_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/sched_queue_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/sched_queue_test.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/tso_test.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/tso_test.cpp.o.d"
+  "test_engines"
+  "test_engines.pdb"
+  "test_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/addr_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/addr_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/chain_header_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/chain_header_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/checksum_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/checksum_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/fuzz_robustness_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/fuzz_robustness_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/headers_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/headers_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/packet_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/packet_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/pcap_writer_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/pcap_writer_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

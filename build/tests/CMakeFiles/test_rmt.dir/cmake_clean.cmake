@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmt.dir/rmt/action_test.cpp.o"
+  "CMakeFiles/test_rmt.dir/rmt/action_test.cpp.o.d"
+  "CMakeFiles/test_rmt.dir/rmt/p4lite_test.cpp.o"
+  "CMakeFiles/test_rmt.dir/rmt/p4lite_test.cpp.o.d"
+  "CMakeFiles/test_rmt.dir/rmt/parser_test.cpp.o"
+  "CMakeFiles/test_rmt.dir/rmt/parser_test.cpp.o.d"
+  "CMakeFiles/test_rmt.dir/rmt/pipeline_test.cpp.o"
+  "CMakeFiles/test_rmt.dir/rmt/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_rmt.dir/rmt/table_test.cpp.o"
+  "CMakeFiles/test_rmt.dir/rmt/table_test.cpp.o.d"
+  "test_rmt"
+  "test_rmt.pdb"
+  "test_rmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
