@@ -35,6 +35,7 @@ void ManycoreNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
     return;
   }
   cores_[core].queue.push_back(std::move(msg));
+  request_wake(now);
 }
 
 void ManycoreNic::tick(Cycle now) {
@@ -74,6 +75,24 @@ void ManycoreNic::tick(Cycle now) {
       core.done_at = now + (t == 0 ? 1 : t);
     }
   }
+}
+
+Cycle ManycoreNic::next_wake(Cycle now) const {
+  Cycle next = kNeverWake;
+  const auto server = [&](const MessagePtr& busy, Cycle done_at,
+                          bool queued) {
+    if (busy != nullptr) {
+      const Cycle c = done_at > now + 1 ? done_at : now + 1;
+      if (c < next) next = c;
+    } else if (queued) {
+      next = now + 1;  // issues at the next tick
+    }
+  };
+  server(dma_in_service_, dma_done_at_, !dma_queue_.empty());
+  for (const Core& core : cores_) {
+    server(core.in_service, core.done_at, !core.queue.empty());
+  }
+  return next;
 }
 
 }  // namespace panic::baselines

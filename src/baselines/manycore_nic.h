@@ -43,6 +43,10 @@ class ManycoreNic : public Component, public NicModel {
 
   void tick(Cycle now) override;
 
+  /// Quiescence: sleeps until the earliest core/DMA completion; fully
+  /// quiescent when every queue and server is empty (inject_rx wakes it).
+  Cycle next_wake(Cycle now) const override;
+
  private:
   struct Core {
     std::deque<MessagePtr> queue;

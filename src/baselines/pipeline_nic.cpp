@@ -35,7 +35,11 @@ void PipelineNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
   msg->created_at = now;
   msg->nic_ingress_at = now;
   annotate_message(*msg);
-  if (!stage_push(0, std::move(msg))) ++dropped_;
+  if (!stage_push(0, std::move(msg))) {
+    ++dropped_;
+    return;
+  }
+  request_wake(now);
 }
 
 void PipelineNic::tick(Cycle now) {
@@ -70,6 +74,21 @@ void PipelineNic::tick(Cycle now) {
       st.done_at = now + (t == 0 ? 1 : t);
     }
   }
+}
+
+Cycle PipelineNic::next_wake(Cycle now) const {
+  Cycle next = kNeverWake;
+  for (const StageState& st : stages_) {
+    if (st.in_service != nullptr) {
+      // A completed-but-blocked packet (done_at <= now) retries every
+      // cycle, matching the dense kernel's back-pressure propagation.
+      const Cycle c = st.done_at > now + 1 ? st.done_at : now + 1;
+      if (c < next) next = c;
+    } else if (!st.queue.empty()) {
+      next = now + 1;
+    }
+  }
+  return next;
 }
 
 }  // namespace panic::baselines

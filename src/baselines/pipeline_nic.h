@@ -39,6 +39,10 @@ class PipelineNic : public Component, public NicModel {
 
   void tick(Cycle now) override;
 
+  /// Quiescence: sleeps until the earliest stage completion (a stalled
+  /// stage retries every cycle); quiescent when the wire is empty.
+  Cycle next_wake(Cycle now) const override;
+
  private:
   struct StageState {
     OffloadSpec spec;

@@ -25,6 +25,7 @@ void RmtNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
   msg->nic_ingress_at = now;
   annotate_message(*msg);
   in_pipeline_.emplace_back(std::move(msg), now + config_.pipeline_latency);
+  request_wake(now);
 }
 
 void RmtNic::tick(Cycle now) {
@@ -76,6 +77,26 @@ void RmtNic::tick(Cycle now) {
     host_queue_.pop_front();
     host_done_at_ = now + config_.host_software_cycles;
   }
+}
+
+Cycle RmtNic::next_wake(Cycle now) const {
+  Cycle next = kNeverWake;
+  const auto at = [&](Cycle c) {
+    const Cycle eff = c > now + 1 ? c : now + 1;
+    if (eff < next) next = eff;
+  };
+  if (!in_pipeline_.empty()) at(in_pipeline_.front().second);
+  if (dma_in_service_ != nullptr) {
+    at(dma_done_at_);
+  } else if (!dma_queue_.empty()) {
+    at(now + 1);
+  }
+  if (host_in_service_ != nullptr) {
+    at(host_done_at_);
+  } else if (!host_queue_.empty()) {
+    at(now + 1);
+  }
+  return next;
 }
 
 }  // namespace panic::baselines

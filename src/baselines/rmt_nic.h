@@ -45,6 +45,10 @@ class RmtNic : public Component, public NicModel {
 
   void tick(Cycle now) override;
 
+  /// Quiescence: sleeps until the earliest pipeline exit, DMA completion,
+  /// or host-software completion; quiescent when all queues are empty.
+  Cycle next_wake(Cycle now) const override;
+
  private:
   RmtNicConfig config_;
   std::vector<OffloadSpec> heavy_;

@@ -12,6 +12,7 @@ RmtEngine::RmtEngine(std::string name, noc::NetworkInterface* ni,
       pipeline_(std::move(program)),
       queue_(config.sched_policy, config.input_queue) {
   assert(ni_ != nullptr);
+  ni_->set_client(this);
 }
 
 void RmtEngine::tick(Cycle now) {
@@ -62,6 +63,17 @@ void RmtEngine::tick(Cycle now) {
     out_.pop_front();
     ni_->inject(std::move(msg), dst, now);
   }
+}
+
+Cycle RmtEngine::next_wake(Cycle now) const {
+  // Output staging retries every cycle (the NI can free a slot any time);
+  // a non-empty input queue issues one message per cycle.
+  if (!out_.empty() || !queue_.empty()) return now + 1;
+  if (!in_flight_.empty()) {
+    const Cycle ready = in_flight_.next_ready();
+    return ready > now + 1 ? ready : now + 1;
+  }
+  return kNeverWake;
 }
 
 }  // namespace panic::core

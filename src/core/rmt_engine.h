@@ -38,6 +38,11 @@ class RmtEngine : public Component {
 
   void tick(Cycle now) override;
 
+  /// Quiescence: sleeps until the earliest in-flight message exits the
+  /// pipeline once the input queue and output staging are drained; fully
+  /// quiescent when all three are empty (arrivals wake it via the NI).
+  Cycle next_wake(Cycle now) const override;
+
   std::uint64_t messages_processed() const { return processed_; }
   std::uint64_t messages_dropped() const { return dropped_; }
   std::uint64_t queue_drops() const { return queue_.dropped(); }

@@ -12,6 +12,7 @@ Engine::Engine(std::string name, noc::NetworkInterface* ni,
       queue_(config.sched_policy, config.queue_capacity,
              config.drop_policy) {
   assert(ni_ != nullptr);
+  ni_->set_client(this);
 }
 
 void Engine::drain_arrivals(Cycle now) {
@@ -27,9 +28,11 @@ void Engine::drain_arrivals(Cycle now) {
 }
 
 void Engine::emit(MessagePtr msg, EngineId dst, Cycle now) {
-  (void)now;
   assert(msg != nullptr);
   out_.push_back(Outbound{std::move(msg), dst});
+  // emit() is also an external entry point (e.g. a MAC's deliver_rx), so
+  // a quiescent engine must wake to drain its staging buffer.
+  request_wake(now);
 }
 
 void Engine::forward_along_chain(MessagePtr msg, Cycle now) {
@@ -73,11 +76,23 @@ void Engine::tick(Cycle now) {
     if (t == 0) t = 1;
     service_hist_.record(t);
     service_done_ = now + t;
+    busy_cycles_ += t;
   }
 
-  if (in_service_ != nullptr) ++busy_cycles_;
-
   drain_output(now);
+}
+
+Cycle Engine::next_wake(Cycle now) const {
+  // Staging buffer drains one message per tick while the NI has room, and
+  // the NI can free a slot any cycle — retry every cycle until empty.
+  if (!out_.empty()) return now + 1;
+  // Nothing to do before the in-service message completes; arrivals in
+  // between wake us through the NI and are absorbed by drain_arrivals.
+  if (in_service_ != nullptr) return service_done_;
+  // Queued but not started: only possible when staging is configured too
+  // small to ever admit work; keep dense behaviour.
+  if (!queue_.empty()) return now + 1;
+  return kNeverWake;
 }
 
 }  // namespace panic::engines

@@ -51,8 +51,16 @@ class Engine : public Component {
 
   void tick(Cycle now) final;
 
+  /// Quiescence: an engine sleeps until its in-service message completes
+  /// once its staging buffer is drained, and goes fully quiescent when the
+  /// scheduler queue and in-flight work are empty.  Arrivals wake it via
+  /// the NI client hook; emit() self-wakes.
+  Cycle next_wake(Cycle now) const final;
+
   // --- Counters. ---
   std::uint64_t messages_processed() const { return processed_; }
+  /// Total service cycles of messages whose service started (accrued at
+  /// service start so it is independent of the kernel's tick schedule).
   std::uint64_t busy_cycles() const { return busy_cycles_; }
   const Histogram& service_histogram() const { return service_hist_; }
 

@@ -15,6 +15,8 @@ void PcieEngine::ring_tx_doorbell(std::uint64_t descriptor_addr, Cycle now) {
   auto doorbell = make_message(MessageKind::kDoorbell);
   doorbell->dma_addr = descriptor_addr;
   queue().try_enqueue(std::move(doorbell), now);
+  // Doorbells arrive from the host driver, outside the NI wake path.
+  request_wake(now);
 }
 
 void PcieEngine::handle_doorbell(Message& msg, Cycle now) {

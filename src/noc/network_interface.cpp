@@ -13,10 +13,10 @@ NetworkInterface::NetworkInterface(EngineId tile, std::uint32_t channel_bits,
       inject_depth_(inject_depth) {
   assert(router_ != nullptr);
   assert(channel_bits_ > 0);
+  router_->set_local_sink(this);
 }
 
 void NetworkInterface::inject(MessagePtr msg, EngineId dst, Cycle now) {
-  (void)now;
   assert(can_inject());
   assert(msg != nullptr);
   PendingMessage p;
@@ -24,6 +24,7 @@ void NetworkInterface::inject(MessagePtr msg, EngineId dst, Cycle now) {
   p.msg = std::move(msg);
   p.dst = dst;
   pending_.push_back(std::move(p));
+  request_wake(now);  // start segmenting at the next tick
 }
 
 MessagePtr NetworkInterface::try_receive(Cycle now) {
@@ -59,8 +60,18 @@ void NetworkInterface::tick(Cycle now) {
       assert(flit->msg != nullptr);
       received_.push_back(std::move(flit->msg));
       ++messages_received_;
+      if (client_ != nullptr) client_->request_wake(now);
     }
   }
+}
+
+Cycle NetworkInterface::next_wake(Cycle now) const {
+  // Segmentation pending: one flit per cycle (retrying while the router's
+  // local input is full).  Otherwise sleep until the next ejected flit —
+  // next_ready() is kNeverWake when the eject queue is empty.
+  if (!pending_.empty()) return now + 1;
+  const Cycle eject = router_->eject_queue().next_ready();
+  return eject > now + 1 ? eject : now + 1;
 }
 
 }  // namespace panic::noc

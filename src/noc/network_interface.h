@@ -24,6 +24,10 @@ class NetworkInterface : public Component {
 
   EngineId tile() const { return tile_; }
 
+  /// Registers the component consuming reassembled messages (normally the
+  /// engine on this tile); it is woken whenever try_receive has work.
+  void set_client(Component* client) { client_ = client; }
+
   /// True if another message can be queued for injection.
   bool can_inject() const { return pending_.size() < inject_depth_; }
 
@@ -36,6 +40,10 @@ class NetworkInterface : public Component {
   /// Pushes at most one flit per cycle into the router and drains at most
   /// one ejected flit per cycle (matching the single local port).
   void tick(Cycle now) override;
+
+  /// Quiescent when there is nothing to segment and nothing to eject;
+  /// inject() and the router's eject path wake it.
+  Cycle next_wake(Cycle now) const override;
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_received() const { return messages_received_; }
@@ -53,6 +61,7 @@ class NetworkInterface : public Component {
   std::uint32_t channel_bits_;
   Router* router_;
   std::size_t inject_depth_;
+  Component* client_ = nullptr;
 
   std::deque<PendingMessage> pending_;   // segmentation in progress
   std::deque<MessagePtr> received_;      // reassembled, waiting for engine

@@ -49,6 +49,7 @@ void Router::accept(Direction from, Flit flit, Cycle now) {
   const bool ok = q.try_push(std::move(flit), now + 1);
   assert(ok);
   (void)ok;
+  request_wake(now + 1);  // the flit's ready cycle
 }
 
 bool Router::permitted(Direction dir, EngineId dst) const {
@@ -93,6 +94,7 @@ void Router::forward(Direction out, Flit flit, Cycle now) {
     const bool ok = eject_.try_push(std::move(flit), now + 1);
     assert(ok);
     (void)ok;
+    if (local_sink_ != nullptr) local_sink_->request_wake(now + 1);
     return;
   }
   Router* n = neighbors_[static_cast<int>(out)];
@@ -142,6 +144,20 @@ void Router::tick(Cycle now) {
     if (flit.msg != nullptr) ++flit.msg->noc_hops;  // tail flit carries msg
     forward(out, std::move(flit), now);
   }
+}
+
+Cycle Router::next_wake(Cycle now) const {
+  // Each input FIFO's head is its earliest-ready flit (ready stamps are
+  // monotonic per port).  A head that is already routable but stalled on a
+  // full downstream retries every cycle so stall accounting matches the
+  // dense kernel.
+  Cycle next = kNeverWake;
+  for (const auto& q : inputs_) {
+    if (q.empty()) continue;
+    const Cycle ready = q.next_ready() > now + 1 ? q.next_ready() : now + 1;
+    if (ready < next) next = ready;
+  }
+  return next;
 }
 
 }  // namespace panic::noc

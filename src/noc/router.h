@@ -64,9 +64,19 @@ class Router : public Component {
 
   /// The local ejection queue the attached network interface drains.
   TimedQueue<Flit>& eject_queue() { return eject_; }
+  const TimedQueue<Flit>& eject_queue() const { return eject_; }
+
+  /// Registers the component draining the eject queue (the attached NI);
+  /// it is woken whenever a flit is ejected toward it.
+  void set_local_sink(Component* sink) { local_sink_ = sink; }
 
   /// One allocation + switch traversal cycle.
   void tick(Cycle now) override;
+
+  /// Quiescent when every input FIFO is empty (arriving flits wake the
+  /// router via accept()); otherwise sleeps until the earliest head flit
+  /// becomes routable.
+  Cycle next_wake(Cycle now) const override;
 
   // --- Counters for experiments. ---
   std::uint64_t flits_routed() const { return flits_routed_; }
@@ -91,6 +101,7 @@ class Router : public Component {
   std::array<TimedQueue<Flit>, kNumPorts> inputs_;
   std::array<Router*, kNumPorts> neighbors_{};
   TimedQueue<Flit> eject_;
+  Component* local_sink_ = nullptr;
 
   /// Wormhole state: which input currently owns each output (-1 = free).
   std::array<int, kNumPorts> output_owner_;

@@ -2,6 +2,8 @@
 // engines, RMT stages, traffic generators.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "common/units.h"
@@ -15,8 +17,29 @@ class Simulator;
 /// produces outputs that become visible in later cycles (queues and links
 /// carry ready-cycle timestamps, so ordering between components within one
 /// cycle does not matter).
+///
+/// Activity contract (the quiescence/wake protocol): after each tick the
+/// simulator asks `next_wake(now)` for the next cycle at which this
+/// component must tick again *absent external input*:
+///
+///   * `now + 1`   — stay active (the default: dense, every-cycle ticking);
+///   * a later cycle — sleep with a deadline (e.g. an engine mid-service
+///     sleeps until the service completes, a traffic source until its next
+///     injection time);
+///   * `kNeverWake` — fully quiescent: tick again only when woken.
+///
+/// Anything that hands a quiescent component work — a NoC link delivering
+/// a flit, a queue enqueue, a DMA completion, a scheduled injection — must
+/// wake it through `request_wake`.  A correct implementation is therefore
+/// conservative: when in doubt, return `now + 1`; a tick that finds nothing
+/// to do must be an observable no-op, so spurious wake-ups are always safe,
+/// while a missed wake-up stalls the component.  In strict-tick mode the
+/// contract is ignored and every component ticks every cycle.
 class Component {
  public:
+  /// Sentinel for "quiescent until woken".
+  static constexpr Cycle kNeverWake = std::numeric_limits<Cycle>::max();
+
   explicit Component(std::string name) : name_(std::move(name)) {}
   virtual ~Component() = default;
 
@@ -28,8 +51,27 @@ class Component {
   /// Advance one clock cycle.  `now` is the cycle being executed.
   virtual void tick(Cycle now) = 0;
 
+  /// Next cycle at which tick() must run again absent external wake-ups.
+  /// Consulted by the simulator immediately after tick(now) returns; the
+  /// component inspects its own post-tick state.  See the class comment.
+  virtual Cycle next_wake(Cycle now) const { return now + 1; }
+
+  /// Requests that this component be ticked at cycle `at` (clamped into
+  /// the simulator's present).  Safe to call from anywhere — other
+  /// components, event callbacks, workload drivers, tests.  A no-op when
+  /// the component is not registered with a simulator (manually ticked
+  /// unit tests) or the simulator runs in strict-tick mode.
+  void request_wake(Cycle at);
+
+  /// The simulator this component is registered with (nullptr if none).
+  Simulator* simulator() const { return sim_; }
+
  private:
+  friend class Simulator;
+
   std::string name_;
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;  ///< registration index within the simulator
 };
 
 }  // namespace panic

@@ -1,15 +1,97 @@
 #include "sim/simulator.h"
 
+#include <cassert>
 #include <utility>
 
 namespace panic {
+
+void Component::request_wake(Cycle at) {
+  if (sim_ != nullptr) sim_->wake(this, at);
+}
+
+void Simulator::add(Component* c) {
+  assert(c != nullptr);
+  assert((c->sim_ == nullptr || c->sim_ == this) &&
+         "component registered with two simulators");
+  c->sim_ = this;
+  c->slot_ = static_cast<std::uint32_t>(slots_.size());
+  components_.push_back(c);
+  slots_.push_back(Slot{c, false, Component::kNeverWake});
+  if (mode_ == SimMode::kEventDriven) activate(c->slot_);
+}
 
 void Simulator::schedule_at(Cycle cycle, std::function<void()> fn) {
   if (cycle < now_) cycle = now_;  // late events fire on the next step
   events_.push(Event{cycle, next_seq_++, std::move(fn)});
 }
 
+void Simulator::wake(Component* c, Cycle at) {
+  if (mode_ == SimMode::kStrictTick) return;  // everything ticks anyway
+  assert(c->sim_ == this && "wake() for a component of another simulator");
+  wake_slot(c->slot_, at);
+}
+
+void Simulator::wake_slot(std::uint32_t slot, Cycle at) {
+  Cycle eff = at < now_ ? now_ : at;
+  // A component whose tick already ran this cycle (its slot is at or
+  // before the one currently ticking) first observes the caller's effect
+  // at the next cycle — exactly like the dense kernel, where its tick
+  // preceded the caller's action within this cycle.
+  if (phase_ == Phase::kTick && slot <= current_slot_ && eff <= now_) {
+    eff = now_ + 1;
+  }
+  if (eff <= now_) {
+    activate(slot);
+  } else {
+    push_wake(slot, eff);
+  }
+}
+
+void Simulator::activate(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.active) return;
+  s.active = true;
+  active_.insert(slot);
+  ++wakeups_;
+}
+
+void Simulator::push_wake(std::uint32_t slot, Cycle cycle) {
+  Slot& s = slots_[slot];
+  if (cycle >= s.pending_wake) return;  // an earlier wake-up already queued
+  s.pending_wake = cycle;
+  wake_queue_.push(Wake{cycle, slot});
+}
+
+Cycle Simulator::next_scheduled_cycle() const {
+  Cycle t = Component::kNeverWake;
+  if (!events_.empty() && events_.top().cycle < t) t = events_.top().cycle;
+  if (!wake_queue_.empty() && wake_queue_.top().cycle < t) {
+    t = wake_queue_.top().cycle;
+  }
+  return t;
+}
+
+void Simulator::fast_forward_to(Cycle limit) {
+  Cycle target = next_scheduled_cycle();
+  if (target > limit) target = limit;
+  if (target > now_) {
+    fast_forwarded_ += target - now_;
+    now_ = target;
+  }
+}
+
 void Simulator::step() {
+  if (mode_ == SimMode::kEventDriven) {
+    while (!wake_queue_.empty() && wake_queue_.top().cycle <= now_) {
+      const Wake w = wake_queue_.top();
+      wake_queue_.pop();
+      Slot& s = slots_[w.slot];
+      if (s.pending_wake == w.cycle) s.pending_wake = Component::kNeverWake;
+      activate(w.slot);
+    }
+  }
+
+  phase_ = Phase::kEvents;
   while (!events_.empty() && events_.top().cycle <= now_) {
     // Copy out before pop: the callback may schedule new events.
     auto fn = events_.top().fn;
@@ -17,15 +99,44 @@ void Simulator::step() {
     ++events_executed_;
     fn();
   }
-  for (Component* c : components_) {
-    c->tick(now_);
+
+  phase_ = Phase::kTick;
+  if (mode_ == SimMode::kStrictTick) {
+    for (Component* c : components_) {
+      c->tick(now_);
+      ++component_ticks_;
+    }
+  } else {
+    // Tick active components in slot (registration) order.  wake() may
+    // insert later slots mid-iteration (they are visited this cycle, as
+    // in dense mode) and defers earlier ones to the next cycle.
+    for (auto it = active_.begin(); it != active_.end();) {
+      const std::uint32_t slot = *it;
+      current_slot_ = slot;
+      Component* c = slots_[slot].c;
+      c->tick(now_);
+      ++component_ticks_;
+      const Cycle nw = c->next_wake(now_);
+      if (nw <= now_ + 1) {
+        ++it;  // stays active
+      } else {
+        slots_[slot].active = false;
+        it = active_.erase(it);
+        if (nw != Component::kNeverWake) push_wake(slot, nw);
+      }
+    }
   }
+  phase_ = Phase::kIdle;
+
   ++now_;
 }
 
 void Simulator::run(Cycles cycles) {
   const Cycle end = now_ + cycles;
-  while (now_ < end) step();
+  while (now_ < end) {
+    step();
+    if (can_fast_forward() && now_ < end) fast_forward_to(end);
+  }
 }
 
 bool Simulator::run_until(const std::function<bool()>& done,
@@ -34,6 +145,13 @@ bool Simulator::run_until(const std::function<bool()>& done,
   while (now_ < end) {
     if (done()) return true;
     step();
+    if (can_fast_forward() && now_ < end) {
+      // The predicate is polled before jumping so the reported `now()` on
+      // success matches strict mode (the cycle after the one that made it
+      // true), and nothing can change it inside the gap.
+      if (done()) return true;
+      fast_forward_to(end);
+    }
   }
   return done();
 }

@@ -1,14 +1,34 @@
-// Cycle-driven simulation kernel.
+// Event-driven simulation kernel with a dense-tick reference mode.
 //
 // The kernel advances a single global clock (the paper analyses the NIC at
-// one core frequency, e.g. 500 MHz, §4.2).  Per cycle it first fires any
-// events scheduled for that cycle (DMA completions, timer expirations,
-// packet-injection times), then ticks every registered component once.
+// one core frequency, e.g. 500 MHz, §4.2).  Per executed cycle it first
+// activates components whose wake-up is due, then fires any events
+// scheduled for that cycle (DMA completions, timer expirations,
+// packet-injection times), then ticks components once.
+//
+// Two modes:
+//
+//   * kEventDriven (default) — only *active* components tick.  After each
+//     tick a component reports its next required cycle via
+//     `Component::next_wake`; sleepers are parked in a wake queue and
+//     anything handing work to a quiescent component wakes it through
+//     `Component::request_wake`.  When the active set is empty the clock
+//     fast-forwards to the next pending event or wake-up, so idle gaps in
+//     bursty workloads cost no wall-clock time.
+//   * kStrictTick — every registered component ticks every cycle (the
+//     original dense kernel).  Wake bookkeeping is bypassed entirely.
+//
+// Both modes are cycle-identical: for every executed cycle the same events
+// fire and the same non-no-op ticks run in the same registration order
+// (quiescent components' ticks are observable no-ops by contract), so
+// statistics and final cycle counts match exactly.  The equivalence is
+// pinned by tests/sim/kernel_equivalence_test.cpp.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "common/units.h"
@@ -16,24 +36,44 @@
 
 namespace panic {
 
+/// Kernel scheduling discipline.
+enum class SimMode : std::uint8_t {
+  kEventDriven,  ///< tick only active components; fast-forward idle gaps
+  kStrictTick,   ///< tick every component every cycle (reference mode)
+};
+
 class Simulator {
  public:
-  explicit Simulator(Frequency clock = Frequency::megahertz(500))
-      : clock_(clock) {}
+  explicit Simulator(Frequency clock = Frequency::megahertz(500),
+                     SimMode mode = SimMode::kEventDriven)
+      : clock_(clock), mode_(mode) {}
 
-  /// Registers a component to be ticked every cycle.  The simulator does not
-  /// own components; the NIC composition that creates them must outlive the
-  /// simulator run.
-  void add(Component* c) { components_.push_back(c); }
+  SimMode mode() const { return mode_; }
 
-  /// Schedules `fn` to run at the start of `cycle` (>= now, else runs next
-  /// processed cycle).  Events at the same cycle run in scheduling order.
+  /// Registers a component.  The simulator does not own components; the
+  /// NIC composition that creates them must outlive the simulator run.
+  /// Newly added components start active (their first tick decides whether
+  /// they sleep).
+  void add(Component* c);
+
+  /// Schedules `fn` to run at the start of `cycle`.  Events at the same
+  /// cycle run in scheduling order.  A `cycle` in the past (or equal to
+  /// the current cycle once the event phase has passed) is deterministic
+  /// in both modes: the event fires at the start of the next executed
+  /// cycle, and fast-forward never skips it — see
+  /// tests/sim/simulator_test.cpp (LateEvent*).
   void schedule_at(Cycle cycle, std::function<void()> fn);
 
   /// Schedules `fn` to run `delay` cycles from now.
   void schedule_in(Cycles delay, std::function<void()> fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
+
+  /// Activates `c` so it ticks at cycle `at` (clamped to the present; a
+  /// component that already ticked this cycle is deferred to the next one,
+  /// exactly when a dense tick would first observe the caller's effect).
+  /// No-op in strict-tick mode.
+  void wake(Component* c, Cycle at);
 
   Cycle now() const { return now_; }
   Frequency clock() const { return clock_; }
@@ -42,14 +82,29 @@ class Simulator {
   /// Runs exactly `cycles` cycles.
   void run(Cycles cycles);
 
-  /// Runs until `done()` returns true or `max_cycles` elapse.  Returns true
-  /// if the predicate fired.
+  /// Runs until `done()` returns true or `max_cycles` elapse.  Returns
+  /// true if the predicate fired.  The predicate is polled once per
+  /// *executed* cycle; cycles skipped by fast-forward cannot change its
+  /// value because no component runs in them.
   bool run_until(const std::function<bool()>& done, Cycles max_cycles);
 
-  /// Executes one cycle: pending events for `now`, then all component ticks.
+  /// Executes one cycle: due wake-ups, pending events for `now`, then
+  /// component ticks.  Never fast-forwards (single-stepping tests rely on
+  /// one call == one cycle).
   void step();
 
+  // --- Kernel counters (work accounting for benches and tests). ---
   std::uint64_t events_executed() const { return events_executed_; }
+  /// Total Component::tick invocations across the run.
+  std::uint64_t component_ticks() const { return component_ticks_; }
+  /// Transitions of a component from quiescent to active.
+  std::uint64_t wakeups() const { return wakeups_; }
+  /// Cycles skipped without executing (empty active set, no due work).
+  std::uint64_t fast_forwarded_cycles() const { return fast_forwarded_; }
+  /// Number of currently active components.
+  std::size_t active_components() const {
+    return mode_ == SimMode::kStrictTick ? slots_.size() : active_.size();
+  }
 
  private:
   struct Event {
@@ -64,12 +119,54 @@ class Simulator {
     }
   };
 
+  struct Slot {
+    Component* c = nullptr;
+    bool active = false;
+    /// Earliest future wake-up already queued for this slot (dedups heap
+    /// pushes; stale heap entries are ignored on pop).
+    Cycle pending_wake = Component::kNeverWake;
+  };
+  struct Wake {
+    Cycle cycle;
+    std::uint32_t slot;
+  };
+  struct WakeOrder {
+    bool operator()(const Wake& a, const Wake& b) const {
+      return a.cycle > b.cycle;
+    }
+  };
+
+  enum class Phase : std::uint8_t { kIdle, kEvents, kTick };
+
+  void wake_slot(std::uint32_t slot, Cycle at);
+  void activate(std::uint32_t slot);
+  void push_wake(std::uint32_t slot, Cycle cycle);
+  /// Earliest cycle with pending work (event or wake-up); kNeverWake if none.
+  Cycle next_scheduled_cycle() const;
+  bool can_fast_forward() const {
+    return mode_ == SimMode::kEventDriven && active_.empty();
+  }
+  /// Jumps the clock to the next pending work, capped at `limit`.
+  void fast_forward_to(Cycle limit);
+
   Frequency clock_;
+  SimMode mode_;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::vector<Component*> components_;
+  std::uint64_t component_ticks_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t fast_forwarded_ = 0;
+
+  std::vector<Component*> components_;  // registration order (slot order)
+  std::vector<Slot> slots_;
+  /// Active slots, ordered by slot so the tick order matches strict mode.
+  std::set<std::uint32_t> active_;
+  std::priority_queue<Wake, std::vector<Wake>, WakeOrder> wake_queue_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint32_t current_slot_ = 0;  ///< valid only during Phase::kTick
 };
 
 }  // namespace panic

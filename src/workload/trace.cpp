@@ -154,4 +154,13 @@ void TraceReplayer::tick(Cycle now) {
   }
 }
 
+Cycle TraceReplayer::next_wake(Cycle now) const {
+  if (done()) return kNeverWake;
+  if (!started_) return now + 1;  // base_ is anchored at the first tick
+  std::int64_t due = static_cast<std::int64_t>(records_[next_].cycle) + base_;
+  if (due < 0) due = 0;
+  const auto cycle = static_cast<Cycle>(due);
+  return cycle > now + 1 ? cycle : now + 1;
+}
+
 }  // namespace panic::workload

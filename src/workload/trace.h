@@ -70,6 +70,10 @@ class TraceReplayer : public Component {
 
   void tick(Cycle now) override;
 
+  /// Quiescence: sleeps until the next record is due; quiescent for good
+  /// once the trace is exhausted.
+  Cycle next_wake(Cycle now) const override;
+
   bool done() const { return next_ >= records_.size(); }
   std::uint64_t replayed() const { return replayed_; }
   std::uint64_t skipped() const { return skipped_; }

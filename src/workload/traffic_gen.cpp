@@ -1,6 +1,8 @@
 #include "workload/traffic_gen.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace panic::workload {
 
@@ -59,6 +61,22 @@ void TrafficSource::tick(Cycle now) {
     ++generated_;
     schedule_next(now);
   }
+}
+
+Cycle TrafficSource::next_wake(Cycle now) const {
+  if (done()) return kNeverWake;
+  if (!started_) return now + 1;  // anchor at the next executed cycle
+
+  // A frame at fractional time t is emitted on the first cycle >= t.
+  const auto emit_cycle = static_cast<Cycle>(std::ceil(next_emit_));
+  const Cycle emit = std::max(emit_cycle, now + 1);
+  if (config_.pattern != ArrivalPattern::kOnOff) return emit;
+
+  // On/off also needs to observe the phase boundary: to resume emitting
+  // when an off phase ends, and to re-anchor next_emit_ when a new burst
+  // starts.
+  const Cycle flip = std::max(phase_end_, now + 1);
+  return in_burst_ ? std::min(emit, flip) : flip;
 }
 
 }  // namespace panic::workload

@@ -45,6 +45,10 @@ class TrafficSource : public Component {
 
   void tick(Cycle now) override;
 
+  /// Quiescence: sleeps until the next emission (or on/off phase flip) and
+  /// goes quiescent for good once max_frames is reached.
+  Cycle next_wake(Cycle now) const override;
+
   std::uint64_t generated() const { return generated_; }
   bool done() const {
     return config_.max_frames != 0 && generated_ >= config_.max_frames;
