@@ -65,10 +65,12 @@ RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
       static_cast<Cycles>(gap * static_cast<double>(frames)) + 5000;
   sim.run(horizon);
 
+  const auto snap = sim.snapshot();
   RunResult r;
-  r.delivered_ratio = static_cast<double>(nic.dma().packets_to_host()) /
-                      static_cast<double>(frames);
-  r.p99 = nic.dma().host_delivery_latency().p99();
+  r.delivered_ratio =
+      static_cast<double>(snap.counter("engine.dma.packets_to_host")) /
+      static_cast<double>(frames);
+  r.p99 = static_cast<std::uint64_t>(snap.at("engine.dma.host_latency").p99);
   return r;
 }
 

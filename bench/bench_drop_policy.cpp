@@ -62,15 +62,20 @@ Result run(engines::DropPolicy policy) {
 
   sim2.run(300000);
 
+  const auto snap = sim2.snapshot();
   Result r;
-  const auto& t1 = nic2.dma().host_delivery_latency(TenantId{1});
-  const auto& t2 = nic2.dma().host_delivery_latency(TenantId{2});
-  r.mouse_delivery = static_cast<double>(t1.count()) /
-                     static_cast<double>(mouse.generated());
-  r.mouse_p99 = t1.p99();
-  r.flood_delivery = static_cast<double>(t2.count()) /
-                     static_cast<double>(flood.generated());
-  r.drops = nic2.dma().queue().dropped();
+  // find(): a tenant that never had a packet delivered has no histogram.
+  const telemetry::MetricValue empty;
+  const auto* f1 = snap.find("engine.dma.host_latency.tenant.1");
+  const auto* f2 = snap.find("engine.dma.host_latency.tenant.2");
+  const auto& t1 = f1 != nullptr ? *f1 : empty;
+  const auto& t2 = f2 != nullptr ? *f2 : empty;
+  r.mouse_delivery = static_cast<double>(t1.count) /
+                     static_cast<double>(snap.counter("workload.mouse.generated"));
+  r.mouse_p99 = static_cast<std::uint64_t>(t1.p99);
+  r.flood_delivery = static_cast<double>(t2.count) /
+                     static_cast<double>(snap.counter("workload.flood.generated"));
+  r.drops = snap.counter("engine.dma.queue.dropped");
   return r;
 }
 

@@ -21,8 +21,8 @@ const Ipv4Addr kBulkClient(10, 2, 0, 9);
 const Ipv4Addr kServer(10, 0, 0, 1);
 
 struct TenantLatency {
-  Histogram mouse;
-  Histogram bulk;
+  telemetry::MetricValue mouse;
+  telemetry::MetricValue bulk;
   std::uint64_t drops = 0;
 };
 
@@ -62,10 +62,11 @@ TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
 
   sim.run(400000);
 
+  const auto snap = sim.snapshot();
   TenantLatency out;
-  out.mouse = nic.dma().host_delivery_latency(TenantId{1});
-  out.bulk = nic.dma().host_delivery_latency(TenantId{2});
-  out.drops = nic.dma().queue().dropped();
+  out.mouse = snap.at("engine.dma.host_latency.tenant.1");
+  out.bulk = snap.at("engine.dma.host_latency.tenant.2");
+  out.drops = snap.counter("engine.dma.queue.dropped");
   return out;
 }
 
@@ -88,11 +89,11 @@ int main() {
           {strf("1/%.0f cyc", gap),
            policy == engines::SchedPolicy::kFifo ? "FIFO (baseline)"
                                                  : "slack (PANIC)",
-           strf("%llu", static_cast<unsigned long long>(r.mouse.p50())),
-           strf("%llu", static_cast<unsigned long long>(r.mouse.p99())),
-           strf("%llu", static_cast<unsigned long long>(r.mouse.max())),
-           strf("%llu", static_cast<unsigned long long>(r.bulk.p50())),
-           strf("%llu", static_cast<unsigned long long>(r.mouse.count()))});
+           strf("%llu", static_cast<unsigned long long>(r.mouse.p50)),
+           strf("%llu", static_cast<unsigned long long>(r.mouse.p99)),
+           strf("%llu", static_cast<unsigned long long>(r.mouse.max)),
+           strf("%llu", static_cast<unsigned long long>(r.bulk.p50)),
+           strf("%llu", static_cast<unsigned long long>(r.mouse.count))});
     }
   }
   report.print("Per-tenant host-delivery latency under shared DMA");

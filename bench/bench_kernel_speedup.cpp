@@ -13,9 +13,14 @@
 // cross-checked (the kernels are cycle-identical by contract), so the
 // speedup is measured on provably-equivalent simulations.  Results go to
 // stdout and, machine-readable, to BENCH_kernel_speedup.json.
+//
+// `--smoke` shrinks the horizons, enables per-message tracing, and writes
+// BENCH_kernel_speedup.trace.json (Chrome trace_event format) — used by CI
+// to validate the trace export end to end.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/panic_nic.h"
@@ -25,6 +30,8 @@
 using namespace panic;
 
 namespace {
+
+bool g_smoke = false;
 
 const Ipv4Addr kBulkClient(10, 2, 0, 9);
 const Ipv4Addr kInterClient(10, 1, 0, 2);
@@ -51,6 +58,7 @@ struct Scenario {
 
 RunResult run_scenario(const Scenario& sc, SimMode mode) {
   Simulator sim(Frequency::megahertz(500), mode);
+  if (g_smoke) sim.telemetry().tracer().enable();
   core::PanicConfig cfg;
   cfg.mesh.k = 4;
   cfg.tenant_slacks = {{1, 10}, {2, 100000}};
@@ -84,27 +92,41 @@ RunResult run_scenario(const Scenario& sc, SimMode mode) {
   sim.run(sc.cycles);
   const auto stop = std::chrono::steady_clock::now();
 
+  const auto snap = sim.snapshot();
   RunResult r;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
   r.ns_per_cycle = r.wall_ms * 1e6 / static_cast<double>(sc.cycles);
-  r.component_ticks = sim.component_ticks();
-  r.fast_forwarded = sim.fast_forwarded_cycles();
-  r.delivered = nic.dma().packets_to_host();
-  r.flits = nic.mesh().total_flits_routed();
-  r.generated = bulk.generated() + inter.generated();
+  r.component_ticks = snap.counter("kernel.component_ticks");
+  r.fast_forwarded = snap.counter("kernel.fast_forwarded_cycles");
+  r.delivered = snap.counter("engine.dma.packets_to_host");
+  r.flits = static_cast<std::uint64_t>(snap.value("noc.flits_routed"));
+  r.generated =
+      static_cast<std::uint64_t>(snap.sum("workload.", ".generated"));
+
+  if (g_smoke) {
+    sim.telemetry().tracer().write_chrome_json(
+        "BENCH_kernel_speedup.trace.json", Frequency::megahertz(500));
+  }
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+
   // ~2% duty cycle for the idle-heavy shape; the saturated shape never
   // pauses (off=0 keeps every burst back-to-back).
-  const Scenario scenarios[] = {
+  Scenario scenarios[] = {
       {"idle_heavy", 1000, 49000, 15.0, 2000000},
       {"saturated", 50000, 0, 15.0, 500000},
   };
+  if (g_smoke) {
+    for (Scenario& sc : scenarios) sc.cycles /= 20;
+  }
 
   std::string json = "{\n  \"bench\": \"kernel_speedup\",\n  \"scenarios\": [";
   bool first = true;

@@ -37,6 +37,11 @@ KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
   cfg.kvs_capacity = cache_entries;
   core::PanicNic nic(cfg, sim);
 
+  auto& metrics = sim.telemetry().metrics();
+  const auto& to_host = metrics.counter("engine.dma.packets_to_host");
+  const auto& kvs_hits = metrics.counter("engine.kvs.hits");
+  const auto& kvs_misses = metrics.counter("engine.kvs.misses");
+
   Histogram reply_latency;
   std::uint64_t replies = 0;
   nic.eth_port(0).set_tx_sink([&](const Message& msg, Cycle now) {
@@ -63,12 +68,11 @@ KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
       ++warm_sets;
       sim.run(150);  // below the DMA engine's service rate
     }
-    sim.run_until(
-        [&] { return nic.dma().packets_to_host() >= warm_sets; }, 4000000);
+    sim.run_until([&] { return to_host >= warm_sets; }, 4000000);
   }
-  const auto host_after_warm = nic.dma().packets_to_host();
-  const auto hits0 = nic.kvs().hits();
-  const auto misses0 = nic.kvs().misses();
+  const auto host_after_warm = to_host;
+  const auto hits0 = kvs_hits;
+  const auto misses0 = kvs_misses;
 
   // Measure: Zipf GET stream.
   workload::KvsWorkloadConfig wcfg;
@@ -86,15 +90,14 @@ KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
   sim.add(&src);
   sim.run_until(
       [&] {
-        const auto served =
-            replies + (nic.dma().packets_to_host() - host_after_warm);
+        const auto served = replies + (to_host - host_after_warm);
         return src.done() && served >= tcfg.max_frames;
       },
       3000000);
 
   KvsResult r;
-  const auto hits = nic.kvs().hits() - hits0;
-  const auto misses = nic.kvs().misses() - misses0;
+  const auto hits = kvs_hits - hits0;
+  const auto misses = kvs_misses - misses0;
   const auto gets = hits + misses;
   r.hit_rate = gets ? static_cast<double>(hits) / static_cast<double>(gets)
                     : 0.0;

@@ -30,16 +30,19 @@ std::vector<std::uint8_t> encrypted() {
   return engines::IpsecEngine::encapsulate(plain(), 0x1001, 1);
 }
 
-/// Unloaded latency: inject `n` packets one at a time, report the mean.
-template <typename InjectFn, typename CountFn, typename HistFn>
-double measure(Simulator& sim, InjectFn inject, CountFn count,
-               HistFn hist, int n) {
+/// Unloaded latency: inject `n` packets one at a time, report the mean of
+/// the latency histogram `hist_name` from the simulator's metrics registry
+/// (`count_name` is the delivered-packet counter polled between packets).
+template <typename InjectFn>
+double measure(Simulator& sim, InjectFn inject, const std::string& count_name,
+               const std::string& hist_name, int n) {
+  const auto& count = sim.telemetry().metrics().counter(count_name);
   for (int i = 0; i < n; ++i) {
-    const auto before = count();
+    const auto before = count;
     inject();
-    sim.run_until([&] { return count() > before; }, 1000000);
+    sim.run_until([&] { return count > before; }, 1000000);
   }
-  return hist().mean();
+  return sim.snapshot().at(hist_name).mean;
 }
 
 }  // namespace
@@ -63,18 +66,12 @@ int main() {
     core::PanicNic nic(cfg, sim);
     panic_plain = measure(
         sim, [&] { nic.inject_rx(0, plain(), sim.now()); },
-        [&] { return nic.dma().packets_to_host(); },
-        [&]() -> const Histogram& { return nic.dma().host_delivery_latency(); },
-        n);
+        "engine.dma.packets_to_host", "engine.dma.host_latency", n);
     Simulator sim2;
     core::PanicNic nic2(cfg, sim2);
     panic_esp = measure(
         sim2, [&] { nic2.inject_rx(0, encrypted(), sim2.now()); },
-        [&] { return nic2.dma().packets_to_host(); },
-        [&]() -> const Histogram& {
-          return nic2.dma().host_delivery_latency();
-        },
-        n);
+        "engine.dma.packets_to_host", "engine.dma.host_latency", n);
     report.add_row({"PANIC", strf("%.2f", panic_plain * 0.002),
                     strf("%.2f", panic_esp * 0.002),
                     strf("%.0f", panic_plain), strf("%.0f", panic_esp)});
@@ -86,15 +83,13 @@ int main() {
                                sim);
     const double lat_plain = measure(
         sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
-        [&] { return nic.packets_to_host(); },
-        [&]() -> const Histogram& { return nic.host_latency(); }, n);
+        "baseline.pipe.delivered", "baseline.pipe.host_latency", n);
     Simulator sim2;
     baselines::PipelineNic nic2("pipe", specs,
                                 baselines::PipelineNicConfig{}, sim2);
     const double lat_esp = measure(
         sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
-        [&] { return nic2.packets_to_host(); },
-        [&]() -> const Histogram& { return nic2.host_latency(); }, n);
+        "baseline.pipe.delivered", "baseline.pipe.host_latency", n);
     report.add_row({"pipeline (bump-in-wire)", strf("%.2f", lat_plain * 0.002),
                     strf("%.2f", lat_esp * 0.002), strf("%.0f", lat_plain),
                     strf("%.0f", lat_esp)});
@@ -106,14 +101,12 @@ int main() {
     baselines::ManycoreNic nic("mc", specs, mcfg, sim);
     const double lat_plain = measure(
         sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
-        [&] { return nic.packets_to_host(); },
-        [&]() -> const Histogram& { return nic.host_latency(); }, n);
+        "baseline.mc.delivered", "baseline.mc.host_latency", n);
     Simulator sim2;
     baselines::ManycoreNic nic2("mc", specs, mcfg, sim2);
     const double lat_esp = measure(
         sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
-        [&] { return nic2.packets_to_host(); },
-        [&]() -> const Histogram& { return nic2.host_latency(); }, n);
+        "baseline.mc.delivered", "baseline.mc.host_latency", n);
     report.add_row({"manycore (CPU orchestration)",
                     strf("%.2f", lat_plain * 0.002),
                     strf("%.2f", lat_esp * 0.002), strf("%.0f", lat_plain),
@@ -125,14 +118,12 @@ int main() {
     baselines::RmtNic nic("rmt", specs, baselines::RmtNicConfig{}, sim);
     const double lat_plain = measure(
         sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
-        [&] { return nic.packets_to_host(); },
-        [&]() -> const Histogram& { return nic.host_latency(); }, n);
+        "baseline.rmt.delivered", "baseline.rmt.host_latency", n);
     Simulator sim2;
     baselines::RmtNic nic2("rmt", specs, baselines::RmtNicConfig{}, sim2);
     const double lat_esp = measure(
         sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
-        [&] { return nic2.packets_to_host(); },
-        [&]() -> const Histogram& { return nic2.host_latency(); }, n);
+        "baseline.rmt.delivered", "baseline.rmt.host_latency", n);
     report.add_row({"RMT-only (FlexNIC)", strf("%.2f", lat_plain * 0.002),
                     strf("%.2f", lat_esp * 0.002), strf("%.0f", lat_plain),
                     strf("%.0f", lat_esp)});

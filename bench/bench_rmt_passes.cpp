@@ -104,16 +104,18 @@ ModeResult run(bool per_hop, int chain_len) {
       workload::make_min_frame_factory(kClient, kServer), tcfg);
   sim.add(&src);
 
-  sim.run_until(
-      [&] { return nic.dma().packets_to_host() >= tcfg.max_frames; },
-      1000000);
+  const auto& to_host =
+      sim.telemetry().metrics().counter("engine.dma.packets_to_host");
+  sim.run_until([&] { return to_host >= tcfg.max_frames; }, 1000000);
 
+  const auto snap = sim.snapshot();
   ModeResult r;
-  const auto delivered = nic.dma().packets_to_host();
-  r.passes_per_packet = static_cast<double>(nic.total_rmt_passes()) /
-                        static_cast<double>(delivered ? delivered : 1);
-  r.mean_latency = static_cast<std::uint64_t>(
-      nic.dma().host_delivery_latency().mean());
+  const auto delivered = snap.counter("engine.dma.packets_to_host");
+  r.passes_per_packet =
+      static_cast<double>(snap.sum("rmt.", ".processed")) /
+      static_cast<double>(delivered ? delivered : 1);
+  r.mean_latency =
+      static_cast<std::uint64_t>(snap.at("engine.dma.host_latency").mean);
   return r;
 }
 

@@ -45,9 +45,9 @@ double measure_rmt_rate(int rmt_engines, int ports) {
 
   const Cycles warmup = 2000, measure = 20000;
   sim.run(warmup);
-  const auto before = nic.total_rmt_passes();
+  const auto before = sim.snapshot().sum("rmt.", ".processed");
   sim.run(measure);
-  return static_cast<double>(nic.total_rmt_passes() - before) /
+  return (sim.snapshot().sum("rmt.", ".processed") - before) /
          static_cast<double>(measure);
 }
 

@@ -123,9 +123,14 @@ int main() {
                 static_cast<unsigned long long>(stats.packets),
                 static_cast<unsigned long long>(stats.bytes));
   }
+  // The custom engine registered itself under engine.telemetry.* simply by
+  // being added to the simulator — no extra code in TelemetryEngine.
+  const auto snap = sim.snapshot();
   std::printf("\npackets to host: %llu (all passed through telemetry)\n",
-              static_cast<unsigned long long>(nic.dma().packets_to_host()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.packets_to_host")));
   std::printf("telemetry engine processed: %llu\n",
-              static_cast<unsigned long long>(telemetry.messages_processed()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.telemetry.processed")));
   return 0;
 }

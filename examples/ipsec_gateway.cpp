@@ -75,35 +75,46 @@ int main() {
   }
   sim.run(50000);
 
+  const auto snap = sim.snapshot();
+  const auto rx_busy = snap.counter("engine.ipsec_rx.busy_cycles");
+  const auto& lat = snap.at("engine.dma.host_latency");
   std::printf("--- IPSec gateway after %.1f us ---\n", sim.now_ns() / 1e3);
   std::printf("host TX frames encrypted:    %llu of %llu posted\n",
-              static_cast<unsigned long long>(nic.ipsec_tx().encrypted()),
+              static_cast<unsigned long long>(
+                  snap.counter("engine.ipsec_tx.encrypted")),
               static_cast<unsigned long long>(
                   nic.host_driver().frames_posted()));
   std::printf("ESP frames decrypted:        %llu (auth failures: %llu)\n",
-              static_cast<unsigned long long>(nic.ipsec_rx().decrypted()),
-              static_cast<unsigned long long>(nic.ipsec_rx().auth_failures()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.ipsec_rx.decrypted")),
+              static_cast<unsigned long long>(
+                  snap.counter("engine.ipsec_rx.auth_failures")));
   std::printf("packets delivered to host:   %llu\n",
-              static_cast<unsigned long long>(nic.dma().packets_to_host()));
-  std::printf("RMT passes:                  %llu (= clear x1 + ESP x2)\n",
-              static_cast<unsigned long long>(nic.total_rmt_passes()));
-  std::printf("host-delivery latency:       %s\n",
-              nic.dma().host_delivery_latency().summary().c_str());
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.packets_to_host")));
+  std::printf("RMT passes:                  %.0f (= clear x1 + ESP x2)\n",
+              snap.value("nic.rmt_passes"));
+  std::printf("host-delivery latency:       n=%llu mean=%.1f p50=%llu "
+              "p99=%llu cycles\n",
+              static_cast<unsigned long long>(lat.count), lat.mean,
+              static_cast<unsigned long long>(lat.p50),
+              static_cast<unsigned long long>(lat.p99));
   std::printf("IPSec engine busy cycles:    %llu (%.1f%% utilization)\n",
-              static_cast<unsigned long long>(nic.ipsec_rx().busy_cycles()),
-              100.0 * static_cast<double>(nic.ipsec_rx().busy_cycles()) /
+              static_cast<unsigned long long>(rx_busy),
+              100.0 * static_cast<double>(rx_busy) /
                   static_cast<double>(sim.now()));
 
   // A tampered packet is dropped by the engine, not delivered.
   auto evil = engines::IpsecEngine::encapsulate(
       frames::min_udp(wan_peer, server), 0x2001, esp_seq++);
   evil[evil.size() - 3] ^= 0xFF;
-  const auto host_before = nic.dma().packets_to_host();
+  const auto host_before = snap.counter("engine.dma.packets_to_host");
   nic.inject_rx(0, std::move(evil), sim.now());
   sim.run(20000);
   std::printf("\ntampered ESP frame: auth failures now %llu, host still %llu"
               " packets (dropped on the NIC)\n",
-              static_cast<unsigned long long>(nic.ipsec_rx().auth_failures()),
+              static_cast<unsigned long long>(
+                  sim.snapshot().counter("engine.ipsec_rx.auth_failures")),
               static_cast<unsigned long long>(host_before));
   std::printf("wrote %llu TX frames to ipsec_gateway_tx.pcap\n",
               static_cast<unsigned long long>(pcap.frames_written()));

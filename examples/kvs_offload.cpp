@@ -49,7 +49,9 @@ int main() {
                   sim.now());
     sim.run(150);
   }
-  sim.run_until([&] { return nic.kvs().sets() >= 1024; }, 1000000);
+  const auto& kvs_sets =
+      sim.telemetry().metrics().counter("engine.kvs.sets");
+  sim.run_until([&] { return kvs_sets >= 1024; }, 1000000);
 
   // Tenant 1: LAN clients, interactive GETs on port 0.
   workload::KvsWorkloadConfig lan;
@@ -81,26 +83,29 @@ int main() {
                                   wan_traffic);
   sim.add(&wan_src);
 
-  const auto host_before = nic.dma().packets_to_host();
+  const auto host_before =
+      sim.snapshot().counter("engine.dma.packets_to_host");
   sim.run(3000 * 400 + 200000);
 
-  const auto gets = nic.kvs().hits() + nic.kvs().misses() - 0;
+  const auto snap = sim.snapshot();
+  const auto hits = snap.counter("engine.kvs.hits");
+  const auto gets = hits + snap.counter("engine.kvs.misses");
   std::printf("\n--- results after %.1f us simulated ---\n",
               sim.now_ns() / 1000.0);
   std::printf("GETs processed by cache engine: %llu\n",
               static_cast<unsigned long long>(gets));
   std::printf("cache hit rate:                 %.1f%%\n",
-              100.0 * static_cast<double>(nic.kvs().hits()) /
+              100.0 * static_cast<double>(hits) /
                   static_cast<double>(gets ? gets : 1));
   std::printf("replies served from NIC:        %llu (%llu encrypted)\n",
               static_cast<unsigned long long>(replies),
               static_cast<unsigned long long>(encrypted_replies));
   std::printf("misses steered to host:         %llu\n",
-              static_cast<unsigned long long>(nic.dma().packets_to_host() -
-                                              host_before));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.packets_to_host") - host_before));
   std::printf("reply latency (cycles @500MHz): %s\n",
               reply_latency.summary().c_str());
-  std::printf("RMT passes total:               %llu\n",
-              static_cast<unsigned long long>(nic.total_rmt_passes()));
+  std::printf("RMT passes total:               %.0f\n",
+              snap.value("nic.rmt_passes"));
   return 0;
 }

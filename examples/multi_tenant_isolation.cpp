@@ -57,22 +57,25 @@ int main(int argc, char** argv) {
 
   sim.run(500000);  // 1 ms at 500 MHz
 
-  const auto& t1 = nic.dma().host_delivery_latency(TenantId{1});
-  const auto& t2 = nic.dma().host_delivery_latency(TenantId{2});
+  const auto snap = sim.snapshot();
+  const auto& t1 = snap.at("engine.dma.host_latency.tenant.1");
+  const auto& t2 = snap.at("engine.dma.host_latency.tenant.2");
   std::printf("--- scheduling policy: %s ---\n", fifo ? "FIFO" : "slack");
   std::printf("interactive tenant (n=%llu): p50=%llu p99=%llu max=%llu cyc\n",
-              static_cast<unsigned long long>(t1.count()),
-              static_cast<unsigned long long>(t1.p50()),
-              static_cast<unsigned long long>(t1.p99()),
-              static_cast<unsigned long long>(t1.max()));
+              static_cast<unsigned long long>(t1.count),
+              static_cast<unsigned long long>(t1.p50),
+              static_cast<unsigned long long>(t1.p99),
+              static_cast<unsigned long long>(t1.max));
   std::printf("bulk tenant        (n=%llu): p50=%llu p99=%llu max=%llu cyc\n",
-              static_cast<unsigned long long>(t2.count()),
-              static_cast<unsigned long long>(t2.p50()),
-              static_cast<unsigned long long>(t2.p99()),
-              static_cast<unsigned long long>(t2.max()));
-  std::printf("DMA queue: max depth %zu, drops %llu\n",
-              nic.dma().queue().max_depth(),
-              static_cast<unsigned long long>(nic.dma().queue().dropped()));
+              static_cast<unsigned long long>(t2.count),
+              static_cast<unsigned long long>(t2.p50),
+              static_cast<unsigned long long>(t2.p99),
+              static_cast<unsigned long long>(t2.max));
+  std::printf("DMA queue: max depth %llu, drops %llu\n",
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.queue.max_depth")),
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.queue.dropped")));
   std::printf(
       "\n(1 cycle = 2 ns.  Compare both policies: slack keeps the\n"
       "interactive tenant's p99 near the unloaded DMA latency; FIFO\n"

@@ -80,15 +80,19 @@ int main() {
 
   sim.run(20000);
 
+  const auto snap = sim.snapshot();
   std::printf("--- P4-lite firewall results ---\n");
   std::printf("dropped at the pipeline (ACL):   %llu\n",
               static_cast<unsigned long long>(
-                  nic.rmt(0).messages_dropped() +
-                  nic.rmt(1).messages_dropped()));
+                  snap.counter("rmt.rmt0.dropped") +
+                  snap.counter("rmt.rmt1.dropped")));
   std::printf("scanned by the DPI engine:       %llu (matched: %llu)\n",
-              static_cast<unsigned long long>(nic.regex().scanned()),
-              static_cast<unsigned long long>(nic.regex().matched()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.regex.scanned")),
+              static_cast<unsigned long long>(
+                  snap.counter("engine.regex.matched")));
   std::printf("delivered to host:               %llu of 4 injected\n",
-              static_cast<unsigned long long>(nic.dma().packets_to_host()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.packets_to_host")));
   return 0;
 }

@@ -17,6 +17,9 @@ using namespace panic;
 int main() {
   // A 4x4-mesh NIC: 2x100G ports, 2 RMT engines, the full offload set.
   Simulator sim(Frequency::megahertz(500));
+  // Opt-in per-message tracing: every RMT pass, NoC hop, queue event and
+  // service window is recorded and exported below for chrome://tracing.
+  sim.telemetry().tracer().enable();
   core::PanicConfig config;
   config.mesh.k = 4;
   config.mesh.channel_bits = 128;
@@ -48,21 +51,42 @@ int main() {
 
   sim.run(5000);
 
+  // Every component published its counters into the simulator's metrics
+  // registry; one snapshot() call reads them all by hierarchical name.
+  const auto snap = sim.snapshot();
   std::printf("\n--- NIC statistics after %.0f ns ---\n", sim.now_ns());
-  std::printf("RMT pipeline passes:        %llu\n",
-              static_cast<unsigned long long>(nic.total_rmt_passes()));
+  std::printf("RMT pipeline passes:        %.0f\n",
+              snap.value("nic.rmt_passes"));
   std::printf("packets delivered to host:  %llu\n",
-              static_cast<unsigned long long>(nic.dma().packets_to_host()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.dma.packets_to_host")));
   std::printf("KVS cache: %llu hit / %llu miss / %llu set\n",
-              static_cast<unsigned long long>(nic.kvs().hits()),
-              static_cast<unsigned long long>(nic.kvs().misses()),
-              static_cast<unsigned long long>(nic.kvs().sets()));
+              static_cast<unsigned long long>(snap.counter("engine.kvs.hits")),
+              static_cast<unsigned long long>(
+                  snap.counter("engine.kvs.misses")),
+              static_cast<unsigned long long>(snap.counter("engine.kvs.sets")));
   std::printf("RDMA replies generated:     %llu\n",
-              static_cast<unsigned long long>(nic.rdma().replies_generated()));
+              static_cast<unsigned long long>(
+                  snap.counter("engine.rdma.replies_generated")));
   std::printf("interrupts: %llu delivered, %llu coalesced\n",
-              static_cast<unsigned long long>(nic.pcie().interrupts_delivered()),
-              static_cast<unsigned long long>(nic.pcie().interrupts_coalesced()));
-  std::printf("host-delivery latency:      %s\n",
-              nic.dma().host_delivery_latency().summary().c_str());
+              static_cast<unsigned long long>(
+                  snap.counter("engine.pcie.interrupts_delivered")),
+              static_cast<unsigned long long>(
+                  snap.counter("engine.pcie.interrupts_coalesced")));
+  const auto& lat = snap.at("engine.dma.host_latency");
+  std::printf("host-delivery latency:      n=%llu mean=%.1f p50=%llu "
+              "p99=%llu max=%llu cycles\n",
+              static_cast<unsigned long long>(lat.count), lat.mean,
+              static_cast<unsigned long long>(lat.p50),
+              static_cast<unsigned long long>(lat.p99),
+              static_cast<unsigned long long>(lat.max));
+
+  // Dump the message timeline: open chrome://tracing (or ui.perfetto.dev)
+  // and load quickstart.trace.json to see each packet hop engine to engine.
+  if (sim.telemetry().tracer().write_chrome_json("quickstart.trace.json",
+                                                 sim.clock())) {
+    std::printf("wrote quickstart.trace.json (%zu events)\n",
+                sim.telemetry().tracer().events().size());
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::baselines {
 
 ManycoreNic::ManycoreNic(std::string name, std::vector<OffloadSpec> offloads,
@@ -93,6 +95,15 @@ Cycle ManycoreNic::next_wake(Cycle now) const {
     server(core.in_service, core.done_at, !core.queue.empty());
   }
   return next;
+}
+
+void ManycoreNic::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string prefix = "baseline." + name() + ".";
+  m.expose_counter(prefix + "delivered", &delivered_);
+  m.expose_counter(prefix + "dropped", &dropped_);
+  m.expose_histogram(prefix + "host_latency", &latency_);
 }
 
 }  // namespace panic::baselines

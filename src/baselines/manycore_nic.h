@@ -41,6 +41,9 @@ class ManycoreNic : public Component, public NicModel {
   std::uint64_t packets_to_host() const override { return delivered_; }
   std::uint64_t packets_dropped() const override { return dropped_; }
 
+  /// Publishes `baseline.<name>.*` metrics.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
   void tick(Cycle now) override;
 
   /// Quiescence: sleeps until the earliest core/DMA completion; fully

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::baselines {
 
 PipelineNic::PipelineNic(std::string name, std::vector<OffloadSpec> offloads,
@@ -89,6 +91,15 @@ Cycle PipelineNic::next_wake(Cycle now) const {
     }
   }
   return next;
+}
+
+void PipelineNic::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string prefix = "baseline." + name() + ".";
+  m.expose_counter(prefix + "delivered", &delivered_);
+  m.expose_counter(prefix + "dropped", &dropped_);
+  m.expose_histogram(prefix + "host_latency", &latency_);
 }
 
 }  // namespace panic::baselines

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::baselines {
 
 RmtNic::RmtNic(std::string name, std::vector<OffloadSpec> heavy_offloads,
@@ -97,6 +99,16 @@ Cycle RmtNic::next_wake(Cycle now) const {
     at(now + 1);
   }
   return next;
+}
+
+void RmtNic::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string prefix = "baseline." + name() + ".";
+  m.expose_counter(prefix + "delivered", &delivered_);
+  m.expose_counter(prefix + "dropped", &dropped_);
+  m.expose_counter(prefix + "punted", &punted_);
+  m.expose_histogram(prefix + "host_latency", &latency_);
 }
 
 }  // namespace panic::baselines

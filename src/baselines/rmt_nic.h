@@ -43,6 +43,9 @@ class RmtNic : public Component, public NicModel {
   std::uint64_t packets_dropped() const override { return dropped_; }
   std::uint64_t packets_punted() const { return punted_; }
 
+  /// Publishes `baseline.<name>.*` metrics.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
   void tick(Cycle now) override;
 
   /// Quiescence: sleeps until the earliest pipeline exit, DMA completion,

@@ -1,8 +1,32 @@
 #include "common/log.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
 namespace panic {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+LogLevel Log::level_ = Log::init_from_env();
+
+LogLevel Log::parse_level(std::string_view name, LogLevel fallback) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel Log::init_from_env() {
+  const char* env = std::getenv("PANIC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  return parse_level(env, LogLevel::kWarn);
+}
 
 namespace {
 const char* level_name(LogLevel lvl) {

@@ -1,6 +1,10 @@
 // Minimal leveled logger.  The simulator is single-threaded per run, so this
 // is deliberately simple: a global level, printf-style formatting, and a
 // compile-away fast path when the level is disabled.
+//
+// The initial level is kWarn, overridable with the PANIC_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off, case-insensitive),
+// e.g. `PANIC_LOG_LEVEL=debug ./build/examples/quickstart`.
 #pragma once
 
 #include <cstdarg>
@@ -18,11 +22,17 @@ class Log {
   static void set_level(LogLevel lvl) { level_ = lvl; }
   static bool enabled(LogLevel lvl) { return lvl >= level_; }
 
+  /// Parses a level name ("debug", "WARN", ...); falls back to `fallback`
+  /// on unknown input.
+  static LogLevel parse_level(std::string_view name, LogLevel fallback);
+
   /// Writes "[LEVEL] tag: message\n" to stderr.
   static void write(LogLevel lvl, std::string_view tag, const char* fmt, ...)
       __attribute__((format(printf, 3, 4)));
 
  private:
+  static LogLevel init_from_env();
+
   static LogLevel level_;
 };
 

@@ -177,6 +177,10 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
     aux->lookup_table().set_default(home_rmt());
     aux_.push_back(aux);
   }
+
+  sim.telemetry().metrics().expose_gauge("nic.rmt_passes", [this] {
+    return static_cast<double>(total_rmt_passes());
+  });
 }
 
 void PanicNic::inject_rx(int port, std::vector<std::uint8_t> frame,

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "common/log.h"
+#include "telemetry/telemetry.h"
+
 namespace panic::core {
 
 RmtEngine::RmtEngine(std::string name, noc::NetworkInterface* ni,
@@ -33,7 +36,12 @@ void RmtEngine::tick(Cycle now) {
     // visible after the pipeline's latency.
     const auto result = pipeline_.process(*msg);
     if (result.drop || (!result.parsed && msg->kind == MessageKind::kPacket)) {
+      trace(telemetry::TraceEventKind::kDrop, now, msg->id);
       ++dropped_;
+      PANIC_TRACE("rmt", "%s: pipeline dropped message %llu (%s)",
+                  name().c_str(),
+                  static_cast<unsigned long long>(msg->id.value),
+                  result.drop ? "policy drop" : "unparsed packet");
     } else {
       in_flight_.try_push(std::move(msg), now + pipeline_.latency_cycles());
     }
@@ -50,6 +58,8 @@ void RmtEngine::tick(Cycle now) {
     } else {
       next = lookup_.route(*msg);
     }
+    trace(telemetry::TraceEventKind::kRmtClassify, now, msg->id,
+          next.has_value() ? next->value : 0);
     if (next.has_value() && *next != id()) {
       out_.emplace_back(std::move(msg), *next);
     }
@@ -63,6 +73,16 @@ void RmtEngine::tick(Cycle now) {
     out_.pop_front();
     ni_->inject(std::move(msg), dst, now);
   }
+}
+
+void RmtEngine::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string prefix = "rmt." + name() + ".";
+  m.expose_counter(prefix + "processed", &processed_);
+  m.expose_counter(prefix + "dropped", &dropped_);
+  queue_.register_metrics(m, prefix + "queue");
+  queue_.bind_tracer(tracer(), trace_tag());
 }
 
 Cycle RmtEngine::next_wake(Cycle now) const {

@@ -47,6 +47,9 @@ class RmtEngine : public Component {
   std::uint64_t messages_dropped() const { return dropped_; }
   std::uint64_t queue_drops() const { return queue_.dropped(); }
 
+  /// Publishes `rmt.<name>.*` metrics and attaches the message tracer.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  private:
   noc::NetworkInterface* ni_;
   rmt::Pipeline pipeline_;

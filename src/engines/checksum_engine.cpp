@@ -4,6 +4,7 @@
 
 #include "net/checksum.h"
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 namespace {
@@ -99,6 +100,13 @@ bool ChecksumEngine::process(Message& msg, Cycle now) {
     ++skipped_;
   }
   return true;
+}
+
+void ChecksumEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "checksummed", &done_);
+  m.expose_counter(metric_prefix() + "skipped", &skipped_);
 }
 
 }  // namespace panic::engines

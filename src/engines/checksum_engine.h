@@ -21,6 +21,8 @@ class ChecksumEngine : public Engine {
   std::uint64_t checksummed() const { return done_; }
   std::uint64_t skipped() const { return skipped_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
   /// Computes the L4 checksum of `frame` in place.  Returns false if the
   /// frame carries no UDP/TCP.  Exposed for tests and for the software
   /// verification path.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 namespace {
@@ -62,6 +63,15 @@ bool CompressionEngine::process(Message& msg, Cycle now) {
     ++failed_;  // pass the message through unchanged
   }
   return true;
+}
+
+void CompressionEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "processed_ok", &ok_);
+  m.expose_counter(metric_prefix() + "failed", &failed_);
+  m.expose_counter(metric_prefix() + "bytes_in", &bytes_in_);
+  m.expose_counter(metric_prefix() + "bytes_out", &bytes_out_);
 }
 
 }  // namespace panic::engines

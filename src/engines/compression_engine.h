@@ -34,6 +34,8 @@ class CompressionEngine : public Engine {
   std::uint64_t bytes_in() const { return bytes_in_; }
   std::uint64_t bytes_out() const { return bytes_out_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

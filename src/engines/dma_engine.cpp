@@ -3,7 +3,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::engines {
+
+void DmaEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string p = metric_prefix();
+  m.expose_counter(p + "packets_to_host", &packets_to_host_);
+  m.expose_counter(p + "reads_served", &reads_served_);
+  m.expose_counter(p + "writes_served", &writes_served_);
+  m.expose_histogram(p + "host_latency", &delivery_hist_);
+  // Per-tenant splits that already exist; later ones register lazily.
+  for (auto& [tenant, hist] : per_tenant_hist_) {
+    m.expose_histogram(p + "host_latency.tenant." + std::to_string(tenant),
+                       &hist);
+  }
+}
 
 DmaEngine::DmaEngine(std::string name, noc::NetworkInterface* ni,
                      const EngineConfig& config, const DmaConfig& dma,
@@ -48,8 +65,21 @@ bool DmaEngine::process(Message& msg, Cycle now) {
       next_ring_addr_ += (msg.data.size() + 63) & ~63ull;
       ++packets_to_host_;
       if (now >= msg.nic_ingress_at) {
-        delivery_hist_.record(now - msg.nic_ingress_at);
-        per_tenant_hist_[msg.tenant.value].record(now - msg.nic_ingress_at);
+        const Cycles latency = now - msg.nic_ingress_at;
+        delivery_hist_.record(latency);
+        auto it = per_tenant_hist_.find(msg.tenant.value);
+        if (it == per_tenant_hist_.end()) {
+          it = per_tenant_hist_.emplace(msg.tenant.value, Histogram{}).first;
+          if (telemetry() != nullptr) {
+            telemetry()->metrics().expose_histogram(
+                metric_prefix() + "host_latency.tenant." +
+                    std::to_string(msg.tenant.value),
+                &it->second);
+          }
+        }
+        it->second.record(latency);
+        trace(telemetry::TraceEventKind::kHostDeliver, now, msg.id,
+              static_cast<std::uint32_t>(latency));
       }
       // §3.2: after the DMA completes, notify the PCIe engine so it can
       // (conditionally) raise an interrupt.

@@ -51,6 +51,10 @@ class DmaEngine : public Engine {
     return per_tenant_hist_[tenant.value];
   }
 
+  /// Adds host-delivery counters + latency histograms (per-tenant splits
+  /// register lazily as "engine.<name>.host_latency.tenant.<id>").
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

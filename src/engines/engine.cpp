@@ -2,7 +2,20 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::engines {
+
+void Engine::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string p = metric_prefix();
+  m.expose_counter(p + "processed", &processed_);
+  m.expose_counter(p + "busy_cycles", &busy_cycles_);
+  m.expose_histogram(p + "service_cycles", &service_hist_);
+  queue_.register_metrics(m, "engine." + name() + ".queue");
+  queue_.bind_tracer(tracer(), trace_tag());
+}
 
 Engine::Engine(std::string name, noc::NetworkInterface* ni,
                const EngineConfig& config)
@@ -29,6 +42,7 @@ void Engine::drain_arrivals(Cycle now) {
 
 void Engine::emit(MessagePtr msg, EngineId dst, Cycle now) {
   assert(msg != nullptr);
+  trace(telemetry::TraceEventKind::kEmit, now, msg->id, dst.value);
   out_.push_back(Outbound{std::move(msg), dst});
   // emit() is also an external entry point (e.g. a MAC's deliver_rx), so
   // a quiescent engine must wake to drain its staging buffer.
@@ -64,6 +78,8 @@ void Engine::tick(Cycle now) {
     MessagePtr msg = std::move(in_service_);
     ++msg->engines_visited;
     ++processed_;
+    trace(telemetry::TraceEventKind::kServiceEnd, now, msg->id,
+          static_cast<std::uint32_t>(service_cycles_));
     if (process(*msg, now)) {
       forward_along_chain(std::move(msg), now);
     }
@@ -76,7 +92,10 @@ void Engine::tick(Cycle now) {
     if (t == 0) t = 1;
     service_hist_.record(t);
     service_done_ = now + t;
+    service_cycles_ = t;
     busy_cycles_ += t;
+    trace(telemetry::TraceEventKind::kServiceStart, now, in_service_->id,
+          static_cast<std::uint32_t>(t));
   }
 
   drain_output(now);

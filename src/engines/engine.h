@@ -57,7 +57,15 @@ class Engine : public Component {
   /// the NI client hook; emit() self-wakes.
   Cycle next_wake(Cycle now) const final;
 
-  // --- Counters. ---
+  /// Publishes processed/busy_cycles/service histogram and the scheduler
+  /// queue's counters under "engine.<name>.*".  Subclasses with extra
+  /// counters override AND call this first.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
+  // --- Deprecated counter getters. ---
+  // Kept for one release as thin forwarders; new code reads the registry
+  // via Simulator::snapshot() ("engine.<name>.processed" etc.).  See the
+  // deprecation note in DESIGN.md §Telemetry.
   std::uint64_t messages_processed() const { return processed_; }
   /// Total service cycles of messages whose service started (accrued at
   /// service start so it is independent of the kernel's tick schedule).
@@ -92,6 +100,9 @@ class Engine : public Component {
     return out_.size() + n <= config_.output_staging;
   }
 
+  /// Root of this engine's metric names: "engine.<name>.".
+  std::string metric_prefix() const { return "engine." + name() + "."; }
+
  private:
   void drain_arrivals(Cycle now);
   void drain_output(Cycle now);
@@ -104,6 +115,7 @@ class Engine : public Component {
   // In-service message (at most one; engines are single-server).
   MessagePtr in_service_;
   Cycle service_done_ = 0;
+  Cycles service_cycles_ = 0;  ///< duration of the current service window
 
   struct Outbound {
     MessagePtr msg;

@@ -2,7 +2,25 @@
 
 #include <cmath>
 
+#include "common/log.h"
+#include "telemetry/telemetry.h"
+
 namespace panic::engines {
+
+void EthernetPortEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string p = metric_prefix();
+  m.expose_gauge(p + "rx_packets",
+                 [this] { return static_cast<double>(rx_meter_.packets()); });
+  m.expose_gauge(p + "rx_bytes",
+                 [this] { return static_cast<double>(rx_meter_.bytes()); });
+  m.expose_gauge(p + "tx_packets",
+                 [this] { return static_cast<double>(tx_meter_.packets()); });
+  m.expose_gauge(p + "tx_bytes",
+                 [this] { return static_cast<double>(tx_meter_.bytes()); });
+  m.expose_histogram(p + "tx_latency", &tx_latency_);
+}
 
 EthernetPortEngine::EthernetPortEngine(std::string name,
                                        noc::NetworkInterface* ni,
@@ -25,9 +43,13 @@ void EthernetPortEngine::deliver_rx(std::vector<std::uint8_t> frame_bytes,
   const auto next = lookup_table().route(*msg);
   if (next.has_value()) {
     emit(std::move(msg), *next, now);
+  } else {
+    // No route configured: the frame is dropped at the MAC (misconfigured
+    // NIC); RX meter still counts it so the loss is visible.
+    PANIC_DEBUG("eth", "%s: RX frame dropped, no route configured",
+                name().c_str());
+    trace(telemetry::TraceEventKind::kDrop, now, msg->id);
   }
-  // No route configured: the frame is dropped at the MAC (misconfigured
-  // NIC); RX meter still counts it so the loss is visible.
 }
 
 Cycles EthernetPortEngine::service_time(const Message& msg) const {
@@ -43,6 +65,8 @@ Cycles EthernetPortEngine::service_time(const Message& msg) const {
 bool EthernetPortEngine::process(Message& msg, Cycle now) {
   // A message reaching an Ethernet tile is a TX.
   tx_meter_.add_packet(msg.data.size());
+  trace(telemetry::TraceEventKind::kTxWire, now, msg.id,
+        static_cast<std::uint32_t>(msg.data.size()));
   if (now >= msg.nic_ingress_at) {
     tx_latency_.record(now - msg.nic_ingress_at);
   }

@@ -41,6 +41,9 @@ class EthernetPortEngine : public Engine {
   /// Cycles from nic_ingress to transmission for packets that exited here.
   const Histogram& tx_latency() const { return tx_latency_; }
 
+  /// Adds rx/tx packet+byte meters and the TX latency histogram.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

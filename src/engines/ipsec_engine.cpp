@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/log.h"
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 namespace {
@@ -121,6 +123,8 @@ bool IpsecEngine::process(Message& msg, Cycle now) {
     auto inner = decapsulate(msg.data);
     if (!inner.has_value()) {
       ++auth_failures_;
+      PANIC_DEBUG("ipsec", "%s: dropping frame, ESP authentication failed",
+                  name().c_str());
       return false;  // drop: failed authentication
     }
     msg.data = std::move(*inner);
@@ -136,6 +140,14 @@ bool IpsecEngine::process(Message& msg, Cycle now) {
   msg.meta_valid = false;
   ++encrypted_;
   return true;
+}
+
+void IpsecEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "decrypted", &decrypted_);
+  m.expose_counter(metric_prefix() + "encrypted", &encrypted_);
+  m.expose_counter(metric_prefix() + "auth_failures", &auth_failures_);
 }
 
 }  // namespace panic::engines

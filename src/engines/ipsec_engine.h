@@ -42,6 +42,8 @@ class IpsecEngine : public Engine {
   std::uint64_t encrypted() const { return encrypted_; }
   std::uint64_t auth_failures() const { return auth_failures_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
   /// Builds the key for an SPI (deterministic; shared by both endpoints).
   static std::array<std::uint8_t, ChaCha20::kKeyBytes> key_for_spi(
       std::uint32_t spi);

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 
@@ -120,6 +121,16 @@ bool KvsCacheEngine::process(Message& msg, Cycle now) {
     default:
       return true;
   }
+}
+
+void KvsCacheEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "hits", &hits_);
+  m.expose_counter(metric_prefix() + "misses", &misses_);
+  m.expose_counter(metric_prefix() + "sets", &sets_);
+  m.expose_gauge(metric_prefix() + "entries",
+                 [this] { return static_cast<double>(index_.size()); });
 }
 
 }  // namespace panic::engines

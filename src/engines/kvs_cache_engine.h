@@ -44,6 +44,8 @@ class KvsCacheEngine : public Engine {
   std::uint64_t sets() const { return sets_; }
   std::size_t entries() const { return index_.size(); }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

@@ -1,5 +1,7 @@
 #include "engines/pcie_engine.h"
 
+#include "telemetry/telemetry.h"
+
 namespace panic::engines {
 
 PcieEngine::PcieEngine(std::string name, noc::NetworkInterface* ni,
@@ -103,6 +105,15 @@ bool PcieEngine::process(Message& msg, Cycle now) {
     default:
       return true;  // unrelated traffic continues along its chain
   }
+}
+
+void PcieEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "interrupts_delivered", &delivered_);
+  m.expose_counter(metric_prefix() + "interrupts_coalesced", &coalesced_);
+  m.expose_counter(metric_prefix() + "tx_launched", &tx_launched_);
+  m.expose_counter(metric_prefix() + "tx_errors", &tx_errors_);
 }
 
 }  // namespace panic::engines

@@ -39,6 +39,8 @@ class PcieEngine : public Engine {
   std::uint64_t tx_packets_launched() const { return tx_launched_; }
   std::uint64_t tx_descriptor_errors() const { return tx_errors_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

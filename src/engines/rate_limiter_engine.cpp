@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::engines {
 
 RateLimiterEngine::RateLimiterEngine(std::string name,
@@ -80,6 +82,14 @@ bool RateLimiterEngine::process(Message& msg, Cycle now) {
   shaped_cycles_ += wait;
   ++passed_;
   return true;
+}
+
+void RateLimiterEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "passed", &passed_);
+  m.expose_counter(metric_prefix() + "policed", &policed_);
+  m.expose_counter(metric_prefix() + "shaped_cycles", &shaped_cycles_);
 }
 
 }  // namespace panic::engines

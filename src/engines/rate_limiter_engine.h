@@ -42,6 +42,8 @@ class RateLimiterEngine : public Engine {
   /// Total shaping delay imposed, in cycles.
   std::uint64_t shaped_cycles() const { return shaped_cycles_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

@@ -1,6 +1,7 @@
 #include "engines/rdma_engine.h"
 
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 
@@ -82,6 +83,14 @@ bool RdmaEngine::process(Message& msg, Cycle now) {
   }
 
   return true;  // unrelated traffic continues along its chain
+}
+
+void RdmaEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "requests_issued", &issued_);
+  m.expose_counter(metric_prefix() + "replies_generated", &replies_);
+  m.expose_counter(metric_prefix() + "overflow_drops", &overflow_);
 }
 
 }  // namespace panic::engines

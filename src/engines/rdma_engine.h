@@ -26,6 +26,8 @@ class RdmaEngine : public Engine {
   std::uint64_t replies_generated() const { return replies_; }
   std::uint64_t overflow_drops() const { return overflow_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 
@@ -46,6 +47,14 @@ bool RegexEngine::process(Message& msg, Cycle now) {
     }
   }
   return true;
+}
+
+void RegexEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "matched", &matched_);
+  m.expose_counter(metric_prefix() + "scanned", &scanned_);
+  m.expose_counter(metric_prefix() + "dropped_by_policy", &dropped_);
 }
 
 }  // namespace panic::engines

@@ -32,6 +32,8 @@ class RegexEngine : public Engine {
   std::uint64_t scanned() const { return scanned_; }
   std::uint64_t dropped_by_policy() const { return dropped_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  protected:
   Cycles service_time(const Message& msg) const override;
   bool process(Message& msg, Cycle now) override;

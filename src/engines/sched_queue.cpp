@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+
 namespace panic::engines {
 
 SchedulerQueue::SchedulerQueue(SchedPolicy policy, std::size_t capacity,
@@ -24,15 +26,21 @@ bool SchedulerQueue::try_enqueue(MessagePtr msg, Cycle now) {
     }
     if (loosest < items_.size() &&
         items_[loosest].msg->slack > msg->slack) {
+      trace(telemetry::TraceEventKind::kQueueDrop, now,
+            *items_[loosest].msg);
       items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(loosest));
       std::make_heap(items_.begin(), items_.end(), Order{policy_});
       ++dropped_;
     }
   }
   if (full()) {
+    trace(telemetry::TraceEventKind::kQueueDrop, now, *msg);
     ++dropped_;
+    PANIC_TRACE("sched", "queue full, dropping message %llu",
+                static_cast<unsigned long long>(msg->id.value));
     return false;  // msg destroyed: the logical scheduler drops it
   }
+  trace(telemetry::TraceEventKind::kEnqueue, now, *msg);
   items_.push_back(Item{std::move(msg), next_seq_++, now});
   std::push_heap(items_.begin(), items_.end(), Order{policy_});
   ++enqueued_;
@@ -47,7 +55,19 @@ MessagePtr SchedulerQueue::dequeue(Cycle now) {
   items_.pop_back();
   ++dequeued_;
   total_wait_ += now >= item.enqueued_at ? now - item.enqueued_at : 0;
+  trace(telemetry::TraceEventKind::kDequeue, now, *item.msg);
   return std::move(item.msg);
+}
+
+void SchedulerQueue::register_metrics(telemetry::MetricsRegistry& m,
+                                      const std::string& prefix) {
+  m.expose_counter(prefix + ".enqueued", &enqueued_);
+  m.expose_counter(prefix + ".dequeued", &dequeued_);
+  m.expose_counter(prefix + ".dropped", &dropped_);
+  m.expose_counter(prefix + ".wait_cycles", &total_wait_);
+  m.expose_counter(prefix + ".max_depth", &max_depth_);
+  m.expose_gauge(prefix + ".depth",
+                 [this] { return static_cast<double>(items_.size()); });
 }
 
 std::uint32_t SchedulerQueue::head_slack() const {

@@ -14,10 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "net/message.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace panic::engines {
 
@@ -56,7 +59,20 @@ class SchedulerQueue {
   /// Slack of the message that would dequeue next (0 if empty).
   std::uint32_t head_slack() const;
 
-  // --- Counters. ---
+  /// Publishes this queue's counters under `prefix` (e.g.
+  /// "engine.ipsec_rx.queue") — called by the owning engine's
+  /// register_telemetry.
+  void register_metrics(telemetry::MetricsRegistry& m,
+                        const std::string& prefix);
+
+  /// Attributes enqueue/dequeue/drop trace events to `where` (the owning
+  /// engine's trace tag).  nullptr detaches.
+  void bind_tracer(telemetry::MessageTracer* tracer, std::uint16_t where) {
+    tracer_ = tracer;
+    trace_where_ = where;
+  }
+
+  // --- Counters (prefer the registry / Simulator::snapshot()). ---
   std::uint64_t enqueued() const { return enqueued_; }
   std::uint64_t dropped() const { return dropped_; }
   std::size_t max_depth() const { return max_depth_; }
@@ -82,17 +98,26 @@ class SchedulerQueue {
     }
   };
 
+  void trace(telemetry::TraceEventKind kind, Cycle cycle, const Message& msg) {
+    if (tracer_ != nullptr) {
+      tracer_->record(kind, cycle, msg.id, trace_where_, msg.slack);
+    }
+  }
+
   SchedPolicy policy_;
   std::size_t capacity_;
   DropPolicy drop_policy_;
   std::vector<Item> items_;  // maintained as a heap under Order
   std::uint64_t next_seq_ = 0;
 
+  telemetry::MessageTracer* tracer_ = nullptr;
+  std::uint16_t trace_where_ = 0;
+
   std::uint64_t enqueued_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t dequeued_ = 0;
   std::uint64_t total_wait_ = 0;
-  std::size_t max_depth_ = 0;
+  std::uint64_t max_depth_ = 0;
 };
 
 }  // namespace panic::engines

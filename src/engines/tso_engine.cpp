@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "net/packet.h"
+#include "telemetry/telemetry.h"
 
 namespace panic::engines {
 
@@ -97,6 +98,14 @@ bool TsoEngine::process(Message& msg, Cycle now) {
     }
   }
   return false;  // the jumbo frame is consumed
+}
+
+void TsoEngine::register_telemetry(telemetry::Telemetry& t) {
+  Engine::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter(metric_prefix() + "frames_segmented", &segmented_);
+  m.expose_counter(metric_prefix() + "segments_emitted", &segments_);
+  m.expose_counter(metric_prefix() + "passed_through", &passthrough_);
 }
 
 }  // namespace panic::engines

@@ -29,6 +29,8 @@ class TsoEngine : public Engine {
   std::uint64_t segments_emitted() const { return segments_; }
   std::uint64_t passed_through() const { return passthrough_; }
 
+  void register_telemetry(telemetry::Telemetry& t) override;
+
   /// Pure segmentation logic (exposed for tests): splits `frame` into
   /// MSS-sized TCP segments.  Returns an empty vector if the frame is not
   /// TCP or already fits one segment.

@@ -52,6 +52,10 @@ Mesh::Mesh(const MeshConfig& config, Simulator& sim) : config_(config) {
   // affects constant staging latency, not correctness).
   for (auto& ni : nis_) sim.add(ni.get());
   for (auto& r : routers_) sim.add(r.get());
+
+  sim.telemetry().metrics().expose_gauge("noc.flits_routed", [this] {
+    return static_cast<double>(total_flits_routed());
+  });
 }
 
 int Mesh::distance(EngineId a, EngineId b) const {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::noc {
 
 NetworkInterface::NetworkInterface(EngineId tile, std::uint32_t channel_bits,
@@ -63,6 +65,15 @@ void NetworkInterface::tick(Cycle now) {
       if (client_ != nullptr) client_->request_wake(now);
     }
   }
+}
+
+void NetworkInterface::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string prefix = "noc.ni." + std::to_string(tile_.value) + ".";
+  m.expose_counter(prefix + "messages_sent", &messages_sent_);
+  m.expose_counter(prefix + "messages_received", &messages_received_);
+  m.expose_counter(prefix + "flits_sent", &flits_sent_);
 }
 
 Cycle NetworkInterface::next_wake(Cycle now) const {

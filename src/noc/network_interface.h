@@ -49,6 +49,9 @@ class NetworkInterface : public Component {
   std::uint64_t messages_received() const { return messages_received_; }
   std::uint64_t flits_sent() const { return flits_sent_; }
 
+  /// Publishes `noc.ni.<tile>.*` metrics.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  private:
   struct PendingMessage {
     MessagePtr msg;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::noc {
 
 const char* to_string(Direction d) {
@@ -88,8 +90,24 @@ bool Router::downstream_ready(Direction out) const {
   return n->can_accept(kReverse[static_cast<int>(out)]);
 }
 
+void Router::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  const std::string prefix =
+      "noc.router." + std::to_string(y_ * k_ + x_) + ".";
+  m.expose_counter(prefix + "flits", &flits_routed_);
+  m.expose_counter(prefix + "stall_cycles", &stall_cycles_);
+}
+
 void Router::forward(Direction out, Flit flit, Cycle now) {
   ++flits_routed_;
+  // The tail flit carries the message, so the hop is attributed when the
+  // whole message has cleared this router (keeps Flit free of extra
+  // per-flit state on the hot path).
+  if (flit.is_tail && flit.msg != nullptr) {
+    trace(telemetry::TraceEventKind::kNocHop, now, flit.msg->id,
+          flit.dst.value);
+  }
   if (out == Direction::kLocal) {
     const bool ok = eject_.try_push(std::move(flit), now + 1);
     assert(ok);

@@ -82,6 +82,9 @@ class Router : public Component {
   std::uint64_t flits_routed() const { return flits_routed_; }
   std::uint64_t stall_cycles() const { return stall_cycles_; }
 
+  /// Publishes `noc.router.<tile>.*` metrics (tile id = y*k + x).
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  private:
   /// Whether output `dir` is productive and permitted for a flit to `dst`
   /// under the configured routing algorithm (tile id = y*k + x).

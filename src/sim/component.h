@@ -7,8 +7,13 @@
 #include <string>
 
 #include "common/units.h"
+#include "telemetry/trace.h"
 
 namespace panic {
+
+namespace telemetry {
+class Telemetry;
+}  // namespace telemetry
 
 class Simulator;
 
@@ -66,11 +71,36 @@ class Component {
   /// The simulator this component is registered with (nullptr if none).
   Simulator* simulator() const { return sim_; }
 
+  /// Called once by Simulator::add.  Overrides publish this component's
+  /// counters/histograms into `t.metrics()` (see DESIGN.md §Telemetry for
+  /// the naming scheme) and must call the base implementation first: it
+  /// binds the tracer so the `trace()` helper works.  Components that are
+  /// never registered with a simulator (manually ticked unit tests) simply
+  /// publish nothing.
+  virtual void register_telemetry(telemetry::Telemetry& t);
+
+ protected:
+  /// The telemetry sink, once registered (nullptr before).
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+  telemetry::MessageTracer* tracer() const { return tracer_; }
+  /// This component's interned name in the tracer (TraceEvent::where).
+  std::uint16_t trace_tag() const { return trace_tag_; }
+
+  /// Records a per-message trace event attributed to this component; a
+  /// cheap no-op when tracing is off or the component is unregistered.
+  void trace(telemetry::TraceEventKind kind, Cycle cycle, MessageId msg,
+             std::uint32_t arg = 0) const {
+    if (tracer_ != nullptr) tracer_->record(kind, cycle, msg, trace_tag_, arg);
+  }
+
  private:
   friend class Simulator;
 
   std::string name_;
   Simulator* sim_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::MessageTracer* tracer_ = nullptr;
+  std::uint16_t trace_tag_ = 0;
   std::uint32_t slot_ = 0;  ///< registration index within the simulator
 };
 

@@ -9,11 +9,31 @@ void Component::request_wake(Cycle at) {
   if (sim_ != nullptr) sim_->wake(this, at);
 }
 
+void Component::register_telemetry(telemetry::Telemetry& t) {
+  telemetry_ = &t;
+  tracer_ = &t.tracer();
+  trace_tag_ = tracer_->intern(name_);
+}
+
+Simulator::Simulator(Frequency clock, SimMode mode)
+    : clock_(clock), mode_(mode) {
+  auto& m = telemetry_.metrics();
+  m.expose_counter("kernel.events_executed", &events_executed_);
+  m.expose_counter("kernel.component_ticks", &component_ticks_);
+  m.expose_counter("kernel.wakeups", &wakeups_);
+  m.expose_counter("kernel.fast_forwarded_cycles", &fast_forwarded_);
+  m.expose_gauge("kernel.active_components",
+                 [this] { return static_cast<double>(active_components()); });
+  m.expose_gauge("kernel.now",
+                 [this] { return static_cast<double>(now_); });
+}
+
 void Simulator::add(Component* c) {
   assert(c != nullptr);
   assert((c->sim_ == nullptr || c->sim_ == this) &&
          "component registered with two simulators");
   c->sim_ = this;
+  c->register_telemetry(telemetry_);
   c->slot_ = static_cast<std::uint32_t>(slots_.size());
   components_.push_back(c);
   slots_.push_back(Slot{c, false, Component::kNeverWake});

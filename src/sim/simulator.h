@@ -33,6 +33,7 @@
 
 #include "common/units.h"
 #include "sim/component.h"
+#include "telemetry/telemetry.h"
 
 namespace panic {
 
@@ -45,10 +46,21 @@ enum class SimMode : std::uint8_t {
 class Simulator {
  public:
   explicit Simulator(Frequency clock = Frequency::megahertz(500),
-                     SimMode mode = SimMode::kEventDriven)
-      : clock_(clock), mode_(mode) {}
+                     SimMode mode = SimMode::kEventDriven);
 
   SimMode mode() const { return mode_; }
+
+  /// The unified observability surface: every registered component's
+  /// metrics plus the per-message tracer.  The kernel's own counters are
+  /// published under "kernel.*".
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  /// Point-in-time copy of every metric — what benches and examples read
+  /// instead of per-component getters.
+  telemetry::MetricsSnapshot snapshot() const {
+    return telemetry_.snapshot();
+  }
 
   /// Registers a component.  The simulator does not own components; the
   /// NIC composition that creates them must outlive the simulator run.
@@ -151,6 +163,7 @@ class Simulator {
 
   Frequency clock_;
   SimMode mode_;
+  telemetry::Telemetry telemetry_;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;

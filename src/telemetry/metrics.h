@@ -1,0 +1,158 @@
+// MetricsRegistry: the unified stats surface of the simulator.
+//
+// Every component publishes its counters/gauges/histograms under a
+// hierarchical dotted name ("engine.ipsec_rx.processed",
+// "noc.router.3.flits") when it is registered with a Simulator
+// (Component::register_telemetry).  Benches and examples read everything
+// through one call — `sim.telemetry().snapshot()` — instead of the
+// per-class getter zoo.
+//
+// Publication styles:
+//
+//   * expose_counter / expose_histogram — the component keeps its counter
+//     as a plain member and hands the registry a pointer.  The hot path is
+//     untouched (an ordinary `++member_`); the registry only reads the
+//     cell at snapshot time.  This is how all simulator components
+//     publish.
+//   * expose_gauge — a sampled value computed on demand (queue depth,
+//     aggregate sums).  The callback runs at snapshot time only.
+//   * counter(name) — a registry-owned cell for callers with no natural
+//     member to expose (benches, workload glue).  Returns a stable
+//     `std::uint64_t&`; incrementing it is a single add, no locks, no
+//     allocation.
+//
+// Collisions: the first registration of a name wins; later expose_* calls
+// on the same name are rejected (returning false) and logged at kWarn.
+// `counter(name)` is idempotent — the same name returns the same cell —
+// but throws std::logic_error if the name is already bound to a different
+// metric kind.  All of this is single-threaded, like the simulator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace panic::telemetry {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// One metric as captured by MetricsSnapshot.  `value` carries the counter
+/// or gauge reading (for histograms, the recorded-sample count); the
+/// remaining fields are only meaningful for histograms.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+
+  // Histogram summary (kind == kHistogram only).
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+};
+
+/// A point-in-time copy of every registered metric, detached from the
+/// registry (safe to keep after the simulation is torn down).
+class MetricsSnapshot {
+ public:
+  const std::vector<MetricValue>& entries() const { return entries_; }
+  bool has(const std::string& name) const;
+
+  /// The entry for `name`, or nullptr.
+  const MetricValue* find(const std::string& name) const;
+
+  /// The entry for `name`; throws std::out_of_range when absent (catches
+  /// bench typos loudly instead of silently reading zero).
+  const MetricValue& at(const std::string& name) const;
+
+  /// Counter/gauge value as an integer count; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Counter/gauge value; 0.0 when absent.
+  double value(const std::string& name) const;
+
+  /// Sum of `value` over entries whose name starts with `prefix` and ends
+  /// with `suffix` (either may be empty): e.g.
+  /// sum("noc.router.", ".flits") totals flits across every router.
+  double sum(const std::string& prefix, const std::string& suffix = "") const;
+
+  /// Merges `other` into this snapshot (parallel/windowed reduction):
+  /// counters add, histogram summaries combine (count/min/max exact, mean
+  /// weighted, quantiles upper-bounded by max of the two), and gauges take
+  /// `other`'s sample (latest wins).  Entries only in `other` are appended.
+  void merge(const MetricsSnapshot& other);
+
+  /// CSV rendering: header + one row per metric,
+  /// "name,kind,value,count,mean,min,max,p50,p90,p99,p999".
+  std::string to_csv() const;
+
+  /// Writes to_csv() to `path`; false (and a kWarn log) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  friend class MetricsRegistry;
+
+  MetricValue& upsert(const std::string& name);
+
+  std::vector<MetricValue> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the registry-owned counter cell for `name`, creating it on
+  /// first use.  The reference is stable for the registry's lifetime.
+  std::uint64_t& counter(const std::string& name);
+
+  /// Publishes an externally-owned counter cell.  The pointee must outlive
+  /// the registry (components outlive the simulator run by contract).
+  bool expose_counter(const std::string& name, std::uint64_t* cell);
+
+  /// Publishes a sampled value; `fn` runs at snapshot time.
+  bool expose_gauge(const std::string& name, std::function<double()> fn);
+
+  /// Publishes an externally-owned histogram.
+  bool expose_histogram(const std::string& name, Histogram* hist);
+
+  bool contains(const std::string& name) const {
+    return index_.find(name) != index_.end();
+  }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Zeroes every counter (owned and exposed) and resets every histogram;
+  /// gauges are read-only views and are left alone.  Used by benches to
+  /// start a measurement window after warm-up.
+  void reset();
+
+  /// Captures every metric.  Entries appear in registration order.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::uint64_t* cell = nullptr;      // kCounter
+    std::function<double()> gauge;      // kGauge
+    Histogram* hist = nullptr;          // kHistogram
+  };
+
+  /// Registers `e` under its name; false on collision (first wins).
+  bool add(Entry e);
+
+  std::deque<std::uint64_t> owned_;  // stable cells for counter(name)
+  std::vector<Entry> entries_;       // registration order
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace panic::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::workload {
 namespace {
 
@@ -161,6 +163,13 @@ Cycle TraceReplayer::next_wake(Cycle now) const {
   if (due < 0) due = 0;
   const auto cycle = static_cast<Cycle>(due);
   return cycle > now + 1 ? cycle : now + 1;
+}
+
+void TraceReplayer::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  auto& m = t.metrics();
+  m.expose_counter("workload." + name() + ".replayed", &replayed_);
+  m.expose_counter("workload." + name() + ".skipped", &skipped_);
 }
 
 }  // namespace panic::workload

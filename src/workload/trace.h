@@ -78,6 +78,9 @@ class TraceReplayer : public Component {
   std::uint64_t replayed() const { return replayed_; }
   std::uint64_t skipped() const { return skipped_; }
 
+  /// Publishes `workload.<name>.replayed` / `.skipped`.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
  private:
   std::vector<TraceRecord> records_;  // sorted by cycle
   std::vector<engines::EthernetPortEngine*> ports_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace panic::workload {
 
 TrafficSource::TrafficSource(std::string name,
@@ -77,6 +79,12 @@ Cycle TrafficSource::next_wake(Cycle now) const {
   // starts.
   const Cycle flip = std::max(phase_end_, now + 1);
   return in_burst_ ? std::min(emit, flip) : flip;
+}
+
+void TrafficSource::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  t.metrics().expose_counter("workload." + name() + ".generated",
+                             &generated_);
 }
 
 }  // namespace panic::workload

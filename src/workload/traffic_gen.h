@@ -54,6 +54,9 @@ class TrafficSource : public Component {
     return config_.max_frames != 0 && generated_ >= config_.max_frames;
   }
 
+  /// Publishes `workload.<name>.generated`.
+  void register_telemetry(telemetry::Telemetry& t) override;
+
   /// Helper: gap cycles for a target packet rate at a clock frequency.
   static double gap_for_pps(double pps, Frequency clock) {
     return clock.hz() / pps;

@@ -1,0 +1,145 @@
+// Golden per-message trace: a host TX frame to a WAN peer traverses
+// RMT classification -> checksum offload -> IPSec encrypt -> wire TX.
+// The recorded event sequence is pinned, and — the stronger property —
+// must be bit-identical between the event-driven kernel and the dense
+// strict-tick reference, like the metric equivalence pinned by
+// tests/sim/kernel_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/panic_nic.h"
+#include "net/packet.h"
+#include "telemetry/trace.h"
+
+namespace panic::core {
+namespace {
+
+const Ipv4Addr kServer(10, 0, 0, 1);
+const Ipv4Addr kWanPeer(203, 0, 113, 50);
+
+struct ChainRun {
+  std::vector<std::string> events;  // rendered "cycle component kind arg"
+  std::uint64_t tx_frames = 0;
+  bool completed = false;
+};
+
+ChainRun run_chain(SimMode mode) {
+  Simulator sim(Frequency::megahertz(500), mode);
+  PanicConfig cfg;
+  cfg.mesh.k = 4;
+  PanicNic nic(cfg, sim);
+  sim.telemetry().tracer().enable();
+
+  ChainRun out;
+  for (int p = 0; p < nic.num_eth_ports(); ++p) {
+    nic.eth_port(p).set_tx_sink(
+        [&out](const Message&, Cycle) { ++out.tx_frames; });
+  }
+
+  const auto frame = FrameBuilder()
+                         .eth(*MacAddr::parse("02:00:00:00:00:02"),
+                              *MacAddr::parse("02:00:00:00:00:01"))
+                         .ipv4(kServer, kWanPeer)
+                         .udp(8080, 443)
+                         .payload_size(128)
+                         .build();
+  nic.host_driver().post_tx(frame, /*port=*/0, sim.now());
+  out.completed =
+      sim.run_until([&] { return out.tx_frames >= 1; }, 200000);
+  sim.run(2000);  // drain trailing interrupt / bookkeeping events
+
+  // Message ids come from a process-global allocator, so their absolute
+  // values differ between back-to-back runs; normalise to first-appearance
+  // order so the comparison is purely structural.
+  std::map<std::uint64_t, std::uint64_t> dense_id;
+  const auto& tracer = sim.telemetry().tracer();
+  for (const auto& e : tracer.events()) {
+    const auto [it, _] = dense_id.emplace(e.msg.value, dense_id.size());
+    out.events.push_back(std::to_string(e.cycle) + " " +
+                         tracer.name_of(e.where) + " " +
+                         telemetry::to_string(e.kind) + " arg=" +
+                         std::to_string(e.arg) + " msg=" +
+                         std::to_string(it->second));
+  }
+  return out;
+}
+
+/// Index of the first event matching component+kind, or npos.
+std::size_t find_event(const std::vector<std::string>& evs,
+                       const std::string& component,
+                       const std::string& kind,
+                       std::size_t from = 0) {
+  for (std::size_t i = from; i < evs.size(); ++i) {
+    if (evs[i].find(" " + component + " " + kind) != std::string::npos) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+TEST(GoldenTrace, ChainEventOrderIsPinned) {
+  const ChainRun run = run_chain(SimMode::kEventDriven);
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(run.tx_frames, 1u);
+  ASSERT_FALSE(run.events.empty());
+
+  // The frame's journey, in causal order: the heavyweight RMT pipeline
+  // classifies it, the checksum engine fills the L4 sum, the IPSec TX
+  // engine encrypts (WAN-bound), and it leaves on the wire through an
+  // Ethernet port.
+  const std::size_t classify = find_event(run.events, "rmt0", "rmt_classify");
+  ASSERT_NE(classify, std::string::npos)
+      << "no RMT classification recorded";
+  const std::size_t csum =
+      find_event(run.events, "checksum", "service_end", classify);
+  ASSERT_NE(csum, std::string::npos)
+      << "checksum service did not complete after classification";
+  const std::size_t esp =
+      find_event(run.events, "ipsec_tx", "service_end", csum);
+  ASSERT_NE(esp, std::string::npos)
+      << "IPSec encryption did not complete after checksum";
+  const std::size_t wire = find_event(run.events, "eth0", "tx_wire", esp);
+  ASSERT_NE(wire, std::string::npos)
+      << "frame never left the wire after encryption";
+
+  // Each hop also passed the logical scheduler: every service_end is
+  // preceded by an enqueue+dequeue at that engine.
+  for (const char* engine : {"checksum", "ipsec_tx"}) {
+    const std::size_t enq = find_event(run.events, engine, "enqueue");
+    const std::size_t deq = find_event(run.events, engine, "dequeue", enq);
+    const std::size_t end = find_event(run.events, engine, "service_end", deq);
+    EXPECT_NE(enq, std::string::npos) << engine;
+    EXPECT_NE(deq, std::string::npos) << engine;
+    EXPECT_NE(end, std::string::npos) << engine;
+  }
+
+  // Cycle stamps never go backwards (ring is chronological).
+  Cycle prev = 0;
+  for (const auto& e : run.events) {
+    const Cycle c = std::stoull(e.substr(0, e.find(' ')));
+    EXPECT_GE(c, prev) << "non-monotonic trace at: " << e;
+    prev = c;
+  }
+}
+
+TEST(GoldenTrace, IdenticalAcrossKernelModes) {
+  const ChainRun event_driven = run_chain(SimMode::kEventDriven);
+  const ChainRun strict = run_chain(SimMode::kStrictTick);
+  ASSERT_TRUE(event_driven.completed);
+  ASSERT_TRUE(strict.completed);
+  EXPECT_EQ(event_driven.tx_frames, strict.tx_frames);
+
+  // The full trace — every event, cycle stamp, component and argument —
+  // must match between kernels: fast-forwarding may skip idle cycles but
+  // can never reorder or retime observable work.
+  ASSERT_EQ(event_driven.events.size(), strict.events.size());
+  for (std::size_t i = 0; i < strict.events.size(); ++i) {
+    EXPECT_EQ(event_driven.events[i], strict.events[i]) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace panic::core

@@ -1,0 +1,129 @@
+// MessageTracer unit tests: the bounded ring, name interning, and the
+// Chrome trace_event export.
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.h"
+
+namespace panic::telemetry {
+namespace {
+
+TEST(MessageTracer, DisabledRecordsNothing) {
+  MessageTracer t;
+  t.record(TraceEventKind::kEmit, 10, MessageId{1}, 0);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(MessageTracer, RecordsInOrder) {
+  MessageTracer t;
+  t.enable(16);
+  const std::uint16_t where = t.intern("dma");
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    t.record(TraceEventKind::kHostDeliver, 100 + i, MessageId{i}, where,
+             static_cast<std::uint32_t>(i));
+  }
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(evs[i].cycle, 100 + i);
+    EXPECT_EQ(evs[i].msg.value, i);
+    EXPECT_EQ(evs[i].where, where);
+    EXPECT_EQ(evs[i].kind, TraceEventKind::kHostDeliver);
+  }
+  EXPECT_EQ(t.recorded(), 5u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(MessageTracer, RingOverwritesOldest) {
+  MessageTracer t;
+  t.enable(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(TraceEventKind::kEmit, i, MessageId{i}, 0);
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // The tail of the run is retained, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[i].msg.value, 6 + i);
+  }
+}
+
+TEST(MessageTracer, InternIsIdempotent) {
+  MessageTracer t;
+  const auto a = t.intern("ipsec_rx");
+  const auto b = t.intern("checksum");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("ipsec_rx"), a);
+  EXPECT_EQ(t.name_of(a), "ipsec_rx");
+  EXPECT_EQ(t.name_of(0), "?");  // reserved unknown slot
+}
+
+TEST(MessageTracer, ReenableClears) {
+  MessageTracer t;
+  t.enable(8);
+  t.record(TraceEventKind::kEmit, 1, MessageId{1}, 0);
+  t.enable(8);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(MessageTracer, ChromeJsonShapeAndMonotonicTimestamps) {
+  MessageTracer t;
+  t.enable(16);
+  const auto dma = t.intern("dma");
+  const auto eng = t.intern("ipsec_rx");
+  // A service window recorded at its *end* (start = cycle - arg) must
+  // still sort before later instants in the exported stream.
+  t.record(TraceEventKind::kServiceEnd, 50, MessageId{7}, eng, /*dur=*/40);
+  t.record(TraceEventKind::kHostDeliver, 60, MessageId{7}, dma, 25);
+  const std::string json = t.to_chrome_json(Frequency::megahertz(500));
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ipsec_rx\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // service window
+  EXPECT_NE(json.find("\"host_deliver\""), std::string::npos);
+  // The service window opens at cycle 10 (= 50 - 40), i.e. before the
+  // instant at cycle 60: its line must appear first.
+  EXPECT_LT(json.find("\"ph\":\"X\""), json.find("\"host_deliver\""));
+
+  // Balanced braces/brackets — cheap structural validity check.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(MessageTracer, WriteChromeJsonRoundTrips) {
+  MessageTracer t;
+  t.enable(8);
+  t.record(TraceEventKind::kTxWire, 5, MessageId{3}, t.intern("eth0"));
+  const std::string path = ::testing::TempDir() + "trace_test_out.json";
+  ASSERT_TRUE(t.write_chrome_json(path, Frequency::megahertz(500)));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, t.to_chrome_json(Frequency::megahertz(500)));
+}
+
+}  // namespace
+}  // namespace panic::telemetry
