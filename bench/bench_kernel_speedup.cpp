@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/panic_nic.h"
+#include "net/message_pool.h"
 #include "workload/kvs_workload.h"
 #include "workload/traffic_gen.h"
 
@@ -46,6 +47,10 @@ struct RunResult {
   std::uint64_t delivered = 0;
   std::uint64_t flits = 0;
   std::uint64_t generated = 0;
+  // Allocator pressure over the run (message-pool stat deltas).
+  std::uint64_t pool_hit = 0;
+  std::uint64_t pool_miss = 0;
+  std::uint64_t bytes_reused = 0;
 };
 
 struct Scenario {
@@ -88,12 +93,17 @@ RunResult run_scenario(const Scenario& sc, SimMode mode) {
       workload::make_min_frame_factory(kInterClient, kServer), inter_cfg);
   sim.add(&inter);
 
+  const auto pool_before = MessagePool::instance().stats();
   const auto start = std::chrono::steady_clock::now();
   sim.run(sc.cycles);
   const auto stop = std::chrono::steady_clock::now();
+  const auto pool_after = MessagePool::instance().stats();
 
   const auto snap = sim.snapshot();
   RunResult r;
+  r.pool_hit = pool_after.pool_hits - pool_before.pool_hits;
+  r.pool_miss = pool_after.pool_misses - pool_before.pool_misses;
+  r.bytes_reused = pool_after.bytes_reused - pool_before.bytes_reused;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
   r.ns_per_cycle = r.wall_ms * 1e6 / static_cast<double>(sc.cycles);
@@ -166,14 +176,20 @@ int main(int argc, char** argv) {
         " \"dense_ns_per_cycle\": %.3f, \"event_ns_per_cycle\": %.3f,"
         " \"dense_ticks\": %llu, \"event_ticks\": %llu,"
         " \"fast_forwarded_cycles\": %llu, \"speedup\": %.3f,"
-        " \"stats_match\": %s}",
+        " \"stats_match\": %s,"
+        " \"alloc\": {\"pool_hit\": %llu, \"pool_miss\": %llu,"
+        " \"bytes_reused\": %llu}}",
         first ? "" : ",", sc.name,
         static_cast<unsigned long long>(sc.cycles), dense.wall_ms,
         event.wall_ms, dense.ns_per_cycle, event.ns_per_cycle,
         static_cast<unsigned long long>(dense.component_ticks),
         static_cast<unsigned long long>(event.component_ticks),
         static_cast<unsigned long long>(event.fast_forwarded), speedup,
-        dense.delivered == event.delivered ? "true" : "false");
+        dense.delivered == event.delivered ? "true" : "false",
+        static_cast<unsigned long long>(dense.pool_hit + event.pool_hit),
+        static_cast<unsigned long long>(dense.pool_miss + event.pool_miss),
+        static_cast<unsigned long long>(dense.bytes_reused +
+                                        event.bytes_reused));
     json += buf;
     first = false;
   }

@@ -36,7 +36,7 @@ void ManycoreNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
     ++dropped_;
     return;
   }
-  cores_[core].queue.push_back(std::move(msg));
+  cores_[core].queue.push(std::move(msg));
   request_wake(now);
 }
 
@@ -50,8 +50,7 @@ void ManycoreNic::tick(Cycle now) {
     dma_in_service_ = nullptr;
   }
   if (dma_in_service_ == nullptr && !dma_queue_.empty()) {
-    dma_in_service_ = std::move(dma_queue_.front());
-    dma_queue_.pop_front();
+    dma_in_service_ = dma_queue_.pop();
     const Cycles t = config_.dma_base +
                      static_cast<Cycles>(std::ceil(
                          static_cast<double>(dma_in_service_->data.size()) /
@@ -62,12 +61,11 @@ void ManycoreNic::tick(Cycle now) {
   // Cores.
   for (Core& core : cores_) {
     if (core.in_service != nullptr && now >= core.done_at) {
-      dma_queue_.push_back(std::move(core.in_service));
+      dma_queue_.push(std::move(core.in_service));
       core.in_service = nullptr;
     }
     if (core.in_service == nullptr && !core.queue.empty()) {
-      core.in_service = std::move(core.queue.front());
-      core.queue.pop_front();
+      core.in_service = core.queue.pop();
       Cycles t = config_.orchestration_cycles;
       for (const OffloadSpec& spec : offloads_) {
         if (spec.applies(*core.in_service)) {

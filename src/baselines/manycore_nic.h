@@ -9,7 +9,7 @@
 // switch removes.
 #pragma once
 
-#include <deque>
+#include "common/fifo.h"
 
 #include "baselines/nic_model.h"
 #include "sim/component.h"
@@ -52,7 +52,7 @@ class ManycoreNic : public Component, public NicModel {
 
  private:
   struct Core {
-    std::deque<MessagePtr> queue;
+    Fifo<MessagePtr> queue;
     MessagePtr in_service;
     Cycle done_at = 0;
   };
@@ -63,7 +63,7 @@ class ManycoreNic : public Component, public NicModel {
   int next_core_ = 0;
 
   // Shared DMA engine behind the cores.
-  std::deque<MessagePtr> dma_queue_;
+  Fifo<MessagePtr> dma_queue_;
   MessagePtr dma_in_service_;
   Cycle dma_done_at_ = 0;
 

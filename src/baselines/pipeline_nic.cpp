@@ -25,7 +25,7 @@ PipelineNic::PipelineNic(std::string name, std::vector<OffloadSpec> offloads,
 bool PipelineNic::stage_push(std::size_t stage, MessagePtr msg) {
   auto& st = stages_[stage];
   if (st.queue.size() >= config_.stage_queue_depth) return false;
-  st.queue.push_back(std::move(msg));
+  st.queue.push(std::move(msg));
   return true;
 }
 
@@ -68,8 +68,7 @@ void PipelineNic::tick(Cycle now) {
 
     // Issue.
     if (st.in_service == nullptr && !st.queue.empty()) {
-      st.in_service = std::move(st.queue.front());
-      st.queue.pop_front();
+      st.in_service = st.queue.pop();
       const bool needed = st.spec.applies(*st.in_service);
       const Cycles t = needed ? st.spec.service_cycles(*st.in_service)
                               : config_.passthrough_cycles;

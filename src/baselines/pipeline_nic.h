@@ -8,7 +8,7 @@
 // behind it — the §2.3.1 limitation measured by bench_hol_blocking.
 #pragma once
 
-#include <deque>
+#include "common/fifo.h"
 
 #include "baselines/nic_model.h"
 #include "sim/component.h"
@@ -49,7 +49,7 @@ class PipelineNic : public Component, public NicModel {
  private:
   struct StageState {
     OffloadSpec spec;
-    std::deque<MessagePtr> queue;
+    Fifo<MessagePtr> queue;
     MessagePtr in_service;
     Cycle done_at = 0;
   };

@@ -26,15 +26,14 @@ void RmtNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
   msg->created_at = now;
   msg->nic_ingress_at = now;
   annotate_message(*msg);
-  in_pipeline_.emplace_back(std::move(msg), now + config_.pipeline_latency);
+  in_pipeline_.push({std::move(msg), now + config_.pipeline_latency});
   request_wake(now);
 }
 
 void RmtNic::tick(Cycle now) {
   // Pipeline exits (full rate, latency only).
   while (!in_pipeline_.empty() && now >= in_pipeline_.front().second) {
-    dma_queue_.push_back(std::move(in_pipeline_.front().first));
-    in_pipeline_.pop_front();
+    dma_queue_.push(in_pipeline_.pop().first);
   }
 
   // DMA engine.
@@ -49,7 +48,7 @@ void RmtNic::tick(Cycle now) {
     }
     if (needs_host_work) {
       ++punted_;
-      host_queue_.push_back(std::move(msg));
+      host_queue_.push(std::move(msg));
     } else {
       ++delivered_;
       if (now >= msg->nic_ingress_at) {
@@ -58,8 +57,7 @@ void RmtNic::tick(Cycle now) {
     }
   }
   if (dma_in_service_ == nullptr && !dma_queue_.empty()) {
-    dma_in_service_ = std::move(dma_queue_.front());
-    dma_queue_.pop_front();
+    dma_in_service_ = dma_queue_.pop();
     dma_done_at_ = now + config_.dma_base +
                    static_cast<Cycles>(std::ceil(
                        static_cast<double>(dma_in_service_->data.size()) /
@@ -75,8 +73,7 @@ void RmtNic::tick(Cycle now) {
     host_in_service_ = nullptr;
   }
   if (host_in_service_ == nullptr && !host_queue_.empty()) {
-    host_in_service_ = std::move(host_queue_.front());
-    host_queue_.pop_front();
+    host_in_service_ = host_queue_.pop();
     host_done_at_ = now + config_.host_software_cycles;
   }
 }

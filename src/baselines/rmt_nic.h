@@ -8,7 +8,9 @@
 // on simple steering and loses exactly where the paper says it must.
 #pragma once
 
-#include <deque>
+#include <utility>
+
+#include "common/fifo.h"
 
 #include "baselines/nic_model.h"
 #include "sim/component.h"
@@ -57,12 +59,12 @@ class RmtNic : public Component, public NicModel {
   std::vector<OffloadSpec> heavy_;
 
   /// Pipeline is full-rate: modelled as a pure latency element.
-  std::deque<std::pair<MessagePtr, Cycle>> in_pipeline_;
-  std::deque<MessagePtr> dma_queue_;
+  Fifo<std::pair<MessagePtr, Cycle>> in_pipeline_;
+  Fifo<MessagePtr> dma_queue_;
   MessagePtr dma_in_service_;
   Cycle dma_done_at_ = 0;
   /// Punted packets being processed by host software (one CPU core).
-  std::deque<MessagePtr> host_queue_;
+  Fifo<MessagePtr> host_queue_;
   MessagePtr host_in_service_;
   Cycle host_done_at_ = 0;
 

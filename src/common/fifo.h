@@ -1,0 +1,41 @@
+// Growable FIFO over RingBuffer: deque semantics without deque's per-block
+// allocation churn.  Capacity doubles when exhausted, so a queue that
+// reaches its working-set size stops allocating — the property the
+// zero-allocation hot path needs from the baselines' staging queues.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "common/ring_buffer.h"
+
+namespace panic {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t initial_slots = 8)
+      : ring_(initial_slots ? initial_slots : 1) {}
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t size() const { return ring_.size(); }
+
+  void push(T value) {
+    if (ring_.full()) ring_.grow(ring_.capacity() * 2);
+    ring_.push(std::move(value));
+  }
+
+  T& front() { return ring_.front(); }
+  const T& front() const { return ring_.front(); }
+
+  /// Removes and returns the oldest element; caller must check !empty().
+  T pop() { return ring_.pop(); }
+
+  void clear() { ring_.clear(); }
+
+ private:
+  RingBuffer<T> ring_;
+};
+
+}  // namespace panic

@@ -47,6 +47,30 @@ class RingBuffer {
     return slots_[head_];
   }
 
+  /// Reference to the newest element; caller must check !empty() first.
+  T& back() {
+    assert(!empty());
+    return slots_[tail_ == 0 ? slots_.size() - 1 : tail_ - 1];
+  }
+  const T& back() const {
+    assert(!empty());
+    return slots_[tail_ == 0 ? slots_.size() - 1 : tail_ - 1];
+  }
+
+  /// Re-allocates to `new_capacity` slots, preserving FIFO order.  Lets a
+  /// logically unbounded queue amortize growth (doubling) instead of
+  /// allocating per element the way deque block churn does.
+  void grow(std::size_t new_capacity) {
+    assert(new_capacity >= size_);
+    std::vector<T> slots(new_capacity ? new_capacity : 1);
+    for (std::size_t i = 0; i < size_; ++i) {
+      slots[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    }
+    slots_ = std::move(slots);
+    head_ = 0;
+    tail_ = size_ == slots_.size() ? 0 : size_;
+  }
+
   /// Removes and returns the oldest element; caller must check !empty().
   T pop() {
     assert(!empty());
@@ -57,8 +81,14 @@ class RingBuffer {
   }
 
   void clear() {
+    // Reset occupied slots so element-owned resources (e.g. MessagePtrs)
+    // are released now, not when the slot is eventually overwritten.
+    while (size_ != 0) {
+      slots_[head_] = T{};
+      head_ = advance(head_);
+      --size_;
+    }
     head_ = tail_ = 0;
-    size_ = 0;
   }
 
  private:

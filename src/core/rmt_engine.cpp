@@ -61,17 +61,17 @@ void RmtEngine::tick(Cycle now) {
     trace(telemetry::TraceEventKind::kRmtClassify, now, msg->id,
           next.has_value() ? next->value : 0);
     if (next.has_value() && *next != id()) {
-      out_.emplace_back(std::move(msg), *next);
+      out_.try_push(Outbound{std::move(msg), *next}, now);
     }
     // No route: the program terminated the message here (counted as
     // processed; visible in tests via processed - forwarded).
   }
 
   // Drain toward the NI.
-  while (!out_.empty() && ni_->can_inject()) {
-    auto [msg, dst] = std::move(out_.front());
-    out_.pop_front();
-    ni_->inject(std::move(msg), dst, now);
+  while (ni_->can_inject()) {
+    auto ob = out_.try_pop(now);
+    if (!ob.has_value()) break;
+    ni_->inject(std::move(ob->msg), ob->dst, now);
   }
 }
 
@@ -81,6 +81,9 @@ void RmtEngine::register_telemetry(telemetry::Telemetry& t) {
   const std::string prefix = "rmt." + name() + ".";
   m.expose_counter(prefix + "processed", &processed_);
   m.expose_counter(prefix + "dropped", &dropped_);
+  m.expose_gauge(prefix + "staging_high_watermark", [this] {
+    return static_cast<double>(out_.high_watermark());
+  });
   queue_.register_metrics(m, prefix + "queue");
   queue_.bind_tracer(tracer(), trace_tag());
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "engines/lookup_table.h"
 #include "engines/sched_queue.h"
@@ -55,9 +56,16 @@ class RmtEngine : public Component {
   rmt::Pipeline pipeline_;
   engines::SchedulerQueue queue_;
   engines::LocalLookupTable lookup_;
+  struct Outbound {
+    MessagePtr msg;
+    EngineId dst;
+  };
+
   /// Messages inside the pipeline; ready = issue cycle + latency.
   TimedQueue<MessagePtr> in_flight_;
-  std::deque<std::pair<MessagePtr, EngineId>> out_;
+  /// Output staging toward the NI.  Unbounded (the pipeline never drops on
+  /// egress), so its high watermark is published as growth telemetry.
+  TimedQueue<Outbound> out_;
 
   std::uint64_t processed_ = 0;
   std::uint64_t dropped_ = 0;

@@ -96,7 +96,7 @@ bool DmaEngine::process(Message& msg, Cycle now) {
       ++reads_served_;
       if (!msg.reply_to.valid()) return false;
       auto completion = make_message(MessageKind::kDmaCompletion);
-      completion->data = host_->read(msg.dma_addr, msg.dma_bytes);
+      host_->read_into(msg.dma_addr, msg.dma_bytes, completion->data);
       completion->dma_addr = msg.dma_addr;
       completion->dma_bytes = msg.dma_bytes;
       completion->tenant = msg.tenant;
@@ -129,7 +129,7 @@ bool DmaEngine::process(Message& msg, Cycle now) {
       ++reads_served_;
       if (msg.reply_to.valid()) {
         auto completion = make_message(MessageKind::kDmaCompletion);
-        completion->data = host_->read(msg.dma_addr, 16);
+        host_->read_into(msg.dma_addr, 16, completion->data);
         completion->dma_addr = msg.dma_addr;
         completion->tenant = msg.tenant;
         completion->slack = msg.slack;

@@ -13,6 +13,9 @@ void Engine::register_telemetry(telemetry::Telemetry& t) {
   m.expose_counter(p + "processed", &processed_);
   m.expose_counter(p + "busy_cycles", &busy_cycles_);
   m.expose_histogram(p + "service_cycles", &service_hist_);
+  m.expose_gauge(p + "staging_high_watermark", [this] {
+    return static_cast<double>(out_.high_watermark());
+  });
   queue_.register_metrics(m, "engine." + name() + ".queue");
   queue_.bind_tracer(tracer(), trace_tag());
 }
@@ -43,7 +46,7 @@ void Engine::drain_arrivals(Cycle now) {
 void Engine::emit(MessagePtr msg, EngineId dst, Cycle now) {
   assert(msg != nullptr);
   trace(telemetry::TraceEventKind::kEmit, now, msg->id, dst.value);
-  out_.push_back(Outbound{std::move(msg), dst});
+  out_.try_push(Outbound{std::move(msg), dst}, now);
   // emit() is also an external entry point (e.g. a MAC's deliver_rx), so
   // a quiescent engine must wake to drain its staging buffer.
   request_wake(now);
@@ -63,10 +66,10 @@ void Engine::forward_along_chain(MessagePtr msg, Cycle now) {
 }
 
 void Engine::drain_output(Cycle now) {
-  while (!out_.empty() && ni_->can_inject()) {
-    Outbound ob = std::move(out_.front());
-    out_.pop_front();
-    ni_->inject(std::move(ob.msg), ob.dst, now);
+  while (ni_->can_inject()) {
+    auto ob = out_.try_pop(now);
+    if (!ob.has_value()) break;
+    ni_->inject(std::move(ob->msg), ob->dst, now);
   }
 }
 

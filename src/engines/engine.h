@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "engines/sched_queue.h"
 #include "noc/network_interface.h"
 #include "sim/component.h"
+#include "sim/timed_queue.h"
 
 namespace panic::engines {
 
@@ -121,7 +121,11 @@ class Engine : public Component {
     MessagePtr msg;
     EngineId dst;
   };
-  std::deque<Outbound> out_;
+  /// Output staging.  Logically bounded by `config_.output_staging` via
+  /// can_stage(), but emit() is also an external entry point (a MAC's
+  /// deliver_rx), so the queue itself is unbounded and its high watermark
+  /// is published as growth telemetry.
+  TimedQueue<Outbound> out_;
 
   std::uint64_t processed_ = 0;
   std::uint64_t busy_cycles_ = 0;

@@ -34,8 +34,14 @@ void EthernetPortEngine::deliver_rx(std::vector<std::uint8_t> frame_bytes,
                                     Cycle now, Cycle created_at,
                                     TenantId tenant) {
   auto msg = make_message(MessageKind::kPacket);
-  rx_meter_.add_packet(frame_bytes.size());
   msg->data = std::move(frame_bytes);
+  deliver_rx(std::move(msg), now, created_at, tenant);
+}
+
+void EthernetPortEngine::deliver_rx(MessagePtr msg, Cycle now,
+                                    Cycle created_at, TenantId tenant) {
+  rx_meter_.add_packet(msg->data.size());
+  msg->kind = MessageKind::kPacket;
   msg->created_at = created_at ? created_at : now;
   msg->nic_ingress_at = now;
   msg->tenant = tenant;

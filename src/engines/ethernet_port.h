@@ -31,6 +31,12 @@ class EthernetPortEngine : public Engine {
   void deliver_rx(std::vector<std::uint8_t> frame_bytes, Cycle now,
                   Cycle created_at = 0, TenantId tenant = TenantId{0});
 
+  /// Zero-allocation variant: the caller obtained `msg` from make_message
+  /// and wrote the frame bytes into `msg->data` in place (a recycled
+  /// buffer); the port only stamps and routes it.
+  void deliver_rx(MessagePtr msg, Cycle now, Cycle created_at = 0,
+                  TenantId tenant = TenantId{0});
+
   /// Observer for transmitted frames.
   void set_tx_sink(TxSink sink) { tx_sink_ = std::move(sink); }
 

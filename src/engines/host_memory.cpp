@@ -1,11 +1,21 @@
 #include "engines/host_memory.h"
 
+#include <algorithm>
+
 namespace panic::engines {
 
 void HostMemory::write(std::uint64_t addr,
                        std::span<const std::uint8_t> data) {
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    store_[addr + i] = data[i];
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t a = addr + i;
+    auto& page = store_[a >> kPageShift];
+    if (page == nullptr) page = std::make_unique<Page>();
+    const std::size_t off = a & (kPageSize - 1);
+    const std::size_t n = std::min(data.size() - i, kPageSize - off);
+    std::copy_n(data.data() + i, n, page->data.data() + off);
+    for (std::size_t j = 0; j < n; ++j) page->written.set(off + j);
+    i += n;
   }
   bytes_written_ += data.size();
 }
@@ -19,12 +29,32 @@ std::uint8_t HostMemory::deterministic_byte(std::uint64_t addr) {
 
 std::vector<std::uint8_t> HostMemory::read(std::uint64_t addr,
                                            std::uint32_t len) const {
-  std::vector<std::uint8_t> out(len);
-  for (std::uint32_t i = 0; i < len; ++i) {
-    const auto it = store_.find(addr + i);
-    out[i] = it != store_.end() ? it->second : deterministic_byte(addr + i);
-  }
+  std::vector<std::uint8_t> out;
+  read_into(addr, len, out);
   return out;
+}
+
+void HostMemory::read_into(std::uint64_t addr, std::uint32_t len,
+                           std::vector<std::uint8_t>& out) const {
+  out.resize(len);
+  std::size_t i = 0;
+  while (i < len) {
+    const std::uint64_t a = addr + i;
+    const std::size_t off = a & (kPageSize - 1);
+    const std::size_t n =
+        std::min<std::size_t>(len - i, kPageSize - off);
+    const auto it = store_.find(a >> kPageShift);
+    if (it == store_.end()) {
+      for (std::size_t j = 0; j < n; ++j) out[i + j] = deterministic_byte(a + j);
+    } else {
+      const Page& p = *it->second;
+      for (std::size_t j = 0; j < n; ++j) {
+        out[i + j] =
+            p.written.test(off + j) ? p.data[off + j] : deterministic_byte(a + j);
+      }
+    }
+    i += n;
+  }
 }
 
 std::uint64_t HostMemory::allocate(std::uint32_t len) {

@@ -6,7 +6,10 @@
 // always produce stable, checkable data without pre-populating gigabytes).
 #pragma once
 
+#include <array>
+#include <bitset>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +20,10 @@ class HostMemory {
  public:
   void write(std::uint64_t addr, std::span<const std::uint8_t> data);
   std::vector<std::uint8_t> read(std::uint64_t addr, std::uint32_t len) const;
+  /// Reads into an existing buffer (resized to `len`), reusing its
+  /// capacity — the DMA engine fills recycled completion messages with it.
+  void read_into(std::uint64_t addr, std::uint32_t len,
+                 std::vector<std::uint8_t>& out) const;
 
   /// Simple bump allocator for tests/engines that need fresh regions.
   std::uint64_t allocate(std::uint32_t len);
@@ -24,9 +31,20 @@ class HostMemory {
   std::size_t bytes_written() const { return bytes_written_; }
 
  private:
+  static constexpr std::size_t kPageShift = 12;
+  static constexpr std::size_t kPageSize = 1u << kPageShift;
+
+  /// Sparse page: raw bytes plus a written-bitmap so untouched bytes keep
+  /// reading as the deterministic fill (same observable behaviour as the
+  /// old byte-granular map, without a hash node per written byte).
+  struct Page {
+    std::array<std::uint8_t, kPageSize> data;
+    std::bitset<kPageSize> written;
+  };
+
   static std::uint8_t deterministic_byte(std::uint64_t addr);
 
-  std::unordered_map<std::uint64_t, std::uint8_t> store_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> store_;  // by page
   std::uint64_t next_alloc_ = 0x100000;  // start at 1 MiB
   std::size_t bytes_written_ = 0;
 };

@@ -82,7 +82,11 @@ bool KvsCacheEngine::handle_get(Message& msg, Cycle now) {
       hop.has_value() && hop->engine == id()) {
     msg.chain.advance();
   }
-  auto owned = MessagePtr(new Message(std::move(msg)));
+  // Re-own the in-service message through the factory so the allocation
+  // goes through the pool; move-assignment keeps the original id (the
+  // redirect is logically the same message, and its trace stays stitched).
+  auto owned = make_message(msg.kind);
+  *owned = std::move(msg);
   emit(std::move(owned), kvs_.rdma_engine, now);
   return false;
 }

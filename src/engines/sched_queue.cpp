@@ -10,7 +10,11 @@ SchedulerQueue::SchedulerQueue(SchedPolicy policy, std::size_t capacity,
                                DropPolicy drop_policy)
     : policy_(policy),
       capacity_(capacity ? capacity : 1),
-      drop_policy_(drop_policy) {}
+      drop_policy_(drop_policy) {
+  // The heap never exceeds the drop bound, so one up-front reservation
+  // keeps enqueue/dequeue allocation-free for the queue's lifetime.
+  items_.reserve(capacity_);
+}
 
 bool SchedulerQueue::try_enqueue(MessagePtr msg, Cycle now) {
   if (full() && drop_policy_ == DropPolicy::kEvictLoosest) {

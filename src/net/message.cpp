@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "net/message_pool.h"
+
 namespace panic {
 
 const char* to_string(MessageKind kind) {
@@ -18,12 +20,43 @@ const char* to_string(MessageKind kind) {
   return "?";
 }
 
+void Message::reset_for_reuse() {
+  id = MessageId{};
+  kind = MessageKind::kPacket;
+  data.clear();   // keeps capacity: the recycled packet-byte buffer
+  tenant = TenantId{};
+  flow = FlowId{};
+  chain.clear();  // keeps the hop vector's capacity too
+  slack = 0;
+  meta = MessageMeta{};
+  meta_valid = false;
+  reply_to = EngineId{};
+  dma_addr = 0;
+  dma_bytes = 0;
+  ingress_port = EngineId{};
+  egress_port = EngineId{};
+  from_host = false;
+  created_at = 0;
+  nic_ingress_at = 0;
+  rmt_passes = 0;
+  noc_hops = 0;
+  engines_visited = 0;
+}
+
+void MessageDeleter::operator()(Message* msg) const noexcept {
+  MessagePool::instance().release(msg);
+}
+
 MessagePtr make_message(MessageKind kind) {
   static std::atomic<std::uint64_t> next_id{1};
-  auto msg = std::make_unique<Message>();
+  MessagePtr msg(MessagePool::instance().acquire());
   msg->id = MessageId{next_id.fetch_add(1, std::memory_order_relaxed)};
   msg->kind = kind;
   return msg;
+}
+
+void recycle_message(MessagePtr msg) {
+  msg.reset();  // the deleter does the recycling
 }
 
 }  // namespace panic

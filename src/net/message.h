@@ -91,16 +91,37 @@ struct Message {
   std::uint32_t noc_hops = 0;    ///< mesh router hops taken
   std::uint32_t engines_visited = 0;  ///< offload engines that processed it
 
+  // --- Pool bookkeeping (see net/message_pool.h). ---
+  Message* pool_next = nullptr;  ///< free-list link while pooled
+  bool in_pool = false;          ///< guards against double-recycle
+
   /// Bytes the message occupies on the on-chip network: payload plus the
   /// chain header it carries.
   std::size_t wire_size() const { return data.size() + chain.wire_size(); }
 
   std::size_t size() const { return data.size(); }
+
+  /// Restores the default-constructed state while keeping the capacity of
+  /// `data` and the chain's hop vector — the point of pooling is that a
+  /// recycled message's buffers are reused, not reallocated.
+  void reset_for_reuse();
 };
 
-using MessagePtr = std::unique_ptr<Message>;
+/// Returns the message to the process-wide MessagePool instead of freeing
+/// it.  Being MessagePtr's deleter, every place that destroys a MessagePtr
+/// — host delivery, wire TX, drops, DMA completions, baselines — recycles
+/// automatically.
+struct MessageDeleter {
+  void operator()(Message* msg) const noexcept;
+};
 
-/// Allocates a message with a fresh process-wide unique id.
+using MessagePtr = std::unique_ptr<Message, MessageDeleter>;
+
+/// Allocates a message with a fresh process-wide unique id, recycling a
+/// pooled Message when one is available.
 MessagePtr make_message(MessageKind kind = MessageKind::kPacket);
+
+/// Explicitly returns `msg` to the pool (equivalent to destroying it).
+void recycle_message(MessagePtr msg);
 
 }  // namespace panic

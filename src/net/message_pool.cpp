@@ -1,0 +1,58 @@
+#include "net/message_pool.h"
+
+#include <cassert>
+
+#include "net/message.h"
+
+namespace panic {
+
+MessagePool& MessagePool::instance() {
+  // Leaked deliberately: MessagePtr deleters may run during static
+  // destruction (e.g. a test fixture's simulator), after a function-local
+  // static pool would already be gone.  Still reachable at exit, so leak
+  // checkers stay quiet.
+  static MessagePool* pool = new MessagePool();
+  return *pool;
+}
+
+Message* MessagePool::acquire() {
+  ++stats_.live;
+  if (stats_.live > stats_.live_high_watermark) {
+    stats_.live_high_watermark = stats_.live;
+  }
+  if (free_head_ == nullptr) {
+    ++stats_.pool_misses;
+    return new Message();
+  }
+  ++stats_.pool_hits;
+  Message* msg = free_head_;
+  free_head_ = msg->pool_next;
+  --free_count_;
+  msg->pool_next = nullptr;
+  msg->in_pool = false;
+  stats_.bytes_reused += msg->data.capacity();
+  msg->reset_for_reuse();
+  return msg;
+}
+
+void MessagePool::release(Message* msg) noexcept {
+  if (msg == nullptr) return;
+  assert(!msg->in_pool && "message recycled twice");
+  ++stats_.recycled;
+  --stats_.live;
+  msg->in_pool = true;
+  msg->pool_next = free_head_;
+  free_head_ = msg;
+  ++free_count_;
+}
+
+void MessagePool::trim() {
+  while (free_head_ != nullptr) {
+    Message* next = free_head_->pool_next;
+    delete free_head_;
+    free_head_ = next;
+  }
+  free_count_ = 0;
+}
+
+}  // namespace panic

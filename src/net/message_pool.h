@@ -1,0 +1,68 @@
+// Free-list recycler behind make_message()/recycle_message().
+//
+// The simulation hot path (line-rate forwarding through the mesh, §3.1.2)
+// creates and destroys one Message per frame, DMA op and interrupt.  With a
+// plain heap allocation per message the saturated regime is dominated by
+// allocator traffic; the pool caps steady-state allocations at zero by
+// recycling Message objects — including the capacity of their `data`
+// buffers and chain-hop vectors — through a LIFO free list.
+//
+// Ownership rules (see DESIGN.md §Hot-path memory model):
+//   * make_message() is the only way to create a Message; it pops the free
+//     list (pool hit) or heap-allocates (pool miss) and always assigns a
+//     fresh process-wide id.
+//   * MessagePtr's deleter returns the Message to the pool, so every
+//     existing sink — host delivery, wire TX, queue drops, DMA completions,
+//     baselines — recycles automatically when the unique_ptr dies.
+//   * The pool is a leaky process-wide singleton: it outlives every
+//     simulator and stays reachable at exit (leak-checker clean).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace panic {
+
+struct Message;
+
+class MessagePool {
+ public:
+  struct Stats {
+    std::uint64_t pool_hits = 0;     ///< acquisitions served from the free list
+    std::uint64_t pool_misses = 0;   ///< acquisitions that hit the heap
+    std::uint64_t recycled = 0;      ///< messages returned to the free list
+    std::uint64_t bytes_reused = 0;  ///< data-buffer capacity handed back out
+    std::uint64_t live = 0;          ///< messages currently outside the pool
+    std::uint64_t live_high_watermark = 0;
+  };
+
+  /// The process-wide pool (leaky singleton; never destroyed).
+  static MessagePool& instance();
+
+  /// Pops a recycled Message (reset, retaining buffer capacity) or
+  /// heap-allocates one.  Does NOT assign an id — make_message() does.
+  Message* acquire();
+
+  /// Returns `msg` to the free list.  Called by MessageDeleter; asserts
+  /// against double-recycle in debug builds.
+  void release(Message* msg) noexcept;
+
+  const Stats& stats() const { return stats_; }
+  std::size_t free_size() const { return free_count_; }
+
+  /// Frees the entire free list (tests that want a cold pool).  Live
+  /// messages are unaffected.
+  void trim();
+
+ private:
+  MessagePool() = default;
+  ~MessagePool() = delete;  // leaky: reachable until process exit
+
+  /// Free list threaded through the messages themselves (Message::pool_next)
+  /// so the pool needs no side storage that could reallocate.
+  Message* free_head_ = nullptr;
+  std::size_t free_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace panic

@@ -150,6 +150,13 @@ FrameBuilder& FrameBuilder::payload_size(std::size_t size) {
 }
 
 std::vector<std::uint8_t> FrameBuilder::build(std::size_t min_size) const {
+  std::vector<std::uint8_t> out;
+  build_into(out, min_size);
+  return out;
+}
+
+void FrameBuilder::build_into(std::vector<std::uint8_t>& out,
+                              std::size_t min_size) const {
   assert(spec_.has_eth && "frame must have an Ethernet layer");
   Spec spec = spec_;  // local copy so we can fix up lengths
 
@@ -179,7 +186,7 @@ std::vector<std::uint8_t> FrameBuilder::build(std::size_t min_size) const {
     }
   }
 
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(EthernetHeader::kSize + Ipv4Header::kSize + l4_size);
   ByteWriter w(out);
   spec.eth.serialize(w);
@@ -191,7 +198,6 @@ std::vector<std::uint8_t> FrameBuilder::build(std::size_t min_size) const {
   w.bytes(spec.payload);
 
   if (out.size() < min_size) out.resize(min_size, 0);
-  return out;
 }
 
 std::vector<std::uint8_t> replace_l4_payload(

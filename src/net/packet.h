@@ -69,6 +69,12 @@ class FrameBuilder {
   /// checksum and UDP length.
   std::vector<std::uint8_t> build(std::size_t min_size = 64) const;
 
+  /// build() into an existing buffer (cleared first), reusing its capacity
+  /// — lets callers serialize into a recycled message's data vector
+  /// without allocating.
+  void build_into(std::vector<std::uint8_t>& out,
+                  std::size_t min_size = 64) const;
+
  private:
   struct Spec {
     bool has_eth = false;

@@ -5,6 +5,12 @@
 // flit locks the path hop by hop, body flits stream behind it, and the tail
 // flit releases the path.  The Message object itself rides on the tail flit
 // (the simulation equivalent of the last flit completing delivery).
+//
+// A flit is described by its index within the message (`seq`) and the
+// message's flit count (`total`); head/tail are derived rather than stored
+// so the representation stays compact enough for the burst compression in
+// burst_queue.h (contiguous flits of one message collapse into a single
+// descriptor with body flits accounted arithmetically).
 #pragma once
 
 #include <cstdint>
@@ -19,15 +25,17 @@ namespace panic::noc {
 inline constexpr std::uint32_t kNocHeaderBits = 64;
 
 struct Flit {
-  EngineId dst;            ///< destination tile
-  bool is_head = false;
-  bool is_tail = false;
-  std::uint32_t seq = 0;   ///< flit index within the message (debug/trace)
-  MessagePtr msg;          ///< carried on the tail flit only
+  EngineId dst;             ///< destination tile
+  std::uint32_t seq = 0;    ///< flit index within the message
+  std::uint32_t total = 1;  ///< the message's flit count
+  MessagePtr msg;           ///< carried on the tail flit only
 
   Flit() = default;
-  Flit(EngineId dst_, bool head, bool tail, std::uint32_t seq_)
-      : dst(dst_), is_head(head), is_tail(tail), seq(seq_) {}
+  Flit(EngineId dst_, std::uint32_t seq_, std::uint32_t total_)
+      : dst(dst_), seq(seq_), total(total_) {}
+
+  bool is_head() const { return seq == 0; }
+  bool is_tail() const { return seq + 1 == total; }
 };
 
 /// Number of flits needed to carry `wire_bytes` on a `channel_bits`-wide

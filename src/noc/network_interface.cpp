@@ -12,7 +12,8 @@ NetworkInterface::NetworkInterface(EngineId tile, std::uint32_t channel_bits,
       tile_(tile),
       channel_bits_(channel_bits),
       router_(router),
-      inject_depth_(inject_depth) {
+      inject_depth_(inject_depth),
+      pending_(inject_depth ? inject_depth : 1) {
   assert(router_ != nullptr);
   assert(channel_bits_ > 0);
   router_->set_local_sink(this);
@@ -25,42 +26,38 @@ void NetworkInterface::inject(MessagePtr msg, EngineId dst, Cycle now) {
   p.total_flits = flits_for(msg->wire_size(), channel_bits_);
   p.msg = std::move(msg);
   p.dst = dst;
-  pending_.push_back(std::move(p));
+  pending_.push(std::move(p));
   request_wake(now);  // start segmenting at the next tick
 }
 
 MessagePtr NetworkInterface::try_receive(Cycle now) {
-  (void)now;
-  if (received_.empty()) return nullptr;
-  MessagePtr msg = std::move(received_.front());
-  received_.pop_front();
-  return msg;
+  if (auto msg = received_.try_pop(now)) return std::move(*msg);
+  return nullptr;
 }
 
 void NetworkInterface::tick(Cycle now) {
   // Injection: one flit per cycle into the router's local input.
   if (!pending_.empty() && router_->can_accept(Direction::kLocal)) {
     PendingMessage& p = pending_.front();
-    const bool head = p.sent_flits == 0;
-    const bool tail = p.sent_flits + 1 == p.total_flits;
-    Flit flit(p.dst, head, tail, p.sent_flits);
+    Flit flit(p.dst, p.sent_flits, p.total_flits);
+    const bool tail = flit.is_tail();
     if (tail) flit.msg = std::move(p.msg);
     router_->accept(Direction::kLocal, std::move(flit), now);
     ++p.sent_flits;
     ++flits_sent_;
     if (tail) {
       ++messages_sent_;
-      pending_.pop_front();
+      pending_.pop();
     }
   }
 
   // Ejection: one flit per cycle from the router's eject queue.  Wormhole
   // switching guarantees flits of a message arrive contiguously, so the
   // message is complete when its tail flit appears.
-  if (auto flit = router_->eject_queue().try_pop(now)) {
-    if (flit->is_tail) {
+  if (auto flit = router_->eject_queue().try_pop_flit(now)) {
+    if (flit->is_tail()) {
       assert(flit->msg != nullptr);
-      received_.push_back(std::move(flit->msg));
+      received_.try_push(std::move(flit->msg), now);
       ++messages_received_;
       if (client_ != nullptr) client_->request_wake(now);
     }
@@ -74,6 +71,9 @@ void NetworkInterface::register_telemetry(telemetry::Telemetry& t) {
   m.expose_counter(prefix + "messages_sent", &messages_sent_);
   m.expose_counter(prefix + "messages_received", &messages_received_);
   m.expose_counter(prefix + "flits_sent", &flits_sent_);
+  m.expose_gauge(prefix + "rx_high_watermark", [this] {
+    return static_cast<double>(received_.high_watermark());
+  });
 }
 
 Cycle NetworkInterface::next_wake(Cycle now) const {

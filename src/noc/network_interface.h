@@ -5,12 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "common/fifo.h"
 #include "common/units.h"
 #include "noc/flit.h"
 #include "noc/router.h"
 #include "sim/component.h"
+#include "sim/timed_queue.h"
 
 namespace panic::noc {
 
@@ -66,8 +67,14 @@ class NetworkInterface : public Component {
   std::size_t inject_depth_;
   Component* client_ = nullptr;
 
-  std::deque<PendingMessage> pending_;   // segmentation in progress
-  std::deque<MessagePtr> received_;      // reassembled, waiting for engine
+  /// Segmentation in progress.  can_inject() advertises `inject_depth_` as
+  /// the backpressure bound, but callers that pre-date the bound (tests,
+  /// drivers pushing bursts) may exceed it, so the storage grows.
+  Fifo<PendingMessage> pending_;
+  /// Reassembled messages awaiting the engine.  Logically unbounded (the
+  /// engine's scheduler queue does the dropping), so its high watermark is
+  /// published as growth telemetry.
+  TimedQueue<MessagePtr> received_;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_received_ = 0;

@@ -28,9 +28,9 @@ Router::Router(int x, int y, int k, std::size_t buffer_flits,
       y_(y),
       k_(k),
       algo_(algo),
-      inputs_{TimedQueue<Flit>(buffer_flits), TimedQueue<Flit>(buffer_flits),
-              TimedQueue<Flit>(buffer_flits), TimedQueue<Flit>(buffer_flits),
-              TimedQueue<Flit>(buffer_flits)},
+      inputs_{FlitBurstQueue(buffer_flits), FlitBurstQueue(buffer_flits),
+              FlitBurstQueue(buffer_flits), FlitBurstQueue(buffer_flits),
+              FlitBurstQueue(buffer_flits)},
       eject_(kEjectDepth) {
   output_owner_.fill(-1);
   rr_.fill(0);
@@ -48,9 +48,7 @@ void Router::accept(Direction from, Flit flit, Cycle now) {
   auto& q = inputs_[static_cast<int>(from)];
   assert(!q.full());
   // +1: the hop latency — the flit is routable the cycle after it arrives.
-  const bool ok = q.try_push(std::move(flit), now + 1);
-  assert(ok);
-  (void)ok;
+  q.push_flit(std::move(flit), now + 1);
   request_wake(now + 1);  // the flit's ready cycle
 }
 
@@ -104,14 +102,13 @@ void Router::forward(Direction out, Flit flit, Cycle now) {
   // The tail flit carries the message, so the hop is attributed when the
   // whole message has cleared this router (keeps Flit free of extra
   // per-flit state on the hot path).
-  if (flit.is_tail && flit.msg != nullptr) {
+  if (flit.is_tail() && flit.msg != nullptr) {
     trace(telemetry::TraceEventKind::kNocHop, now, flit.msg->id,
           flit.dst.value);
   }
   if (out == Direction::kLocal) {
-    const bool ok = eject_.try_push(std::move(flit), now + 1);
-    assert(ok);
-    (void)ok;
+    assert(!eject_.full());
+    eject_.push_flit(std::move(flit), now + 1);
     if (local_sink_ != nullptr) local_sink_->request_wake(now + 1);
     return;
   }
@@ -123,6 +120,19 @@ void Router::forward(Direction out, Flit flit, Cycle now) {
 }
 
 void Router::tick(Cycle now) {
+  // Fast path: with every input empty the full allocation loop below is a
+  // no-op (owned outputs have nothing ready, free outputs find no head
+  // flit, and no counter moves).  Off-path routers hit this every cycle
+  // under the dense kernel, so it pays to skip the 5x5 scan outright.
+  bool idle = true;
+  for (const auto& q : inputs_) {
+    if (!q.empty()) {
+      idle = false;
+      break;
+    }
+  }
+  if (idle) return;
+
   // One flit may leave per output port per cycle; one flit may leave per
   // input port per cycle.
   std::array<bool, kNumPorts> input_used{};
@@ -141,9 +151,9 @@ void Router::tick(Cycle now) {
       for (int step = 0; step < kNumPorts; ++step) {
         const int i = (rr_[o] + step) % kNumPorts;
         if (input_used[i]) continue;
-        const Flit* f = inputs_[i].peek(now);
-        if (f == nullptr || !f->is_head) continue;
-        if (!permitted(out, f->dst)) continue;
+        const FlitBurst* b = inputs_[i].peek(now);
+        if (b == nullptr || b->seq != 0) continue;  // need a head flit
+        if (!permitted(out, b->dst)) continue;
         chosen = i;
         rr_[o] = (i + 1) % kNumPorts;
         break;
@@ -156,9 +166,9 @@ void Router::tick(Cycle now) {
       continue;
     }
 
-    Flit flit = *inputs_[chosen].try_pop(now);
+    Flit flit = *inputs_[chosen].try_pop_flit(now);
     input_used[chosen] = true;
-    output_owner_[o] = flit.is_tail ? -1 : chosen;
+    output_owner_[o] = flit.is_tail() ? -1 : chosen;
     if (flit.msg != nullptr) ++flit.msg->noc_hops;  // tail flit carries msg
     forward(out, std::move(flit), now);
   }

@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <string>
 
+#include "noc/burst_queue.h"
 #include "noc/flit.h"
 #include "sim/component.h"
-#include "sim/timed_queue.h"
 
 namespace panic::noc {
 
@@ -63,8 +63,8 @@ class Router : public Component {
   void accept(Direction from, Flit flit, Cycle now);
 
   /// The local ejection queue the attached network interface drains.
-  TimedQueue<Flit>& eject_queue() { return eject_; }
-  const TimedQueue<Flit>& eject_queue() const { return eject_; }
+  FlitBurstQueue& eject_queue() { return eject_; }
+  const FlitBurstQueue& eject_queue() const { return eject_; }
 
   /// Registers the component draining the eject queue (the attached NI);
   /// it is woken whenever a flit is ejected toward it.
@@ -101,9 +101,11 @@ class Router : public Component {
   int k_;
   RoutingAlgo algo_;
 
-  std::array<TimedQueue<Flit>, kNumPorts> inputs_;
+  /// Input FIFOs store flit bursts (contiguous runs of one message as a
+  /// single descriptor); capacity and credits are still counted in flits.
+  std::array<FlitBurstQueue, kNumPorts> inputs_;
   std::array<Router*, kNumPorts> neighbors_{};
-  TimedQueue<Flit> eject_;
+  FlitBurstQueue eject_;
   Component* local_sink_ = nullptr;
 
   /// Wormhole state: which input currently owns each output (-1 = free).

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/message_pool.h"
+
 namespace panic {
 
 void Component::request_wake(Cycle at) {
@@ -26,6 +28,28 @@ Simulator::Simulator(Frequency clock, SimMode mode)
                  [this] { return static_cast<double>(active_components()); });
   m.expose_gauge("kernel.now",
                  [this] { return static_cast<double>(now_); });
+  // Message-pool pressure (process-wide; see net/message_pool.h).  Gauges,
+  // not counters: the pool outlives any one simulator, so benches measure
+  // deltas across a run window.
+  m.expose_gauge("kernel.alloc.pool_hit", [] {
+    return static_cast<double>(MessagePool::instance().stats().pool_hits);
+  });
+  m.expose_gauge("kernel.alloc.pool_miss", [] {
+    return static_cast<double>(MessagePool::instance().stats().pool_misses);
+  });
+  m.expose_gauge("kernel.alloc.recycled", [] {
+    return static_cast<double>(MessagePool::instance().stats().recycled);
+  });
+  m.expose_gauge("kernel.alloc.bytes_reused", [] {
+    return static_cast<double>(MessagePool::instance().stats().bytes_reused);
+  });
+  m.expose_gauge("kernel.alloc.live_messages", [] {
+    return static_cast<double>(MessagePool::instance().stats().live);
+  });
+  m.expose_gauge("kernel.alloc.live_high_watermark", [] {
+    return static_cast<double>(
+        MessagePool::instance().stats().live_high_watermark);
+  });
 }
 
 void Simulator::add(Component* c) {
@@ -71,7 +95,7 @@ void Simulator::activate(std::uint32_t slot) {
   Slot& s = slots_[slot];
   if (s.active) return;
   s.active = true;
-  active_.insert(slot);
+  ++active_count_;
   ++wakeups_;
 }
 
@@ -127,21 +151,20 @@ void Simulator::step() {
       ++component_ticks_;
     }
   } else {
-    // Tick active components in slot (registration) order.  wake() may
-    // insert later slots mid-iteration (they are visited this cycle, as
-    // in dense mode) and defers earlier ones to the next cycle.
-    for (auto it = active_.begin(); it != active_.end();) {
-      const std::uint32_t slot = *it;
+    // Tick active components in slot (registration) order by scanning the
+    // per-slot flags.  wake() may activate later slots mid-scan (they are
+    // visited this cycle, as in dense mode) and defers earlier ones to the
+    // next cycle.
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (!slots_[slot].active) continue;
       current_slot_ = slot;
       Component* c = slots_[slot].c;
       c->tick(now_);
       ++component_ticks_;
       const Cycle nw = c->next_wake(now_);
-      if (nw <= now_ + 1) {
-        ++it;  // stays active
-      } else {
+      if (nw > now_ + 1) {
         slots_[slot].active = false;
-        it = active_.erase(it);
+        --active_count_;
         if (nw != Component::kNeverWake) push_wake(slot, nw);
       }
     }

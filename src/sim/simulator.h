@@ -28,7 +28,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <set>
 #include <vector>
 
 #include "common/units.h"
@@ -115,7 +114,7 @@ class Simulator {
   std::uint64_t fast_forwarded_cycles() const { return fast_forwarded_; }
   /// Number of currently active components.
   std::size_t active_components() const {
-    return mode_ == SimMode::kStrictTick ? slots_.size() : active_.size();
+    return mode_ == SimMode::kStrictTick ? slots_.size() : active_count_;
   }
 
  private:
@@ -156,7 +155,7 @@ class Simulator {
   /// Earliest cycle with pending work (event or wake-up); kNeverWake if none.
   Cycle next_scheduled_cycle() const;
   bool can_fast_forward() const {
-    return mode_ == SimMode::kEventDriven && active_.empty();
+    return mode_ == SimMode::kEventDriven && active_count_ == 0;
   }
   /// Jumps the clock to the next pending work, capped at `limit`.
   void fast_forward_to(Cycle limit);
@@ -173,8 +172,11 @@ class Simulator {
 
   std::vector<Component*> components_;  // registration order (slot order)
   std::vector<Slot> slots_;
-  /// Active slots, ordered by slot so the tick order matches strict mode.
-  std::set<std::uint32_t> active_;
+  /// Count of slots with active == true.  The active set itself lives in
+  /// the per-slot flags: the tick loop scans slots in order (matching the
+  /// strict-mode tick order) instead of maintaining a node-based set,
+  /// keeping wake/sleep churn allocation-free.
+  std::size_t active_count_ = 0;
   std::priority_queue<Wake, std::vector<Wake>, WakeOrder> wake_queue_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
 

@@ -2,15 +2,20 @@
 // cycle.  This is the primitive that gives links and pipelines their
 // latency without requiring two-phase component ticking: a producer pushes
 // at cycle t with latency L, and the consumer cannot pop it before t+L.
+//
+// Storage is a ring buffer (common/ring_buffer.h), not a deque: bounded
+// queues never allocate after construction, and unbounded queues grow by
+// doubling, so the steady-state simulation loop performs no allocations
+// (deques allocate/free blocks continuously as elements flow through).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
-#include <deque>
 #include <limits>
 #include <optional>
 #include <utility>
 
+#include "common/ring_buffer.h"
 #include "common/units.h"
 
 namespace panic {
@@ -18,20 +23,29 @@ namespace panic {
 template <typename T>
 class TimedQueue {
  public:
-  /// `capacity` bounds the number of in-flight elements (0 = unbounded).
-  explicit TimedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// `capacity` bounds the number of in-flight elements (0 = unbounded;
+  /// the ring then starts small and doubles as needed).
+  explicit TimedQueue(std::size_t capacity = 0)
+      : capacity_(capacity),
+        items_(capacity != 0 ? capacity : kUnboundedInitialSlots) {}
 
   bool full() const { return capacity_ != 0 && items_.size() >= capacity_; }
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
   std::size_t capacity() const { return capacity_; }
 
+  /// Deepest the queue has ever been.  For unbounded queues this is the
+  /// growth telemetry surfaced per registered queue in sim.snapshot().
+  std::size_t high_watermark() const { return high_watermark_; }
+
   /// Pushes `value`, visible to the consumer at `ready` or later.
   /// FIFO order is preserved even if ready cycles are non-monotonic: an
   /// element is poppable only when it is at the head AND ready.
   bool try_push(T value, Cycle ready) {
     if (full()) return false;
-    items_.push_back(Item{std::move(value), ready});
+    if (items_.full()) items_.grow(items_.capacity() * 2);  // unbounded only
+    items_.push(Item{std::move(value), ready});
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     return true;
   }
 
@@ -48,9 +62,7 @@ class TimedQueue {
   /// Pops the head element if ready.
   std::optional<T> try_pop(Cycle now) {
     if (!ready(now)) return std::nullopt;
-    T value = std::move(items_.front().value);
-    items_.pop_front();
-    return value;
+    return items_.pop().value;
   }
 
   /// Cycle at which the head element becomes ready (max if empty).
@@ -62,12 +74,15 @@ class TimedQueue {
   void clear() { items_.clear(); }
 
  private:
+  static constexpr std::size_t kUnboundedInitialSlots = 8;
+
   struct Item {
     T value;
     Cycle ready;
   };
   std::size_t capacity_;
-  std::deque<Item> items_;
+  RingBuffer<Item> items_;
+  std::size_t high_watermark_ = 0;
 };
 
 }  // namespace panic

@@ -1,5 +1,7 @@
 #include "workload/kvs_workload.h"
 
+#include <memory>
+
 #include "engines/ipsec_engine.h"
 #include "net/packet.h"
 
@@ -50,6 +52,28 @@ FrameFactory make_udp_factory(Ipv4Addr src, Ipv4Addr dst,
 
 FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst) {
   return make_udp_factory(src, dst, kMinFrameBytes);
+}
+
+FrameFiller make_udp_filler(Ipv4Addr src, Ipv4Addr dst,
+                            std::size_t frame_bytes,
+                            std::uint16_t dst_port) {
+  // The factory's frames depend on seq only through `40000 + seq % 1024`
+  // (the UDP source port), so 1024 cached prototypes cover every frame the
+  // filler will ever emit; prototypes are built lazily with the factory
+  // itself, which guarantees byte equality.
+  auto factory = make_udp_factory(src, dst, frame_bytes, dst_port);
+  auto protos =
+      std::make_shared<std::vector<std::vector<std::uint8_t>>>(1024);
+  return [factory = std::move(factory), protos = std::move(protos)](
+             Rng& rng, std::uint64_t seq, std::vector<std::uint8_t>& out) {
+    auto& proto = (*protos)[seq % 1024];
+    if (proto.empty()) proto = factory(rng, seq);
+    out.assign(proto.begin(), proto.end());
+  };
+}
+
+FrameFiller make_min_frame_filler(Ipv4Addr src, Ipv4Addr dst) {
+  return make_udp_filler(src, dst, kMinFrameBytes);
 }
 
 }  // namespace panic::workload

@@ -37,4 +37,17 @@ FrameFactory make_udp_factory(Ipv4Addr src, Ipv4Addr dst,
 /// Frame factory producing minimum-size frames (Table 2 stress).
 FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst);
 
+/// Zero-allocation counterparts of the UDP factories: the frame bytes are
+/// written into the recycled message buffer in place.  The filler caches
+/// one prototype frame per distinct source port (the only seq-dependent
+/// field, `40000 + seq % 1024`), so after at most 1024 builds the steady
+/// state is a pure memcpy into reused capacity.  Byte-identical to the
+/// factory's output for every seq.
+FrameFiller make_udp_filler(Ipv4Addr src, Ipv4Addr dst,
+                            std::size_t frame_bytes,
+                            std::uint16_t dst_port = 9);
+
+/// Zero-allocation counterpart of make_min_frame_factory.
+FrameFiller make_min_frame_filler(Ipv4Addr src, Ipv4Addr dst);
+
 }  // namespace panic::workload

@@ -22,6 +22,20 @@ TrafficSource::TrafficSource(std::string name,
   phase_end_ = config_.on_cycles;
 }
 
+TrafficSource::TrafficSource(std::string name,
+                             engines::EthernetPortEngine* port,
+                             FrameFiller filler,
+                             const TrafficConfig& config)
+    : Component(std::move(name)),
+      port_(port),
+      filler_(std::move(filler)),
+      config_(config),
+      rng_(config.seed) {
+  assert(port_ != nullptr);
+  assert(config_.mean_gap_cycles > 0.0);
+  phase_end_ = config_.on_cycles;
+}
+
 void TrafficSource::schedule_next(Cycle now) {
   (void)now;
   switch (config_.pattern) {
@@ -59,7 +73,13 @@ void TrafficSource::tick(Cycle now) {
   // Emit every frame whose (fractional) time has come; multiple frames per
   // cycle are possible when the gap is < 1 cycle (rates above the clock).
   while (!done() && next_emit_ <= static_cast<double>(now)) {
-    port_->deliver_rx(factory_(rng_, generated_), now, now, config_.tenant);
+    if (filler_) {
+      auto msg = make_message(MessageKind::kPacket);
+      filler_(rng_, generated_, msg->data);
+      port_->deliver_rx(std::move(msg), now, now, config_.tenant);
+    } else {
+      port_->deliver_rx(factory_(rng_, generated_), now, now, config_.tenant);
+    }
     ++generated_;
     schedule_next(now);
   }

@@ -38,10 +38,22 @@ struct TrafficConfig {
 using FrameFactory =
     std::function<std::vector<std::uint8_t>(Rng&, std::uint64_t seq)>;
 
+/// Writes the bytes of the `seq`-th frame into `out` in place.  The
+/// zero-allocation counterpart of FrameFactory: `out` is the data buffer
+/// of a recycled message, so a filler that only assigns into it keeps the
+/// steady-state hot path allocation-free.
+using FrameFiller =
+    std::function<void(Rng&, std::uint64_t seq, std::vector<std::uint8_t>& out)>;
+
 class TrafficSource : public Component {
  public:
   TrafficSource(std::string name, engines::EthernetPortEngine* port,
                 FrameFactory factory, const TrafficConfig& config);
+
+  /// Zero-allocation source: frames are written into pooled message
+  /// buffers instead of freshly allocated vectors.
+  TrafficSource(std::string name, engines::EthernetPortEngine* port,
+                FrameFiller filler, const TrafficConfig& config);
 
   void tick(Cycle now) override;
 
@@ -75,6 +87,7 @@ class TrafficSource : public Component {
 
   engines::EthernetPortEngine* port_;
   FrameFactory factory_;
+  FrameFiller filler_;  ///< used instead of factory_ when set
   TrafficConfig config_;
   Rng rng_;
 

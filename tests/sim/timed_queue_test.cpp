@@ -68,5 +68,55 @@ TEST(TimedQueue, Clear) {
   EXPECT_TRUE(q.try_push(3, 0));
 }
 
+TEST(TimedQueue, HighWatermarkTracksDeepestOccupancy) {
+  TimedQueue<int> q;
+  EXPECT_EQ(q.high_watermark(), 0u);
+  q.try_push(1, 0);
+  q.try_push(2, 0);
+  q.try_push(3, 0);
+  EXPECT_EQ(q.high_watermark(), 3u);
+  (void)q.try_pop(0);
+  (void)q.try_pop(0);
+  EXPECT_EQ(q.high_watermark(), 3u);  // a watermark never recedes
+  q.try_push(4, 0);
+  EXPECT_EQ(q.high_watermark(), 3u);  // depth 2 < 3
+  q.try_push(5, 0);
+  q.try_push(6, 0);
+  EXPECT_EQ(q.high_watermark(), 4u);
+}
+
+TEST(TimedQueue, UnboundedRingGrowthPreservesFifoOrder) {
+  // Push far past the initial ring allocation with interleaved pops so the
+  // head wraps; growth must relocate the wrapped window in order.
+  TimedQueue<int> q;
+  int next_pop = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(i, 0));
+    if (i % 3 == 0) {
+      auto v = q.try_pop(0);
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, next_pop++);
+    }
+  }
+  while (auto v = q.try_pop(0)) {
+    ASSERT_EQ(*v, next_pop++);
+  }
+  EXPECT_EQ(next_pop, 1000);
+  EXPECT_EQ(q.high_watermark(), 667u);
+}
+
+TEST(TimedQueue, BoundedQueueKeepsFixedCapacityAcrossChurn) {
+  TimedQueue<int> q(8);
+  // Cycle many times the capacity through the queue: full() must keep
+  // reporting against the configured bound.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push(i, 0));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.try_push(99, 0));
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(*q.try_pop(0), i);
+  }
+  EXPECT_EQ(q.high_watermark(), 8u);
+}
+
 }  // namespace
 }  // namespace panic
