@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -76,7 +77,8 @@ RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf(
       "PANIC reproduction — E5: chain length vs delivered throughput\n");
   const double gap = 12.0;  // ~83 Mpps offered at 500 MHz (~56 Gbps wire)

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "workload/kvs_workload.h"
 #include "workload/traffic_gen.h"
@@ -81,7 +82,8 @@ Result run(engines::DropPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf(
       "PANIC reproduction — drop policy at the logical scheduler (Sec 6)\n");
   std::printf(

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/message_pool.h"
 #include "workload/kvs_workload.h"
@@ -133,6 +134,7 @@ RunResult run_scenario(const Scenario& sc, SimMode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::uint64_t seed = apply_seed_args(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
   }
@@ -153,7 +155,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string json = "{\n  \"bench\": \"hotpath\",\n";
+  std::string json = "{\n  \"bench\": \"hotpath\",\n  \"seed\": " +
+                     std::to_string(seed) + ",\n";
   {
     char buf[256];
     std::snprintf(buf, sizeof(buf),

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -72,7 +73,8 @@ TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf(
       "PANIC reproduction — E4: performance isolation (slack vs FIFO)\n");
   std::printf(

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/message_pool.h"
 #include "workload/kvs_workload.h"
@@ -124,6 +125,7 @@ RunResult run_scenario(const Scenario& sc, SimMode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::uint64_t seed = apply_seed_args(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
   }
@@ -138,7 +140,8 @@ int main(int argc, char** argv) {
     for (Scenario& sc : scenarios) sc.cycles /= 20;
   }
 
-  std::string json = "{\n  \"bench\": \"kernel_speedup\",\n  \"scenarios\": [";
+  std::string json = "{\n  \"bench\": \"kernel_speedup\",\n  \"seed\": " +
+                     std::to_string(seed) + ",\n  \"scenarios\": [";
   bool first = true;
   bool ok = true;
 

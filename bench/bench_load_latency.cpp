@@ -86,7 +86,8 @@ Point run(int k, std::uint32_t width, double load_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf(
       "PANIC reproduction — mesh latency vs offered load (Table 3 basis)\n");
   std::printf("6x6 mesh, 128-bit channels, 64B messages, uniform random.\n");

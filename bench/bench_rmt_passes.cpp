@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -121,7 +122,8 @@ ModeResult run(bool per_hop, int chain_len) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf(
       "PANIC reproduction — E6: RMT passes with/without lookup tables\n");
 

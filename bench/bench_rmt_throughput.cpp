@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -53,7 +54,8 @@ double measure_rmt_rate(int rmt_engines, int ports) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf("PANIC reproduction — E1: RMT pipeline throughput = F x P\n");
 
   Report report({"RMT engines (P)", "Feeding ports", "Measured pkt/cycle",

@@ -6,12 +6,14 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/rng.h"
 #include "core/offload_taxonomy.h"
 
 using namespace panic;
 using namespace panic::analysis;
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf("PANIC reproduction — Table 1 (offload taxonomy coverage)\n");
   Report report({"Project (paper)", "Scope", "Path", "Kind",
                  "Engine in this repo"});

@@ -5,11 +5,13 @@
 
 #include "analysis/line_rate.h"
 #include "analysis/report.h"
+#include "common/rng.h"
 
 using namespace panic;
 using namespace panic::analysis;
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf("PANIC reproduction — Table 2 (line-rate PPS requirements)\n");
   std::printf("Paper values: 240 / 480 / 300 / 600 Mpps (rounded).\n");
 

@@ -58,7 +58,8 @@ double simulate_saturation(int k, std::uint32_t bits, std::size_t payload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf("PANIC reproduction — Table 3 (mesh throughput / chain len)\n");
 
   Report report({"Line-rate", "Freq", "Bit Width", "Topo", "Bisec BW",

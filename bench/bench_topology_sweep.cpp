@@ -73,7 +73,8 @@ SweepResult run(int k, std::uint32_t width) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf("PANIC reproduction — on-chip topology sweep (Sec 6)\n");
   std::printf("64B messages, 128-bit channels, uniform random traffic.\n");
 

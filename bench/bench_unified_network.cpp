@@ -86,7 +86,8 @@ double simulate(int k, std::uint32_t total_width, int meshes, Load load,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   std::printf(
       "PANIC reproduction — unified vs split on-chip network (footnote 1)\n");
   std::printf(

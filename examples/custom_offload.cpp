@@ -10,6 +10,7 @@
 
 #include <unordered_map>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -62,7 +63,8 @@ class TelemetryEngine : public engines::Engine {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   Simulator sim(Frequency::megahertz(500));
 
   core::PanicConfig config;

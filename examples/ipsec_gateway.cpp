@@ -5,6 +5,7 @@
 // flows past the crypto engine untouched — no head-of-line blocking.
 #include <cstdio>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "engines/ipsec_engine.h"
 #include "net/packet.h"
@@ -14,7 +15,8 @@
 
 using namespace panic;
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   Simulator sim(Frequency::megahertz(500));
   core::PanicConfig config;
   config.mesh.k = 4;

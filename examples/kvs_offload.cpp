@@ -7,6 +7,7 @@
 // clients' replies leave encrypted.
 #include <cstdio>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -14,7 +15,8 @@
 
 using namespace panic;
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   Simulator sim(Frequency::megahertz(500));
   core::PanicConfig config;
   config.mesh.k = 4;

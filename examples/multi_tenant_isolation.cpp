@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/config.h"
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "workload/kvs_workload.h"
 #include "workload/traffic_gen.h"
@@ -15,6 +16,7 @@
 using namespace panic;
 
 int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   const Config args = Config::from_args(argc, argv);
   const bool fifo = args.get_string("policy", "slack") == "fifo";
 

@@ -6,13 +6,15 @@
 // follows the default program.
 #include <cstdio>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "rmt/p4lite.h"
 
 using namespace panic;
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   Simulator sim(Frequency::megahertz(500));
   core::PanicConfig config;
   config.mesh.k = 4;

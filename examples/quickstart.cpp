@@ -9,12 +9,14 @@
 // and raises (coalesced) interrupts via the PCIe engine.
 #include <cstdio>
 
+#include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 
 using namespace panic;
 
-int main() {
+int main(int argc, char** argv) {
+  panic::apply_seed_args(argc, argv);
   // A 4x4-mesh NIC: 2x100G ports, 2 RMT engines, the full offload set.
   Simulator sim(Frequency::megahertz(500));
   // Opt-in per-message tracing: every RMT pass, NoC hop, queue event and

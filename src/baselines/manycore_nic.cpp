@@ -33,6 +33,7 @@ void ManycoreNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
     core = static_cast<std::size_t>(next_core_++ % static_cast<int>(cores_.size()));
   }
   if (cores_[core].queue.size() >= config_.core_queue_depth) {
+    msg->set_fate(MessageFate::kDropped);
     ++dropped_;
     return;
   }
@@ -47,6 +48,7 @@ void ManycoreNic::tick(Cycle now) {
     if (now >= dma_in_service_->nic_ingress_at) {
       latency_.record(now - dma_in_service_->nic_ingress_at);
     }
+    dma_in_service_->set_fate(MessageFate::kDelivered);
     dma_in_service_ = nullptr;
   }
   if (dma_in_service_ == nullptr && !dma_queue_.empty()) {

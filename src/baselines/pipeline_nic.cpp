@@ -22,10 +22,10 @@ PipelineNic::PipelineNic(std::string name, std::vector<OffloadSpec> offloads,
   sim.add(this);
 }
 
-bool PipelineNic::stage_push(std::size_t stage, MessagePtr msg) {
+bool PipelineNic::stage_push(std::size_t stage, MessagePtr& msg) {
   auto& st = stages_[stage];
   if (st.queue.size() >= config_.stage_queue_depth) return false;
-  st.queue.push(std::move(msg));
+  st.queue.push(std::move(msg));  // nulls `msg`; on failure the caller keeps it
   return true;
 }
 
@@ -37,11 +37,12 @@ void PipelineNic::inject_rx(std::vector<std::uint8_t> frame, Cycle now,
   msg->created_at = now;
   msg->nic_ingress_at = now;
   annotate_message(*msg);
-  if (!stage_push(0, std::move(msg))) {
-    ++dropped_;
+  if (stage_push(0, msg)) {
+    request_wake(now);
     return;
   }
-  request_wake(now);
+  msg->set_fate(MessageFate::kDropped);
+  ++dropped_;
 }
 
 void PipelineNic::tick(Cycle now) {
@@ -51,6 +52,11 @@ void PipelineNic::tick(Cycle now) {
   for (std::size_t i = stages_.size(); i-- > 0;) {
     auto& st = stages_[i];
 
+    // A wedged stage neither completes nor issues: work piles up behind
+    // it and back-pressure propagates to the wire (no legal drop point —
+    // the §2.3.1 contrast with PANIC's detour-around recovery).
+    if (st.wedged) continue;
+
     // Completion: hand to the next stage (blocking if it is full — this
     // back-pressure is what propagates HOL blocking upstream).
     if (st.in_service != nullptr && now >= st.done_at) {
@@ -59,11 +65,11 @@ void PipelineNic::tick(Cycle now) {
         if (now >= st.in_service->nic_ingress_at) {
           latency_.record(now - st.in_service->nic_ingress_at);
         }
+        st.in_service->set_fate(MessageFate::kDelivered);
         st.in_service = nullptr;
-      } else if (stage_push(i + 1, std::move(st.in_service))) {
-        st.in_service = nullptr;
+      } else {
+        stage_push(i + 1, st.in_service);  // on failure: stalled, retry
       }
-      // else: stalled, retry next cycle.
     }
 
     // Issue.
@@ -80,6 +86,7 @@ void PipelineNic::tick(Cycle now) {
 Cycle PipelineNic::next_wake(Cycle now) const {
   Cycle next = kNeverWake;
   for (const StageState& st : stages_) {
+    if (st.wedged) continue;  // never progresses; upstream stalls keep waking
     if (st.in_service != nullptr) {
       // A completed-but-blocked packet (done_at <= now) retries every
       // cycle, matching the dense kernel's back-pressure propagation.
@@ -90,6 +97,16 @@ Cycle PipelineNic::next_wake(Cycle now) const {
     }
   }
   return next;
+}
+
+bool PipelineNic::wedge_stage(const std::string& stage_name) {
+  for (StageState& st : stages_) {
+    if (st.spec.name == stage_name) {
+      st.wedged = true;
+      return true;
+    }
+  }
+  return false;
 }
 
 void PipelineNic::register_telemetry(telemetry::Telemetry& t) {

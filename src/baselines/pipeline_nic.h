@@ -46,15 +46,25 @@ class PipelineNic : public Component, public NicModel {
   /// stage retries every cycle); quiescent when the wire is empty.
   Cycle next_wake(Cycle now) const override;
 
+  /// Fault hook: the named stage stops serving (in-service and queued work
+  /// freeze, back-pressure propagates to the wire).  A fixed-function
+  /// pipeline has no detour around a dead block — the counterpart of a
+  /// PANIC engine death for bench_fault_resilience.  Returns false if no
+  /// stage has that name.
+  bool wedge_stage(const std::string& stage_name);
+
  private:
   struct StageState {
     OffloadSpec spec;
     Fifo<MessagePtr> queue;
     MessagePtr in_service;
     Cycle done_at = 0;
+    bool wedged = false;
   };
 
-  bool stage_push(std::size_t stage, MessagePtr msg);
+  /// Moves `msg` into `stage`'s queue when it has room (nulling `msg`);
+  /// leaves ownership with the caller when full.
+  bool stage_push(std::size_t stage, MessagePtr& msg);
 
   PipelineNicConfig config_;
   std::vector<StageState> stages_;  // last stage is the DMA engine

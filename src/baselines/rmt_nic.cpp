@@ -54,6 +54,7 @@ void RmtNic::tick(Cycle now) {
       if (now >= msg->nic_ingress_at) {
         latency_.record(now - msg->nic_ingress_at);
       }
+      msg->set_fate(MessageFate::kDelivered);
     }
   }
   if (dma_in_service_ == nullptr && !dma_queue_.empty()) {
@@ -70,6 +71,7 @@ void RmtNic::tick(Cycle now) {
     if (now >= host_in_service_->nic_ingress_at) {
       latency_.record(now - host_in_service_->nic_ingress_at);
     }
+    host_in_service_->set_fate(MessageFate::kDelivered);
     host_in_service_ = nullptr;
   }
   if (host_in_service_ == nullptr && !host_queue_.empty()) {

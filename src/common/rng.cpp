@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 namespace panic {
 namespace {
@@ -19,7 +21,48 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t& sim_seed_storage() {
+  static std::uint64_t seed = [] {
+    if (const char* env = std::getenv("PANIC_SEED")) {
+      char* end = nullptr;
+      const std::uint64_t v = std::strtoull(env, &end, 0);
+      if (end != env) return v;
+    }
+    return kDefaultSimSeed;
+  }();
+  return seed;
+}
+
 }  // namespace
+
+std::uint64_t sim_seed() { return sim_seed_storage(); }
+
+void set_sim_seed(std::uint64_t seed) { sim_seed_storage() = seed; }
+
+std::uint64_t apply_seed_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const std::uint64_t v = std::strtoull(value, &end, 0);
+      if (end != value) set_sim_seed(v);
+    }
+  }
+  return sim_seed();
+}
+
+std::uint64_t derive_seed(std::uint64_t stream) {
+  const std::uint64_t global = sim_seed();
+  if (global == kDefaultSimSeed) return stream;  // historic streams intact
+  std::uint64_t x = global;
+  return stream ^ splitmix64(x);
+}
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;

@@ -9,13 +9,40 @@
 
 namespace panic {
 
+/// The default global simulation seed (also every Rng's default seed).
+inline constexpr std::uint64_t kDefaultSimSeed = 0x9E3779B97F4A7C15ull;
+
+/// The process-wide simulation seed.  Resolved once, lazily: an explicit
+/// set_sim_seed() wins, else the PANIC_SEED environment variable (decimal
+/// or 0x-hex), else kDefaultSimSeed.  Every reproducible run — faulty or
+/// not — is a function of this one value plus the per-stream seeds below.
+std::uint64_t sim_seed();
+
+/// Overrides the global seed (benches/examples call this from a --seed/
+/// seed= argument before building the NIC).  Must be called before any
+/// component derives a stream from it to affect that stream.
+void set_sim_seed(std::uint64_t seed);
+
+/// Combines the global seed with a per-stream seed (a workload source's
+/// config seed, a DMA engine's jitter seed, a fault plan's seed).  When
+/// the global seed is the default, this is the identity on `stream`, so
+/// historic runs and golden tests are unchanged; any other global seed
+/// shifts every stream deterministically.
+std::uint64_t derive_seed(std::uint64_t stream);
+
+/// Scans argv for `--seed <n>` / `--seed=<n>` (decimal or 0x-hex) and
+/// applies it via set_sim_seed.  Benches and examples call this first
+/// thing in main; returns the resolved sim_seed() either way so callers
+/// can print it / embed it in result JSON.
+std::uint64_t apply_seed_args(int argc, char** argv);
+
 /// xoshiro256** 1.0 — fast, high-quality, reproducible across platforms.
 /// Satisfies the UniformRandomBitGenerator concept.
 class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+  explicit Rng(std::uint64_t seed = kDefaultSimSeed);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }

@@ -7,11 +7,14 @@
 
 #include "common/units.h"
 #include "engines/dma_engine.h"
+#include "engines/host_driver.h"
 #include "engines/ipsec_engine.h"
 #include "engines/kvs_cache_engine.h"
 #include "engines/pcie_engine.h"
 #include "engines/rdma_engine.h"
 #include "engines/sched_queue.h"
+#include "fault/fault_plan.h"
+#include "fault/watchdog.h"
 #include "noc/mesh.h"
 #include "rmt/pipeline.h"
 
@@ -86,6 +89,19 @@ struct PanicConfig {
   /// Called after the default RMT program is built, so benchmarks and
   /// examples can add or override table entries.
   std::function<void(rmt::RmtProgram&, const PanicTopology&)> customize_program;
+
+  // --- Fault injection & self-healing (fault/). ---
+  /// Deterministic fault schedule.  When non-empty the NIC arms an
+  /// injector with it, turns the watchdog on, and enables host-driver TX
+  /// timeout/retry.  Same seed + same plan => bit-identical runs in both
+  /// kernel modes.
+  fault::FaultPlan faults;
+  /// Forces the watchdog on even with an empty plan.
+  bool enable_watchdog = false;
+  fault::WatchdogConfig watchdog;
+  /// Forces host-driver TX timeout/retry on even with an empty plan.
+  bool enable_tx_retry = false;
+  engines::HostDriverConfig host_driver;
 };
 
 }  // namespace panic::core

@@ -113,7 +113,8 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
   pcie_->lookup_table().set_kind_route(MessageKind::kDmaRead, topo_.dma);
   pcie_->lookup_table().set_kind_route(MessageKind::kPacket, home_rmt());
 
-  host_driver_ = std::make_unique<engines::HostDriver>(&host_, pcie_);
+  host_driver_ = std::make_unique<engines::HostDriver>(&host_, pcie_,
+                                                       config_.host_driver);
 
   engines::IpsecConfig rx_cfg;
   rx_cfg.mode = engines::IpsecMode::kDecrypt;
@@ -177,6 +178,57 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
     aux->lookup_table().set_default(home_rmt());
     aux_.push_back(aux);
   }
+
+  // --- Fault injection, detection, and recovery wiring. ---
+  // The injector always exists (its steering directory is what engines
+  // consult; empty => zero-cost), but faults are only armed and the
+  // watchdog/TX-retry only attached when the config asks for them.
+  injector_ = std::make_unique<fault::FaultInjector>(config_.faults);
+
+  std::vector<engines::Engine*> all_engines;
+  for (auto* port : eth_ports_) all_engines.push_back(port);
+  all_engines.insert(all_engines.end(),
+                     {dma_, pcie_, ipsec_rx_, ipsec_tx_, kvs_, rdma_,
+                      compression_, checksum_, regex_, tso_, rate_limiter_});
+  for (auto* aux : aux_) all_engines.push_back(aux);
+
+  for (auto* engine : all_engines) {
+    injector_->register_engine(engine);
+    engine->set_steering(&injector_->steering());
+  }
+  for (auto* engine : rmt_engines_) {
+    engine->set_steering(&injector_->steering());
+  }
+  for (int t = 0; t < mesh_->tiles(); ++t) {
+    injector_->register_router(
+        t, &mesh_->router(EngineId{static_cast<std::uint16_t>(t)}));
+  }
+  // Aux engines are interchangeable pass-through delays: a dead one fails
+  // over to any live sibling with identical behaviour.
+  if (topo_.aux.size() > 1) injector_->add_equivalence_group(topo_.aux);
+
+  const bool faulty = !config_.faults.empty();
+  if (faulty || config_.enable_watchdog) {
+    watchdog_ = adopt(new fault::Watchdog(config_.watchdog));
+    for (auto* engine : all_engines) {
+      watchdog_->add_probe(
+          engine->name(), [engine] { return engine->progress(); },
+          [engine] { return engine->has_pending_work(); });
+    }
+    for (auto* engine : rmt_engines_) {
+      watchdog_->add_probe(
+          engine->name(), [engine] { return engine->progress(); },
+          [engine] { return engine->has_pending_work(); });
+    }
+    for (int t = 0; t < mesh_->tiles(); ++t) {
+      auto& router = mesh_->router(EngineId{static_cast<std::uint16_t>(t)});
+      watchdog_->add_probe("router" + std::to_string(t),
+                           [&router] { return router.progress(); },
+                           [&router] { return router.has_pending_flits(); });
+    }
+  }
+  if (faulty || config_.enable_tx_retry) host_driver_->attach(sim);
+  if (faulty) injector_->arm(sim);
 
   sim.telemetry().metrics().expose_gauge("nic.rmt_passes", [this] {
     return static_cast<double>(total_rmt_passes());

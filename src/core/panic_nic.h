@@ -23,6 +23,8 @@
 #include "engines/rdma_engine.h"
 #include "engines/regex_engine.h"
 #include "engines/tso_engine.h"
+#include "fault/fault_injector.h"
+#include "fault/watchdog.h"
 #include "sim/simulator.h"
 
 namespace panic::core {
@@ -60,6 +62,13 @@ class PanicNic {
   engines::DelayEngine& aux(int i) { return *aux_[i]; }
   int num_aux() const { return static_cast<int>(aux_.size()); }
 
+  /// Fault injection: every engine and router is registered here, and
+  /// every Engine/RmtEngine consults its steering directory.  Armed in
+  /// the constructor when config.faults is non-empty.
+  fault::FaultInjector& fault_injector() { return *injector_; }
+  /// Non-null when config.faults is non-empty or enable_watchdog is set.
+  fault::Watchdog* watchdog() { return watchdog_; }
+
   /// Delivers a frame into Ethernet port `port` (the wire side).
   void inject_rx(int port, std::vector<std::uint8_t> frame, Cycle now,
                  TenantId tenant = TenantId{0});
@@ -93,6 +102,9 @@ class PanicNic {
   engines::RateLimiterEngine* rate_limiter_ = nullptr;
   std::vector<engines::DelayEngine*> aux_;
   std::unique_ptr<engines::HostDriver> host_driver_;
+
+  std::unique_ptr<fault::FaultInjector> injector_;
+  fault::Watchdog* watchdog_ = nullptr;  ///< owned via owned_
 
   std::vector<std::unique_ptr<Component>> owned_;
 };

@@ -37,6 +37,7 @@ void RmtEngine::tick(Cycle now) {
     const auto result = pipeline_.process(*msg);
     if (result.drop || (!result.parsed && msg->kind == MessageKind::kPacket)) {
       trace(telemetry::TraceEventKind::kDrop, now, msg->id);
+      msg->set_fate(MessageFate::kDropped);
       ++dropped_;
       PANIC_TRACE("rmt", "%s: pipeline dropped message %llu (%s)",
                   name().c_str(),
@@ -58,13 +59,38 @@ void RmtEngine::tick(Cycle now) {
     } else {
       next = lookup_.route(*msg);
     }
+    if (next.has_value() && steering_ != nullptr && !steering_->empty() &&
+        steering_->is_dead(*next)) {
+      const auto fallback = steering_->resolve(*next);
+      if (fallback.has_value()) {
+        // Rewrite the chain hop naming the dead engine (when the route
+        // came from the chain) so the fallback consumes it and the tail
+        // of the chain stays reachable.
+        if (const auto hop = msg->chain.current();
+            hop.has_value() && hop->engine == *next) {
+          msg->chain.reroute_current(*fallback);
+        }
+        trace(telemetry::TraceEventKind::kFault, now, msg->id,
+              fallback->value);
+        ++resteered_;
+        next = fallback;
+      } else {
+        // No live equivalent: attributed fault drop.
+        trace(telemetry::TraceEventKind::kFault, now, msg->id, next->value);
+        msg->set_fate(MessageFate::kFaulted);
+        ++faulted_drops_;
+        continue;
+      }
+    }
     trace(telemetry::TraceEventKind::kRmtClassify, now, msg->id,
           next.has_value() ? next->value : 0);
     if (next.has_value() && *next != id()) {
       out_.try_push(Outbound{std::move(msg), *next}, now);
+    } else {
+      // No route: the program terminated the message here (counted as
+      // processed; visible in tests via processed - forwarded).
+      msg->set_fate(MessageFate::kConsumed);
     }
-    // No route: the program terminated the message here (counted as
-    // processed; visible in tests via processed - forwarded).
   }
 
   // Drain toward the NI.
@@ -81,6 +107,8 @@ void RmtEngine::register_telemetry(telemetry::Telemetry& t) {
   const std::string prefix = "rmt." + name() + ".";
   m.expose_counter(prefix + "processed", &processed_);
   m.expose_counter(prefix + "dropped", &dropped_);
+  m.expose_counter(prefix + "resteered", &resteered_);
+  m.expose_counter(prefix + "faulted_drops", &faulted_drops_);
   m.expose_gauge(prefix + "staging_high_watermark", [this] {
     return static_cast<double>(out_.high_watermark());
   });

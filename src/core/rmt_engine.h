@@ -15,6 +15,7 @@
 
 #include "engines/lookup_table.h"
 #include "engines/sched_queue.h"
+#include "fault/steering.h"
 #include "noc/network_interface.h"
 #include "rmt/pipeline.h"
 #include "sim/component.h"
@@ -48,6 +49,21 @@ class RmtEngine : public Component {
   std::uint64_t messages_dropped() const { return dropped_; }
   std::uint64_t queue_drops() const { return queue_.dropped(); }
 
+  /// Completion routing consults `steering` (when set): chains headed to a
+  /// dead engine are rewritten toward a live equivalent, or the message
+  /// dies with fate kFaulted when none exists — recovery happens here, at
+  /// the pipeline that computes chains (§3.1.2).
+  void set_steering(const fault::SteeringDirectory* steering) {
+    steering_ = steering;
+  }
+  std::uint64_t resteered() const { return resteered_; }
+
+  // --- Watchdog probes (fault/watchdog.h). ---
+  std::uint64_t progress() const { return processed_ + dropped_; }
+  bool has_pending_work() const {
+    return !queue_.empty() || !in_flight_.empty() || !out_.empty();
+  }
+
   /// Publishes `rmt.<name>.*` metrics and attaches the message tracer.
   void register_telemetry(telemetry::Telemetry& t) override;
 
@@ -69,6 +85,10 @@ class RmtEngine : public Component {
 
   std::uint64_t processed_ = 0;
   std::uint64_t dropped_ = 0;
+
+  const fault::SteeringDirectory* steering_ = nullptr;
+  std::uint64_t resteered_ = 0;
+  std::uint64_t faulted_drops_ = 0;
 };
 
 }  // namespace panic::core

@@ -26,7 +26,7 @@ DmaEngine::DmaEngine(std::string name, noc::NetworkInterface* ni,
                      const EngineConfig& config, const DmaConfig& dma,
                      HostMemory* host)
     : Engine(std::move(name), ni, config), dma_(dma), host_(host),
-      rng_(dma.seed) {
+      rng_(derive_seed(dma.seed)) {
   assert(host_ != nullptr);
 }
 
@@ -89,7 +89,10 @@ bool DmaEngine::process(Message& msg, Cycle now) {
       const auto route = lookup_table().route(*irq);
       if (route.has_value() && *route != id()) {
         emit(std::move(irq), *route, now);
+      } else {
+        irq->set_fate(MessageFate::kConsumed);
       }
+      msg.set_fate(MessageFate::kDelivered);
       return false;  // packet consumed (lives in host memory now)
     }
     case MessageKind::kDmaRead: {

@@ -16,6 +16,9 @@ void Engine::register_telemetry(telemetry::Telemetry& t) {
   m.expose_gauge(p + "staging_high_watermark", [this] {
     return static_cast<double>(out_.high_watermark());
   });
+  m.expose_counter(p + "faulted_discards", &faulted_discards_);
+  m.expose_counter(p + "corrupted", &corrupted_);
+  m.expose_counter(p + "resteered", &resteered_);
   queue_.register_metrics(m, "engine." + name() + ".queue");
   queue_.bind_tracer(tracer(), trace_tag());
 }
@@ -33,6 +36,7 @@ Engine::Engine(std::string name, noc::NetworkInterface* ni,
 
 void Engine::drain_arrivals(Cycle now) {
   while (MessagePtr msg = ni_->try_receive(now)) {
+    if (corrupt_p_ > 0.0 && now < corrupt_until_) maybe_corrupt(*msg, now);
     // Adopt the slack of the hop that addressed this engine; the hop is
     // consumed when the message is forwarded onward.
     if (const auto hop = msg->chain.current();
@@ -41,6 +45,18 @@ void Engine::drain_arrivals(Cycle now) {
     }
     queue_.try_enqueue(std::move(msg), now);  // full queue => drop
   }
+}
+
+void Engine::maybe_corrupt(Message& msg, Cycle now) {
+  // One bernoulli draw per arrival keeps the stream aligned across runs
+  // regardless of payload sizes.
+  if (!corrupt_rng_.bernoulli(corrupt_p_) || msg.data.empty()) return;
+  const std::size_t byte =
+      corrupt_rng_.uniform_int(0, msg.data.size() - 1);
+  msg.data[byte] ^= 0x20;
+  ++corrupted_;
+  trace(telemetry::TraceEventKind::kFault, now, msg.id,
+        static_cast<std::uint32_t>(byte));
 }
 
 void Engine::emit(MessagePtr msg, EngineId dst, Cycle now) {
@@ -58,9 +74,31 @@ void Engine::forward_along_chain(MessagePtr msg, Cycle now) {
       hop.has_value() && hop->engine == id()) {
     msg->chain.advance();
   }
-  const auto next = lookup_.route(*msg);
+  auto next = lookup_.route(*msg);
   if (!next.has_value() || *next == id()) {
+    msg->set_fate(MessageFate::kConsumed);
     return;  // terminates here
+  }
+  if (steering_ != nullptr && !steering_->empty() &&
+      steering_->is_dead(*next)) {
+    const auto fallback = steering_->resolve(*next);
+    if (!fallback.has_value()) {
+      // No live equivalent exists: the message dies here, attributed to
+      // the injected fault (not lost).
+      msg->set_fate(MessageFate::kFaulted);
+      trace(telemetry::TraceEventKind::kFault, now, msg->id, next->value);
+      ++faulted_discards_;
+      return;
+    }
+    // Rewrite the chain hop naming the dead engine so the fallback
+    // consumes it (keeping the slack) and the chain tail stays reachable.
+    if (const auto hop = msg->chain.current();
+        hop.has_value() && hop->engine == *next) {
+      msg->chain.reroute_current(*fallback);
+    }
+    trace(telemetry::TraceEventKind::kFault, now, msg->id, fallback->value);
+    ++resteered_;
+    next = fallback;
   }
   emit(std::move(msg), *next, now);
 }
@@ -74,6 +112,14 @@ void Engine::drain_output(Cycle now) {
 }
 
 void Engine::tick(Cycle now) {
+  if (dead_) {
+    // A dead tile sinks its arrivals so the NoC stays lossless; every
+    // discarded message is attributed to the fault.
+    discard_all(now);
+    return;
+  }
+  if (now < stalled_until_) return;  // frozen: observable no-op
+
   drain_arrivals(now);
 
   // Complete the in-service message.
@@ -85,6 +131,10 @@ void Engine::tick(Cycle now) {
           static_cast<std::uint32_t>(service_cycles_));
     if (process(*msg, now)) {
       forward_along_chain(std::move(msg), now);
+    } else {
+      // Consumed by the offload (kept alive until here; the paths that
+      // deliver inside process() already set a stronger fate).
+      msg->set_fate(MessageFate::kConsumed);
     }
   }
 
@@ -93,6 +143,10 @@ void Engine::tick(Cycle now) {
     in_service_ = queue_.dequeue(now);
     Cycles t = service_time(*in_service_);
     if (t == 0) t = 1;
+    if (now < degrade_until_ && degrade_factor_ != 1.0) {
+      t = static_cast<Cycles>(static_cast<double>(t) * degrade_factor_);
+      if (t == 0) t = 1;
+    }
     service_hist_.record(t);
     service_done_ = now + t;
     service_cycles_ = t;
@@ -104,7 +158,45 @@ void Engine::tick(Cycle now) {
   drain_output(now);
 }
 
+void Engine::discard_all(Cycle now) {
+  const auto discard = [&](MessagePtr msg) {
+    if (msg == nullptr) return;
+    msg->set_fate(MessageFate::kFaulted);
+    trace(telemetry::TraceEventKind::kFault, now, msg->id, 0);
+    ++faulted_discards_;
+  };
+  while (MessagePtr msg = ni_->try_receive(now)) discard(std::move(msg));
+  for (MessagePtr& msg : queue_.evict_all()) discard(std::move(msg));
+  discard(std::move(in_service_));
+  // Staged outbounds were pushed with ready cycles <= now, so this drains
+  // the staging buffer completely.
+  while (auto ob = out_.try_pop(now)) discard(std::move(ob->msg));
+}
+
+void Engine::fault_kill(Cycle now) {
+  dead_ = true;
+  discard_all(now);
+}
+
+void Engine::fault_stall(Cycle now, Cycles duration) {
+  stalled_until_ = now + duration;
+}
+
+void Engine::fault_degrade(double factor, Cycle until) {
+  degrade_factor_ = factor <= 0.0 ? 1.0 : factor;
+  degrade_until_ = until;
+}
+
+void Engine::fault_corrupt(double probability, Cycle until,
+                           std::uint64_t seed) {
+  corrupt_p_ = probability;
+  corrupt_until_ = until;
+  corrupt_rng_ = Rng(seed);
+}
+
 Cycle Engine::next_wake(Cycle now) const {
+  if (dead_) return kNeverWake;  // arrivals wake us through the NI
+  if (now < stalled_until_) return stalled_until_;
   // Staging buffer drains one message per tick while the NI has room, and
   // the NI can free a slot any cycle — retry every cycle until empty.
   if (!out_.empty()) return now + 1;

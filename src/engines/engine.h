@@ -21,9 +21,11 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
 #include "engines/lookup_table.h"
+#include "fault/steering.h"
 #include "engines/sched_queue.h"
 #include "noc/network_interface.h"
 #include "sim/component.h"
@@ -61,6 +63,43 @@ class Engine : public Component {
   /// queue's counters under "engine.<name>.*".  Subclasses with extra
   /// counters override AND call this first.
   void register_telemetry(telemetry::Telemetry& t) override;
+
+  // --- Fault-injection hooks (armed by fault::FaultInjector). ---
+
+  /// Permanent death: discards queued, in-service and staged work with
+  /// fate kFaulted, then discards every later arrival.  Recovery — routing
+  /// new work around this tile — is the SteeringDirectory's job.
+  void fault_kill(Cycle now);
+
+  /// Freezes the engine (no draining, no service) until now + duration.
+  void fault_stall(Cycle now, Cycles duration);
+
+  /// Multiplies service times started before cycle `until` by `factor`.
+  void fault_degrade(double factor, Cycle until);
+
+  /// Flips one payload byte of each arriving message with probability
+  /// `probability` until cycle `until`, drawing from a dedicated stream.
+  void fault_corrupt(double probability, Cycle until, std::uint64_t seed);
+
+  bool faulted_dead() const { return dead_; }
+
+  /// Outbound routing consults `steering` (when set) to re-steer messages
+  /// headed to a dead engine; unresolvable hops die with fate kFaulted.
+  void set_steering(const fault::SteeringDirectory* steering) {
+    steering_ = steering;
+  }
+
+  // --- Watchdog probes (fault/watchdog.h). ---
+
+  /// Monotone forward-progress counter: moves at every service start and
+  /// completion, frozen exactly when the engine is wedged.
+  std::uint64_t progress() const { return processed_ + busy_cycles_; }
+
+  /// True when the engine holds undone work (a busy probe; an idle engine
+  /// making no progress is healthy).
+  bool has_pending_work() const {
+    return in_service_ != nullptr || !queue_.empty() || !out_.empty();
+  }
 
   // --- Deprecated counter getters. ---
   // Kept for one release as thin forwarders; new code reads the registry
@@ -106,6 +145,10 @@ class Engine : public Component {
  private:
   void drain_arrivals(Cycle now);
   void drain_output(Cycle now);
+  /// Dead-engine behaviour: destroy all held work + arrivals (fate
+  /// kFaulted, counted in faulted_discards_).
+  void discard_all(Cycle now);
+  void maybe_corrupt(Message& msg, Cycle now);
 
   noc::NetworkInterface* ni_;
   EngineConfig config_;
@@ -130,6 +173,20 @@ class Engine : public Component {
   std::uint64_t processed_ = 0;
   std::uint64_t busy_cycles_ = 0;
   Histogram service_hist_;
+
+  // --- Fault state (all inert until a FaultInjector arms a plan). ---
+  bool dead_ = false;
+  Cycle stalled_until_ = 0;
+  double degrade_factor_ = 1.0;
+  Cycle degrade_until_ = 0;
+  double corrupt_p_ = 0.0;
+  Cycle corrupt_until_ = 0;
+  Rng corrupt_rng_;
+  const fault::SteeringDirectory* steering_ = nullptr;
+
+  std::uint64_t faulted_discards_ = 0;  ///< messages destroyed by faults here
+  std::uint64_t corrupted_ = 0;         ///< payloads flipped on arrival
+  std::uint64_t resteered_ = 0;         ///< sends redirected around dead tiles
 };
 
 }  // namespace panic::engines

@@ -55,6 +55,7 @@ void EthernetPortEngine::deliver_rx(MessagePtr msg, Cycle now,
     PANIC_DEBUG("eth", "%s: RX frame dropped, no route configured",
                 name().c_str());
     trace(telemetry::TraceEventKind::kDrop, now, msg->id);
+    msg->set_fate(MessageFate::kDropped);
   }
 }
 
@@ -77,7 +78,8 @@ bool EthernetPortEngine::process(Message& msg, Cycle now) {
     tx_latency_.record(now - msg.nic_ingress_at);
   }
   if (tx_sink_) tx_sink_(msg, now);
-  return false;  // consumed: the frame leaves the NIC
+  msg.set_fate(MessageFate::kDelivered);  // left the NIC on the wire
+  return false;
 }
 
 }  // namespace panic::engines

@@ -3,11 +3,30 @@
 #include <cassert>
 #include <vector>
 
+#include "common/log.h"
+#include "sim/simulator.h"
+
 namespace panic::engines {
 
-HostDriver::HostDriver(HostMemory* host, PcieEngine* pcie)
-    : host_(host), pcie_(pcie) {
+HostDriver::HostDriver(HostMemory* host, PcieEngine* pcie,
+                       HostDriverConfig config)
+    : host_(host), pcie_(pcie), config_(config) {
   assert(host_ != nullptr && pcie_ != nullptr);
+}
+
+void HostDriver::attach(Simulator& sim) {
+  sim_ = &sim;
+  pcie_->set_tx_launch_callback(
+      [this](std::uint64_t desc_addr, Cycle /*now*/) {
+        on_launched(desc_addr);
+      });
+  auto& m = sim.telemetry().metrics();
+  m.expose_counter("host_driver.posted", &posted_);
+  m.expose_counter("host_driver.completed", &completed_);
+  m.expose_counter("host_driver.retries", &retries_);
+  m.expose_counter("host_driver.failed", &failed_);
+  m.expose_gauge("host_driver.pending",
+                 [this] { return static_cast<double>(pending_.size()); });
 }
 
 std::uint64_t HostDriver::post_tx(std::span<const std::uint8_t> frame,
@@ -29,9 +48,40 @@ std::uint64_t HostDriver::post_tx(std::span<const std::uint8_t> frame,
   const auto desc_addr = host_->allocate(TxDescriptor::kSize);
   host_->write(desc_addr, bytes);
 
+  if (sim_ != nullptr) {
+    pending_[desc_addr] = Pending{1};
+    arm_timeout(desc_addr);
+  }
   pcie_->ring_tx_doorbell(desc_addr, now);
   ++posted_;
   return desc_addr;
+}
+
+void HostDriver::on_launched(std::uint64_t desc_addr) {
+  if (pending_.erase(desc_addr) != 0) ++completed_;
+}
+
+void HostDriver::arm_timeout(std::uint64_t desc_addr) {
+  const int attempt = pending_[desc_addr].attempts;
+  sim_->schedule_in(config_.tx_timeout, [this, desc_addr, attempt] {
+    const auto it = pending_.find(desc_addr);
+    // Completed, or a newer attempt already re-armed its own timer.
+    if (it == pending_.end() || it->second.attempts != attempt) return;
+    if (it->second.attempts > config_.max_retries) {
+      PANIC_WARN("host_driver",
+                 "TX descriptor 0x%llx abandoned after %d attempts",
+                 static_cast<unsigned long long>(desc_addr), attempt);
+      pending_.erase(it);
+      ++failed_;
+      return;
+    }
+    ++it->second.attempts;
+    ++retries_;
+    PANIC_INFO("host_driver", "TX descriptor 0x%llx timed out, re-ringing",
+               static_cast<unsigned long long>(desc_addr));
+    arm_timeout(desc_addr);
+    pcie_->ring_tx_doorbell(desc_addr, sim_->now());
+  });
 }
 
 }  // namespace panic::engines

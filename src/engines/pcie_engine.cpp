@@ -30,6 +30,8 @@ void PcieEngine::handle_doorbell(Message& msg, Cycle now) {
   const auto route = lookup_table().route(*fetch);
   if (route.has_value() && *route != id()) {
     emit(std::move(fetch), *route, now);
+  } else {
+    fetch->set_fate(MessageFate::kConsumed);
   }
 }
 
@@ -42,7 +44,7 @@ void PcieEngine::handle_completion(Message& msg, Cycle now) {
       ++tx_errors_;
       return;
     }
-    pending_tx_[desc->frame_addr] = *desc;
+    pending_tx_[desc->frame_addr] = PendingTx{*desc, msg.dma_addr};
 
     auto fetch = make_message(MessageKind::kDmaRead);
     fetch->dma_addr = desc->frame_addr;
@@ -54,6 +56,8 @@ void PcieEngine::handle_completion(Message& msg, Cycle now) {
     const auto route = lookup_table().route(*fetch);
     if (route.has_value() && *route != id()) {
       emit(std::move(fetch), *route, now);
+    } else {
+      fetch->set_fate(MessageFate::kConsumed);
     }
     return;
   }
@@ -64,22 +68,25 @@ void PcieEngine::handle_completion(Message& msg, Cycle now) {
       ++tx_errors_;
       return;
     }
-    const TxDescriptor desc = it->second;
+    const PendingTx pending = it->second;
     pending_tx_.erase(it);
 
     auto packet = make_message(MessageKind::kPacket);
     packet->data = std::move(msg.data);
     packet->from_host = true;
-    packet->tenant = TenantId{desc.tenant};
-    packet->egress_port = pcie_.eth_ports[desc.port];
+    packet->tenant = TenantId{pending.desc.tenant};
+    packet->egress_port = pcie_.eth_ports[pending.desc.port];
     packet->nic_ingress_at = now;
     packet->created_at = now;
     ++tx_launched_;
+    if (tx_launched_cb_) tx_launched_cb_(pending.desc_addr, now);
     // Toward the RMT pipeline, which classifies TX traffic (checksum,
     // optional encryption) and routes it to its egress port.
     const auto route = lookup_table().route(*packet);
     if (route.has_value() && *route != id()) {
       emit(std::move(packet), *route, now);
+    } else {
+      packet->set_fate(MessageFate::kConsumed);
     }
     return;
   }

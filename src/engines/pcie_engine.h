@@ -12,6 +12,7 @@
 // egress port.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 
 #include "engines/engine.h"
@@ -33,6 +34,15 @@ class PcieEngine : public Engine {
   /// Host-side MMIO: the driver rings the TX doorbell for the descriptor
   /// at `descriptor_addr`.  (Arrives instantly — MMIO writes are posted.)
   void ring_tx_doorbell(std::uint64_t descriptor_addr, Cycle now);
+
+  /// Invoked when the frame for a posted descriptor has been fetched and
+  /// launched toward the wire — the driver's TX completion signal (the
+  /// HostDriver uses it to cancel its timeout/retry timer).
+  using TxLaunchCallback = std::function<void(std::uint64_t desc_addr,
+                                              Cycle now)>;
+  void set_tx_launch_callback(TxLaunchCallback cb) {
+    tx_launched_cb_ = std::move(cb);
+  }
 
   std::uint64_t interrupts_delivered() const { return delivered_; }
   std::uint64_t interrupts_coalesced() const { return coalesced_; }
@@ -60,8 +70,14 @@ class PcieEngine : public Engine {
   std::uint64_t tx_launched_ = 0;
   std::uint64_t tx_errors_ = 0;
 
-  /// In-flight TX frames by frame address.
-  std::unordered_map<std::uint64_t, TxDescriptor> pending_tx_;
+  /// In-flight TX frames by frame address; the descriptor address rides
+  /// along so the launch can be reported back to the host driver.
+  struct PendingTx {
+    TxDescriptor desc;
+    std::uint64_t desc_addr = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingTx> pending_tx_;
+  TxLaunchCallback tx_launched_cb_;
 };
 
 }  // namespace panic::engines

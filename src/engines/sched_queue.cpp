@@ -32,6 +32,7 @@ bool SchedulerQueue::try_enqueue(MessagePtr msg, Cycle now) {
         items_[loosest].msg->slack > msg->slack) {
       trace(telemetry::TraceEventKind::kQueueDrop, now,
             *items_[loosest].msg);
+      items_[loosest].msg->set_fate(MessageFate::kDropped);
       items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(loosest));
       std::make_heap(items_.begin(), items_.end(), Order{policy_});
       ++dropped_;
@@ -39,6 +40,7 @@ bool SchedulerQueue::try_enqueue(MessagePtr msg, Cycle now) {
   }
   if (full()) {
     trace(telemetry::TraceEventKind::kQueueDrop, now, *msg);
+    msg->set_fate(MessageFate::kDropped);
     ++dropped_;
     PANIC_TRACE("sched", "queue full, dropping message %llu",
                 static_cast<unsigned long long>(msg->id.value));
@@ -50,6 +52,14 @@ bool SchedulerQueue::try_enqueue(MessagePtr msg, Cycle now) {
   ++enqueued_;
   max_depth_ = std::max(max_depth_, items_.size());
   return true;
+}
+
+std::vector<MessagePtr> SchedulerQueue::evict_all() {
+  std::vector<MessagePtr> out;
+  out.reserve(items_.size());
+  for (Item& item : items_) out.push_back(std::move(item.msg));
+  items_.clear();
+  return out;
 }
 
 MessagePtr SchedulerQueue::dequeue(Cycle now) {

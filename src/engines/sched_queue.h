@@ -56,6 +56,11 @@ class SchedulerQueue {
   /// Removes and returns the highest-priority message (nullptr if empty).
   MessagePtr dequeue(Cycle now);
 
+  /// Removes every queued message WITHOUT touching the dequeue/drop
+  /// statistics — fault drains (a dead engine discarding its queue) are
+  /// not scheduling decisions.  The caller assigns fates.
+  std::vector<MessagePtr> evict_all();
+
   /// Slack of the message that would dequeue next (0 if empty).
   std::uint32_t head_slack() const;
 

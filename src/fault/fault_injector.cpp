@@ -1,0 +1,153 @@
+#include "fault/fault_injector.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "engines/engine.h"
+#include "noc/router.h"
+#include "sim/simulator.h"
+
+namespace panic::fault {
+
+namespace {
+
+/// Per-fault stream derivation: one splitmix64 step over the plan seed
+/// mixed with the fault's index, so adding or reordering one fault never
+/// perturbs another fault's draws... as long as its index is unchanged.
+std::uint64_t fault_stream(std::uint64_t plan_seed, std::size_t index) {
+  std::uint64_t z = plan_seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Cycle fault_until(const FaultSpec& spec) {
+  return spec.duration == 0 ? Component::kNeverWake : spec.at + spec.duration;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultInjector::register_engine(engines::Engine* engine) {
+  engines_[engine->name()] = engine;
+}
+
+void FaultInjector::register_router(int tile, noc::Router* router) {
+  routers_[tile] = router;
+}
+
+bool FaultInjector::arm(Simulator& sim) {
+  auto& metrics = sim.telemetry().metrics();
+  metrics.expose_counter("fault.injected", &injected_);
+  static constexpr const char* kKindMetric[6] = {
+      "fault.injected.kill",    "fault.injected.stall",
+      "fault.injected.degrade", "fault.injected.flaky",
+      "fault.injected.corrupt", "fault.injected.leak"};
+  for (int k = 0; k < 6; ++k) metrics.expose_counter(kKindMetric[k], &by_kind_[k]);
+  metrics.expose_gauge("fault.engines_dead", [this] {
+    return static_cast<double>(steering_.dead_count());
+  });
+
+  bool all_resolved = true;
+  // The global --seed/PANIC_SEED shifts the whole plan's streams (identity
+  // under the default global seed, so plan seeds stand alone in tests).
+  const std::uint64_t plan_seed = derive_seed(plan_.seed);
+  for (std::size_t i = 0; i < plan_.faults().size(); ++i) {
+    const FaultSpec& spec = plan_.faults()[i];
+    const bool router_target = spec.kind == FaultKind::kLinkFlaky ||
+                               spec.kind == FaultKind::kCreditLeak;
+    if (router_target) {
+      if (routers_.find(spec.router_tile) == routers_.end()) {
+        PANIC_ERROR("fault", "plan names unknown router tile %d",
+                    spec.router_tile);
+        all_resolved = false;
+        continue;
+      }
+    } else {
+      if (engines_.find(spec.engine) == engines_.end()) {
+        PANIC_ERROR("fault", "plan names unknown engine '%s'",
+                    spec.engine.c_str());
+        all_resolved = false;
+        continue;
+      }
+      if (!spec.fallback.empty() &&
+          engines_.find(spec.fallback) == engines_.end()) {
+        PANIC_ERROR("fault", "plan names unknown fallback engine '%s'",
+                    spec.fallback.c_str());
+        all_resolved = false;
+        continue;
+      }
+    }
+    const std::uint64_t stream = fault_stream(plan_seed, i);
+    sim.schedule_at(spec.at, [this, &sim, spec, stream] {
+      apply(sim, spec, stream);
+    });
+  }
+  return all_resolved;
+}
+
+void FaultInjector::apply(Simulator& sim, const FaultSpec& spec,
+                          std::uint64_t stream_seed) {
+  ++injected_;
+  ++by_kind_[static_cast<int>(spec.kind)];
+  const Cycle now = sim.now();
+  const Cycle until = fault_until(spec);
+
+  switch (spec.kind) {
+    case FaultKind::kEngineDeath: {
+      engines::Engine* e = engines_.at(spec.engine);
+      PANIC_INFO("fault", "cycle %llu: engine %s dies",
+                 static_cast<unsigned long long>(now), spec.engine.c_str());
+      if (!spec.fallback.empty()) {
+        steering_.set_fallback(e->id(), engines_.at(spec.fallback)->id());
+      }
+      steering_.mark_dead(e->id());
+      e->fault_kill(now);
+      break;
+    }
+    case FaultKind::kEngineStall: {
+      engines::Engine* e = engines_.at(spec.engine);
+      PANIC_INFO("fault", "cycle %llu: engine %s stalls for %llu cycles",
+                 static_cast<unsigned long long>(now), spec.engine.c_str(),
+                 static_cast<unsigned long long>(spec.duration));
+      e->fault_stall(now, spec.duration);
+      break;
+    }
+    case FaultKind::kEngineDegrade: {
+      engines::Engine* e = engines_.at(spec.engine);
+      PANIC_INFO("fault", "cycle %llu: engine %s degrades x%.2f",
+                 static_cast<unsigned long long>(now), spec.engine.c_str(),
+                 spec.factor);
+      e->fault_degrade(spec.factor, until);
+      break;
+    }
+    case FaultKind::kCorruption: {
+      engines::Engine* e = engines_.at(spec.engine);
+      PANIC_INFO("fault", "cycle %llu: engine %s corrupting p=%.3f",
+                 static_cast<unsigned long long>(now), spec.engine.c_str(),
+                 spec.probability);
+      e->fault_corrupt(spec.probability, until, stream_seed);
+      break;
+    }
+    case FaultKind::kLinkFlaky: {
+      noc::Router* r = routers_.at(spec.router_tile);
+      PANIC_INFO("fault", "cycle %llu: router %d link flaky p=%.3f +%llu",
+                 static_cast<unsigned long long>(now), spec.router_tile,
+                 spec.probability,
+                 static_cast<unsigned long long>(spec.delay));
+      r->fault_link(spec.port, spec.probability, spec.delay, until,
+                    stream_seed);
+      break;
+    }
+    case FaultKind::kCreditLeak: {
+      noc::Router* r = routers_.at(spec.router_tile);
+      PANIC_INFO("fault", "cycle %llu: router %d leaks %u credits",
+                 static_cast<unsigned long long>(now), spec.router_tile,
+                 spec.amount);
+      r->fault_leak_credits(spec.port, spec.amount);
+      break;
+    }
+  }
+}
+
+}  // namespace panic::fault

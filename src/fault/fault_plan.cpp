@@ -1,0 +1,275 @@
+#include "fault/fault_plan.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace panic::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEngineDeath: return "kill";
+    case FaultKind::kEngineStall: return "stall";
+    case FaultKind::kEngineDegrade: return "degrade";
+    case FaultKind::kLinkFlaky: return "flaky";
+    case FaultKind::kCorruption: return "corrupt";
+    case FaultKind::kCreditLeak: return "leak";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* port_name(int port) {
+  switch (port) {
+    case 0: return "n";
+    case 1: return "e";
+    case 2: return "s";
+    case 3: return "w";
+    case 4: return "local";
+  }
+  return "?";
+}
+
+int parse_port(const std::string& s) {
+  if (s == "n" || s == "north") return 0;
+  if (s == "e" || s == "east") return 1;
+  if (s == "s" || s == "south") return 2;
+  if (s == "w" || s == "west") return 3;
+  if (s == "local" || s == "l") return 4;
+  return -1;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream os;
+  os << fault::to_string(kind) << ' ';
+  if (kind == FaultKind::kLinkFlaky || kind == FaultKind::kCreditLeak) {
+    os << router_tile;
+    if (port >= 0) os << " port=" << port_name(port);
+  } else {
+    os << engine;
+  }
+  os << " @" << at;
+  switch (kind) {
+    case FaultKind::kEngineDeath:
+      if (!fallback.empty()) os << " fallback=" << fallback;
+      break;
+    case FaultKind::kEngineStall:
+      os << " for=" << duration;
+      break;
+    case FaultKind::kEngineDegrade:
+      os << " x=" << factor;
+      if (duration > 0) os << " for=" << duration;
+      break;
+    case FaultKind::kLinkFlaky:
+      os << " p=" << probability << " delay=" << delay;
+      if (duration > 0) os << " for=" << duration;
+      break;
+    case FaultKind::kCorruption:
+      os << " p=" << probability;
+      if (duration > 0) os << " for=" << duration;
+      break;
+    case FaultKind::kCreditLeak:
+      os << " credits=" << amount;
+      break;
+  }
+  return os.str();
+}
+
+FaultPlan& FaultPlan::kill(std::string engine, Cycle at, std::string fb) {
+  FaultSpec s;
+  s.kind = FaultKind::kEngineDeath;
+  s.engine = std::move(engine);
+  s.at = at;
+  s.fallback = std::move(fb);
+  add(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(std::string engine, Cycle at, Cycles duration) {
+  FaultSpec s;
+  s.kind = FaultKind::kEngineStall;
+  s.engine = std::move(engine);
+  s.at = at;
+  s.duration = duration;
+  add(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade(std::string engine, Cycle at, double factor,
+                              Cycles duration) {
+  FaultSpec s;
+  s.kind = FaultKind::kEngineDegrade;
+  s.engine = std::move(engine);
+  s.at = at;
+  s.factor = factor;
+  s.duration = duration;
+  add(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flaky_link(int router_tile, int port, Cycle at,
+                                 double probability, Cycles delay,
+                                 Cycles duration) {
+  FaultSpec s;
+  s.kind = FaultKind::kLinkFlaky;
+  s.router_tile = router_tile;
+  s.port = port;
+  s.at = at;
+  s.probability = probability;
+  s.delay = delay;
+  s.duration = duration;
+  add(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(std::string engine, Cycle at, double probability,
+                              Cycles duration) {
+  FaultSpec s;
+  s.kind = FaultKind::kCorruption;
+  s.engine = std::move(engine);
+  s.at = at;
+  s.probability = probability;
+  s.duration = duration;
+  add(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::leak_credits(int router_tile, int port, Cycle at,
+                                   std::uint32_t amount) {
+  FaultSpec s;
+  s.kind = FaultKind::kCreditLeak;
+  s.router_tile = router_tile;
+  s.port = port;
+  s.at = at;
+  s.amount = amount;
+  add(std::move(s));
+  return *this;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+
+  auto fail = [&](const std::string& why) -> std::optional<FaultPlan> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(lines, line)) {
+    ++lineno;
+    // Strip comments, tokenize on whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream toks(line);
+    std::vector<std::string> tok;
+    for (std::string t; toks >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+
+    if (tok[0] == "seed") {
+      if (tok.size() != 2 || !parse_u64(tok[1], &plan.seed)) {
+        return fail("expected: seed <u64>");
+      }
+      continue;
+    }
+
+    FaultSpec spec;
+    if (tok[0] == "kill") {
+      spec.kind = FaultKind::kEngineDeath;
+    } else if (tok[0] == "stall") {
+      spec.kind = FaultKind::kEngineStall;
+    } else if (tok[0] == "degrade") {
+      spec.kind = FaultKind::kEngineDegrade;
+    } else if (tok[0] == "flaky") {
+      spec.kind = FaultKind::kLinkFlaky;
+    } else if (tok[0] == "corrupt") {
+      spec.kind = FaultKind::kCorruption;
+    } else if (tok[0] == "leak") {
+      spec.kind = FaultKind::kCreditLeak;
+    } else {
+      return fail("unknown fault kind '" + tok[0] + "'");
+    }
+    if (tok.size() < 2) return fail("missing target");
+
+    const bool router_target = spec.kind == FaultKind::kLinkFlaky ||
+                               spec.kind == FaultKind::kCreditLeak;
+    if (router_target) {
+      std::uint64_t tile = 0;
+      if (!parse_u64(tok[1], &tile)) return fail("router target must be a tile id");
+      spec.router_tile = static_cast<int>(tile);
+    } else {
+      spec.engine = tok[1];
+    }
+
+    bool saw_at = false;
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      const std::string& t = tok[i];
+      std::uint64_t u = 0;
+      double d = 0.0;
+      if (t.size() > 1 && t[0] == '@') {
+        if (!parse_u64(t.substr(1), &spec.at)) return fail("bad cycle in " + t);
+        saw_at = true;
+      } else if (t.rfind("for=", 0) == 0) {
+        if (!parse_u64(t.substr(4), &spec.duration)) return fail("bad " + t);
+      } else if (t.rfind("x=", 0) == 0) {
+        if (!parse_double(t.substr(2), &spec.factor)) return fail("bad " + t);
+      } else if (t.rfind("p=", 0) == 0) {
+        if (!parse_double(t.substr(2), &d)) return fail("bad " + t);
+        spec.probability = d;
+      } else if (t.rfind("delay=", 0) == 0) {
+        if (!parse_u64(t.substr(6), &spec.delay)) return fail("bad " + t);
+      } else if (t.rfind("credits=", 0) == 0) {
+        if (!parse_u64(t.substr(8), &u)) return fail("bad " + t);
+        spec.amount = static_cast<std::uint32_t>(u);
+      } else if (t.rfind("fallback=", 0) == 0) {
+        spec.fallback = t.substr(9);
+      } else if (t.rfind("port=", 0) == 0) {
+        spec.port = parse_port(t.substr(5));
+        if (spec.port < 0) return fail("bad port in " + t);
+      } else {
+        return fail("unknown token '" + t + "'");
+      }
+    }
+    if (!saw_at) return fail("missing @<cycle>");
+    if (spec.kind == FaultKind::kEngineStall && spec.duration == 0) {
+      return fail("stall requires for=<cycles>");
+    }
+    if (spec.kind == FaultKind::kCreditLeak && spec.amount == 0) {
+      return fail("leak requires credits=<n>");
+    }
+    plan.add(std::move(spec));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "seed " << seed << '\n';
+  for (const FaultSpec& s : faults_) os << s.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace panic::fault

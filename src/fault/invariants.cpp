@@ -1,0 +1,74 @@
+#include "fault/invariants.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "net/conservation.h"
+#include "telemetry/telemetry.h"
+
+namespace panic::fault {
+
+std::string ConservationChecker::Delta::to_string() const {
+  std::ostringstream os;
+  os << "created=" << created << " delivered=" << delivered
+     << " dropped=" << dropped << " consumed=" << consumed
+     << " faulted=" << faulted << " lost=" << lost << " live=" << live
+     << (conserved() ? " [conserved]" : " [VIOLATED]");
+  return os.str();
+}
+
+ConservationChecker::ConservationChecker() { rebase(); }
+
+void ConservationChecker::rebase() {
+  const auto r = ConservationLedger::instance().report();
+  base_.created = r.created;
+  base_.delivered = r.delivered;
+  base_.dropped = r.dropped;
+  base_.consumed = r.consumed;
+  base_.faulted = r.faulted;
+  base_.lost = r.lost;
+  base_.live = static_cast<std::int64_t>(r.live);
+}
+
+ConservationChecker::Delta ConservationChecker::delta() const {
+  const auto r = ConservationLedger::instance().report();
+  Delta d;
+  d.created = static_cast<std::int64_t>(r.created - base_.created);
+  d.delivered = static_cast<std::int64_t>(r.delivered - base_.delivered);
+  d.dropped = static_cast<std::int64_t>(r.dropped - base_.dropped);
+  d.consumed = static_cast<std::int64_t>(r.consumed - base_.consumed);
+  d.faulted = static_cast<std::int64_t>(r.faulted - base_.faulted);
+  d.lost = static_cast<std::int64_t>(r.lost - base_.lost);
+  d.live = static_cast<std::int64_t>(r.live) - base_.live;
+  return d;
+}
+
+bool ConservationChecker::verify_or_log() const {
+  const Delta d = delta();
+  if (d.conserved()) return true;
+  PANIC_ERROR("conservation", "invariant violated: %s",
+              d.to_string().c_str());
+  return false;
+}
+
+void ConservationChecker::publish(telemetry::Telemetry& t) {
+  auto& m = t.metrics();
+  m.expose_gauge("fault.conservation.created",
+                 [this] { return static_cast<double>(delta().created); });
+  m.expose_gauge("fault.conservation.delivered",
+                 [this] { return static_cast<double>(delta().delivered); });
+  m.expose_gauge("fault.conservation.dropped",
+                 [this] { return static_cast<double>(delta().dropped); });
+  m.expose_gauge("fault.conservation.consumed",
+                 [this] { return static_cast<double>(delta().consumed); });
+  m.expose_gauge("fault.conservation.faulted",
+                 [this] { return static_cast<double>(delta().faulted); });
+  m.expose_gauge("fault.conservation.lost",
+                 [this] { return static_cast<double>(delta().lost); });
+  m.expose_gauge("fault.conservation.live",
+                 [this] { return static_cast<double>(delta().live); });
+  m.expose_gauge("fault.conservation.conserved",
+                 [this] { return verify() ? 1.0 : 0.0; });
+}
+
+}  // namespace panic::fault

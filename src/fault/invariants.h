@@ -1,0 +1,80 @@
+// ConservationChecker: the end-to-end message-conservation invariant,
+// windowed to one run.
+//
+// The ConservationLedger (net/conservation.h) is a process-wide tally —
+// tests and benches that run several simulations in one process would
+// pollute each other's counts.  The checker snapshots the ledger at
+// construction (or rebase()) and verifies the *delta*: every message
+// created inside the window must be delivered, dropped, consumed, or
+// attributed to an injected fault — or still be live.  Anything destroyed
+// fate-less is lost, and lost != 0 fails the run.
+//
+// The delta arithmetic is signed on purpose: a message created before the
+// window that dies inside it contributes (+1 fate, -1 live, +0 created),
+// which still balances — so back-to-back windows compose without requiring
+// a drained simulator between them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace panic {
+namespace telemetry {
+class Telemetry;
+}
+}  // namespace panic
+
+namespace panic::fault {
+
+class ConservationChecker {
+ public:
+  struct Delta {
+    std::int64_t created = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t consumed = 0;
+    std::int64_t faulted = 0;
+    std::int64_t lost = 0;
+    std::int64_t live = 0;
+
+    bool conserved() const {
+      return lost == 0 &&
+             created == delivered + dropped + consumed + faulted + live;
+    }
+    std::string to_string() const;
+  };
+
+  /// Opens a window at the ledger's current state.
+  ConservationChecker();
+
+  /// Restarts the window at the ledger's current state.
+  void rebase();
+
+  /// The window's tally so far.
+  Delta delta() const;
+
+  /// True iff the window conserves messages (see Delta::conserved).
+  bool verify() const { return delta().conserved(); }
+
+  /// verify(), logging the full delta at kError when violated.
+  bool verify_or_log() const;
+
+  /// Publishes the window under fault.conservation.* gauges
+  /// (created/delivered/dropped/consumed/faulted/lost/live plus a
+  /// `conserved` 0/1 gauge).  The checker must outlive the registry reads.
+  void publish(telemetry::Telemetry& t);
+
+ private:
+  struct Base {
+    std::uint64_t created = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t faulted = 0;
+    std::uint64_t lost = 0;
+    std::int64_t live = 0;
+  };
+  Base base_;
+};
+
+}  // namespace panic::fault

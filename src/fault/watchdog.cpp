@@ -1,0 +1,78 @@
+#include "fault/watchdog.h"
+
+#include "common/log.h"
+#include "telemetry/telemetry.h"
+
+namespace panic::fault {
+
+Watchdog::Watchdog(WatchdogConfig config)
+    : Component("watchdog"), config_(config), next_check_(config.period) {
+  if (config_.period == 0) config_.period = 1;
+}
+
+void Watchdog::add_probe(std::string name,
+                         std::function<std::uint64_t()> progress,
+                         std::function<bool()> busy) {
+  Probe p;
+  p.name = std::move(name);
+  p.progress = std::move(progress);
+  p.busy = std::move(busy);
+  p.last = p.progress();
+  probes_.push_back(std::move(p));
+}
+
+void Watchdog::tick(Cycle now) {
+  if (now < next_check_) return;  // strict mode ticks every cycle: no-op
+  ++checks_;
+  for (Probe& p : probes_) {
+    const std::uint64_t cur = p.progress();
+    if (cur != p.last) {
+      p.last = cur;
+      p.stuck_since = kNeverWake;
+      if (p.flagged) {
+        p.flagged = false;
+        ++recoveries_;
+        PANIC_INFO("watchdog", "%s making progress again", p.name.c_str());
+      }
+      continue;
+    }
+    if (!p.busy()) {
+      // Idle with no progress is healthy; clear any partial suspicion.
+      p.stuck_since = kNeverWake;
+      continue;
+    }
+    if (p.stuck_since == kNeverWake) {
+      p.stuck_since = now;
+    } else if (!p.flagged && now - p.stuck_since >= config_.threshold) {
+      p.flagged = true;
+      ++flags_raised_;
+      PANIC_WARN("watchdog",
+                 "%s holds work but made no progress for %llu cycles",
+                 p.name.c_str(),
+                 static_cast<unsigned long long>(now - p.stuck_since));
+    }
+  }
+  while (next_check_ <= now) next_check_ += config_.period;
+}
+
+void Watchdog::register_telemetry(telemetry::Telemetry& t) {
+  Component::register_telemetry(t);
+  t.metrics().expose_counter("fault.watchdog.checks", &checks_);
+  t.metrics().expose_counter("fault.watchdog.flags", &flags_raised_);
+  t.metrics().expose_counter("fault.watchdog.recoveries", &recoveries_);
+  t.metrics().expose_gauge("fault.watchdog.stuck", [this] {
+    double stuck = 0;
+    for (const Probe& p : probes_) stuck += p.flagged ? 1 : 0;
+    return stuck;
+  });
+}
+
+std::vector<std::string> Watchdog::stuck() const {
+  std::vector<std::string> out;
+  for (const Probe& p : probes_) {
+    if (p.flagged) out.push_back(p.name);
+  }
+  return out;
+}
+
+}  // namespace panic::fault

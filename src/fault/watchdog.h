@@ -1,0 +1,77 @@
+// Watchdog: periodic forward-progress detection for routers and engines.
+//
+// Hardware watchdogs cannot see *why* a block is wedged — only that its
+// work counters stopped moving while it still holds work.  This component
+// models exactly that: each registered probe pairs a monotone progress
+// counter (messages processed, flits routed) with a "holds work" predicate;
+// every `period` cycles the watchdog samples both, and a probe that has
+// been busy with zero progress for `threshold` cycles is flagged.
+//
+// Mode equivalence (the watchdog must behave identically in kStrictTick
+// and kEventDriven, including across fast-forwarded idle gaps): the tick
+// body acts only when `now` reaches `next_check_` and then advances it by
+// `period`.  In strict mode the component ticks every cycle and no-ops
+// between checks; in event mode `next_wake` returns `next_check_` so it
+// ticks exactly at the checks — the same sampled cycles either way, and
+// the sampled counters match because quiescent components' skipped ticks
+// are observable no-ops by the kernel contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/component.h"
+
+namespace panic::fault {
+
+struct WatchdogConfig {
+  Cycles period = 256;      ///< sampling interval
+  Cycles threshold = 1024;  ///< busy with no progress this long => flagged
+};
+
+class Watchdog : public Component {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  /// Registers a probe.  `progress` is a monotone work counter; `busy`
+  /// reports whether the block currently holds undone work (so an idle
+  /// block is never flagged).  Callbacks must outlive the watchdog's use.
+  void add_probe(std::string name, std::function<std::uint64_t()> progress,
+                 std::function<bool()> busy);
+
+  void tick(Cycle now) override;
+  Cycle next_wake(Cycle /*now*/) const override { return next_check_; }
+
+  /// Publishes fault.watchdog.{checks,flags,recoveries} counters and the
+  /// fault.watchdog.stuck gauge (currently-flagged probe count).
+  void register_telemetry(telemetry::Telemetry& t) override;
+
+  /// Names of currently-flagged probes (stable order: registration).
+  std::vector<std::string> stuck() const;
+
+  std::uint64_t checks() const { return checks_; }
+  /// Times any probe transitioned healthy -> flagged.
+  std::uint64_t flags_raised() const { return flags_raised_; }
+
+ private:
+  struct Probe {
+    std::string name;
+    std::function<std::uint64_t()> progress;
+    std::function<bool()> busy;
+    std::uint64_t last = 0;
+    Cycle stuck_since = kNeverWake;  ///< first busy-no-progress sample
+    bool flagged = false;
+  };
+
+  WatchdogConfig config_;
+  Cycle next_check_;
+  std::vector<Probe> probes_;
+
+  std::uint64_t checks_ = 0;
+  std::uint64_t flags_raised_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace panic::fault

@@ -48,6 +48,14 @@ class ChainHeader {
     return current();
   }
 
+  /// Rewrites the engine of the current (not yet consumed) hop, keeping
+  /// its slack — recovery re-steering around a dead engine must rewrite
+  /// the hop, not just redirect delivery, so the fallback engine consumes
+  /// it and the chain tail stays reachable.  No-op when exhausted.
+  void reroute_current(EngineId engine) {
+    if (next_ < hops_.size()) hops_[next_].engine = engine;
+  }
+
   bool exhausted() const { return next_ >= hops_.size(); }
   std::size_t remaining() const { return hops_.size() - next_; }
   std::size_t total_hops() const { return hops_.size(); }

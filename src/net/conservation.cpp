@@ -1,0 +1,45 @@
+#include "net/conservation.h"
+
+#include <sstream>
+
+namespace panic {
+
+ConservationLedger& ConservationLedger::instance() {
+  // Leaked for the same reason as MessagePool: deleters (and therefore
+  // on_destroy) may run during static destruction.
+  static ConservationLedger* ledger = new ConservationLedger();
+  return *ledger;
+}
+
+void ConservationLedger::reset() {
+  created_ = 0;
+  destroyed_ = 0;
+  delivered_ = 0;
+  dropped_ = 0;
+  consumed_ = 0;
+  faulted_ = 0;
+  lost_ = 0;
+}
+
+ConservationLedger::Report ConservationLedger::report() const {
+  Report r;
+  r.created = created_;
+  r.delivered = delivered_;
+  r.dropped = dropped_;
+  r.consumed = consumed_;
+  r.faulted = faulted_;
+  r.lost = lost_;
+  r.live = created_ >= destroyed_ ? created_ - destroyed_ : 0;
+  return r;
+}
+
+std::string ConservationLedger::Report::to_string() const {
+  std::ostringstream os;
+  os << "created=" << created << " delivered=" << delivered
+     << " dropped=" << dropped << " consumed=" << consumed
+     << " faulted=" << faulted << " lost=" << lost << " live=" << live
+     << (conserved() ? " [conserved]" : " [VIOLATED]");
+  return os.str();
+}
+
+}  // namespace panic

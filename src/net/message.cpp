@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "net/conservation.h"
 #include "net/message_pool.h"
 
 namespace panic {
@@ -16,6 +17,17 @@ const char* to_string(MessageKind kind) {
     case MessageKind::kInterrupt: return "interrupt";
     case MessageKind::kRdmaRequest: return "rdma-request";
     case MessageKind::kDoorbell: return "doorbell";
+  }
+  return "?";
+}
+
+const char* to_string(MessageFate fate) {
+  switch (fate) {
+    case MessageFate::kInFlight: return "in-flight";
+    case MessageFate::kDelivered: return "delivered";
+    case MessageFate::kDropped: return "dropped";
+    case MessageFate::kConsumed: return "consumed";
+    case MessageFate::kFaulted: return "faulted";
   }
   return "?";
 }
@@ -41,6 +53,7 @@ void Message::reset_for_reuse() {
   rmt_passes = 0;
   noc_hops = 0;
   engines_visited = 0;
+  fate = MessageFate::kInFlight;
 }
 
 void MessageDeleter::operator()(Message* msg) const noexcept {
@@ -49,6 +62,7 @@ void MessageDeleter::operator()(Message* msg) const noexcept {
 
 MessagePtr make_message(MessageKind kind) {
   static std::atomic<std::uint64_t> next_id{1};
+  ConservationLedger::instance().on_create();
   MessagePtr msg(MessagePool::instance().acquire());
   msg->id = MessageId{next_id.fetch_add(1, std::memory_order_relaxed)};
   msg->kind = kind;

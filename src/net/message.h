@@ -28,6 +28,22 @@ enum class MessageKind : std::uint8_t {
 
 const char* to_string(MessageKind kind);
 
+/// What ultimately happened to a message.  Every code path that destroys a
+/// MessagePtr must first declare the message's fate; the conservation
+/// ledger (net/conservation.h) tallies fates at recycle time, and a
+/// message destroyed while still kInFlight counts as *lost* — the
+/// end-to-end invariant violation the fault subsystem exists to catch.
+enum class MessageFate : std::uint8_t {
+  kInFlight = 0,  ///< not yet decided (the only illegal fate at destroy)
+  kDelivered,     ///< reached the host RX ring or left on the wire
+  kDropped,       ///< policy drop (scheduler queue, RMT program, no route)
+  kConsumed,      ///< terminally processed (request absorbed, reply emitted)
+  kFaulted,       ///< destroyed because of an injected fault (dead engine,
+                  ///< re-steer with no fallback) — attributed, not lost
+};
+
+const char* to_string(MessageFate fate);
+
 /// Metadata extracted by the RMT parser and carried with the message while
 /// it is on the NIC.  Engines read these fields instead of re-parsing raw
 /// bytes on every hop (the hardware analogue: the PHV travels with the
@@ -94,6 +110,17 @@ struct Message {
   // --- Pool bookkeeping (see net/message_pool.h). ---
   Message* pool_next = nullptr;  ///< free-list link while pooled
   bool in_pool = false;          ///< guards against double-recycle
+
+  /// Conservation accounting (see net/conservation.h).  First fate wins:
+  /// set through set_fate() at the point that decides the outcome.
+  MessageFate fate = MessageFate::kInFlight;
+
+  /// Declares the message's fate if none is set yet (a message delivered
+  /// inside process() keeps kDelivered even though the generic consumed
+  /// mark runs afterwards).
+  void set_fate(MessageFate f) {
+    if (fate == MessageFate::kInFlight) fate = f;
+  }
 
   /// Bytes the message occupies on the on-chip network: payload plus the
   /// chain header it carries.

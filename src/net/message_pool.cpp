@@ -1,7 +1,9 @@
 #include "net/message_pool.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
+#include "net/conservation.h"
 #include "net/message.h"
 
 namespace panic {
@@ -37,7 +39,18 @@ Message* MessagePool::acquire() {
 
 void MessagePool::release(Message* msg) noexcept {
   if (msg == nullptr) return;
-  assert(!msg->in_pool && "message recycled twice");
+  if (msg->in_pool) {
+    // A double-recycle means two owners freed the same message — from here
+    // on the free list is corrupt and any "new" message may alias a live
+    // one.  This must be fatal in every build type: an assert-only check
+    // let the corruption pass silently through Release CI.
+    std::fprintf(stderr,
+                 "MessagePool: message %llu recycled twice (double free of "
+                 "a pooled Message)\n",
+                 static_cast<unsigned long long>(msg->id.value));
+    std::abort();
+  }
+  ConservationLedger::instance().on_destroy(msg->fate);
   ++stats_.recycled;
   --stats_.live;
   msg->in_pool = true;

@@ -43,8 +43,11 @@ class MessagePool {
   /// heap-allocates one.  Does NOT assign an id — make_message() does.
   Message* acquire();
 
-  /// Returns `msg` to the free list.  Called by MessageDeleter; asserts
-  /// against double-recycle in debug builds.
+  /// Returns `msg` to the free list.  Called by MessageDeleter.  A
+  /// double-recycle (two owners freeing the same message) corrupts the
+  /// free list, so it aborts the process in every build type — Release
+  /// included.  Also tallies the message's fate into the
+  /// ConservationLedger (net/conservation.h).
   void release(Message* msg) noexcept;
 
   const Stats& stats() const { return stats_; }

@@ -41,15 +41,30 @@ void Router::connect(Direction dir, Router* neighbor) {
 }
 
 bool Router::can_accept(Direction from) const {
-  return !inputs_[static_cast<int>(from)].full();
+  const auto& q = inputs_[static_cast<int>(from)];
+  if (!faults_armed_) return !q.full();
+  // Leaked credits shrink the effective buffer (upstream sees fewer
+  // credits than the buffer physically holds).
+  const std::uint32_t leaked =
+      port_faults_[static_cast<int>(from)].leaked_credits;
+  return q.size() + leaked < q.capacity();
 }
 
 void Router::accept(Direction from, Flit flit, Cycle now) {
   auto& q = inputs_[static_cast<int>(from)];
   assert(!q.full());
   // +1: the hop latency — the flit is routable the cycle after it arrives.
-  q.push_flit(std::move(flit), now + 1);
-  request_wake(now + 1);  // the flit's ready cycle
+  Cycle ready = now + 1;
+  if (faults_armed_) {
+    PortFault& pf = port_faults_[static_cast<int>(from)];
+    if (pf.flaky_p > 0.0 && now < pf.flaky_until &&
+        pf.rng.bernoulli(pf.flaky_p)) {
+      ready += pf.flaky_delay;
+      ++flits_delayed_;
+    }
+  }
+  q.push_flit(std::move(flit), ready);
+  request_wake(ready);  // the flit's ready cycle
 }
 
 bool Router::permitted(Direction dir, EngineId dst) const {
@@ -95,6 +110,31 @@ void Router::register_telemetry(telemetry::Telemetry& t) {
       "noc.router." + std::to_string(y_ * k_ + x_) + ".";
   m.expose_counter(prefix + "flits", &flits_routed_);
   m.expose_counter(prefix + "stall_cycles", &stall_cycles_);
+  m.expose_counter(prefix + "flits_delayed", &flits_delayed_);
+  m.expose_counter(prefix + "credits_leaked", &credits_leaked_);
+}
+
+void Router::fault_link(int port, double probability, Cycles delay,
+                        Cycle until, std::uint64_t seed) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (port >= 0 && p != port) continue;
+    PortFault& pf = port_faults_[p];
+    pf.flaky_p = probability;
+    pf.flaky_delay = delay;
+    pf.flaky_until = until;
+    // Distinct stream per port so an all-port fault stays deterministic.
+    pf.rng = Rng(seed + static_cast<std::uint64_t>(p) * 0x9E3779B9ull);
+  }
+  faults_armed_ = true;
+}
+
+void Router::fault_leak_credits(int port, std::uint32_t amount) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (port >= 0 && p != port) continue;
+    port_faults_[p].leaked_credits += amount;
+    credits_leaked_ += amount;
+  }
+  faults_armed_ = true;
 }
 
 void Router::forward(Direction out, Flit flit, Cycle now) {

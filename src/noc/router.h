@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
 #include "noc/burst_queue.h"
 #include "noc/flit.h"
 #include "sim/component.h"
@@ -85,6 +86,33 @@ class Router : public Component {
   /// Publishes `noc.router.<tile>.*` metrics (tile id = y*k + x).
   void register_telemetry(telemetry::Telemetry& t) override;
 
+  // --- Fault-injection hooks (armed by fault::FaultInjector). ---
+
+  /// Makes input `port` (-1 = every port) flaky until cycle `until`: each
+  /// arriving flit is delayed by an extra `delay` cycles with probability
+  /// `probability`.  FIFO order within the port is preserved (delivery is
+  /// head-gated), so wormhole correctness holds — delayed flits simply
+  /// stretch the message's tail.
+  void fault_link(int port, double probability, Cycles delay, Cycle until,
+                  std::uint64_t seed);
+
+  /// Permanently removes `amount` credits from input `port` (-1 = every
+  /// port): the effective buffer shrinks, and a leak >= the buffer depth
+  /// wedges the link — upstream backpressure with no forward progress,
+  /// exactly what the watchdog exists to flag.
+  void fault_leak_credits(int port, std::uint32_t amount);
+
+  // --- Watchdog probes (fault/watchdog.h). ---
+  std::uint64_t progress() const { return flits_routed_; }
+  bool has_pending_flits() const {
+    for (const auto& q : inputs_) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  }
+
+  std::uint64_t flits_delayed() const { return flits_delayed_; }
+
  private:
   /// Whether output `dir` is productive and permitted for a flit to `dst`
   /// under the configured routing algorithm (tile id = y*k + x).
@@ -115,6 +143,19 @@ class Router : public Component {
 
   std::uint64_t flits_routed_ = 0;
   std::uint64_t stall_cycles_ = 0;
+
+  // --- Fault state (inert — one predicted branch — until armed). ---
+  struct PortFault {
+    double flaky_p = 0.0;
+    Cycles flaky_delay = 0;
+    Cycle flaky_until = 0;
+    std::uint32_t leaked_credits = 0;
+    Rng rng{0};
+  };
+  std::array<PortFault, kNumPorts> port_faults_{};
+  bool faults_armed_ = false;
+  std::uint64_t flits_delayed_ = 0;
+  std::uint64_t credits_leaked_ = 0;
 };
 
 }  // namespace panic::noc

@@ -20,6 +20,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kEmit: return "emit";
     case TraceEventKind::kHostDeliver: return "host_deliver";
     case TraceEventKind::kTxWire: return "tx_wire";
+    case TraceEventKind::kFault: return "fault";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ const char* category(TraceEventKind kind) {
     case TraceEventKind::kEmit: return "engine";
     case TraceEventKind::kHostDeliver: return "host";
     case TraceEventKind::kTxWire: return "wire";
+    case TraceEventKind::kFault: return "fault";
   }
   return "?";
 }

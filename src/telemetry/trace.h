@@ -43,6 +43,8 @@ enum class TraceEventKind : std::uint8_t {
   kEmit,          ///< engine stages an outbound message; arg = dest tile
   kHostDeliver,   ///< DMA wrote the message to the host; arg = latency
   kTxWire,        ///< frame left the NIC through an Ethernet port
+  kFault,         ///< an injected fault touched this message (corruption,
+                  ///< dead-engine discard, re-steer); arg = fault detail
 };
 
 const char* to_string(TraceEventKind kind);

@@ -16,7 +16,7 @@ TrafficSource::TrafficSource(std::string name,
       port_(port),
       factory_(std::move(factory)),
       config_(config),
-      rng_(config.seed) {
+      rng_(derive_seed(config.seed)) {
   assert(port_ != nullptr);
   assert(config_.mean_gap_cycles > 0.0);
   phase_end_ = config_.on_cycles;
@@ -30,7 +30,7 @@ TrafficSource::TrafficSource(std::string name,
       port_(port),
       filler_(std::move(filler)),
       config_(config),
-      rng_(config.seed) {
+      rng_(derive_seed(config.seed)) {
   assert(port_ != nullptr);
   assert(config_.mean_gap_cycles > 0.0);
   phase_end_ = config_.on_cycles;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/invariants.h"
+
 namespace panic::engines {
 namespace {
 
@@ -130,6 +132,75 @@ TEST(SchedulerQueue, EvictLoosestEqualSlackDropsArrival) {
   // Equal slack: the queued (older) message keeps its place.
   EXPECT_FALSE(q.try_enqueue(msg_with_slack(50), 0));
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SchedulerQueue, DropArrivalOverflowAccountsEverywhere) {
+  // The drop counter, its telemetry mirror, and the conservation ledger
+  // must all agree on how many messages the overflow destroyed.
+  fault::ConservationChecker conservation;
+  telemetry::MetricsRegistry m;
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 4, DropPolicy::kDropArrival);
+  q.register_metrics(m, "engine.test.queue");
+
+  for (std::uint32_t i = 0; i < 6; ++i) q.try_enqueue(msg_with_slack(i), 0);
+  EXPECT_EQ(q.dropped(), 2u);
+  EXPECT_EQ(m.snapshot().counter("engine.test.queue.dropped"), 2u);
+  EXPECT_EQ(conservation.delta().dropped, 2);
+  EXPECT_EQ(conservation.delta().live, 4);
+  EXPECT_TRUE(conservation.verify());
+
+  // Drain with explicit fates: the window must close balanced.
+  while (auto msg = q.dequeue(1)) msg->set_fate(MessageFate::kConsumed);
+  EXPECT_EQ(conservation.delta().consumed, 4);
+  EXPECT_TRUE(conservation.verify());
+}
+
+TEST(SchedulerQueue, EvictLoosestOverflowAccountsEverywhere) {
+  // Same agreement under eviction: each urgent arrival kills the loosest
+  // queued message, and every victim gets a kDropped fate.
+  fault::ConservationChecker conservation;
+  telemetry::MetricsRegistry m;
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 4, DropPolicy::kEvictLoosest);
+  q.register_metrics(m, "engine.test.queue");
+
+  // Fill with loose messages, then push urgent ones that each evict.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    q.try_enqueue(msg_with_slack(1000 + i * 100), 0);
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_enqueue(msg_with_slack(1 + i), 1));
+  }
+  EXPECT_EQ(q.dropped(), 4u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(m.snapshot().counter("engine.test.queue.dropped"), 4u);
+  EXPECT_EQ(conservation.delta().dropped, 4);
+  EXPECT_TRUE(conservation.verify());
+
+  // Only the urgent arrivals survived.
+  while (auto msg = q.dequeue(2)) {
+    EXPECT_LE(msg->slack, 4u);
+    msg->set_fate(MessageFate::kConsumed);
+  }
+  EXPECT_TRUE(conservation.verify());
+}
+
+TEST(SchedulerQueue, EvictAllDrainsWithoutTouchingStatistics) {
+  // Fault drains are not scheduling decisions: the caller assigns fates
+  // and the drop/dequeue counters stay untouched.
+  fault::ConservationChecker conservation;
+  SchedulerQueue q(SchedPolicy::kSlackPriority, 8);
+  for (std::uint32_t i = 0; i < 5; ++i) q.try_enqueue(msg_with_slack(i), 0);
+
+  auto drained = q.evict_all();
+  EXPECT_EQ(drained.size(), 5u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_EQ(q.dequeued(), 0u);
+
+  for (auto& msg : drained) msg->set_fate(MessageFate::kFaulted);
+  drained.clear();
+  EXPECT_EQ(conservation.delta().faulted, 5);
+  EXPECT_TRUE(conservation.verify());
 }
 
 TEST(SchedulerQueue, DropArrivalNeverEvicts) {

@@ -1,0 +1,122 @@
+// FaultPlan: the deterministic fault schedule — builders, the text config
+// format, its error reporting, and to_string/parse round-trips.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace panic::fault {
+namespace {
+
+TEST(FaultPlan, ParsesEveryKind) {
+  const std::string text = R"(
+# full-coverage plan
+seed 42
+kill aux0 @5000 fallback=aux1
+stall dma @1000 for=200
+degrade ipsec_rx @2000 x=4.5 for=1000
+flaky 6 port=w @1500 p=0.25 delay=12 for=4000
+corrupt eth0 @100 p=0.01
+leak 3 port=local @0 credits=8
+)";
+  std::string error;
+  const auto plan = FaultPlan::parse(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->size(), 6u);
+
+  const auto& f = plan->faults();
+  EXPECT_EQ(f[0].kind, FaultKind::kEngineDeath);
+  EXPECT_EQ(f[0].engine, "aux0");
+  EXPECT_EQ(f[0].at, 5000u);
+  EXPECT_EQ(f[0].fallback, "aux1");
+
+  EXPECT_EQ(f[1].kind, FaultKind::kEngineStall);
+  EXPECT_EQ(f[1].duration, 200u);
+
+  EXPECT_EQ(f[2].kind, FaultKind::kEngineDegrade);
+  EXPECT_DOUBLE_EQ(f[2].factor, 4.5);
+  EXPECT_EQ(f[2].duration, 1000u);
+
+  EXPECT_EQ(f[3].kind, FaultKind::kLinkFlaky);
+  EXPECT_EQ(f[3].router_tile, 6);
+  EXPECT_EQ(f[3].port, 3);  // west
+  EXPECT_DOUBLE_EQ(f[3].probability, 0.25);
+  EXPECT_EQ(f[3].delay, 12u);
+
+  EXPECT_EQ(f[4].kind, FaultKind::kCorruption);
+  EXPECT_DOUBLE_EQ(f[4].probability, 0.01);
+  EXPECT_EQ(f[4].duration, 0u);  // permanent
+
+  EXPECT_EQ(f[5].kind, FaultKind::kCreditLeak);
+  EXPECT_EQ(f[5].router_tile, 3);
+  EXPECT_EQ(f[5].port, 4);  // local
+  EXPECT_EQ(f[5].amount, 8u);
+}
+
+TEST(FaultPlan, DefaultPortIsAllPorts) {
+  const auto plan = FaultPlan::parse("flaky 2 @10 p=0.5 delay=3\n");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->faults()[0].port, -1);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.kill("aux0", 5000, "aux1")
+      .stall("dma", 1000, 200)
+      .degrade("kvs", 2000, 2.0, 500)
+      .flaky_link(6, 3, 1500, 0.25, 12, 4000)
+      .corrupt("eth0", 100, 0.5)
+      .leak_credits(3, 4, 0, 8);
+
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->seed, plan.seed);
+  ASSERT_EQ(reparsed->size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(reparsed->faults()[i].to_string(), plan.faults()[i].to_string())
+        << "spec " << i;
+  }
+}
+
+TEST(FaultPlan, ErrorsNameTheLine) {
+  std::string error;
+
+  EXPECT_FALSE(FaultPlan::parse("kill aux0\n", &error).has_value());
+  EXPECT_EQ(error, "line 1: missing @<cycle>");
+
+  EXPECT_FALSE(FaultPlan::parse("\nstall dma @5\n", &error).has_value());
+  EXPECT_EQ(error, "line 2: stall requires for=<cycles>");
+
+  EXPECT_FALSE(FaultPlan::parse("leak 3 @5\n", &error).has_value());
+  EXPECT_EQ(error, "line 1: leak requires credits=<n>");
+
+  EXPECT_FALSE(FaultPlan::parse("explode dma @5\n", &error).has_value());
+  EXPECT_EQ(error, "line 1: unknown fault kind 'explode'");
+
+  EXPECT_FALSE(FaultPlan::parse("flaky dma @5 p=1 delay=1\n", &error)
+                   .has_value());
+  EXPECT_EQ(error, "line 1: router target must be a tile id");
+
+  EXPECT_FALSE(
+      FaultPlan::parse("flaky 3 port=up @5 p=1 delay=1\n", &error)
+          .has_value());
+  EXPECT_EQ(error, "line 1: bad port in port=up");
+
+  EXPECT_FALSE(FaultPlan::parse("kill aux0 @5 frobnicate=1\n", &error)
+                   .has_value());
+  EXPECT_EQ(error, "line 1: unknown token 'frobnicate=1'");
+}
+
+TEST(FaultPlan, CommentsAndBlankLinesIgnored) {
+  const auto plan = FaultPlan::parse(
+      "# header\n"
+      "\n"
+      "kill dma @10   # trailing comment\n");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 1u);
+  EXPECT_EQ(plan->faults()[0].engine, "dma");
+}
+
+}  // namespace
+}  // namespace panic::fault

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/panic_nic.h"
+#include "fault/invariants.h"
 #include "sim/simulator.h"
 #include "workload/kvs_workload.h"
 #include "workload/traffic_gen.h"
@@ -128,6 +129,146 @@ TEST(KernelEquivalence, MultiTenantIsolationIsCycleIdentical) {
   EXPECT_GT(dense.t1_count, 0u);
   EXPECT_GT(dense.t2_count, 0u);
   // ...and the event kernel did meaningfully less work to get there.
+  EXPECT_LT(event.ticks, dense.ticks);
+}
+
+// --- Equivalence under an active FaultPlan.  Faults are scheduled through
+// the same event queue as everything else, and their randomness comes from
+// plan-seeded streams — so a faulty run must stay cycle-identical across
+// kernel modes too. ---
+
+struct FaultScenarioResult {
+  Cycle final_cycle = 0;
+  std::uint64_t events = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t aux_generated = 0;
+  std::uint64_t plain_generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t flits_routed = 0;
+  std::uint64_t rmt_passes = 0;
+  double resteered = 0;
+  double corrupted = 0;
+  double engine_faulted = 0;
+  double rmt_faulted = 0;
+  double flits_delayed = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t engines_dead = 0;
+  std::uint64_t watchdog_checks = 0;
+  std::uint64_t watchdog_flags = 0;
+  std::int64_t conservation_faulted = 0;
+  bool conserved = false;
+};
+
+FaultScenarioResult run_fault_scenario(SimMode mode, Cycles cycles) {
+  fault::ConservationChecker conservation;
+  Simulator sim(Frequency::megahertz(500), mode);
+
+  core::PanicConfig cfg;
+  cfg.mesh.k = 5;
+  cfg.aux_engines = 2;
+  cfg.aux_fixed_cycles = 50;
+  constexpr std::uint16_t kAuxPort = 7777;
+  cfg.customize_program = [](rmt::RmtProgram& program,
+                             const core::PanicTopology& topo) {
+    auto& stage = program.add_stage("aux_select");
+    rmt::MatchTable t("aux_port", rmt::MatchKind::kExact,
+                      {rmt::Field::kL4DstPort});
+    t.add_exact(kAuxPort, rmt::Action("to_aux")
+                              .clear_chain()
+                              .push_hop(topo.aux[0].value)
+                              .push_hop(topo.dma.value));
+    stage.tables.push_back(std::move(t));
+  };
+
+  // One of everything: a death mid-run (healed through the aux equivalence
+  // group), a stall, randomized corruption, and a randomized flaky link.
+  const auto topo = core::PanicNic::plan_topology(cfg);
+  cfg.faults.seed = 99;
+  cfg.faults.kill("aux0", 15000)
+      .stall("dma", 5000, 1500)
+      .corrupt("aux1", 0, 0.05)
+      .flaky_link(static_cast<int>(topo.dma.value), /*port=*/-1, 2000,
+                  /*probability=*/0.25, /*delay=*/6, /*duration=*/0);
+  core::PanicNic nic(cfg, sim);
+
+  const Ipv4Addr client(10, 1, 0, 2), server(10, 0, 0, 1);
+  workload::TrafficConfig aux_traffic;
+  aux_traffic.pattern = workload::ArrivalPattern::kPoisson;
+  aux_traffic.mean_gap_cycles = 400.0;
+  workload::TrafficSource aux_src(
+      "aux_traffic", &nic.eth_port(0),
+      workload::make_udp_factory(client, server, 256, kAuxPort), aux_traffic);
+  sim.add(&aux_src);
+
+  workload::TrafficConfig plain_traffic;
+  plain_traffic.pattern = workload::ArrivalPattern::kPoisson;
+  plain_traffic.mean_gap_cycles = 900.0;
+  plain_traffic.tenant = TenantId{2};
+  workload::TrafficSource plain_src(
+      "plain_traffic", &nic.eth_port(1),
+      workload::make_min_frame_factory(client, server), plain_traffic);
+  sim.add(&plain_src);
+
+  sim.run(cycles);
+
+  FaultScenarioResult r;
+  r.final_cycle = sim.now();
+  r.events = sim.events_executed();
+  r.ticks = sim.component_ticks();
+  r.aux_generated = aux_src.generated();
+  r.plain_generated = plain_src.generated();
+  r.delivered = nic.dma().packets_to_host();
+  r.flits_routed = nic.mesh().total_flits_routed();
+  r.rmt_passes = nic.total_rmt_passes();
+  const auto snap = sim.telemetry().metrics().snapshot();
+  r.resteered = snap.sum("rmt.", ".resteered");
+  r.corrupted = snap.sum("engine.", ".corrupted");
+  r.engine_faulted = snap.sum("engine.", ".faulted_discards");
+  r.rmt_faulted = snap.sum("rmt.", ".faulted_drops");
+  r.flits_delayed = snap.sum("noc.router.", ".flits_delayed");
+  r.faults_injected = snap.counter("fault.injected");
+  r.engines_dead = snap.counter("fault.engines_dead");
+  r.watchdog_checks = nic.watchdog()->checks();
+  r.watchdog_flags = nic.watchdog()->flags_raised();
+  r.conservation_faulted = conservation.delta().faulted;
+  r.conserved = conservation.verify_or_log();
+  return r;
+}
+
+TEST(KernelEquivalence, ActiveFaultPlanIsCycleIdentical) {
+  constexpr Cycles kCycles = 60000;
+  const FaultScenarioResult dense =
+      run_fault_scenario(SimMode::kStrictTick, kCycles);
+  const FaultScenarioResult event =
+      run_fault_scenario(SimMode::kEventDriven, kCycles);
+
+  EXPECT_EQ(dense.final_cycle, event.final_cycle);
+  EXPECT_EQ(dense.events, event.events);
+  EXPECT_EQ(dense.aux_generated, event.aux_generated);
+  EXPECT_EQ(dense.plain_generated, event.plain_generated);
+  EXPECT_EQ(dense.delivered, event.delivered);
+  EXPECT_EQ(dense.flits_routed, event.flits_routed);
+  EXPECT_EQ(dense.rmt_passes, event.rmt_passes);
+  EXPECT_EQ(dense.resteered, event.resteered);
+  EXPECT_EQ(dense.corrupted, event.corrupted);
+  EXPECT_EQ(dense.engine_faulted, event.engine_faulted);
+  EXPECT_EQ(dense.rmt_faulted, event.rmt_faulted);
+  EXPECT_EQ(dense.flits_delayed, event.flits_delayed);
+  EXPECT_EQ(dense.faults_injected, event.faults_injected);
+  EXPECT_EQ(dense.engines_dead, event.engines_dead);
+  EXPECT_EQ(dense.watchdog_checks, event.watchdog_checks);
+  EXPECT_EQ(dense.watchdog_flags, event.watchdog_flags);
+  EXPECT_EQ(dense.conservation_faulted, event.conservation_faulted);
+
+  // Sanity: every fault actually fired and the NIC kept delivering...
+  EXPECT_EQ(dense.faults_injected, 4u);
+  EXPECT_EQ(dense.engines_dead, 1u);
+  EXPECT_GT(dense.delivered, 0u);
+  EXPECT_GT(dense.flits_delayed, 0.0);
+  EXPECT_GT(dense.corrupted, 0.0);
+  EXPECT_TRUE(dense.conserved);
+  EXPECT_TRUE(event.conserved);
+  // ...and the event kernel still did less work under faults.
   EXPECT_LT(event.ticks, dense.ticks);
 }
 
