@@ -1,10 +1,30 @@
 #include "engines/sched_queue.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.h"
 
 namespace panic::engines {
+
+namespace {
+bool g_audit = false;
+int g_selftest_bug = -1;  // -1 = unresolved (consult the environment)
+}  // namespace
+
+void SchedulerQueue::set_audit(bool on) { g_audit = on; }
+bool SchedulerQueue::audit_enabled() { return g_audit; }
+
+void SchedulerQueue::set_selftest_bug(bool on) { g_selftest_bug = on ? 1 : 0; }
+
+bool SchedulerQueue::selftest_bug() {
+  if (g_selftest_bug < 0) {
+    const char* env = std::getenv("PANIC_FUZZ_SELFTEST");
+    g_selftest_bug =
+        (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+  }
+  return g_selftest_bug == 1;
+}
 
 SchedulerQueue::SchedulerQueue(SchedPolicy policy, std::size_t capacity,
                                DropPolicy drop_policy)
@@ -67,6 +87,33 @@ MessagePtr SchedulerQueue::dequeue(Cycle now) {
   std::pop_heap(items_.begin(), items_.end(), Order{policy_});
   Item item = std::move(items_.back());
   items_.pop_back();
+  if (selftest_bug() && !items_.empty()) {
+    // Planted off-by-one (see header): swap the true winner back into the
+    // heap and hand out the second-best instead.
+    std::pop_heap(items_.begin(), items_.end(), Order{policy_});
+    std::swap(item, items_.back());
+    std::push_heap(items_.begin(), items_.end(), Order{policy_});
+  }
+  if (g_audit) {
+    // The dequeued message must not be lower priority than anything left
+    // behind: that would break slack monotonicity (kSlackPriority) or
+    // arrival order (kFifo / slack ties).
+    for (const Item& rest : items_) {
+      if (Order{policy_}(item, rest)) {
+        ++audit_violations_;
+        PANIC_WARN("sched",
+                   "audit: dequeued msg %llu (slack=%u seq=%llu) after "
+                   "higher-priority msg %llu (slack=%u seq=%llu)",
+                   static_cast<unsigned long long>(item.msg->id.value),
+                   item.msg->slack,
+                   static_cast<unsigned long long>(item.seq),
+                   static_cast<unsigned long long>(rest.msg->id.value),
+                   rest.msg->slack,
+                   static_cast<unsigned long long>(rest.seq));
+        break;
+      }
+    }
+  }
   ++dequeued_;
   total_wait_ += now >= item.enqueued_at ? now - item.enqueued_at : 0;
   trace(telemetry::TraceEventKind::kDequeue, now, *item.msg);
@@ -80,6 +127,7 @@ void SchedulerQueue::register_metrics(telemetry::MetricsRegistry& m,
   m.expose_counter(prefix + ".dropped", &dropped_);
   m.expose_counter(prefix + ".wait_cycles", &total_wait_);
   m.expose_counter(prefix + ".max_depth", &max_depth_);
+  m.expose_counter(prefix + ".audit_violations", &audit_violations_);
   m.expose_gauge(prefix + ".depth",
                  [this] { return static_cast<double>(items_.size()); });
 }

@@ -64,6 +64,32 @@ class SchedulerQueue {
   /// Slack of the message that would dequeue next (0 if empty).
   std::uint32_t head_slack() const;
 
+  // --- Property-audit hooks (src/proptest / panic_fuzz). ---
+
+  /// Process-wide audit switch.  When on, every dequeue cross-checks the
+  /// chosen message against everything left in the queue: under
+  /// kSlackPriority the winner must have the minimum slack (and the
+  /// oldest arrival among slack ties — per-flow FIFO), under kFifo it
+  /// must be the oldest arrival outright.  O(queue depth) per dequeue,
+  /// so it is off by default and only armed by the fuzz harness and its
+  /// tests.
+  static void set_audit(bool on);
+  static bool audit_enabled();
+
+  /// Synthetic scheduling bug for harness self-tests: when armed, a
+  /// dequeue from a queue holding >= 2 messages returns the SECOND-best
+  /// message (a planted off-by-one).  The audit above flags it, so
+  /// panic_fuzz must detect it, shrink the scenario and emit a replay —
+  /// pinned by tests/proptest/minimizer_selftest.cpp.  Armed explicitly
+  /// or via a non-zero PANIC_FUZZ_SELFTEST environment variable (read
+  /// once, on first query, unless the setter ran first).
+  static void set_selftest_bug(bool on);
+  static bool selftest_bug();
+
+  /// Dequeues the audit flagged on this queue (also published as
+  /// "<prefix>.audit_violations").
+  std::uint64_t audit_violations() const { return audit_violations_; }
+
   /// Publishes this queue's counters under `prefix` (e.g.
   /// "engine.ipsec_rx.queue") — called by the owning engine's
   /// register_telemetry.
@@ -123,6 +149,7 @@ class SchedulerQueue {
   std::uint64_t dequeued_ = 0;
   std::uint64_t total_wait_ = 0;
   std::uint64_t max_depth_ = 0;
+  std::uint64_t audit_violations_ = 0;
 };
 
 }  // namespace panic::engines

@@ -53,6 +53,9 @@ bool Router::can_accept(Direction from) const {
 void Router::accept(Direction from, Flit flit, Cycle now) {
   auto& q = inputs_[static_cast<int>(from)];
   assert(!q.full());
+  // The assert above vanishes under NDEBUG; keep a counter the fuzz
+  // harness's lossless-NoC oracle can check in any build flavor.
+  if (!can_accept(from)) ++credit_violations_;
   // +1: the hop latency — the flit is routable the cycle after it arrives.
   Cycle ready = now + 1;
   if (faults_armed_) {
@@ -112,6 +115,7 @@ void Router::register_telemetry(telemetry::Telemetry& t) {
   m.expose_counter(prefix + "stall_cycles", &stall_cycles_);
   m.expose_counter(prefix + "flits_delayed", &flits_delayed_);
   m.expose_counter(prefix + "credits_leaked", &credits_leaked_);
+  m.expose_counter(prefix + "credit_violations", &credit_violations_);
 }
 
 void Router::fault_link(int port, double probability, Cycles delay,

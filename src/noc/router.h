@@ -83,6 +83,13 @@ class Router : public Component {
   std::uint64_t flits_routed() const { return flits_routed_; }
   std::uint64_t stall_cycles() const { return stall_cycles_; }
 
+  /// Flits accepted while can_accept(from) was false — a violated credit
+  /// (the sender pushed without a free slot, i.e. the NoC was not
+  /// lossless).  Always zero on a correct build; the panic_fuzz lossless
+  /// oracle asserts this, catching what the Debug-only assert in accept()
+  /// cannot in Release/CI builds.
+  std::uint64_t credit_violations() const { return credit_violations_; }
+
   /// Publishes `noc.router.<tile>.*` metrics (tile id = y*k + x).
   void register_telemetry(telemetry::Telemetry& t) override;
 
@@ -143,6 +150,7 @@ class Router : public Component {
 
   std::uint64_t flits_routed_ = 0;
   std::uint64_t stall_cycles_ = 0;
+  std::uint64_t credit_violations_ = 0;
 
   // --- Fault state (inert — one predicted branch — until armed). ---
   struct PortFault {

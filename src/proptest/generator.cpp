@@ -1,0 +1,159 @@
+#include "proptest/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace panic::proptest {
+
+namespace {
+
+constexpr int kFixedEngineTiles = 11;  // must match scenario.cpp
+
+/// Engines present in every topology (safe stall/degrade/corrupt targets).
+const char* const kFixedEngines[] = {
+    "dma",      "pcie", "ipsec_rx", "ipsec_tx",     "kvs",  "rdma",
+    "compression", "checksum", "regex", "tso", "rate_limiter"};
+
+std::uint64_t pick(Rng& rng, std::initializer_list<std::uint64_t> choices) {
+  const auto i = rng.uniform_int(0, choices.size() - 1);
+  return *(choices.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+WorkloadSpec generate_workload(Rng& rng, int index, int eth_ports,
+                               Cycles budget) {
+  WorkloadSpec w;
+  w.port = static_cast<int>(rng.uniform_int(0, eth_ports - 1));
+  // Distinct tenant per workload: one tenant == one flow == one path, the
+  // precondition of the per-tenant FIFO oracle.
+  w.tenant = static_cast<std::uint16_t>(1 + index);
+  const auto kind_draw = rng.uniform_int(0, 3);
+  w.kind = kind_draw <= 1 ? WorkloadSpec::Kind::kUdp
+           : kind_draw == 2 ? WorkloadSpec::Kind::kMinFrame
+                            : WorkloadSpec::Kind::kKvs;
+  const auto pattern_draw = rng.uniform_int(0, 2);
+  w.pattern = pattern_draw == 0 ? workload::ArrivalPattern::kConstantRate
+              : pattern_draw == 1 ? workload::ArrivalPattern::kPoisson
+                                  : workload::ArrivalPattern::kOnOff;
+  // Log-uniform gap in [20, 2000): sweeps from saturating to sparse.
+  w.mean_gap_cycles = 20.0 * std::pow(100.0, rng.uniform01());
+  w.on_cycles = rng.uniform_int(500, 4000);
+  w.off_cycles = rng.uniform_int(1000, 16000);
+  // Finite trace, but long enough that back-pressure and drops can build
+  // up within the budget.
+  const std::uint64_t rate_bound =
+      static_cast<std::uint64_t>(static_cast<double>(budget) /
+                                 w.mean_gap_cycles) + 2;
+  w.max_frames = std::min<std::uint64_t>(rng.uniform_int(20, 300), rate_bound);
+  w.frame_bytes = pick(rng, {64, 128, 256, 512, 1024, 1500});
+  w.dst_port = static_cast<std::uint16_t>(pick(rng, {9, 5353, 8080}));
+  // All-or-nothing WAN so a tenant's replies take a single chain.
+  w.wan_fraction =
+      w.kind == WorkloadSpec::Kind::kKvs && rng.bernoulli(0.4) ? 1.0 : 0.0;
+  w.seed = rng.next();
+  return w;
+}
+
+void generate_faults(Rng& rng, Scenario& s) {
+  fault::FaultPlan plan;
+  plan.seed = rng.next();
+  const int n = static_cast<int>(rng.uniform_int(1, 3));
+  const Cycle budget = s.budget_cycles;
+  for (int i = 0; i < n; ++i) {
+    // Fault cycles land in the first half of the run so effects (and any
+    // healing) are observable before the budget expires.
+    const Cycle at = rng.uniform_int(budget / 8, budget / 2);
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        // Death heals through the aux equivalence group; only kill when a
+        // second aux exists to take over.
+        if (s.aux_engines >= 2) {
+          plan.kill("aux" + std::to_string(
+                        rng.uniform_int(0, s.aux_engines - 1)), at);
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+        plan.stall(kFixedEngines[rng.uniform_int(0, 10)], at,
+                   rng.uniform_int(200, budget / 8 + 200));
+        break;
+      case 2:
+        plan.degrade(kFixedEngines[rng.uniform_int(0, 10)], at,
+                     1.5 + rng.uniform01() * 6.5,
+                     rng.bernoulli(0.5) ? rng.uniform_int(500, budget / 4)
+                                        : 0);
+        break;
+      case 3:
+        plan.corrupt(kFixedEngines[rng.uniform_int(0, 10)], at,
+                     0.01 + rng.uniform01() * 0.19,
+                     rng.bernoulli(0.5) ? rng.uniform_int(500, budget / 4)
+                                        : 0);
+        break;
+      case 4:
+        plan.flaky_link(
+            static_cast<int>(rng.uniform_int(
+                0, static_cast<std::uint64_t>(s.mesh_k * s.mesh_k) - 1)),
+            rng.bernoulli(0.5) ? -1 : static_cast<int>(rng.uniform_int(0, 4)),
+            at, 0.05 + rng.uniform01() * 0.25, rng.uniform_int(1, 8),
+            rng.bernoulli(0.5) ? rng.uniform_int(1000, budget / 2) : 0);
+        break;
+      case 5:
+        // Leaks stay below the default router buffer depth (8 flits) so
+        // the link degrades instead of wedging outright.
+        plan.leak_credits(
+            static_cast<int>(rng.uniform_int(
+                0, static_cast<std::uint64_t>(s.mesh_k * s.mesh_k) - 1)),
+            rng.bernoulli(0.5) ? -1 : static_cast<int>(rng.uniform_int(0, 4)),
+            at, static_cast<std::uint32_t>(rng.uniform_int(1, 3)));
+        break;
+    }
+  }
+  s.faults = std::move(plan);
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
+  Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+
+  s.budget_cycles =
+      budget_cycles != 0 ? budget_cycles : rng.uniform_int(20000, 100000);
+
+  // Engine mix first, then the smallest-to-largest mesh that fits it.
+  s.eth_ports = static_cast<int>(rng.uniform_int(1, 2));
+  s.rmt_engines = static_cast<int>(rng.uniform_int(1, 2));
+  s.aux_engines = static_cast<int>(rng.uniform_int(0, 2));
+  const int need =
+      kFixedEngineTiles + s.eth_ports + s.rmt_engines + s.aux_engines;
+  int min_k = 2;
+  while (min_k * min_k < need) ++min_k;
+  s.mesh_k = static_cast<int>(rng.uniform_int(min_k, 6));
+
+  s.sched_policy = rng.bernoulli(0.75) ? engines::SchedPolicy::kSlackPriority
+                                       : engines::SchedPolicy::kFifo;
+  s.drop_policy = rng.bernoulli(0.5) ? engines::DropPolicy::kDropArrival
+                                     : engines::DropPolicy::kEvictLoosest;
+  // Small capacities force the legal drop point; large ones test lossless
+  // buildup.
+  s.engine_queue_capacity = pick(rng, {4, 8, 32, 256});
+  s.rmt_input_queue = pick(rng, {8, 64, 512});
+  s.dma_contention_mean = static_cast<double>(pick(rng, {0, 0, 50, 150}));
+  s.default_slack = static_cast<std::uint32_t>(pick(rng, {100, 1000}));
+
+  const int n_workloads = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < n_workloads; ++i) {
+    s.workloads.push_back(
+        generate_workload(rng, i, s.eth_ports, s.budget_cycles));
+    s.tenant_slacks.emplace_back(
+        s.workloads.back().tenant,
+        static_cast<std::uint32_t>(pick(rng, {10, 100, 1000, 100000})));
+  }
+
+  if (rng.bernoulli(0.5)) generate_faults(rng, s);
+  return s;
+}
+
+}  // namespace panic::proptest

@@ -1,0 +1,139 @@
+#include "proptest/oracles.h"
+
+#include <sstream>
+
+namespace panic::proptest {
+
+namespace {
+
+const char* mode_name(SimMode mode) {
+  return mode == SimMode::kStrictTick ? "dense" : "event";
+}
+
+void add(std::vector<Violation>* out, const std::string& oracle,
+         const std::string& detail) {
+  out->push_back(Violation{oracle, detail});
+}
+
+template <typename T>
+void expect_eq(std::vector<Violation>* out, const char* what, T dense,
+               T event) {
+  if (dense != event) {
+    std::ostringstream os;
+    os << what << ": dense=" << dense << " event=" << event;
+    add(out, "differential", os.str());
+  }
+}
+
+/// kernel.* counters legitimately differ between modes (tick counts,
+/// fast-forward totals) or between runs in one process (the alloc gauges
+/// read the process-wide MessagePool).
+bool excluded_from_diff(const std::string& name) {
+  return name.rfind("kernel.", 0) == 0;
+}
+
+void check_differential(const RunResult& dense, const RunResult& event,
+                        std::vector<Violation>* out) {
+  expect_eq(out, "final_cycle", dense.final_cycle, event.final_cycle);
+  expect_eq(out, "events", dense.events, event.events);
+  expect_eq(out, "generated", dense.generated, event.generated);
+  expect_eq(out, "delivered", dense.delivered, event.delivered);
+  expect_eq(out, "tx_packets", dense.tx_packets, event.tx_packets);
+  expect_eq(out, "flits_routed", dense.flits_routed, event.flits_routed);
+  expect_eq(out, "rmt_passes", dense.rmt_passes, event.rmt_passes);
+  const auto diff =
+      dense.snapshot.diff_names(event.snapshot, excluded_from_diff);
+  if (!diff.empty()) {
+    std::string names;
+    for (std::size_t i = 0; i < diff.size() && i < 8; ++i) {
+      if (i) names += ", ";
+      names += diff[i];
+    }
+    if (diff.size() > 8) names += ", ...";
+    add(out, "differential",
+        "snapshots differ on " + std::to_string(diff.size()) +
+            " metric(s): " + names);
+  }
+}
+
+}  // namespace
+
+void check_single_run(const Scenario& s, const RunResult& r,
+                      std::vector<Violation>* out) {
+  const std::string mode = mode_name(r.mode);
+
+  if (!r.conserved) {
+    add(out, "conservation",
+        mode + ": " + r.conservation.to_string());
+  }
+  if (r.credit_violations != 0) {
+    add(out, "lossless_noc",
+        mode + ": " + std::to_string(r.credit_violations) +
+            " flit(s) accepted without a free credit");
+  }
+  if (r.audit_violations != 0) {
+    add(out, "ordering",
+        mode + ": " + std::to_string(r.audit_violations) +
+            " scheduler dequeue(s) violated slack/FIFO priority");
+  }
+  if (r.order_violations != 0) {
+    add(out, "ordering",
+        mode + ": " + std::to_string(r.order_violations) +
+            " frame(s) left an Ethernet port out of per-tenant order");
+  }
+
+  // Ledger vs telemetry: each fate has exactly one legal counting site —
+  // delivered at the DMA host hand-off or an Ethernet TX, dropped at a
+  // SchedulerQueue or the RMT pipeline's policy drop, faulted at an
+  // engine discard or an RMT dead-route drop.
+  const auto& snap = r.snapshot;
+  const auto delivered_tel = static_cast<std::int64_t>(
+      snap.counter("engine.dma.packets_to_host") +
+      static_cast<std::uint64_t>(snap.sum("engine.eth", ".tx_packets")));
+  double rmt_dropped = 0.0, rmt_faulted = 0.0;
+  for (int i = 0; i < s.rmt_engines; ++i) {
+    const std::string p = "rmt.rmt" + std::to_string(i) + ".";
+    rmt_dropped += snap.value(p + "dropped");
+    rmt_faulted += snap.value(p + "faulted_drops");
+  }
+  const auto dropped_tel = static_cast<std::int64_t>(
+      snap.sum("", ".queue.dropped") + rmt_dropped);
+  const auto faulted_tel = static_cast<std::int64_t>(
+      snap.sum("engine.", ".faulted_discards") + rmt_faulted);
+
+  const auto mismatch = [&](const char* what, std::int64_t ledger,
+                            std::int64_t telemetry) {
+    if (ledger != telemetry) {
+      std::ostringstream os;
+      os << mode << ": " << what << " ledger=" << ledger
+         << " telemetry=" << telemetry;
+      add(out, "ledger_telemetry", os.str());
+    }
+  };
+  mismatch("delivered", r.conservation.delivered, delivered_tel);
+  mismatch("dropped", r.conservation.dropped, dropped_tel);
+  mismatch("faulted", r.conservation.faulted, faulted_tel);
+}
+
+std::vector<Violation> check_scenario(const Scenario& s, RunResult* dense_out,
+                                      RunResult* event_out) {
+  std::vector<Violation> violations;
+  RunResult dense = run_scenario(s, SimMode::kStrictTick);
+  RunResult event = run_scenario(s, SimMode::kEventDriven);
+  check_differential(dense, event, &violations);
+  check_single_run(s, dense, &violations);
+  check_single_run(s, event, &violations);
+  if (dense_out != nullptr) *dense_out = std::move(dense);
+  if (event_out != nullptr) *event_out = std::move(event);
+  return violations;
+}
+
+std::string to_string(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (const Violation& v : violations) {
+    os << "[" << v.oracle << "] " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace panic::proptest

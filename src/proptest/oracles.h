@@ -1,0 +1,49 @@
+// The oracle suite: every property a correct PANIC build must satisfy on
+// every scenario, checked by running the scenario under BOTH kernel modes.
+//
+//   differential     — kStrictTick and kEventDriven are cycle-identical:
+//                      equal scalar stats and an equal MetricsSnapshot
+//                      (minus kernel.* bookkeeping, which differs between
+//                      modes / process histories by design).
+//   conservation     — every message created in the run is delivered,
+//                      dropped, consumed, faulted or still live; none
+//                      destroyed fate-less (per mode).
+//   lossless_noc     — no router ever accepted a flit without a free
+//                      credit (Router::credit_violations == 0).
+//   ordering         — no SchedulerQueue dequeue broke slack monotonicity
+//                      or FIFO (the per-dequeue audit), and no tenant's
+//                      frames left an Ethernet port out of creation order.
+//   ledger_telemetry — the conservation ledger and the telemetry counters
+//                      agree on the delivered/dropped/faulted totals
+//                      (each fate has exactly one legal counting site).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proptest/runner.h"
+#include "proptest/scenario.h"
+
+namespace panic::proptest {
+
+struct Violation {
+  std::string oracle;  ///< which oracle fired (names above)
+  std::string detail;  ///< human-readable evidence
+};
+
+std::string to_string(const std::vector<Violation>& violations);
+
+/// Runs `s` under both kernel modes and applies every oracle.  Empty
+/// result == the scenario passes.  When non-null, `dense_out`/`event_out`
+/// receive the two runs (the CLI prints them on failure).
+std::vector<Violation> check_scenario(const Scenario& s,
+                                      RunResult* dense_out = nullptr,
+                                      RunResult* event_out = nullptr);
+
+/// The oracles that apply to a single run (conservation, lossless NoC,
+/// ordering, ledger-vs-telemetry) — check_scenario applies these to both
+/// modes and adds the differential comparison.
+void check_single_run(const Scenario& s, const RunResult& r,
+                      std::vector<Violation>* out);
+
+}  // namespace panic::proptest

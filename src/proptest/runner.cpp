@@ -1,0 +1,115 @@
+#include "proptest/runner.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/panic_nic.h"
+#include "engines/sched_queue.h"
+#include "net/addr.h"
+#include "workload/kvs_workload.h"
+
+namespace panic::proptest {
+
+namespace {
+
+workload::FrameFactory make_factory(const WorkloadSpec& w) {
+  const Ipv4Addr client(10, static_cast<std::uint8_t>(w.tenant), 0, 2);
+  const Ipv4Addr server(10, 0, 0, 1);
+  switch (w.kind) {
+    case WorkloadSpec::Kind::kUdp:
+      return workload::make_udp_factory(client, server, w.frame_bytes,
+                                        w.dst_port);
+    case WorkloadSpec::Kind::kMinFrame:
+      return workload::make_min_frame_factory(client, server);
+    case WorkloadSpec::Kind::kKvs: {
+      workload::KvsWorkloadConfig kvs;
+      kvs.client = client;
+      kvs.server = server;
+      kvs.tenant = w.tenant;
+      kvs.wan_fraction = w.wan_fraction;
+      return workload::make_kvs_factory(kvs);
+    }
+  }
+  return nullptr;
+}
+
+/// Arms the SchedulerQueue dequeue audit for one scope, restoring the
+/// previous setting on exit (the audit switch is process-wide).
+class AuditScope {
+ public:
+  AuditScope() : prev_(engines::SchedulerQueue::audit_enabled()) {
+    engines::SchedulerQueue::set_audit(true);
+  }
+  ~AuditScope() { engines::SchedulerQueue::set_audit(prev_); }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& s, SimMode mode) {
+  AuditScope audit;
+  // The window opens before any message of this run is created, and the
+  // delta is read before the NIC/simulator locals unwind — teardown
+  // destroys in-flight messages, which must not land in this window.
+  fault::ConservationChecker conservation;
+
+  Simulator sim(Frequency::megahertz(500), mode);
+  core::PanicNic nic(s.to_config(), sim);
+
+  // Per-(port, tenant) egress-order tracking.  One tenant is one flow on
+  // one path by generator construction, so frames of a tenant must leave
+  // a port in creation order.
+  RunResult r;
+  r.mode = mode;
+  std::map<std::pair<int, std::uint16_t>, Cycle> last_created;
+  for (int p = 0; p < nic.num_eth_ports(); ++p) {
+    nic.eth_port(p).set_tx_sink([&r, &last_created, p](const Message& msg,
+                                                       Cycle) {
+      Cycle& last = last_created[{p, msg.tenant.value}];
+      if (msg.created_at < last) ++r.order_violations;
+      if (msg.created_at > last) last = msg.created_at;
+    });
+  }
+
+  std::vector<std::unique_ptr<workload::TrafficSource>> sources;
+  sources.reserve(s.workloads.size());
+  for (std::size_t i = 0; i < s.workloads.size(); ++i) {
+    const WorkloadSpec& w = s.workloads[i];
+    workload::TrafficConfig tc;
+    tc.pattern = w.pattern;
+    tc.mean_gap_cycles = w.mean_gap_cycles;
+    tc.on_cycles = w.on_cycles;
+    tc.off_cycles = w.off_cycles;
+    tc.max_frames = w.max_frames;
+    tc.tenant = TenantId{w.tenant};
+    tc.seed = w.seed;
+    sources.push_back(std::make_unique<workload::TrafficSource>(
+        "w" + std::to_string(i), &nic.eth_port(w.port), make_factory(w), tc));
+    sim.add(sources.back().get());
+  }
+
+  sim.run(s.budget_cycles);
+
+  r.final_cycle = sim.now();
+  r.events = sim.events_executed();
+  r.ticks = sim.component_ticks();
+  for (const auto& src : sources) r.generated += src->generated();
+  r.delivered = nic.dma().packets_to_host();
+  r.flits_routed = nic.mesh().total_flits_routed();
+  r.rmt_passes = nic.total_rmt_passes();
+  r.snapshot = sim.snapshot();
+  r.tx_packets =
+      static_cast<std::uint64_t>(r.snapshot.sum("engine.eth", ".tx_packets"));
+  r.credit_violations = static_cast<std::uint64_t>(
+      r.snapshot.sum("noc.router.", ".credit_violations"));
+  r.audit_violations =
+      static_cast<std::uint64_t>(r.snapshot.sum("", ".audit_violations"));
+  r.conservation = conservation.delta();
+  r.conserved = r.conservation.conserved();
+  return r;
+}
+
+}  // namespace panic::proptest

@@ -1,0 +1,51 @@
+// Builds and runs one Scenario under one kernel mode, with every probe the
+// oracle suite needs armed: the SchedulerQueue dequeue audit, per-tenant
+// egress-order tracking at each Ethernet port's TX sink, a conservation
+// window over the run, and a full MetricsSnapshot captured before
+// teardown (teardown destroys in-flight messages, which must not leak
+// into the next run's conservation window).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "fault/invariants.h"
+#include "proptest/scenario.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+
+namespace panic::proptest {
+
+struct RunResult {
+  SimMode mode = SimMode::kEventDriven;
+
+  // --- Scalar stats compared cycle-exactly between modes. ---
+  Cycle final_cycle = 0;
+  std::uint64_t events = 0;
+  std::uint64_t ticks = 0;  ///< differs between modes by design
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;  ///< DMA packets to host
+  std::uint64_t tx_packets = 0;  ///< frames out of Ethernet ports
+  std::uint64_t flits_routed = 0;
+  std::uint64_t rmt_passes = 0;
+
+  /// Every registered metric at end of run.
+  telemetry::MetricsSnapshot snapshot;
+
+  // --- Invariant probes. ---
+  fault::ConservationChecker::Delta conservation;
+  bool conserved = false;
+  /// Router accepts without a free credit (sum over routers; lossless NoC
+  /// => 0).
+  std::uint64_t credit_violations = 0;
+  /// SchedulerQueue dequeues that broke slack monotonicity / FIFO (sum
+  /// over every engine and RMT input queue).
+  std::uint64_t audit_violations = 0;
+  /// Same-tenant frames leaving an Ethernet port out of creation order.
+  std::uint64_t order_violations = 0;
+};
+
+/// Runs `s` under `mode`.  Precondition: s.feasible().
+RunResult run_scenario(const Scenario& s, SimMode mode);
+
+}  // namespace panic::proptest

@@ -1,0 +1,343 @@
+#include "proptest/scenario.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace panic::proptest {
+
+namespace {
+
+/// Tiles consumed by the fixed engine set (dma, pcie, ipsec x2, kvs, rdma,
+/// compression, checksum, regex, tso, rate_limiter) — must match
+/// PanicNic::plan_topology.
+constexpr int kFixedEngineTiles = 11;
+
+const char* pattern_name(workload::ArrivalPattern p) {
+  switch (p) {
+    case workload::ArrivalPattern::kConstantRate: return "const";
+    case workload::ArrivalPattern::kPoisson: return "poisson";
+    case workload::ArrivalPattern::kOnOff: return "onoff";
+  }
+  return "?";
+}
+
+bool parse_pattern(const std::string& s, workload::ArrivalPattern* out) {
+  if (s == "const") *out = workload::ArrivalPattern::kConstantRate;
+  else if (s == "poisson") *out = workload::ArrivalPattern::kPoisson;
+  else if (s == "onoff") *out = workload::ArrivalPattern::kOnOff;
+  else return false;
+  return true;
+}
+
+bool parse_kind(const std::string& s, WorkloadSpec::Kind* out) {
+  if (s == "udp") *out = WorkloadSpec::Kind::kUdp;
+  else if (s == "min") *out = WorkloadSpec::Kind::kMinFrame;
+  else if (s == "kvs") *out = WorkloadSpec::Kind::kKvs;
+  else return false;
+  return true;
+}
+
+bool fail(std::string* error, int line, const std::string& reason) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + reason;
+  }
+  return false;
+}
+
+/// Splits "key=value" (returns false when '=' is missing).
+bool split_kv(const std::string& tok, std::string* key, std::string* val) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos) return false;
+  *key = tok.substr(0, eq);
+  *val = tok.substr(eq + 1);
+  return true;
+}
+
+bool parse_workload_line(const std::string& rest, WorkloadSpec* spec,
+                         std::string* reason) {
+  std::istringstream in(rest);
+  std::string tok;
+  while (in >> tok) {
+    std::string key, val;
+    if (!split_kv(tok, &key, &val)) {
+      *reason = "expected key=value, got '" + tok + "'";
+      return false;
+    }
+    try {
+      if (key == "port") spec->port = std::stoi(val);
+      else if (key == "kind") {
+        if (!parse_kind(val, &spec->kind)) {
+          *reason = "unknown workload kind '" + val + "'";
+          return false;
+        }
+      } else if (key == "tenant") {
+        spec->tenant = static_cast<std::uint16_t>(std::stoul(val));
+      } else if (key == "pattern") {
+        if (!parse_pattern(val, &spec->pattern)) {
+          *reason = "unknown arrival pattern '" + val + "'";
+          return false;
+        }
+      } else if (key == "gap") spec->mean_gap_cycles = std::stod(val);
+      else if (key == "on") spec->on_cycles = std::stoull(val);
+      else if (key == "off") spec->off_cycles = std::stoull(val);
+      else if (key == "frames") spec->max_frames = std::stoull(val);
+      else if (key == "bytes") spec->frame_bytes = std::stoull(val);
+      else if (key == "dport") {
+        spec->dst_port = static_cast<std::uint16_t>(std::stoul(val));
+      } else if (key == "wan") spec->wan_fraction = std::stod(val);
+      else if (key == "seed") spec->seed = std::stoull(val);
+      else {
+        *reason = "unknown workload key '" + key + "'";
+        return false;
+      }
+    } catch (const std::exception&) {
+      *reason = "bad value for '" + key + "': '" + val + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(WorkloadSpec::Kind kind) {
+  switch (kind) {
+    case WorkloadSpec::Kind::kUdp: return "udp";
+    case WorkloadSpec::Kind::kMinFrame: return "min";
+    case WorkloadSpec::Kind::kKvs: return "kvs";
+  }
+  return "?";
+}
+
+bool Scenario::feasible() const {
+  if (mesh_k < 2 || eth_ports < 1 || rmt_engines < 1 || aux_engines < 0) {
+    return false;
+  }
+  const int tiles = mesh_k * mesh_k;
+  if (kFixedEngineTiles + eth_ports + rmt_engines + aux_engines > tiles) {
+    return false;
+  }
+  if (engine_queue_capacity == 0 || rmt_input_queue == 0) return false;
+  if (budget_cycles == 0) return false;
+  for (const WorkloadSpec& w : workloads) {
+    if (w.port < 0 || w.port >= eth_ports) return false;
+    if (w.max_frames == 0) return false;  // must terminate
+    if (w.mean_gap_cycles <= 0.0) return false;
+  }
+  return true;
+}
+
+std::uint64_t Scenario::total_frames() const {
+  std::uint64_t total = 0;
+  for (const WorkloadSpec& w : workloads) total += w.max_frames;
+  return total;
+}
+
+core::PanicConfig Scenario::to_config() const {
+  core::PanicConfig cfg;
+  cfg.mesh.k = mesh_k;
+  cfg.eth_ports = eth_ports;
+  cfg.rmt_engines = rmt_engines;
+  cfg.aux_engines = aux_engines;
+  cfg.sched_policy = sched_policy;
+  cfg.drop_policy = drop_policy;
+  cfg.engine_queue_capacity = engine_queue_capacity;
+  cfg.rmt_input_queue = rmt_input_queue;
+  cfg.dma.contention_mean = dma_contention_mean;
+  cfg.default_slack = default_slack;
+  cfg.tenant_slacks = tenant_slacks;
+  cfg.faults = faults;
+  return cfg;
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream out;
+  out << "panicfuzz 1\n";
+  out << "seed " << seed << "\n";
+  out << "mesh_k " << mesh_k << "\n";
+  out << "eth_ports " << eth_ports << "\n";
+  out << "rmt_engines " << rmt_engines << "\n";
+  out << "aux_engines " << aux_engines << "\n";
+  out << "sched "
+      << (sched_policy == engines::SchedPolicy::kSlackPriority ? "slack"
+                                                               : "fifo")
+      << "\n";
+  out << "drop "
+      << (drop_policy == engines::DropPolicy::kDropArrival ? "arrival"
+                                                           : "evict")
+      << "\n";
+  out << "queue_capacity " << engine_queue_capacity << "\n";
+  out << "rmt_input_queue " << rmt_input_queue << "\n";
+  out << "dma_contention " << dma_contention_mean << "\n";
+  out << "default_slack " << default_slack << "\n";
+  out << "budget " << budget_cycles << "\n";
+  for (const auto& [tenant, slack] : tenant_slacks) {
+    out << "slack " << tenant << " " << slack << "\n";
+  }
+  for (const WorkloadSpec& w : workloads) {
+    out << "workload port=" << w.port << " kind=" << proptest::to_string(w.kind)
+        << " tenant=" << w.tenant << " pattern=" << pattern_name(w.pattern)
+        << " gap=" << w.mean_gap_cycles << " on=" << w.on_cycles
+        << " off=" << w.off_cycles << " frames=" << w.max_frames
+        << " bytes=" << w.frame_bytes << " dport=" << w.dst_port
+        << " wan=" << w.wan_fraction << " seed=" << w.seed << "\n";
+  }
+  if (!faults.empty()) {
+    out << "fault_seed " << faults.seed << "\n";
+    for (const fault::FaultSpec& spec : faults.faults()) {
+      out << "fault " << spec.to_string() << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<Scenario> Scenario::parse(const std::string& text,
+                                        std::string* error) {
+  Scenario s;
+  s.faults = fault::FaultPlan{};
+  std::vector<std::string> fault_lines;
+  std::uint64_t fault_seed = 1;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim + skip blanks/comments.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    if (line[0] == '#') continue;
+
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty() && rest[0] == ' ') rest = rest.substr(1);
+
+    if (!saw_header) {
+      if (key != "panicfuzz" || rest != "1") {
+        fail(error, lineno, "expected 'panicfuzz 1' header");
+        return std::nullopt;
+      }
+      saw_header = true;
+      continue;
+    }
+    try {
+      if (key == "seed") s.seed = std::stoull(rest);
+      else if (key == "mesh_k") s.mesh_k = std::stoi(rest);
+      else if (key == "eth_ports") s.eth_ports = std::stoi(rest);
+      else if (key == "rmt_engines") s.rmt_engines = std::stoi(rest);
+      else if (key == "aux_engines") s.aux_engines = std::stoi(rest);
+      else if (key == "sched") {
+        if (rest == "slack") s.sched_policy = engines::SchedPolicy::kSlackPriority;
+        else if (rest == "fifo") s.sched_policy = engines::SchedPolicy::kFifo;
+        else {
+          fail(error, lineno, "unknown sched policy '" + rest + "'");
+          return std::nullopt;
+        }
+      } else if (key == "drop") {
+        if (rest == "arrival") s.drop_policy = engines::DropPolicy::kDropArrival;
+        else if (rest == "evict") s.drop_policy = engines::DropPolicy::kEvictLoosest;
+        else {
+          fail(error, lineno, "unknown drop policy '" + rest + "'");
+          return std::nullopt;
+        }
+      } else if (key == "queue_capacity") {
+        s.engine_queue_capacity = std::stoull(rest);
+      } else if (key == "rmt_input_queue") {
+        s.rmt_input_queue = std::stoull(rest);
+      } else if (key == "dma_contention") {
+        s.dma_contention_mean = std::stod(rest);
+      } else if (key == "default_slack") {
+        s.default_slack = static_cast<std::uint32_t>(std::stoul(rest));
+      } else if (key == "budget") {
+        s.budget_cycles = std::stoull(rest);
+      } else if (key == "slack") {
+        std::istringstream rs(rest);
+        unsigned tenant = 0, slack = 0;
+        if (!(rs >> tenant >> slack)) {
+          fail(error, lineno, "expected 'slack <tenant> <value>'");
+          return std::nullopt;
+        }
+        s.tenant_slacks.emplace_back(static_cast<std::uint16_t>(tenant),
+                                     static_cast<std::uint32_t>(slack));
+      } else if (key == "workload") {
+        WorkloadSpec spec;
+        std::string reason;
+        if (!parse_workload_line(rest, &spec, &reason)) {
+          fail(error, lineno, reason);
+          return std::nullopt;
+        }
+        s.workloads.push_back(spec);
+      } else if (key == "fault_seed") {
+        fault_seed = std::stoull(rest);
+      } else if (key == "fault") {
+        fault_lines.push_back(rest);
+      } else if (key == "end") {
+        saw_end = true;
+        break;
+      } else {
+        fail(error, lineno, "unknown key '" + key + "'");
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      fail(error, lineno, "bad value for '" + key + "': '" + rest + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) {
+    fail(error, lineno, "missing 'panicfuzz 1' header");
+    return std::nullopt;
+  }
+  if (!saw_end) {
+    fail(error, lineno, "missing 'end' terminator");
+    return std::nullopt;
+  }
+  if (!fault_lines.empty()) {
+    std::string plan_text = "seed " + std::to_string(fault_seed) + "\n";
+    for (const std::string& fl : fault_lines) plan_text += fl + "\n";
+    std::string plan_error;
+    auto plan = fault::FaultPlan::parse(plan_text, &plan_error);
+    if (!plan.has_value()) {
+      if (error != nullptr) *error = "fault plan: " + plan_error;
+      return std::nullopt;
+    }
+    s.faults = std::move(*plan);
+  } else {
+    s.faults.seed = fault_seed;
+  }
+  return s;
+}
+
+bool Scenario::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    PANIC_WARN("proptest", "cannot open %s for scenario", path.c_str());
+    return false;
+  }
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::optional<Scenario> Scenario::load(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), error);
+}
+
+}  // namespace panic::proptest

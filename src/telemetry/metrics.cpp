@@ -71,6 +71,37 @@ MetricValue& MetricsSnapshot::upsert(const std::string& name) {
   return entries_.back();
 }
 
+namespace {
+bool metric_values_equal(const MetricValue& a, const MetricValue& b) {
+  return a.value == b.value && a.count == b.count && a.mean == b.mean &&
+         a.min == b.min && a.max == b.max && a.p50 == b.p50 &&
+         a.p90 == b.p90 && a.p99 == b.p99 && a.p999 == b.p999;
+}
+
+bool metric_value_is_zero(const MetricValue& v) {
+  return v.value == 0.0 && v.count == 0;
+}
+}  // namespace
+
+std::vector<std::string> MetricsSnapshot::diff_names(
+    const MetricsSnapshot& other,
+    const std::function<bool(const std::string&)>& exclude) const {
+  std::vector<std::string> diff;
+  for (const MetricValue& v : entries_) {
+    if (exclude && exclude(v.name)) continue;
+    const MetricValue* o = other.find(v.name);
+    const bool same =
+        o != nullptr ? metric_values_equal(v, *o) : metric_value_is_zero(v);
+    if (!same) diff.push_back(v.name);
+  }
+  for (const MetricValue& o : other.entries_) {
+    if (has(o.name)) continue;  // handled above
+    if (exclude && exclude(o.name)) continue;
+    if (!metric_value_is_zero(o)) diff.push_back(o.name);
+  }
+  return diff;
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const MetricValue& o : other.entries_) {
     MetricValue& v = upsert(o.name);

@@ -87,6 +87,19 @@ class MetricsSnapshot {
   /// sum("noc.router.", ".flits") totals flits across every router.
   double sum(const std::string& prefix, const std::string& suffix = "") const;
 
+  /// Names of entries that differ between this snapshot and `other`,
+  /// comparing value and (for histograms) the full summary
+  /// (count/mean/min/max/p50/p90/p99/p999) exactly.  The comparison runs
+  /// over the union of names: an entry present on only one side differs
+  /// unless its value and count are both zero (absent == never touched).
+  /// Names for which `exclude` returns true are skipped — the differential
+  /// kernel oracle uses this to mask metrics that legitimately diverge
+  /// between the dense and event kernels (kernel.component_ticks,
+  /// kernel.alloc.*, ...).  Empty result == the snapshots agree.
+  std::vector<std::string> diff_names(
+      const MetricsSnapshot& other,
+      const std::function<bool(const std::string&)>& exclude = {}) const;
+
   /// Merges `other` into this snapshot (parallel/windowed reduction):
   /// counters add, histogram summaries combine (count/min/max exact, mean
   /// weighted, quantiles upper-bounded by max of the two), and gauges take

@@ -1,0 +1,173 @@
+// Full RFC 8439 known-answer tests for the ChaCha20 core — every byte of
+// the published keystream blocks and ciphertexts, not just the head/tail
+// spot checks in chacha20_test.cpp.  Vector names follow the RFC
+// sections.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "engines/chacha20.h"
+
+namespace panic::engines {
+namespace {
+
+using Key = std::array<std::uint8_t, ChaCha20::kKeyBytes>;
+using Nonce = std::array<std::uint8_t, ChaCha20::kNonceBytes>;
+using Block = std::array<std::uint8_t, ChaCha20::kBlockBytes>;
+
+void expect_block_eq(const Block& got, const Block& want) {
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "keystream byte " << i;
+  }
+}
+
+// RFC 8439 §2.3.2: key 00 01 .. 1f, nonce 00:00:00:09:00:00:00:4a:..:00,
+// counter 1 — the full 64-byte keystream block.
+TEST(ChaCha20Kat, Section232FullBlock) {
+  Key key;
+  std::iota(key.begin(), key.end(), 0);
+  const Nonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const Block want = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  expect_block_eq(ChaCha20(key, nonce).keystream_block(1), want);
+}
+
+// RFC 8439 §2.4.2: the complete 114-byte "sunscreen" ciphertext.
+TEST(ChaCha20Kat, Section242FullCiphertext) {
+  Key key;
+  std::iota(key.begin(), key.end(), 0);
+  const Nonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const std::array<std::uint8_t, 114> want = {
+      0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07,
+      0x28, 0xdd, 0x0d, 0x69, 0x81, 0xe9, 0x7e, 0x7a, 0xec, 0x1d, 0x43,
+      0x60, 0xc2, 0x0a, 0x27, 0xaf, 0xcc, 0xfd, 0x9f, 0xae, 0x0b, 0xf9,
+      0x1b, 0x65, 0xc5, 0x52, 0x47, 0x33, 0xab, 0x8f, 0x59, 0x3d, 0xab,
+      0xcd, 0x62, 0xb3, 0x57, 0x16, 0x39, 0xd6, 0x24, 0xe6, 0x51, 0x52,
+      0xab, 0x8f, 0x53, 0x0c, 0x35, 0x9f, 0x08, 0x61, 0xd8, 0x07, 0xca,
+      0x0d, 0xbf, 0x50, 0x0d, 0x6a, 0x61, 0x56, 0xa3, 0x8e, 0x08, 0x8a,
+      0x22, 0xb6, 0x5e, 0x52, 0xbc, 0x51, 0x4d, 0x16, 0xcc, 0xf8, 0x06,
+      0x81, 0x8c, 0xe9, 0x1a, 0xb7, 0x79, 0x37, 0x36, 0x5a, 0xf9, 0x0b,
+      0xbf, 0x74, 0xa3, 0x5b, 0xe6, 0xb4, 0x0b, 0x8e, 0xed, 0xf2, 0x78,
+      0x5e, 0x42, 0x87, 0x4d};
+  ChaCha20 cipher(key, nonce, /*initial_counter=*/1);
+  const auto ct = cipher.apply(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(plaintext.data()),
+      plaintext.size()));
+  ASSERT_EQ(ct.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(ct[i], want[i]) << "ciphertext byte " << i;
+  }
+  // Decryption is the same operation with the same counter.
+  ChaCha20 decipher(key, nonce, 1);
+  const auto pt = decipher.apply(ct);
+  EXPECT_EQ(std::string(pt.begin(), pt.end()), plaintext);
+}
+
+// RFC 8439 Appendix A.1 Test Vector #1: all-zero key/nonce, counter 0.
+TEST(ChaCha20Kat, AppendixA1Vector1) {
+  const Key key{};
+  const Nonce nonce{};
+  const Block want = {
+      0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a,
+      0xe5, 0x53, 0x86, 0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d,
+      0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc, 0x8b, 0x77, 0x0d, 0xc7, 0xda,
+      0x41, 0x59, 0x7c, 0x51, 0x57, 0x48, 0x8d, 0x77, 0x24, 0xe0, 0x3f,
+      0xb8, 0xd8, 0x4a, 0x37, 0x6a, 0x43, 0xb8, 0xf4, 0x15, 0x18, 0xa1,
+      0x1c, 0xc3, 0x87, 0xb6, 0x69, 0xb2, 0xee, 0x65, 0x86};
+  expect_block_eq(ChaCha20(key, nonce).keystream_block(0), want);
+
+  // Appendix A.2 Test Vector #1 is the same configuration encrypting 64
+  // zero bytes — the ciphertext IS the keystream.
+  ChaCha20 cipher(key, nonce, 0);
+  const std::vector<std::uint8_t> zeros(64, 0);
+  const auto ct = cipher.apply(zeros);
+  ASSERT_EQ(ct.size(), want.size());
+  EXPECT_TRUE(std::equal(ct.begin(), ct.end(), want.begin()));
+}
+
+// RFC 8439 Appendix A.1 Test Vector #2: all-zero key/nonce, counter 1.
+TEST(ChaCha20Kat, AppendixA1Vector2) {
+  const Key key{};
+  const Nonce nonce{};
+  const Block want = {
+      0x9f, 0x07, 0xe7, 0xbe, 0x55, 0x51, 0x38, 0x7a, 0x98, 0xba, 0x97,
+      0x7c, 0x73, 0x2d, 0x08, 0x0d, 0xcb, 0x0f, 0x29, 0xa0, 0x48, 0xe3,
+      0x65, 0x69, 0x12, 0xc6, 0x53, 0x3e, 0x32, 0xee, 0x7a, 0xed, 0x29,
+      0xb7, 0x21, 0x76, 0x9c, 0xe6, 0x4e, 0x43, 0xd5, 0x71, 0x33, 0xb0,
+      0x74, 0xd8, 0x39, 0xd5, 0x31, 0xed, 0x1f, 0x28, 0x51, 0x0a, 0xfb,
+      0x45, 0xac, 0xe1, 0x0a, 0x1f, 0x4b, 0x79, 0x4d, 0x6f};
+  expect_block_eq(ChaCha20(key, nonce).keystream_block(1), want);
+}
+
+// A multi-block message consumes consecutive counters: encrypting 256
+// bytes equals XOR with keystream_block(c), c = initial..initial+3.
+TEST(ChaCha20Kat, ApplyConsumesConsecutiveCounterBlocks) {
+  Key key;
+  std::iota(key.begin(), key.end(), 0x40);
+  Nonce nonce;
+  std::iota(nonce.begin(), nonce.end(), 0x90);
+  std::vector<std::uint8_t> input(256);
+  std::iota(input.begin(), input.end(), 0);
+
+  ChaCha20 cipher(key, nonce, /*initial_counter=*/7);
+  const auto ct = cipher.apply(input);
+
+  const ChaCha20 ref(key, nonce, 7);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const auto block =
+        ref.keystream_block(7 + static_cast<std::uint32_t>(i / 64));
+    EXPECT_EQ(ct[i], static_cast<std::uint8_t>(input[i] ^ block[i % 64]))
+        << "byte " << i;
+  }
+}
+
+// apply_inplace produces byte-identical output to apply, including for
+// sizes straddling block boundaries.
+TEST(ChaCha20Kat, InplaceMatchesApply) {
+  Key key;
+  std::iota(key.begin(), key.end(), 1);
+  Nonce nonce{};
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::uint8_t> data(n);
+    std::iota(data.begin(), data.end(), 0);
+    ChaCha20 a(key, nonce, 3);
+    const auto expected = a.apply(data);
+    ChaCha20 b(key, nonce, 3);
+    b.apply_inplace(data);
+    EXPECT_EQ(data, expected) << "size " << n;
+  }
+}
+
+// auth_tag: deterministic, and sensitive to every input bit.
+TEST(ChaCha20Kat, AuthTagDetectsBitFlips) {
+  std::vector<std::uint8_t> data(128);
+  std::iota(data.begin(), data.end(), 0);
+  Key key;
+  std::iota(key.begin(), key.end(), 0x11);
+  const std::uint64_t tag = auth_tag(data, key);
+  EXPECT_EQ(auth_tag(data, key), tag);
+  for (const std::size_t bit : {0u, 77u, 1023u}) {
+    auto tampered = data;
+    tampered[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(auth_tag(tampered, key), tag) << "bit " << bit;
+  }
+  Key other_key = key;
+  other_key[0] ^= 1;
+  EXPECT_NE(auth_tag(data, other_key), tag);
+}
+
+}  // namespace
+}  // namespace panic::engines

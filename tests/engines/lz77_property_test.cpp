@@ -1,0 +1,177 @@
+// Property tests for the LZ77 codec and the compression engine built on
+// it: seeded-random round-trips across payload families, the documented
+// worst-case expansion bound, decoder robustness against truncation and
+// corruption, and an on-mesh compress->decompress engine pipeline that
+// restores the original payload byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine_test_util.h"
+#include "engines/compression_engine.h"
+#include "engines/lz77.h"
+
+namespace panic::engines {
+namespace {
+
+using testutil::MiniMesh;
+
+// Payload families with very different match structure.
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n,
+                                       int alphabet) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(
+        rng.uniform_int(0, static_cast<std::uint64_t>(alphabet - 1)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> repeated_blocks(Rng& rng, std::size_t n) {
+  const std::size_t block = 1 + static_cast<std::size_t>(
+                                   rng.uniform_int(0, 63));
+  std::vector<std::uint8_t> motif = random_bytes(rng, block, 256);
+  std::vector<std::uint8_t> out;
+  while (out.size() < n) {
+    out.insert(out.end(), motif.begin(), motif.end());
+    if (rng.bernoulli(0.2)) {  // occasional mutation breaks matches
+      out.back() ^= 0x5A;
+    }
+  }
+  out.resize(n);
+  return out;
+}
+
+void expect_round_trip(const std::vector<std::uint8_t>& input,
+                       const char* what) {
+  const auto packed = lz77_compress(input);
+  // Documented worst case: pure literal runs cost 2 bytes per 255.
+  EXPECT_LE(packed.size(), input.size() + 2 * (input.size() / 255 + 1))
+      << what;
+  const auto restored = lz77_decompress(packed);
+  ASSERT_TRUE(restored.has_value()) << what;
+  EXPECT_EQ(*restored, input) << what;
+}
+
+TEST(Lz77Property, RoundTripsAcrossPayloadFamilies) {
+  Rng rng(0x177);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.uniform_int(0, 8192));
+    expect_round_trip(random_bytes(rng, n, 256), "incompressible");
+    expect_round_trip(random_bytes(rng, n, 3), "small alphabet");
+    expect_round_trip(repeated_blocks(rng, n), "repeated blocks");
+    expect_round_trip(std::vector<std::uint8_t>(
+                          n, static_cast<std::uint8_t>(trial)),
+                      "constant run");
+  }
+}
+
+TEST(Lz77Property, BoundarySizesAroundTokenLimits) {
+  // Exercise the token-size edges: kLzMinMatch, the 255-byte literal-run
+  // and match-length caps, and the window size ± 1.
+  Rng rng(0x178);
+  for (const std::size_t n :
+       {std::size_t{1}, kLzMinMatch - 1, kLzMinMatch, std::size_t{254},
+        std::size_t{255}, std::size_t{256}, std::size_t{511},
+        kLzMaxMatch * 3, kLzWindow - 1, std::size_t{kLzWindow},
+        kLzWindow + 1}) {
+    expect_round_trip(random_bytes(rng, n, 2), "edge size");
+  }
+}
+
+TEST(Lz77Property, DecoderRejectsTruncationAndSurvivesCorruption) {
+  Rng rng(0x179);
+  const auto input = repeated_blocks(rng, 2048);
+  const auto packed = lz77_compress(input);
+  ASSERT_GT(packed.size(), 8u);
+
+  // Every proper prefix either fails cleanly or decodes to a prefix of
+  // the input (a literal-run boundary) — never garbage, never a crash.
+  for (std::size_t cut = 0; cut < packed.size();
+       cut += 1 + packed.size() / 97) {
+    const auto out = lz77_decompress({packed.data(), cut});
+    if (out.has_value()) {
+      ASSERT_LE(out->size(), input.size());
+      EXPECT_TRUE(std::equal(out->begin(), out->end(), input.begin()))
+          << "cut " << cut;
+    }
+  }
+
+  // Random single-byte corruption must never crash or hang; whatever
+  // comes back (if anything) is bounded by what tokens can encode.
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = packed;
+    const std::size_t at = static_cast<std::size_t>(
+        rng.uniform_int(0, mutated.size() - 1));
+    mutated[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    const auto out = lz77_decompress(mutated);
+    if (out.has_value()) {
+      EXPECT_LE(out->size(), input.size() + kLzMaxMatch + 255);
+    }
+  }
+}
+
+TEST(Lz77Property, CompressionIsDeterministic) {
+  Rng rng(0x17A);
+  const auto input = repeated_blocks(rng, 4096);
+  EXPECT_EQ(lz77_compress(input), lz77_compress(input));
+}
+
+// End-to-end over the offload engines: a kCompress engine feeding a
+// kDecompress engine restores the original bytes, and the byte counters
+// record the asymmetry.
+TEST(Lz77Property, EngineCompressDecompressPipelineRestoresPayload) {
+  MiniMesh m;
+  const EngineId src = m.tile(0, 0);
+  const EngineId comp_tile = m.tile(1, 0);
+  const EngineId decomp_tile = m.tile(1, 1);
+  const EngineId sink = m.tile(2, 2);
+
+  CompressionConfig ccfg;
+  ccfg.mode = CompressionMode::kCompress;
+  CompressionEngine comp("comp", &m.mesh.ni(comp_tile), EngineConfig{},
+                         ccfg);
+  CompressionConfig dcfg;
+  dcfg.mode = CompressionMode::kDecompress;
+  CompressionEngine decomp("decomp", &m.mesh.ni(decomp_tile),
+                           EngineConfig{}, dcfg);
+  comp.lookup_table().set_default(sink);
+  decomp.lookup_table().set_default(sink);
+  m.sim.add(&comp);
+  m.sim.add(&decomp);
+
+  Rng rng(0x17B);
+  const auto payload = repeated_blocks(rng, 1500);
+  auto msg = make_message(MessageKind::kDmaWrite);
+  msg->data = payload;
+  msg->chain.push_hop(comp_tile);
+  msg->chain.push_hop(decomp_tile);
+  m.send(std::move(msg), src, comp_tile);
+
+  const MessagePtr out = m.collect(sink);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->data, payload);
+  EXPECT_EQ(comp.processed_ok(), 1u);
+  EXPECT_EQ(decomp.processed_ok(), 1u);
+  EXPECT_EQ(comp.bytes_in(), payload.size());
+  EXPECT_EQ(comp.bytes_out(), decomp.bytes_in());
+  EXPECT_EQ(decomp.bytes_out(), payload.size());
+  EXPECT_LT(comp.bytes_out(), comp.bytes_in());  // repetitive payload
+
+  // A decompressor fed uncompressed bytes rejects them (mode marker) and
+  // passes the message through unchanged.
+  auto raw = make_message(MessageKind::kDmaWrite);
+  raw->data = payload;
+  raw->chain.push_hop(decomp_tile);
+  m.send(std::move(raw), src, decomp_tile);
+  const MessagePtr raw_out = m.collect(sink);
+  ASSERT_NE(raw_out, nullptr);
+  EXPECT_EQ(raw_out->data, payload);
+  EXPECT_EQ(decomp.failed(), 1u);
+}
+
+}  // namespace
+}  // namespace panic::engines

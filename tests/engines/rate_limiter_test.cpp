@@ -120,6 +120,54 @@ TEST(RateLimiter, DefaultBucketAppliesToUnknownTenants) {
   EXPECT_EQ(f.limiter.policed(), 1u);
 }
 
+TEST(RateLimiter, TokenBucketConformanceOverBurstSchedule) {
+  // The defining token-bucket property: over ANY arrival schedule, the
+  // bytes passed by time T never exceed burst + rate * T.  Drive a bursty
+  // on/off schedule and check the bound (plus liveness: the bucket keeps
+  // refilling between bursts, so more than the initial burst gets
+  // through).
+  RateLimiterConfig cfg;
+  cfg.mode = LimiterMode::kPolice;
+  LimiterFixture f(cfg);
+  const double rate = 0.25;   // bytes per cycle
+  const double burst = 256;   // 4 packets of 64 B
+  f.limiter.set_tenant_rate(TenantId{1}, rate, burst);
+
+  constexpr int kBursts = 10;
+  constexpr int kPerBurst = 4;
+  int delivered = 0;
+  for (int b = 0; b < kBursts; ++b) {
+    for (int p = 0; p < kPerBurst; ++p) f.send(1, 64);
+    delivered += f.drain(100);  // 100-cycle gap accrues 25 B, under 1 pkt
+  }
+  delivered += f.drain(2000);  // settle
+
+  EXPECT_EQ(f.limiter.passed() + f.limiter.policed(),
+            static_cast<std::uint64_t>(kBursts * kPerBurst));
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered), f.limiter.passed());
+  const double elapsed = static_cast<double>(f.m.sim.now());
+  // Conformance bound (one-packet slop for the in-service packet).
+  EXPECT_LE(64.0 * static_cast<double>(f.limiter.passed()),
+            burst + rate * elapsed + 64.0);
+  // Liveness: initial burst passes, and refill admits more over the
+  // active window.
+  EXPECT_GE(f.limiter.passed(), 6u);
+  EXPECT_GT(f.limiter.policed(), 0u);
+}
+
+TEST(RateLimiter, IdleAccrualIsCappedAtBurst) {
+  // A long idle period must not bank more than `burst` bytes of credit.
+  RateLimiterConfig cfg;
+  cfg.mode = LimiterMode::kPolice;
+  LimiterFixture f(cfg);
+  f.limiter.set_tenant_rate(TenantId{1}, 1.0, 128);
+  f.drain(10000);  // idle: tokens accrue but cap at 128
+  for (int i = 0; i < 6; ++i) f.send(1, 64);
+  f.drain(50);
+  EXPECT_GE(f.limiter.passed(), 2u);  // the capped burst
+  EXPECT_LE(f.limiter.passed(), 3u);  // not the 10000 cycles of accrual
+}
+
 TEST(RateLimiter, NonPacketsPassUnmetered) {
   RateLimiterConfig cfg;
   cfg.mode = LimiterMode::kPolice;

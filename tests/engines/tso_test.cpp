@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "engines/checksum_engine.h"
 #include "net/packet.h"
 
@@ -101,6 +102,58 @@ TEST(TsoSegmentation, IpIdsDistinctAndLengthsCorrect) {
   }
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(TsoSegmentation, CountAndSizesMatchCeilFormulaAcrossSizes) {
+  // Property: for payload P and MSS M, segmentation yields exactly
+  // ceil(P/M) segments when P > M (else passthrough), every segment but
+  // the last carrying exactly M bytes and the last carrying the
+  // remainder.
+  Rng rng(0x750);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t payload =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, 8999));
+    const std::uint32_t mss = static_cast<std::uint32_t>(
+        rng.uniform_int(400, 2000));
+    const auto segments = TsoEngine::segment_frame(jumbo_tcp(payload), mss);
+    if (payload <= mss) {
+      EXPECT_TRUE(segments.empty()) << "P=" << payload << " M=" << mss;
+      continue;
+    }
+    const std::size_t want = (payload + mss - 1) / mss;
+    ASSERT_EQ(segments.size(), want) << "P=" << payload << " M=" << mss;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const auto parsed = parse_frame(segments[i]);
+      ASSERT_TRUE(parsed.has_value());
+      const std::size_t expect_bytes =
+          i + 1 < segments.size() ? mss : payload - mss * (want - 1);
+      EXPECT_EQ(parsed->payload_size, expect_bytes)
+          << "P=" << payload << " M=" << mss << " seg " << i;
+    }
+  }
+}
+
+TEST(TsoSegmentation, HeaderFixupPreservesAddressing) {
+  // Every segment keeps the original L2/L3/L4 addressing and only the
+  // per-segment fields (seq, lengths, id, flags, checksums) change.
+  const auto frame = jumbo_tcp(5000);
+  const auto original = parse_frame(frame);
+  const auto segments = TsoEngine::segment_frame(frame, 1460);
+  ASSERT_EQ(segments.size(), 4u);
+  for (const auto& seg : segments) {
+    const auto parsed = parse_frame(seg);
+    ASSERT_TRUE(parsed.has_value());  // parse re-verifies the IPv4 checksum
+    EXPECT_EQ(parsed->eth.src, original->eth.src);
+    EXPECT_EQ(parsed->eth.dst, original->eth.dst);
+    EXPECT_EQ(parsed->ipv4->src, original->ipv4->src);
+    EXPECT_EQ(parsed->ipv4->dst, original->ipv4->dst);
+    EXPECT_EQ(parsed->tcp->src_port, original->tcp->src_port);
+    EXPECT_EQ(parsed->tcp->dst_port, original->tcp->dst_port);
+    EXPECT_EQ(parsed->tcp->ack, original->tcp->ack);
+    EXPECT_EQ(seg.size(),
+              EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize +
+                  parsed->payload_size);
+  }
 }
 
 TEST(TsoSegmentation, SegmentsChecksumCleanly) {

@@ -1,0 +1,137 @@
+// Known-answer tests for the Internet checksum (RFC 1071) and CRC-32
+// (IEEE 802.3) beyond checksum_test.cpp's spot checks: published header
+// examples, the standard CRC check-value catalogue, and the algebraic
+// properties (receiver verification, incremental == one-shot, seed
+// chaining) over seeded random buffers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/checksum.h"
+
+namespace panic {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// The classic IPv4 header example (20 bytes, checksum field zeroed):
+// its RFC 1071 checksum is 0xB861.
+TEST(ChecksumKat, Ipv4HeaderExample) {
+  const std::array<std::uint8_t, 20> header = {
+      0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+      0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(header), 0xB861);
+
+  // With the checksum stored, the header verifies to zero.
+  auto stored = header;
+  stored[10] = 0xB8;
+  stored[11] = 0x61;
+  EXPECT_EQ(internet_checksum(stored), 0x0000);
+}
+
+TEST(ChecksumKat, DegenerateBuffers) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);  // empty sum 0, complemented
+  // All-ones data folds to 0xFFFF; its complement is 0.
+  const std::vector<std::uint8_t> ones(64, 0xFF);
+  EXPECT_EQ(internet_checksum(ones), 0x0000);
+  // A single odd byte is treated as the high byte of a zero-padded word.
+  const std::array<std::uint8_t, 1> one_byte = {0xAB};
+  EXPECT_EQ(internet_checksum(one_byte), static_cast<std::uint16_t>(
+                                             ~(0xAB00u) & 0xFFFF));
+}
+
+// Receiver verification is a property of the ones-complement sum, not of
+// any particular packet: for ANY buffer, storing the computed checksum at
+// an even offset makes the whole buffer sum to zero.
+TEST(ChecksumKat, EmbeddedChecksumVerifiesToZeroOnRandomBuffers) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n =
+        2 + 2 * static_cast<std::size_t>(rng.uniform_int(4, 400));
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const std::size_t field =
+        2 * static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(n / 2) - 1));
+    data[field] = 0;
+    data[field + 1] = 0;
+    const std::uint16_t sum = internet_checksum(data);
+    data[field] = static_cast<std::uint8_t>(sum >> 8);
+    data[field + 1] = static_cast<std::uint8_t>(sum);
+    EXPECT_EQ(internet_checksum(data), 0) << "trial " << trial;
+  }
+}
+
+TEST(ChecksumKat, IncrementalMatchesOneShotAtEveryEvenSplit) {
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  const std::uint16_t oneshot = internet_checksum(data);
+  for (std::size_t split = 0; split <= data.size(); split += 2) {
+    std::uint32_t sum = 0;
+    sum = internet_checksum_partial({data.data(), split}, sum);
+    sum = internet_checksum_partial(
+        {data.data() + split, data.size() - split}, sum);
+    EXPECT_EQ(internet_checksum_finish(sum), oneshot)
+        << "split at " << split;
+  }
+}
+
+// The standard CRC-32/IEEE check-value catalogue (init 0xFFFFFFFF,
+// reflected poly 0xEDB88320, final xor 0xFFFFFFFF).
+TEST(Crc32Kat, StandardCatalogue) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes_of("message digest")), 0x20159D7Fu);
+  EXPECT_EQ(crc32(bytes_of("abcdefghijklmnopqrstuvwxyz")), 0x4C2750BDu);
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+// crc32(a||b) == crc32(b, seed = crc32(a) ^ 0xFFFFFFFF): the final-xor
+// undone re-seeds the register, so streaming over fragments matches the
+// one-shot CRC (this is how the Ethernet FCS is computed over gathered
+// buffers).
+TEST(Crc32Kat, SeedChainingEqualsConcatenation) {
+  Rng rng(0xFC5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, 512));
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const std::size_t cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(n)));
+    const std::uint32_t first = crc32({data.data(), cut});
+    const std::uint32_t chained =
+        crc32({data.data() + cut, n - cut}, first ^ 0xFFFFFFFFu);
+    EXPECT_EQ(chained, crc32(data)) << "trial " << trial << " cut " << cut;
+  }
+}
+
+TEST(Crc32Kat, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; bit += 37) {
+    auto tampered = data;
+    tampered[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(tampered), clean) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace panic

@@ -1,0 +1,238 @@
+// panic_fuzz: randomized differential property-testing harness.
+//
+//   panic_fuzz [--runs N] [--seed S] [--budget-cycles C] [--out FILE]
+//   panic_fuzz --replay FILE
+//   panic_fuzz --selftest
+//
+// Default mode generates N seeded scenarios (seed S, S+1, ...), runs each
+// under both kernel modes and applies the oracle suite.  On the first
+// violation it greedily minimizes the scenario and writes a self-contained
+// replay file (default panic_fuzz_min.panic), then exits 1.
+//
+// --replay re-runs a saved case: the file records every seed, so the run
+// reproduces bit-identically — in both kernel modes — from the file alone.
+//
+// --selftest arms the planted SchedulerQueue off-by-one (see
+// PANIC_FUZZ_SELFTEST in engines/sched_queue.h) and verifies the harness
+// end to end: the bug must be detected, shrink to a <=10-packet scenario,
+// and the emitted replay must still reproduce it.  Exits 0 only if the
+// whole pipeline works.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "proptest/generator.h"
+#include "proptest/minimizer.h"
+#include "proptest/oracles.h"
+#include "engines/sched_queue.h"
+
+namespace {
+
+using panic::proptest::MinimizeResult;
+using panic::proptest::RunResult;
+using panic::proptest::Scenario;
+using panic::proptest::Violation;
+
+struct Options {
+  int runs = 50;
+  std::uint64_t seed = 1;
+  bool seed_given = false;
+  panic::Cycles budget_cycles = 0;  // 0 = generator picks per scenario
+  std::string out = "panic_fuzz_min.panic";
+  std::string replay;
+  bool selftest = false;
+  int max_shrink_tests = 300;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--runs N] [--seed S] [--budget-cycles C] [--out FILE]\n"
+      "       %s --replay FILE\n"
+      "       %s --selftest\n",
+      argv0, argv0, argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--runs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->runs = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->seed = std::strtoull(v, nullptr, 0);
+      opt->seed_given = true;
+    } else if (arg == "--budget-cycles") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->budget_cycles = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->out = v;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->replay = v;
+    } else if (arg == "--selftest") {
+      opt->selftest = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_violations(const std::vector<Violation>& violations) {
+  std::fputs(panic::proptest::to_string(violations).c_str(), stdout);
+}
+
+/// Minimizes `failing`, writes the replay file, prints a summary.
+MinimizeResult shrink_and_save(const Scenario& failing, const Options& opt) {
+  std::printf("minimizing (%d candidate budget)...\n", opt.max_shrink_tests);
+  MinimizeResult min =
+      panic::proptest::minimize(failing, opt.max_shrink_tests);
+  std::printf(
+      "minimized: %d candidates tested, %d reductions accepted; "
+      "%llu frame(s), %zu workload(s), %zu fault(s), mesh %dx%d, "
+      "budget %llu cycles\n",
+      min.tested, min.accepted,
+      static_cast<unsigned long long>(min.scenario.total_frames()),
+      min.scenario.workloads.size(), min.scenario.faults.size(),
+      min.scenario.mesh_k, min.scenario.mesh_k,
+      static_cast<unsigned long long>(min.scenario.budget_cycles));
+  if (min.scenario.save(opt.out)) {
+    std::printf("replay written to %s\n", opt.out.c_str());
+  } else {
+    std::fprintf(stderr, "FAILED to write replay file %s\n",
+                 opt.out.c_str());
+  }
+  print_violations(min.violations);
+  return min;
+}
+
+int run_replay(const Options& opt) {
+  std::string error;
+  auto scenario = Scenario::load(opt.replay, &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", opt.replay.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!scenario->feasible()) {
+    std::fprintf(stderr, "%s: scenario is not feasible\n",
+                 opt.replay.c_str());
+    return 2;
+  }
+  std::printf("replaying %s (%llu frames, budget %llu cycles)\n",
+              opt.replay.c_str(),
+              static_cast<unsigned long long>(scenario->total_frames()),
+              static_cast<unsigned long long>(scenario->budget_cycles));
+  const auto violations = panic::proptest::check_scenario(*scenario);
+  if (violations.empty()) {
+    std::printf("replay PASSED: no oracle violations\n");
+    return 0;
+  }
+  std::printf("replay reproduced %zu violation(s):\n", violations.size());
+  print_violations(violations);
+  return 1;
+}
+
+int run_fuzz(const Options& opt) {
+  for (int i = 0; i < opt.runs; ++i) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
+    const Scenario scenario =
+        panic::proptest::generate_scenario(seed, opt.budget_cycles);
+    const auto violations = panic::proptest::check_scenario(scenario);
+    std::printf("run %d/%d seed=%llu frames=%llu faults=%zu %s\n", i + 1,
+                opt.runs, static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(scenario.total_frames()),
+                scenario.faults.size(),
+                violations.empty() ? "ok" : "VIOLATION");
+    std::fflush(stdout);
+    if (!violations.empty()) {
+      print_violations(violations);
+      shrink_and_save(scenario, opt);
+      return 1;
+    }
+  }
+  std::printf("%d run(s), zero oracle violations\n", opt.runs);
+  return 0;
+}
+
+int run_selftest(Options opt) {
+  // The planted off-by-one dequeues the second-best message; identical in
+  // both kernel modes, so only the ordering oracle can see it.
+  panic::engines::SchedulerQueue::set_selftest_bug(true);
+  std::printf("selftest: planted SchedulerQueue off-by-one armed\n");
+
+  // Hunt with the standard generator until a scenario trips an oracle.
+  Scenario failing;
+  bool found = false;
+  const int hunt_runs = opt.runs > 0 ? opt.runs : 50;
+  for (int i = 0; i < hunt_runs && !found; ++i) {
+    const Scenario s = panic::proptest::generate_scenario(
+        opt.seed + static_cast<std::uint64_t>(i), opt.budget_cycles);
+    if (!panic::proptest::check_scenario(s).empty()) {
+      failing = s;
+      found = true;
+      std::printf("selftest: detected by seed %llu (run %d)\n",
+                  static_cast<unsigned long long>(opt.seed + i), i + 1);
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "selftest FAILED: planted bug not detected in %d runs\n",
+                 hunt_runs);
+    return 1;
+  }
+
+  const MinimizeResult min = shrink_and_save(failing, opt);
+  if (min.scenario.total_frames() > 10) {
+    std::fprintf(stderr,
+                 "selftest FAILED: minimized scenario still has %llu "
+                 "frames (want <= 10)\n",
+                 static_cast<unsigned long long>(
+                     min.scenario.total_frames()));
+    return 1;
+  }
+
+  // The replay file must reproduce from disk, bit-identically.
+  Options replay_opt = opt;
+  replay_opt.replay = opt.out;
+  if (run_replay(replay_opt) != 1) {
+    std::fprintf(stderr,
+                 "selftest FAILED: replay file did not reproduce\n");
+    return 1;
+  }
+  std::printf("selftest PASSED: detected, shrunk to %llu frame(s), "
+              "replay reproduces\n",
+              static_cast<unsigned long long>(min.scenario.total_frames()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+  if (opt.selftest) return run_selftest(opt);
+  if (!opt.replay.empty()) return run_replay(opt);
+  return run_fuzz(opt);
+}
