@@ -27,7 +27,7 @@ struct RunResult {
 
 RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
               std::uint64_t frames) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig cfg;
   cfg.mesh.k = 5;
   cfg.mesh.channel_bits = channel_bits;
@@ -79,6 +79,7 @@ RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — E5: chain length vs delivered throughput\n");
   const double gap = 12.0;  // ~83 Mpps offered at 500 MHz (~56 Gbps wire)

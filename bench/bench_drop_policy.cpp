@@ -28,7 +28,7 @@ struct Result {
 };
 
 Result run(engines::DropPolicy policy) {
-  Simulator sim2;
+  Simulator sim2(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig cfg2;
   cfg2.mesh.k = 4;
   cfg2.tenant_slacks = {{1, 10}, {2, 100000}};
@@ -84,6 +84,7 @@ Result run(engines::DropPolicy policy) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — drop policy at the logical scheduler (Sec 6)\n");
   std::printf(

@@ -17,6 +17,7 @@
 // `--smoke` shrinks it for CI.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "analysis/report.h"
 #include "baselines/pipeline_nic.h"
@@ -47,11 +48,12 @@ struct Result {
   std::uint64_t delivered = 0;
   std::uint64_t faulted = 0;  // casualties attributed to the injected fault
   bool conserved = false;
+  std::string shard_layout = "none";
 };
 
 Result run_panic(std::uint64_t frames, bool kill_one_engine) {
   fault::ConservationChecker conservation;
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
 
   core::PanicConfig cfg;
   cfg.mesh.k = 5;
@@ -94,12 +96,13 @@ Result run_panic(std::uint64_t frames, bool kill_one_engine) {
   r.delivered = delivered;
   r.faulted = static_cast<std::uint64_t>(conservation.delta().faulted);
   r.conserved = conservation.verify_or_log();
+  r.shard_layout = nic.shard_layout();
   return r;
 }
 
 Result run_pipeline(std::uint64_t frames, bool wedge_offload) {
   fault::ConservationChecker conservation;
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   baselines::PipelineNicConfig pcfg;
   baselines::PipelineNic nic(
       "pipe", {baselines::slow_offload_spec(kOffloadCycles, kOffloadPort)},
@@ -143,6 +146,7 @@ Result run_pipeline(std::uint64_t frames, bool wedge_offload) {
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = apply_seed_args(argc, argv);
+  const int threads = apply_thread_args(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
   }
@@ -209,13 +213,15 @@ int main(int argc, char** argv) {
   std::snprintf(
       json, sizeof(json),
       "{\n  \"bench\": \"fault_resilience\",\n  \"seed\": %llu,\n"
+      "  \"threads\": %d,\n  \"shard_layout\": \"%s\",\n"
       "  \"frames\": %llu,\n  \"offload_cycles\": %llu,\n"
       "  \"kill_fraction\": %.2f,\n"
       "  \"panic\": {\"clean\": %llu, \"faulty\": %llu, \"faulted\": %llu,"
       " \"ratio\": %.4f, \"conserved\": %s},\n"
       "  \"pipeline\": {\"clean\": %llu, \"faulty\": %llu, \"ratio\": %.4f,"
       " \"conserved\": %s},\n  \"pass\": %s\n}\n",
-      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(seed), threads,
+      panic_clean.shard_layout.c_str(),
       static_cast<unsigned long long>(frames),
       static_cast<unsigned long long>(kOffloadCycles), kKillFraction,
       static_cast<unsigned long long>(panic_clean.delivered),

@@ -43,7 +43,7 @@ struct Result {
 
 /// Offered load: one packet every `gap` cycles for `frames` frames.
 Result run_panic(double gap, std::uint64_t frames) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig cfg;
   cfg.mesh.k = 4;
   cfg.aux_engines = 1;
@@ -100,6 +100,7 @@ Result run_panic(double gap, std::uint64_t frames) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — E2: HOL blocking (pipeline vs PANIC)\n");
   std::printf("10%% of packets need a %llu-cycle offload; latencies below\n"
               "are for ALL delivered packets (the slow 10%% dominate the\n"
@@ -115,7 +116,7 @@ int main(int argc, char** argv) {
 
     // Pipeline NIC baseline.
     {
-      Simulator sim;
+      Simulator sim(Frequency::megahertz(500), requested_sim_mode());
       baselines::PipelineNicConfig pcfg;
       pcfg.dma_base = 20;  // match PANIC's host path
       baselines::PipelineNic nic(

@@ -63,6 +63,7 @@ struct RunResult {
   std::uint64_t pool_miss = 0;
   std::uint64_t bytes_reused = 0;
   std::uint64_t live_high_watermark = 0;
+  std::string shard_layout = "none";
 };
 
 struct Scenario {
@@ -75,8 +76,8 @@ struct Scenario {
   bool require_zero_miss;
 };
 
-RunResult run_scenario(const Scenario& sc, SimMode mode) {
-  Simulator sim(Frequency::megahertz(500), mode);
+RunResult run_scenario(const Scenario& sc, SimMode mode, int threads = 0) {
+  Simulator sim(Frequency::megahertz(500), mode, threads);
   core::PanicConfig cfg;
   cfg.mesh.k = 4;
   cfg.tenant_slacks = {{1, 10}, {2, 100000}};
@@ -128,6 +129,7 @@ RunResult run_scenario(const Scenario& sc, SimMode mode) {
   r.pool_miss = pool_after.pool_misses - pool_before.pool_misses;
   r.bytes_reused = pool_after.bytes_reused - pool_before.bytes_reused;
   r.live_high_watermark = pool_after.live_high_watermark;
+  r.shard_layout = nic.shard_layout();
   return r;
 }
 
@@ -135,6 +137,7 @@ RunResult run_scenario(const Scenario& sc, SimMode mode) {
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = apply_seed_args(argc, argv);
+  const int threads = apply_thread_args(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
   }
@@ -156,7 +159,8 @@ int main(int argc, char** argv) {
   }
 
   std::string json = "{\n  \"bench\": \"hotpath\",\n  \"seed\": " +
-                     std::to_string(seed) + ",\n";
+                     std::to_string(seed) + ",\n  \"threads\": " +
+                     std::to_string(threads) + ",\n";
   {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -183,6 +187,19 @@ int main(int argc, char** argv) {
       ok = false;
     }
 
+    // With --threads N (N > 1) the sharded kernel runs as a third leg and
+    // must agree with the other two.
+    RunResult par;
+    if (threads > 1) {
+      par = run_scenario(sc, SimMode::kParallelShards, threads);
+      if (par.delivered != event.delivered || par.flits != event.flits ||
+          par.generated != event.generated) {
+        std::fprintf(stderr, "FAIL %s: parallel/event stats diverge\n",
+                     sc.name);
+        ok = false;
+      }
+    }
+
     // ns/cycle is machine-dependent, so the speedup is only meaningful
     // against the baseline captured on the same machine; the pool-miss
     // check below is the machine-independent acceptance gate.
@@ -207,6 +224,11 @@ int main(int argc, char** argv) {
     if (saturated)
       std::printf("  (%.2fx vs PR2 baseline %.2f)", event_speedup,
                   kBaselineEventNsPerCycle);
+    if (threads > 1) {
+      std::printf("\n  parallel(x%d): %8.1f ms  %7.2f ns/cycle  [%s]",
+                  threads, par.wall_ms, par.ns_per_cycle,
+                  par.shard_layout.c_str());
+    }
     std::printf("\n  alloc:  hit %llu + %llu  miss %llu + %llu"
                 "  bytes_reused %llu + %llu\n",
                 static_cast<unsigned long long>(dense.pool_hit),
@@ -257,6 +279,17 @@ int main(int argc, char** argv) {
                                         event.bytes_reused),
         static_cast<unsigned long long>(event.live_high_watermark));
     json += buf;
+    if (threads > 1) {
+      json.erase(json.size() - 1);  // reopen the scenario object
+      std::snprintf(buf, sizeof(buf),
+                    ", \"parallel\": {\"threads\": %d, \"wall_ms\": %.3f,"
+                    " \"ns_per_cycle\": %.3f, \"shard_layout\": \"%s\","
+                    " \"stats_match\": %s}}",
+                    threads, par.wall_ms, par.ns_per_cycle,
+                    par.shard_layout.c_str(),
+                    par.delivered == event.delivered ? "true" : "false");
+      json += buf;
+    }
     first = false;
   }
 

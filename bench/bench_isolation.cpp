@@ -28,7 +28,7 @@ struct TenantLatency {
 };
 
 TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig cfg;
   cfg.mesh.k = 4;
   cfg.sched_policy = policy;
@@ -75,6 +75,7 @@ TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — E4: performance isolation (slack vs FIFO)\n");
   std::printf(

@@ -31,7 +31,7 @@ struct KvsResult {
 
 KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
               std::uint64_t num_keys, double zipf_skew) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig cfg;
   cfg.mesh.k = 4;
   cfg.kvs_mode = mode;
@@ -115,6 +115,7 @@ KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — E7: on-NIC KVS cache (Sec 2.2 / 3.2)\n");
   std::printf("10k keys, Zipf(0.99) GETs, 128B values; replies served\n"
               "from the NIC via RDMA reads of host memory.\n");

@@ -25,7 +25,7 @@ struct Point {
 };
 
 Point run(int k, std::uint32_t width, double load_fraction) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   noc::MeshConfig cfg;
   cfg.k = k;
   cfg.channel_bits = width;
@@ -88,6 +88,7 @@ Point run(int k, std::uint32_t width, double load_fraction) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — mesh latency vs offered load (Table 3 basis)\n");
   std::printf("6x6 mesh, 128-bit channels, 64B messages, uniform random.\n");

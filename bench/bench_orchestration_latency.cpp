@@ -50,6 +50,7 @@ double measure(Simulator& sim, InjectFn inject, const std::string& count_name,
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — E3: coordination latency per architecture\n");
   std::printf("(unloaded; mean of 20 packets; 1 cycle = 2 ns @ 500 MHz)\n");
@@ -62,14 +63,14 @@ int main(int argc, char** argv) {
 
   double panic_plain = 0, panic_esp = 0;
   {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     core::PanicConfig cfg;
     cfg.mesh.k = 4;
     core::PanicNic nic(cfg, sim);
     panic_plain = measure(
         sim, [&] { nic.inject_rx(0, plain(), sim.now()); },
         "engine.dma.packets_to_host", "engine.dma.host_latency", n);
-    Simulator sim2;
+    Simulator sim2(Frequency::megahertz(500), requested_sim_mode());
     core::PanicNic nic2(cfg, sim2);
     panic_esp = measure(
         sim2, [&] { nic2.inject_rx(0, encrypted(), sim2.now()); },
@@ -80,13 +81,13 @@ int main(int argc, char** argv) {
   }
 
   {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     baselines::PipelineNic nic("pipe", specs, baselines::PipelineNicConfig{},
                                sim);
     const double lat_plain = measure(
         sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
         "baseline.pipe.delivered", "baseline.pipe.host_latency", n);
-    Simulator sim2;
+    Simulator sim2(Frequency::megahertz(500), requested_sim_mode());
     baselines::PipelineNic nic2("pipe", specs,
                                 baselines::PipelineNicConfig{}, sim2);
     const double lat_esp = measure(
@@ -98,13 +99,13 @@ int main(int argc, char** argv) {
   }
 
   {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     baselines::ManycoreNicConfig mcfg;  // 5000-cycle (10 us) orchestration
     baselines::ManycoreNic nic("mc", specs, mcfg, sim);
     const double lat_plain = measure(
         sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
         "baseline.mc.delivered", "baseline.mc.host_latency", n);
-    Simulator sim2;
+    Simulator sim2(Frequency::megahertz(500), requested_sim_mode());
     baselines::ManycoreNic nic2("mc", specs, mcfg, sim2);
     const double lat_esp = measure(
         sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },
@@ -116,12 +117,12 @@ int main(int argc, char** argv) {
   }
 
   {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     baselines::RmtNic nic("rmt", specs, baselines::RmtNicConfig{}, sim);
     const double lat_plain = measure(
         sim, [&] { nic.inject_rx(plain(), sim.now(), TenantId{0}); },
         "baseline.rmt.delivered", "baseline.rmt.host_latency", n);
-    Simulator sim2;
+    Simulator sim2(Frequency::megahertz(500), requested_sim_mode());
     baselines::RmtNic nic2("rmt", specs, baselines::RmtNicConfig{}, sim2);
     const double lat_esp = measure(
         sim2, [&] { nic2.inject_rx(encrypted(), sim2.now(), TenantId{0}); },

@@ -94,7 +94,7 @@ ModeResult run(bool per_hop, int chain_len) {
       customize_chained(p, t, chain_len);
     }
   };
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicNic nic(cfg, sim);
 
   workload::TrafficConfig tcfg;
@@ -124,6 +124,7 @@ ModeResult run(bool per_hop, int chain_len) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — E6: RMT passes with/without lookup tables\n");
 

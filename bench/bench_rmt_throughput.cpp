@@ -20,7 +20,7 @@ namespace {
 /// Measured aggregate RMT passes/cycle with `rmt_engines` engines fed at
 /// saturation from `ports` Ethernet ports.
 double measure_rmt_rate(int rmt_engines, int ports) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig cfg;
   cfg.mesh.k = 4;
   // 1024-bit channels: a min-size frame is a single flit, so the mesh
@@ -56,6 +56,7 @@ double measure_rmt_rate(int rmt_engines, int ports) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — E1: RMT pipeline throughput = F x P\n");
 
   Report report({"RMT engines (P)", "Feeding ports", "Measured pkt/cycle",

@@ -14,6 +14,7 @@ using namespace panic::analysis;
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — Table 1 (offload taxonomy coverage)\n");
   Report report({"Project (paper)", "Scope", "Path", "Kind",
                  "Engine in this repo"});

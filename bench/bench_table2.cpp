@@ -12,6 +12,7 @@ using namespace panic::analysis;
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — Table 2 (line-rate PPS requirements)\n");
   std::printf("Paper values: 240 / 480 / 300 / 600 Mpps (rounded).\n");
 

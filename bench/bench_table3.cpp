@@ -19,7 +19,7 @@ namespace {
 /// random traffic with `payload` byte messages.
 double simulate_saturation(int k, std::uint32_t bits, std::size_t payload,
                            Cycles warmup, Cycles measure) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   noc::MeshConfig cfg;
   cfg.k = k;
   cfg.channel_bits = bits;
@@ -60,6 +60,7 @@ double simulate_saturation(int k, std::uint32_t bits, std::size_t payload,
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — Table 3 (mesh throughput / chain len)\n");
 
   Report report({"Line-rate", "Freq", "Bit Width", "Topo", "Bisec BW",

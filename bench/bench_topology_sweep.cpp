@@ -25,7 +25,7 @@ SweepResult run(int k, std::uint32_t width) {
   SweepResult r{};
   // Saturation throughput under uniform random traffic.
   {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     noc::MeshConfig cfg;
     cfg.k = k;
     cfg.channel_bits = width;
@@ -53,7 +53,7 @@ SweepResult run(int k, std::uint32_t width) {
   }
   // Unloaded corner-to-corner latency.
   {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     noc::MeshConfig cfg;
     cfg.k = k;
     cfg.channel_bits = width;
@@ -75,6 +75,7 @@ SweepResult run(int k, std::uint32_t width) {
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf("PANIC reproduction — on-chip topology sweep (Sec 6)\n");
   std::printf("64B messages, 128-bit channels, uniform random traffic.\n");
 
@@ -102,7 +103,7 @@ int main(int argc, char** argv) {
   // transpose traffic ((x,y) -> (y,x)).
   Report routing({"Routing", "Transpose delivered (msgs/10k cyc)"});
   for (auto algo : {noc::RoutingAlgo::kXY, noc::RoutingAlgo::kWestFirst}) {
-    Simulator sim;
+    Simulator sim(Frequency::megahertz(500), requested_sim_mode());
     noc::MeshConfig cfg;
     cfg.k = 6;
     cfg.channel_bits = 64;

@@ -29,7 +29,7 @@ struct Load {
 /// `meshes` is 1 (unified) or 2 (split by class).
 double simulate(int k, std::uint32_t total_width, int meshes, Load load,
                 Cycles warmup, Cycles window) {
-  Simulator sim;
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   std::vector<std::unique_ptr<noc::Mesh>> nets;
   const auto width = static_cast<std::uint32_t>(total_width / meshes);
   for (int m = 0; m < meshes; ++m) {
@@ -88,6 +88,7 @@ double simulate(int k, std::uint32_t total_width, int meshes, Load load,
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   std::printf(
       "PANIC reproduction — unified vs split on-chip network (footnote 1)\n");
   std::printf(

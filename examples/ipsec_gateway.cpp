@@ -17,7 +17,8 @@ using namespace panic;
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
-  Simulator sim(Frequency::megahertz(500));
+  panic::apply_thread_args(argc, argv);
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig config;
   config.mesh.k = 4;
   core::PanicNic nic(config, sim);

@@ -17,10 +17,11 @@ using namespace panic;
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   const Config args = Config::from_args(argc, argv);
   const bool fifo = args.get_string("policy", "slack") == "fifo";
 
-  Simulator sim(Frequency::megahertz(500));
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig config;
   config.mesh.k = 4;
   config.sched_policy = fifo ? engines::SchedPolicy::kFifo

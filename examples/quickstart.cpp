@@ -17,8 +17,9 @@ using namespace panic;
 
 int main(int argc, char** argv) {
   panic::apply_seed_args(argc, argv);
+  panic::apply_thread_args(argc, argv);
   // A 4x4-mesh NIC: 2x100G ports, 2 RMT engines, the full offload set.
-  Simulator sim(Frequency::megahertz(500));
+  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   // Opt-in per-message tracing: every RMT pass, NoC hop, queue event and
   // service window is recorded and exported below for chrome://tracing.
   sim.telemetry().tracer().enable();

@@ -14,8 +14,11 @@
 // moment of destruction.  The hot-path cost is a handful of increments on
 // paths that already touch the pool.  Like the pool it is a leaky
 // singleton; tests and benches reset() it at the start of a measured run.
+// Tallies are relaxed atomics: any shard of the parallel kernel may create
+// or destroy messages, and per-fate totals are order-independent sums.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -54,36 +57,48 @@ class ConservationLedger {
   void reset();
 
   /// Called by make_message().
-  void on_create() { ++created_; }
+  void on_create() { created_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Called by MessagePool::release with the dying message's fate.
   void on_destroy(MessageFate fate) noexcept {
     switch (fate) {
-      case MessageFate::kInFlight: ++lost_; break;
-      case MessageFate::kDelivered: ++delivered_; break;
-      case MessageFate::kDropped: ++dropped_; break;
-      case MessageFate::kConsumed: ++consumed_; break;
-      case MessageFate::kFaulted: ++faulted_; break;
+      case MessageFate::kInFlight:
+        lost_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case MessageFate::kDelivered:
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case MessageFate::kDropped:
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case MessageFate::kConsumed:
+        consumed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case MessageFate::kFaulted:
+        faulted_.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
-    ++destroyed_;
+    destroyed_.fetch_add(1, std::memory_order_relaxed);
   }
 
   Report report() const;
 
-  std::uint64_t created() const { return created_; }
-  std::uint64_t lost() const { return lost_; }
+  std::uint64_t created() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lost() const { return lost_.load(std::memory_order_relaxed); }
 
  private:
   ConservationLedger() = default;
   ~ConservationLedger() = delete;  // leaky: reachable until process exit
 
-  std::uint64_t created_ = 0;
-  std::uint64_t destroyed_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t consumed_ = 0;
-  std::uint64_t faulted_ = 0;
-  std::uint64_t lost_ = 0;
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> destroyed_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> faulted_{0};
+  std::atomic<std::uint64_t> lost_{0};
 };
 
 }  // namespace panic

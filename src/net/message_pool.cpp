@@ -18,21 +18,26 @@ MessagePool& MessagePool::instance() {
 }
 
 Message* MessagePool::acquire() {
-  ++stats_.live;
-  if (stats_.live > stats_.live_high_watermark) {
-    stats_.live_high_watermark = stats_.live;
+  Message* msg = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.live;
+    if (stats_.live > stats_.live_high_watermark) {
+      stats_.live_high_watermark = stats_.live;
+    }
+    if (free_head_ == nullptr) {
+      ++stats_.pool_misses;
+    } else {
+      ++stats_.pool_hits;
+      msg = free_head_;
+      free_head_ = msg->pool_next;
+      --free_count_;
+      stats_.bytes_reused += msg->data.capacity();
+    }
   }
-  if (free_head_ == nullptr) {
-    ++stats_.pool_misses;
-    return new Message();
-  }
-  ++stats_.pool_hits;
-  Message* msg = free_head_;
-  free_head_ = msg->pool_next;
-  --free_count_;
+  if (msg == nullptr) return new Message();  // heap work outside the lock
   msg->pool_next = nullptr;
   msg->in_pool = false;
-  stats_.bytes_reused += msg->data.capacity();
   msg->reset_for_reuse();
   return msg;
 }
@@ -51,6 +56,7 @@ void MessagePool::release(Message* msg) noexcept {
     std::abort();
   }
   ConservationLedger::instance().on_destroy(msg->fate);
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.recycled;
   --stats_.live;
   msg->in_pool = true;
@@ -60,6 +66,7 @@ void MessagePool::release(Message* msg) noexcept {
 }
 
 void MessagePool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
   while (free_head_ != nullptr) {
     Message* next = free_head_->pool_next;
     delete free_head_;

@@ -56,6 +56,62 @@ Mesh::Mesh(const MeshConfig& config, Simulator& sim) : config_(config) {
   sim.telemetry().metrics().expose_gauge("noc.flits_routed", [this] {
     return static_cast<double>(total_flits_routed());
   });
+
+  // Registered credit-based flow control: credits freed by pops this cycle
+  // become visible to upstream routers at the next cycle, in every kernel
+  // mode (see noc/router.h).
+  sim.add_end_of_cycle_hook([this](Cycle) {
+    for (auto& r : routers_) r->flush_credits();
+  });
+}
+
+void Mesh::assign_shards(const std::vector<int>& tile_to_shard,
+                         Simulator& sim) {
+  if (sim.mode() != SimMode::kParallelShards) return;
+  assert(tile_to_shard.size() == static_cast<std::size_t>(tiles()));
+  tile_shards_ = tile_to_shard;
+  boundary_staged_.resize(static_cast<std::size_t>(sim.num_shards()));
+
+  const int k = config_.k;
+  for (int t = 0; t < tiles(); ++t) {
+    const int shard = tile_shards_[static_cast<std::size_t>(t)];
+    sim.set_shard(nis_[static_cast<std::size_t>(t)].get(), shard);
+    sim.set_shard(routers_[static_cast<std::size_t>(t)].get(), shard);
+    if (shard < 0) continue;
+    // Mark outputs whose neighbor lives on another shard as boundaries;
+    // the staging vector belongs to the *source* shard (single writer).
+    const int x = t % k, y = t / k;
+    struct Hop {
+      Direction dir;
+      int dx, dy;
+    };
+    static constexpr Hop kHops[] = {{Direction::kNorth, 0, -1},
+                                    {Direction::kEast, 1, 0},
+                                    {Direction::kSouth, 0, 1},
+                                    {Direction::kWest, -1, 0}};
+    for (const Hop& h : kHops) {
+      const int nx = x + h.dx, ny = y + h.dy;
+      if (nx < 0 || nx >= k || ny < 0 || ny >= k) continue;
+      const int nt = ny * k + nx;
+      if (tile_shards_[static_cast<std::size_t>(nt)] != shard) {
+        routers_[static_cast<std::size_t>(t)]->set_boundary(
+            h.dir, &boundary_staged_[static_cast<std::size_t>(shard)]);
+      }
+    }
+  }
+
+  // The coordinator replays staged boundary flits right after the cycle
+  // barrier, before serial components tick: deterministic order (by source
+  // shard, then staging order within the shard), and inter-port ordering
+  // is immaterial — each mesh input port has exactly one producer.
+  sim.add_post_parallel_hook([this](Cycle now) {
+    for (auto& staged : boundary_staged_) {
+      for (BoundaryFlit& bf : staged) {
+        bf.target->accept(bf.from, std::move(bf.flit), now);
+      }
+      staged.clear();
+    }
+  });
 }
 
 int Mesh::distance(EngineId a, EngineId b) const {

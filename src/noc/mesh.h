@@ -47,10 +47,30 @@ class Mesh {
   /// Sum of flits routed across all routers (for utilization accounting).
   std::uint64_t total_flits_routed() const;
 
+  /// Partitions the mesh for SimMode::kParallelShards: assigns each tile's
+  /// router and NI to `tile_to_shard[tile]` (values in
+  /// [0, sim.num_shards())), marks every router output that crosses a
+  /// shard cut as a boundary (flits staged per source shard, delivered by
+  /// the coordinator at the cycle barrier), and registers the delivery
+  /// hook.  Call once, before the first step; a no-op outside parallel
+  /// mode.  Tiles left unassigned (-1) stay serial — but a serial tile
+  /// inside the mesh prefix would break the kernel's suffix rule, so
+  /// assign every tile.
+  void assign_shards(const std::vector<int>& tile_to_shard, Simulator& sim);
+
+  /// The shard tile `tile` was assigned to (-1 = serial / not sharded).
+  int shard_of(EngineId tile) const {
+    return tile_shards_.empty() ? -1 : tile_shards_[tile.value];
+  }
+
  private:
   MeshConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<int> tile_shards_;  ///< per-tile shard (empty until assigned)
+  /// Boundary flits staged during the parallel phase, one vector per
+  /// *source* shard so each is written by exactly one worker thread.
+  std::vector<std::vector<BoundaryFlit>> boundary_staged_;
 };
 
 }  // namespace panic::noc

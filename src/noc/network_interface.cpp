@@ -27,7 +27,9 @@ void NetworkInterface::inject(MessagePtr msg, EngineId dst, Cycle now) {
   p.msg = std::move(msg);
   p.dst = dst;
   pending_.push(std::move(p));
-  request_wake(now);  // start segmenting at the next tick
+  // next_wake sees pending_ non-empty, so only a sleeping NI needs the
+  // explicit wake to start segmenting at the next tick.
+  if (!kernel_awake()) request_wake(now);
 }
 
 MessagePtr NetworkInterface::try_receive(Cycle now) {

@@ -19,7 +19,13 @@ const char* to_string(Direction d) {
 
 namespace {
 constexpr std::size_t kEjectDepth = 8;  // flits buffered toward the NI
-}
+
+// The reverse direction on the neighbor: our East output feeds its West
+// input, etc.
+constexpr Direction kReverse[] = {Direction::kSouth, Direction::kWest,
+                                  Direction::kNorth, Direction::kEast,
+                                  Direction::kLocal};
+}  // namespace
 
 Router::Router(int x, int y, int k, std::size_t buffer_flits,
                RoutingAlgo algo)
@@ -37,7 +43,27 @@ Router::Router(int x, int y, int k, std::size_t buffer_flits,
 }
 
 void Router::connect(Direction dir, Router* neighbor) {
-  neighbors_[static_cast<int>(dir)] = neighbor;
+  const int d = static_cast<int>(dir);
+  neighbors_[d] = neighbor;
+  // Registered credits start at the downstream input buffer's full depth.
+  if (dir != Direction::kLocal && neighbor != nullptr) {
+    credits_[d] = static_cast<std::uint32_t>(
+        neighbor->inputs_[static_cast<int>(kReverse[d])].capacity());
+  }
+}
+
+void Router::flush_credits() {
+  for (int o = 0; o < 4; ++o) {
+    std::uint32_t r = returns_staged_[o];
+    if (r == 0) continue;
+    returns_staged_[o] = 0;
+    if (leak_debt_[o] != 0) {
+      const std::uint32_t take = r < leak_debt_[o] ? r : leak_debt_[o];
+      leak_debt_[o] -= take;
+      r -= take;
+    }
+    credits_[o] += r;
+  }
 }
 
 bool Router::can_accept(Direction from) const {
@@ -67,7 +93,11 @@ void Router::accept(Direction from, Flit flit, Cycle now) {
     }
   }
   q.push_flit(std::move(flit), ready);
-  request_wake(ready);  // the flit's ready cycle
+  // An awake router re-discovers the flit itself: it ticks every cycle
+  // and its parking poll (next_wake) scans the input FIFOs.  Eliding the
+  // redundant wake here removes the hottest request_wake call site under
+  // saturation (one per accepted flit).
+  if (!kernel_awake()) request_wake(ready);  // the flit's ready cycle
 }
 
 bool Router::permitted(Direction dir, EngineId dst) const {
@@ -96,14 +126,9 @@ bool Router::permitted(Direction dir, EngineId dst) const {
 
 bool Router::downstream_ready(Direction out) const {
   if (out == Direction::kLocal) return !eject_.full();
-  const Router* n = neighbors_[static_cast<int>(out)];
-  assert(n != nullptr && "flit routed toward a missing neighbor");
-  // The reverse direction on the neighbor: our East output feeds its West
-  // input, etc.
-  static constexpr Direction kReverse[] = {
-      Direction::kSouth, Direction::kWest, Direction::kNorth,
-      Direction::kEast, Direction::kLocal};
-  return n->can_accept(kReverse[static_cast<int>(out)]);
+  assert(neighbors_[static_cast<int>(out)] != nullptr &&
+         "flit routed toward a missing neighbor");
+  return credits_[static_cast<int>(out)] > 0;
 }
 
 void Router::register_telemetry(telemetry::Telemetry& t) {
@@ -137,6 +162,20 @@ void Router::fault_leak_credits(int port, std::uint32_t amount) {
     if (port >= 0 && p != port) continue;
     port_faults_[p].leaked_credits += amount;
     credits_leaked_ += amount;
+    // Mesh inputs: take the credits away from the upstream's registered
+    // count for its output toward us.  What the upstream does not hold
+    // right now becomes debt that swallows future staged returns — the
+    // leak is permanent either way (a leak >= the buffer depth wedges the
+    // link, which is what the watchdog exists to flag).  kLocal keeps the
+    // live can_accept() check the NI performs.
+    if (p == static_cast<int>(Direction::kLocal)) continue;
+    Router* up = neighbors_[p];
+    if (up == nullptr) continue;
+    const int up_out = static_cast<int>(kReverse[p]);
+    const std::uint32_t held = up->credits_[up_out];
+    const std::uint32_t taken = held < amount ? held : amount;
+    up->credits_[up_out] = held - taken;
+    up->leak_debt_[up_out] += amount - taken;
   }
   faults_armed_ = true;
 }
@@ -153,14 +192,26 @@ void Router::forward(Direction out, Flit flit, Cycle now) {
   if (out == Direction::kLocal) {
     assert(!eject_.full());
     eject_.push_flit(std::move(flit), now + 1);
-    if (local_sink_ != nullptr) local_sink_->request_wake(now + 1);
+    // The NI's next_wake scans this eject queue, so an awake NI needs no
+    // explicit wake (same elision as Router::accept).
+    if (local_sink_ != nullptr && !local_sink_->kernel_awake()) {
+      local_sink_->request_wake(now + 1);
+    }
     return;
   }
-  Router* n = neighbors_[static_cast<int>(out)];
-  static constexpr Direction kReverse[] = {
-      Direction::kSouth, Direction::kWest, Direction::kNorth,
-      Direction::kEast, Direction::kLocal};
-  n->accept(kReverse[static_cast<int>(out)], std::move(flit), now);
+  const int o = static_cast<int>(out);
+  assert(credits_[o] > 0 && "forward() without a credit");
+  --credits_[o];
+  Router* n = neighbors_[o];
+  if (boundary_out_[o] != nullptr) {
+    // Shard boundary: the coordinator replays the accept() at the cycle
+    // barrier, before any serial component ticks — same cycle, same ready
+    // stamp, so downstream state is indistinguishable from direct
+    // delivery.
+    boundary_out_[o]->push_back(BoundaryFlit{n, kReverse[o], std::move(flit)});
+    return;
+  }
+  n->accept(kReverse[o], std::move(flit), now);
 }
 
 void Router::tick(Cycle now) {
@@ -213,6 +264,13 @@ void Router::tick(Cycle now) {
     Flit flit = *inputs_[chosen].try_pop_flit(now);
     input_used[chosen] = true;
     output_owner_[o] = flit.is_tail() ? -1 : chosen;
+    // Return the freed buffer slot to the upstream router as a credit,
+    // visible after the end-of-cycle flush (kLocal is fed by the NI,
+    // which uses the live can_accept() check instead).
+    if (chosen != static_cast<int>(Direction::kLocal) &&
+        neighbors_[chosen] != nullptr) {
+      neighbors_[chosen]->stage_credit_return(kReverse[chosen]);
+    }
     if (flit.msg != nullptr) ++flit.msg->noc_hops;  // tail flit carries msg
     forward(out, std::move(flit), now);
   }

@@ -4,15 +4,26 @@
 //   * one cycle of latency per hop (flits become visible downstream one
 //     cycle after they are forwarded),
 //   * lossless operation — a flit only moves when the downstream input
-//     buffer has a free slot (credit-based flow control with an idealized
-//     single-cycle credit loop),
+//     buffer has a free slot (credit-based flow control),
 //   * XY routing on a 2D mesh, which is deadlock-free without virtual
 //     channels.
+//
+// Flow control is *registered* credit-based, like real hardware: each
+// router keeps a per-output credit count initialized to the downstream
+// input buffer's depth, spends one credit per forwarded flit, and credits
+// freed by downstream pops are staged and folded back at the end of the
+// cycle (Mesh registers the flush with the simulator).  A freed slot is
+// therefore usable by the upstream one cycle later.  This makes
+// backpressure independent of intra-cycle tick order — each mesh link has
+// exactly one producer, so registered credits are also what lets the
+// parallel kernel cut the mesh at shard boundaries without changing any
+// observable behavior (see DESIGN.md §"Sharded parallel kernel").
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "noc/burst_queue.h"
@@ -40,6 +51,18 @@ const char* to_string(Direction d);
 /// links for east-bound traffic.
 enum class RoutingAlgo : std::uint8_t { kXY, kWestFirst };
 
+class Router;
+
+/// A flit crossing a shard boundary, staged by the source shard during the
+/// parallel phase and delivered by the coordinator at the cycle barrier
+/// (the 1-cycle hop latency is the conservative-synchronization lookahead
+/// that makes the deferred delivery invisible).
+struct BoundaryFlit {
+  Router* target;
+  Direction from;  ///< the target's input port
+  Flit flit;
+};
+
 class Router : public Component {
  public:
   /// `x`,`y` — coordinates in a `k`×`k` mesh; `buffer_flits` — depth of
@@ -51,8 +74,28 @@ class Router : public Component {
   int y() const { return y_; }
 
   /// Wires this router's `dir` output to the neighbor (and expects the
-  /// symmetric call on the neighbor).
+  /// symmetric call on the neighbor).  Initializes the output's credit
+  /// count to the neighbor's input-buffer depth.
   void connect(Direction dir, Router* neighbor);
+
+  /// Folds credit returns staged by downstream pops this cycle back into
+  /// the per-output credit counts (leak-faulted outputs repay their debt
+  /// first).  Mesh runs this for every router at the end of each executed
+  /// cycle, on the coordinator, in every kernel mode.
+  void flush_credits();
+
+  /// Marks output `out` as a shard boundary: forwarded flits are appended
+  /// to `stage` (owned by this router's shard) instead of being delivered
+  /// directly, and the coordinator replays them at the cycle barrier.
+  /// nullptr reverts to direct delivery.
+  void set_boundary(Direction out, std::vector<BoundaryFlit>* stage) {
+    boundary_out_[static_cast<int>(out)] = stage;
+  }
+
+  /// Available credits for output `out` (tests/diagnostics).
+  std::uint32_t credits(Direction out) const {
+    return credits_[static_cast<int>(out)];
+  }
 
   /// True if the input buffer for `from` can accept a flit (the upstream
   /// credit check).
@@ -125,11 +168,21 @@ class Router : public Component {
   /// under the configured routing algorithm (tile id = y*k + x).
   bool permitted(Direction dir, EngineId dst) const;
 
-  /// True if the downstream of output `out` can accept a flit now.
+  /// True if the downstream of output `out` can accept a flit now: a
+  /// registered credit for mesh outputs, live eject-queue occupancy for
+  /// kLocal (the NI is always on this router's tile/shard).
   bool downstream_ready(Direction out) const;
 
-  /// Sends `flit` out of `out`.
+  /// Sends `flit` out of `out` (spends the output's credit).
   void forward(Direction out, Flit flit, Cycle now);
+
+  /// Called by the downstream router when it pops a flit we forwarded:
+  /// stages one credit back for output `out`, visible after the next
+  /// flush_credits().  Single writer per element — only the neighbor on
+  /// `out` calls this, so it is race-free across shards.
+  void stage_credit_return(Direction out) {
+    ++returns_staged_[static_cast<int>(out)];
+  }
 
   int x_;
   int y_;
@@ -142,6 +195,19 @@ class Router : public Component {
   std::array<Router*, kNumPorts> neighbors_{};
   FlitBurstQueue eject_;
   Component* local_sink_ = nullptr;
+
+  /// Registered flow-control state for the four mesh outputs (kLocal uses
+  /// live eject occupancy).  `credits_` is read/written only by this
+  /// router's shard plus the coordinator's flush; `returns_staged_[o]` is
+  /// written only by the downstream neighbor of output o and consumed by
+  /// the flush; `leak_debt_[o]` swallows staged returns after a
+  /// fault_leak_credits on the downstream input, making the leak
+  /// permanent.
+  std::array<std::uint32_t, 4> credits_{};
+  std::array<std::uint32_t, 4> returns_staged_{};
+  std::array<std::uint32_t, 4> leak_debt_{};
+  /// Per-output shard-boundary staging vector (nullptr = direct delivery).
+  std::array<std::vector<BoundaryFlit>*, kNumPorts> boundary_out_{};
 
   /// Wormhole state: which input currently owns each output (-1 = free).
   std::array<int, kNumPorts> output_owner_;

@@ -142,6 +142,9 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
   s.rmt_input_queue = pick(rng, {8, 64, 512});
   s.dma_contention_mean = static_cast<double>(pick(rng, {0, 0, 50, 150}));
   s.default_slack = static_cast<std::uint32_t>(pick(rng, {100, 1000}));
+  // Shard count for the parallel leg; 3 never divides a k*k mesh evenly,
+  // so uneven tile bands get steady coverage.
+  s.threads = static_cast<int>(pick(rng, {1, 2, 3, 4}));
 
   const int n_workloads = static_cast<int>(rng.uniform_int(1, 3));
   for (int i = 0; i < n_workloads; ++i) {

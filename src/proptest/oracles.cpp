@@ -7,7 +7,12 @@ namespace panic::proptest {
 namespace {
 
 const char* mode_name(SimMode mode) {
-  return mode == SimMode::kStrictTick ? "dense" : "event";
+  switch (mode) {
+    case SimMode::kStrictTick: return "dense";
+    case SimMode::kEventDriven: return "event";
+    case SimMode::kParallelShards: return "parallel";
+  }
+  return "?";
 }
 
 void add(std::vector<Violation>* out, const std::string& oracle,
@@ -16,11 +21,11 @@ void add(std::vector<Violation>* out, const std::string& oracle,
 }
 
 template <typename T>
-void expect_eq(std::vector<Violation>* out, const char* what, T dense,
-               T event) {
-  if (dense != event) {
+void expect_eq(std::vector<Violation>* out, const char* what, const char* na,
+               T a, const char* nb, T b) {
+  if (a != b) {
     std::ostringstream os;
-    os << what << ": dense=" << dense << " event=" << event;
+    os << what << ": " << na << "=" << a << " " << nb << "=" << b;
     add(out, "differential", os.str());
   }
 }
@@ -32,17 +37,18 @@ bool excluded_from_diff(const std::string& name) {
   return name.rfind("kernel.", 0) == 0;
 }
 
-void check_differential(const RunResult& dense, const RunResult& event,
+void check_differential(const RunResult& a, const RunResult& b,
                         std::vector<Violation>* out) {
-  expect_eq(out, "final_cycle", dense.final_cycle, event.final_cycle);
-  expect_eq(out, "events", dense.events, event.events);
-  expect_eq(out, "generated", dense.generated, event.generated);
-  expect_eq(out, "delivered", dense.delivered, event.delivered);
-  expect_eq(out, "tx_packets", dense.tx_packets, event.tx_packets);
-  expect_eq(out, "flits_routed", dense.flits_routed, event.flits_routed);
-  expect_eq(out, "rmt_passes", dense.rmt_passes, event.rmt_passes);
-  const auto diff =
-      dense.snapshot.diff_names(event.snapshot, excluded_from_diff);
+  const char* na = mode_name(a.mode);
+  const char* nb = mode_name(b.mode);
+  expect_eq(out, "final_cycle", na, a.final_cycle, nb, b.final_cycle);
+  expect_eq(out, "events", na, a.events, nb, b.events);
+  expect_eq(out, "generated", na, a.generated, nb, b.generated);
+  expect_eq(out, "delivered", na, a.delivered, nb, b.delivered);
+  expect_eq(out, "tx_packets", na, a.tx_packets, nb, b.tx_packets);
+  expect_eq(out, "flits_routed", na, a.flits_routed, nb, b.flits_routed);
+  expect_eq(out, "rmt_passes", na, a.rmt_passes, nb, b.rmt_passes);
+  const auto diff = a.snapshot.diff_names(b.snapshot, excluded_from_diff);
   if (!diff.empty()) {
     std::string names;
     for (std::size_t i = 0; i < diff.size() && i < 8; ++i) {
@@ -51,8 +57,8 @@ void check_differential(const RunResult& dense, const RunResult& event,
     }
     if (diff.size() > 8) names += ", ...";
     add(out, "differential",
-        "snapshots differ on " + std::to_string(diff.size()) +
-            " metric(s): " + names);
+        std::string(na) + " vs " + nb + ": snapshots differ on " +
+            std::to_string(diff.size()) + " metric(s): " + names);
   }
 }
 
@@ -116,15 +122,20 @@ void check_single_run(const Scenario& s, const RunResult& r,
 }
 
 std::vector<Violation> check_scenario(const Scenario& s, RunResult* dense_out,
-                                      RunResult* event_out) {
+                                      RunResult* event_out,
+                                      RunResult* parallel_out) {
   std::vector<Violation> violations;
   RunResult dense = run_scenario(s, SimMode::kStrictTick);
   RunResult event = run_scenario(s, SimMode::kEventDriven);
+  RunResult parallel = run_scenario(s, SimMode::kParallelShards);
   check_differential(dense, event, &violations);
+  check_differential(dense, parallel, &violations);
   check_single_run(s, dense, &violations);
   check_single_run(s, event, &violations);
+  check_single_run(s, parallel, &violations);
   if (dense_out != nullptr) *dense_out = std::move(dense);
   if (event_out != nullptr) *event_out = std::move(event);
+  if (parallel_out != nullptr) *parallel_out = std::move(parallel);
   return violations;
 }
 

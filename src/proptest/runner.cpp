@@ -56,20 +56,29 @@ RunResult run_scenario(const Scenario& s, SimMode mode) {
   // destroys in-flight messages, which must not land in this window.
   fault::ConservationChecker conservation;
 
-  Simulator sim(Frequency::megahertz(500), mode);
+  Simulator sim(Frequency::megahertz(500), mode,
+                mode == SimMode::kParallelShards ? s.threads : 0);
   core::PanicNic nic(s.to_config(), sim);
 
   // Per-(port, tenant) egress-order tracking.  One tenant is one flow on
   // one path by generator construction, so frames of a tenant must leave
-  // a port in creation order.
+  // a port in creation order.  The tracking state is strictly per port:
+  // under the parallel kernel each sink fires on its port's shard thread,
+  // and a port has exactly one such thread, so per-port structures need no
+  // locking (a shared map here would be a data race).
   RunResult r;
   r.mode = mode;
-  std::map<std::pair<int, std::uint16_t>, Cycle> last_created;
+  struct PortOrder {
+    std::map<std::uint16_t, Cycle> last_created;
+    std::uint64_t violations = 0;
+  };
+  std::vector<PortOrder> port_order(
+      static_cast<std::size_t>(nic.num_eth_ports()));
   for (int p = 0; p < nic.num_eth_ports(); ++p) {
-    nic.eth_port(p).set_tx_sink([&r, &last_created, p](const Message& msg,
-                                                       Cycle) {
-      Cycle& last = last_created[{p, msg.tenant.value}];
-      if (msg.created_at < last) ++r.order_violations;
+    PortOrder* po = &port_order[static_cast<std::size_t>(p)];
+    nic.eth_port(p).set_tx_sink([po](const Message& msg, Cycle) {
+      Cycle& last = po->last_created[msg.tenant.value];
+      if (msg.created_at < last) ++po->violations;
       if (msg.created_at > last) last = msg.created_at;
     });
   }
@@ -93,6 +102,7 @@ RunResult run_scenario(const Scenario& s, SimMode mode) {
 
   sim.run(s.budget_cycles);
 
+  for (const PortOrder& po : port_order) r.order_violations += po.violations;
   r.final_cycle = sim.now();
   r.events = sim.events_executed();
   r.ticks = sim.component_ticks();

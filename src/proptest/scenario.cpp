@@ -122,6 +122,7 @@ bool Scenario::feasible() const {
   }
   if (engine_queue_capacity == 0 || rmt_input_queue == 0) return false;
   if (budget_cycles == 0) return false;
+  if (threads < 1 || threads > 64) return false;
   for (const WorkloadSpec& w : workloads) {
     if (w.port < 0 || w.port >= eth_ports) return false;
     if (w.max_frames == 0) return false;  // must terminate
@@ -174,6 +175,7 @@ std::string Scenario::to_string() const {
   out << "dma_contention " << dma_contention_mean << "\n";
   out << "default_slack " << default_slack << "\n";
   out << "budget " << budget_cycles << "\n";
+  out << "threads " << threads << "\n";
   for (const auto& [tenant, slack] : tenant_slacks) {
     out << "slack " << tenant << " " << slack << "\n";
   }
@@ -261,6 +263,8 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
         s.default_slack = static_cast<std::uint32_t>(std::stoul(rest));
       } else if (key == "budget") {
         s.budget_cycles = std::stoull(rest);
+      } else if (key == "threads") {
+        s.threads = std::stoi(rest);
       } else if (key == "slack") {
         std::istringstream rs(rest);
         unsigned tenant = 0, slack = 0;

@@ -26,6 +26,7 @@
 //   dma_contention 150
 //   default_slack 1000
 //   budget 50000
+//   threads 2
 //   slack <tenant> <slack>
 //   workload port=0 kind=udp|min|kvs tenant=1 pattern=const|poisson|onoff
 //            gap=500 on=1000 off=9000 frames=100 bytes=256 dport=9
@@ -98,6 +99,11 @@ struct Scenario {
 
   /// Cycles to simulate.
   Cycles budget_cycles = 50000;
+
+  /// Shard count for the kParallelShards leg of the three-way oracle
+  /// (replay files written before the parallel kernel omit the line and
+  /// default to 2).
+  int threads = 2;
 
   std::vector<WorkloadSpec> workloads;
   fault::FaultPlan faults;

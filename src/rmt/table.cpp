@@ -100,7 +100,7 @@ const Action* MatchTable::lookup(const Phv& phv) const {
     case MatchKind::kExact: {
       const auto it = exact_index_.find(exact_hash(key));
       if (it != exact_index_.end() && entries_[it->second].key == key) {
-        ++hits_;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return &entries_[it->second].action;
       }
       break;
@@ -108,7 +108,7 @@ const Action* MatchTable::lookup(const Phv& phv) const {
     case MatchKind::kLpm: {
       for (const TableEntry& e : entries_) {
         if ((key[0] & e.masks[0]) == e.key[0]) {
-          ++hits_;
+          hits_.fetch_add(1, std::memory_order_relaxed);
           return &e.action;
         }
       }
@@ -125,14 +125,14 @@ const Action* MatchTable::lookup(const Phv& phv) const {
           }
         }
         if (match) {
-          ++hits_;
+          hits_.fetch_add(1, std::memory_order_relaxed);
           return &e.action;
         }
       }
       break;
     }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return default_action_ ? &*default_action_ : nullptr;
 }
 

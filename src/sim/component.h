@@ -68,6 +68,17 @@ class Component {
   /// unit tests) or the simulator runs in strict-tick mode.
   void request_wake(Cycle at);
 
+  /// True while this component is in the kernel's active set (it ticks
+  /// every cycle until it parks again).  Producers whose target's
+  /// next_wake re-discovers the handed-over work from the target's own
+  /// state — a router scanning its input FIFOs, an NI scanning its eject
+  /// queue — may elide request_wake on an awake target: the next tick (or
+  /// the parking poll) sees the work anyway.  Do NOT elide for targets
+  /// whose next_wake cannot see the hand-off (engines learn of arrivals
+  /// only through the wake).  Always false in strict-tick mode and for
+  /// unregistered components, where request_wake is a no-op anyway.
+  bool kernel_awake() const { return awake_; }
+
   /// The simulator this component is registered with (nullptr if none).
   Simulator* simulator() const { return sim_; }
 
@@ -102,6 +113,7 @@ class Component {
   telemetry::MessageTracer* tracer_ = nullptr;
   std::uint16_t trace_tag_ = 0;
   std::uint32_t slot_ = 0;  ///< registration index within the simulator
+  bool awake_ = false;      ///< mirror of Slot::active (see kernel_awake)
 };
 
 }  // namespace panic

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <stdexcept>
 
@@ -198,6 +199,7 @@ std::uint64_t& MetricsRegistry::counter(const std::string& name) {
     return *e.cell;
   }
   owned_.push_back(0);
+  claim_cell(&owned_.back(), name);
   Entry e;
   e.name = name;
   e.kind = MetricKind::kCounter;
@@ -206,12 +208,39 @@ std::uint64_t& MetricsRegistry::counter(const std::string& name) {
   return owned_.back();
 }
 
+bool MetricsRegistry::claim_cell(const std::uint64_t* cell,
+                                 const std::string& name) {
+  const auto [it, inserted] = cell_owners_.emplace(cell, name);
+  if (!inserted) {
+    PANIC_WARN("telemetry",
+               "counter cell of '%s' already published as '%s' — a cell "
+               "must have exactly one writer (shard)",
+               name.c_str(), it->second.c_str());
+    assert(false && "counter cell published twice (two-shard writer?)");
+    return false;
+  }
+  return true;
+}
+
 bool MetricsRegistry::expose_counter(const std::string& name,
                                      std::uint64_t* cell) {
+  if (!claim_cell(cell, name)) return false;
   Entry e;
   e.name = name;
   e.kind = MetricKind::kCounter;
   e.cell = cell;
+  return add(std::move(e));
+}
+
+bool MetricsRegistry::expose_counter_sum(const std::string& name,
+                                         std::vector<std::uint64_t*> cells) {
+  for (const std::uint64_t* c : cells) {
+    if (!claim_cell(c, name)) return false;
+  }
+  Entry e;
+  e.name = name;
+  e.kind = MetricKind::kCounter;
+  e.cells = std::move(cells);
   return add(std::move(e));
 }
 
@@ -236,7 +265,10 @@ bool MetricsRegistry::expose_histogram(const std::string& name,
 void MetricsRegistry::reset() {
   for (Entry& e : entries_) {
     switch (e.kind) {
-      case MetricKind::kCounter: *e.cell = 0; break;
+      case MetricKind::kCounter:
+        if (e.cell != nullptr) *e.cell = 0;
+        for (std::uint64_t* c : e.cells) *c = 0;
+        break;
       case MetricKind::kHistogram: e.hist->reset(); break;
       case MetricKind::kGauge: break;  // read-only view
     }
@@ -251,9 +283,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     v.name = e.name;
     v.kind = e.kind;
     switch (e.kind) {
-      case MetricKind::kCounter:
-        v.value = static_cast<double>(*e.cell);
+      case MetricKind::kCounter: {
+        std::uint64_t total = e.cell != nullptr ? *e.cell : 0;
+        for (const std::uint64_t* c : e.cells) total += *c;
+        v.value = static_cast<double>(total);
         break;
+      }
       case MetricKind::kGauge:
         v.value = e.gauge ? e.gauge() : 0.0;
         break;

@@ -72,6 +72,7 @@ void append_escaped(std::string& out, const std::string& s) {
 }  // namespace
 
 void MessageTracer::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity == 0) capacity = 1;
   ring_.assign(capacity, TraceEvent{});
   next_ = count_ = 0;
@@ -80,6 +81,7 @@ void MessageTracer::enable(std::size_t capacity) {
 }
 
 void MessageTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   next_ = count_ = 0;
   recorded_ = dropped_ = 0;
 }
@@ -93,6 +95,7 @@ std::uint16_t MessageTracer::intern(std::string_view name) {
 }
 
 std::vector<TraceEvent> MessageTracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(count_);
   const std::size_t start = count_ == ring_.size() ? next_ : 0;

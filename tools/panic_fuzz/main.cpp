@@ -1,16 +1,21 @@
 // panic_fuzz: randomized differential property-testing harness.
 //
-//   panic_fuzz [--runs N] [--seed S] [--budget-cycles C] [--out FILE]
+//   panic_fuzz [--runs N] [--seed S] [--budget-cycles C] [--threads T]
+//              [--out FILE]
 //   panic_fuzz --replay FILE
 //   panic_fuzz --selftest
 //
 // Default mode generates N seeded scenarios (seed S, S+1, ...), runs each
-// under both kernel modes and applies the oracle suite.  On the first
-// violation it greedily minimizes the scenario and writes a self-contained
-// replay file (default panic_fuzz_min.panic), then exits 1.
+// under all three kernel modes (dense, event-driven, sharded parallel) and
+// applies the oracle suite.  On the first violation it greedily minimizes
+// the scenario and writes a self-contained replay file (default
+// panic_fuzz_min.panic), then exits 1.
+//
+// --threads overrides the generator's per-scenario shard count for the
+// parallel leg (PANIC_THREADS works too).
 //
 // --replay re-runs a saved case: the file records every seed, so the run
-// reproduces bit-identically — in both kernel modes — from the file alone.
+// reproduces bit-identically — in every kernel mode — from the file alone.
 //
 // --selftest arms the planted SchedulerQueue off-by-one (see
 // PANIC_FUZZ_SELFTEST in engines/sched_queue.h) and verifies the harness
@@ -22,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/rng.h"
 #include "proptest/generator.h"
 #include "proptest/minimizer.h"
 #include "proptest/oracles.h"
@@ -43,12 +49,20 @@ struct Options {
   std::string replay;
   bool selftest = false;
   int max_shrink_tests = 300;
+  int threads = 0;  // 0 = scenario's own draw; >0 forces the parallel leg
 };
+
+/// Applies the --threads / PANIC_THREADS override to a scenario.
+void apply_threads(const Options& opt, Scenario* s) {
+  if (opt.threads > 0) s->threads = opt.threads;
+  else if (panic::sim_threads() > 0) s->threads = panic::sim_threads();
+}
 
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--runs N] [--seed S] [--budget-cycles C] [--out FILE]\n"
+      "usage: %s [--runs N] [--seed S] [--budget-cycles C] [--threads T]\n"
+      "          [--out FILE]\n"
       "       %s --replay FILE\n"
       "       %s --selftest\n",
       argv0, argv0, argv0);
@@ -77,6 +91,10 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt->budget_cycles = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->threads = std::atoi(v);
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -140,6 +158,7 @@ int run_replay(const Options& opt) {
                  opt.replay.c_str());
     return 2;
   }
+  apply_threads(opt, &*scenario);
   std::printf("replaying %s (%llu frames, budget %llu cycles)\n",
               opt.replay.c_str(),
               static_cast<unsigned long long>(scenario->total_frames()),
@@ -157,8 +176,9 @@ int run_replay(const Options& opt) {
 int run_fuzz(const Options& opt) {
   for (int i = 0; i < opt.runs; ++i) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
-    const Scenario scenario =
+    Scenario scenario =
         panic::proptest::generate_scenario(seed, opt.budget_cycles);
+    apply_threads(opt, &scenario);
     const auto violations = panic::proptest::check_scenario(scenario);
     std::printf("run %d/%d seed=%llu frames=%llu faults=%zu %s\n", i + 1,
                 opt.runs, static_cast<unsigned long long>(seed),
