@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -78,8 +78,8 @@ RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_chain_scaling", "latency/throughput vs offload-chain length");
+  args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — E5: chain length vs delivered throughput\n");
   const double gap = 12.0;  // ~83 Mpps offered at 500 MHz (~56 Gbps wire)

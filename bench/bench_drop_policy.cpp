@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "workload/kvs_workload.h"
 #include "workload/traffic_gen.h"
@@ -83,8 +83,8 @@ Result run(engines::DropPolicy policy) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_drop_policy", "drop-on-arrival vs evict-loosest under overload");
+  args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — drop policy at the logical scheduler (Sec 6)\n");
   std::printf(

@@ -21,6 +21,7 @@
 
 #include "analysis/report.h"
 #include "baselines/pipeline_nic.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/panic_nic.h"
 #include "fault/invariants.h"
@@ -145,11 +146,11 @@ Result run_pipeline(std::uint64_t frames, bool wedge_offload) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = apply_seed_args(argc, argv);
-  const int threads = apply_thread_args(argc, argv);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
-  }
+  cli::ArgParser args("bench_fault_resilience",
+                      "PANIC vs pipeline NIC with one dead engine");
+  args.flag("smoke", "reduced frame count for CI", &g_smoke);
+  args.parse(argc, argv);
+  const std::uint64_t seed = args.seed();
   const std::uint64_t frames = g_smoke ? 400 : 2000;
 
   std::printf("PANIC reproduction — fault resilience (one dead engine)\n");
@@ -220,7 +221,7 @@ int main(int argc, char** argv) {
       " \"ratio\": %.4f, \"conserved\": %s},\n"
       "  \"pipeline\": {\"clean\": %llu, \"faulty\": %llu, \"ratio\": %.4f,"
       " \"conserved\": %s},\n  \"pass\": %s\n}\n",
-      static_cast<unsigned long long>(seed), threads,
+      static_cast<unsigned long long>(seed), args.threads(),
       panic_clean.shard_layout.c_str(),
       static_cast<unsigned long long>(frames),
       static_cast<unsigned long long>(kOffloadCycles), kKillFraction,

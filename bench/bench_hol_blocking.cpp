@@ -10,6 +10,7 @@
 
 #include "analysis/report.h"
 #include "baselines/pipeline_nic.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
@@ -99,8 +100,8 @@ Result run_panic(double gap, std::uint64_t frames) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_hol_blocking", "head-of-line blocking across engine queues");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — E2: HOL blocking (pipeline vs PANIC)\n");
   std::printf("10%% of packets need a %llu-cycle offload; latencies below\n"
               "are for ALL delivered packets (the slow 10%% dominate the\n"

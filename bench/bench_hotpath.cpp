@@ -3,17 +3,14 @@
 // routing), against the pre-pool baseline measured at PR 2 (commit d36886f)
 // on the same saturated scenario as bench_kernel_speedup.
 //
-// Two scenarios:
-//   * saturated    — continuous near-line-rate overload, identical shape to
-//     bench_kernel_speedup's "saturated" but with zero-allocation
-//     FrameFiller sources.  This is the speedup measurement: ns/simulated-
-//     cycle against the embedded PR 2 baseline.  (Overload grows the
-//     ethernet staging backlog without bound, so the pool keeps growing
-//     here — pool-miss zero is NOT expected in overload.)
-//   * steady_state — constant-rate load the NIC can sustain (inter-arrival
-//     gap above the NI serialization time).  After a warmup that fills the
-//     pool to its steady-state depth, the measured window must complete
-//     with ZERO pool misses: every message is served from the free list.
+// Two scenarios, checked in as scenario files:
+//   * bench_hotpath_saturated.scenario — continuous near-line-rate
+//     overload.  This is the speedup measurement: ns/simulated-cycle
+//     against the embedded PR 2 baseline.  (Overload grows the ethernet
+//     staging backlog without bound, so pool-miss zero is NOT expected.)
+//   * bench_hotpath_steady.scenario — constant-rate load the NIC can
+//     sustain.  After a warmup that fills the pool to its steady-state
+//     depth, the measured window must complete with ZERO pool misses.
 //     This is the machine-independent acceptance check; the bench exits
 //     nonzero if any miss occurs.
 //
@@ -27,25 +24,17 @@
 #include <cstring>
 #include <string>
 
-#include "common/rng.h"
-#include "core/panic_nic.h"
+#include "common/cli.h"
 #include "net/message_pool.h"
-#include "workload/kvs_workload.h"
-#include "workload/traffic_gen.h"
+#include "scenario/runner.h"
 
 using namespace panic;
 
 namespace {
 
-bool g_smoke = false;
-
-const Ipv4Addr kBulkClient(10, 2, 0, 9);
-const Ipv4Addr kInterClient(10, 1, 0, 2);
-const Ipv4Addr kServer(10, 0, 0, 1);
-
 // PR 2 baseline (commit d36886f, pre message-pool), measured on this
 // machine with bench_kernel_speedup's saturated scenario: the same mesh,
-// tenants, sources, and horizon as the "saturated" scenario below.
+// tenants, sources, and horizon as bench_hotpath_saturated.scenario.
 constexpr double kBaselineDenseNsPerCycle = 2628.06;
 constexpr double kBaselineEventNsPerCycle = 1902.83;
 constexpr const char* kBaselineCommit = "d36886f";
@@ -66,60 +55,27 @@ struct RunResult {
   std::string shard_layout = "none";
 };
 
-struct Scenario {
-  const char* name;
-  workload::ArrivalPattern pattern;
-  double bulk_gap;   // inter-arrival gap, 1500 B bulk frames
-  double inter_gap;  // inter-arrival gap, min-size frames
-  Cycles warmup;     // cycles before the measured window (pool fill)
-  Cycles cycles;     // measured window
-  bool require_zero_miss;
-};
+RunResult run_one(const scenario::Scenario& s, SimMode mode,
+                  int threads = 0) {
+  scenario::RunOptions opts;
+  opts.mode = mode;
+  opts.threads = threads;
+  scenario::ScenarioRun run(s, opts);
 
-RunResult run_scenario(const Scenario& sc, SimMode mode, int threads = 0) {
-  Simulator sim(Frequency::megahertz(500), mode, threads);
-  core::PanicConfig cfg;
-  cfg.mesh.k = 4;
-  cfg.tenant_slacks = {{1, 10}, {2, 100000}};
-  core::PanicNic nic(cfg, sim);
-
-  workload::TrafficConfig bulk_cfg;
-  bulk_cfg.pattern = sc.pattern;
-  bulk_cfg.mean_gap_cycles = sc.bulk_gap;
-  bulk_cfg.on_cycles = 50000;
-  bulk_cfg.off_cycles = 0;
-  bulk_cfg.tenant = TenantId{2};
-  bulk_cfg.seed = 99;
-  workload::TrafficSource bulk(
-      "bulk", &nic.eth_port(1),
-      workload::make_udp_filler(kBulkClient, kServer, 1500), bulk_cfg);
-  sim.add(&bulk);
-
-  workload::TrafficConfig inter_cfg;
-  inter_cfg.pattern = sc.pattern;
-  inter_cfg.mean_gap_cycles = sc.inter_gap;
-  inter_cfg.on_cycles = 50000;
-  inter_cfg.off_cycles = 0;
-  inter_cfg.tenant = TenantId{1};
-  inter_cfg.seed = 7;
-  workload::TrafficSource inter(
-      "interactive", &nic.eth_port(0),
-      workload::make_min_frame_filler(kInterClient, kServer), inter_cfg);
-  sim.add(&inter);
-
-  if (sc.warmup != 0) sim.run(sc.warmup);
+  run.run_warmup();
 
   const auto pool_before = MessagePool::instance().stats();
   const auto start = std::chrono::steady_clock::now();
-  sim.run(sc.cycles);
+  run.run_measure();
   const auto stop = std::chrono::steady_clock::now();
   const auto pool_after = MessagePool::instance().stats();
 
-  const auto snap = sim.snapshot();
+  const auto snap = run.sim().snapshot();
   RunResult r;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
-  r.ns_per_cycle = r.wall_ms * 1e6 / static_cast<double>(sc.cycles);
+  r.ns_per_cycle =
+      r.wall_ms * 1e6 / static_cast<double>(s.budget_cycles);
   r.component_ticks = snap.counter("kernel.component_ticks");
   r.delivered = snap.counter("engine.dma.packets_to_host");
   r.flits = static_cast<std::uint64_t>(snap.value("noc.flits_routed"));
@@ -129,32 +85,42 @@ RunResult run_scenario(const Scenario& sc, SimMode mode, int threads = 0) {
   r.pool_miss = pool_after.pool_misses - pool_before.pool_misses;
   r.bytes_reused = pool_after.bytes_reused - pool_before.bytes_reused;
   r.live_high_watermark = pool_after.live_high_watermark;
-  r.shard_layout = nic.shard_layout();
+  r.shard_layout = run.nic().shard_layout();
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = apply_seed_args(argc, argv);
-  const int threads = apply_thread_args(argc, argv);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
-  }
+  cli::ArgParser args("bench_hotpath",
+                      "ns/cycle vs PR2 baseline + zero-alloc acceptance");
+  bool smoke = false;
+  args.flag("smoke", "divide horizons by 10 for CI", &smoke);
+  args.parse(argc, argv);
+  const std::uint64_t seed = args.seed();
+  const int threads = args.threads();
 
-  // steady_state gaps sit above the NI serialization time for each frame
-  // class (a 1500 B frame is ~190 flits, so ~190 cycles to inject; a min
-  // frame ~9), keeping the live-message population flat after warmup.
-  Scenario scenarios[] = {
-      {"saturated", workload::ArrivalPattern::kOnOff, 15.0, 15.0, 0, 500000,
-       false},
-      {"steady_state", workload::ArrivalPattern::kConstantRate, 220.0, 30.0,
-       150000, 350000, true},
+  struct Leg {
+    const char* file;
+    bool require_zero_miss;
+    scenario::Scenario scenario;
   };
-  if (g_smoke) {
-    for (Scenario& sc : scenarios) {
-      sc.cycles /= 10;
-      sc.warmup /= 10;
+  Leg legs[] = {
+      {"bench_hotpath_saturated.scenario", false, {}},
+      {"bench_hotpath_steady.scenario", true, {}},
+  };
+  for (Leg& leg : legs) {
+    std::string error;
+    auto s = scenario::Scenario::load(
+        std::string(PANIC_SCENARIO_DIR "/") + leg.file, &error);
+    if (!s.has_value()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", leg.file, error.c_str());
+      return EXIT_FAILURE;
+    }
+    leg.scenario = *s;
+    if (smoke) {
+      leg.scenario.budget_cycles /= 10;
+      leg.scenario.warmup_cycles /= 10;
     }
   }
 
@@ -175,15 +141,17 @@ int main(int argc, char** argv) {
   bool first = true;
   bool ok = true;
 
-  for (const Scenario& sc : scenarios) {
-    const RunResult dense = run_scenario(sc, SimMode::kStrictTick);
-    const RunResult event = run_scenario(sc, SimMode::kEventDriven);
+  for (const Leg& leg : legs) {
+    const scenario::Scenario& sc = leg.scenario;
+    const char* name = sc.name.c_str();
+    const RunResult dense = run_one(sc, SimMode::kStrictTick);
+    const RunResult event = run_one(sc, SimMode::kEventDriven);
 
     // The two kernels must agree — a speedup on a diverging simulation
     // would be meaningless.
     if (dense.delivered != event.delivered || dense.flits != event.flits ||
         dense.generated != event.generated) {
-      std::fprintf(stderr, "FAIL %s: dense/event stats diverge\n", sc.name);
+      std::fprintf(stderr, "FAIL %s: dense/event stats diverge\n", name);
       ok = false;
     }
 
@@ -191,11 +159,11 @@ int main(int argc, char** argv) {
     // must agree with the other two.
     RunResult par;
     if (threads > 1) {
-      par = run_scenario(sc, SimMode::kParallelShards, threads);
+      par = run_one(sc, SimMode::kParallelShards, threads);
       if (par.delivered != event.delivered || par.flits != event.flits ||
           par.generated != event.generated) {
         std::fprintf(stderr, "FAIL %s: parallel/event stats diverge\n",
-                     sc.name);
+                     name);
         ok = false;
       }
     }
@@ -203,7 +171,7 @@ int main(int argc, char** argv) {
     // ns/cycle is machine-dependent, so the speedup is only meaningful
     // against the baseline captured on the same machine; the pool-miss
     // check below is the machine-independent acceptance gate.
-    const bool saturated = std::strcmp(sc.name, "saturated") == 0;
+    const bool saturated = !leg.require_zero_miss;
     const double dense_speedup =
         saturated ? kBaselineDenseNsPerCycle / dense.ns_per_cycle : 0.0;
     const double event_speedup =
@@ -211,8 +179,8 @@ int main(int argc, char** argv) {
 
     std::printf("--- %s (%llu warmup + %llu measured cycles, %llu packets)"
                 " ---\n",
-                sc.name, static_cast<unsigned long long>(sc.warmup),
-                static_cast<unsigned long long>(sc.cycles),
+                name, static_cast<unsigned long long>(sc.warmup_cycles),
+                static_cast<unsigned long long>(sc.budget_cycles),
                 static_cast<unsigned long long>(event.delivered));
     std::printf("  dense:  %8.1f ms  %7.2f ns/cycle", dense.wall_ms,
                 dense.ns_per_cycle);
@@ -238,13 +206,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(dense.bytes_reused),
                 static_cast<unsigned long long>(event.bytes_reused));
 
-    if (sc.require_zero_miss) {
+    if (leg.require_zero_miss) {
       const std::uint64_t misses = dense.pool_miss + event.pool_miss;
       if (misses != 0) {
         std::fprintf(stderr,
                      "FAIL %s: %llu pool misses in the steady-state window"
                      " (hot path allocated)\n",
-                     sc.name, static_cast<unsigned long long>(misses));
+                     name, static_cast<unsigned long long>(misses));
         ok = false;
       } else {
         std::printf("  steady-state pool-miss: 0 (hot path is"
@@ -265,9 +233,9 @@ int main(int argc, char** argv) {
         " \"alloc\": {\"dense_pool_hit\": %llu, \"dense_pool_miss\": %llu,"
         " \"event_pool_hit\": %llu, \"event_pool_miss\": %llu,"
         " \"bytes_reused\": %llu, \"live_high_watermark\": %llu}}",
-        first ? "" : ",", sc.name,
-        static_cast<unsigned long long>(sc.warmup),
-        static_cast<unsigned long long>(sc.cycles), dense.wall_ms,
+        first ? "" : ",", name,
+        static_cast<unsigned long long>(sc.warmup_cycles),
+        static_cast<unsigned long long>(sc.budget_cycles), dense.wall_ms,
         event.wall_ms, dense.ns_per_cycle, event.ns_per_cycle, dense_speedup,
         event_speedup,
         dense.delivered == event.delivered ? "true" : "false",

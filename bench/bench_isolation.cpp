@@ -3,23 +3,19 @@
 // with a bulk-throughput tenant.  With FIFO queues the mice queue behind
 // the bulk burst (the "performance isolation anomaly" of Zhang et al.
 // cited by the paper); with PANIC's slack priority queues they overtake.
+//
+// The base point lives in bench_isolation.scenario; the sweep mutates the
+// loaded scenario's bulk gap and scheduling policy.
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
-#include "core/panic_nic.h"
-#include "net/packet.h"
-#include "workload/kvs_workload.h"
-#include "workload/traffic_gen.h"
+#include "common/cli.h"
+#include "scenario/runner.h"
 
 using namespace panic;
 using namespace panic::analysis;
 
 namespace {
-
-const Ipv4Addr kMouseClient(10, 1, 0, 2);
-const Ipv4Addr kBulkClient(10, 2, 0, 9);
-const Ipv4Addr kServer(10, 0, 0, 1);
 
 struct TenantLatency {
   telemetry::MetricValue mouse;
@@ -27,43 +23,16 @@ struct TenantLatency {
   std::uint64_t drops = 0;
 };
 
-TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
-  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
-  core::PanicConfig cfg;
-  cfg.mesh.k = 4;
-  cfg.sched_policy = policy;
-  cfg.tenant_slacks = {{1, 10}, {2, 100000}};  // tenant 1 = mice
-  cfg.dma.base_latency = 75;
-  cfg.dma.contention_mean = 150.0;  // §3.2 variable DMA performance
-  core::PanicNic nic(cfg, sim);
+TenantLatency run(const scenario::Scenario& base,
+                  const scenario::RunOptions& opts,
+                  engines::SchedPolicy policy, double bulk_gap) {
+  scenario::Scenario s = base;
+  s.sched_policy = policy;
+  s.workloads[0].mean_gap_cycles = bulk_gap;  // workload 0 = bulk
+  scenario::ScenarioRun r(s, opts);
+  r.run_all();
 
-  // Bulk tenant: 1500B frames, heavy on/off bursts.
-  workload::TrafficConfig bulk_cfg;
-  bulk_cfg.pattern = workload::ArrivalPattern::kOnOff;
-  bulk_cfg.mean_gap_cycles = bulk_gap;
-  bulk_cfg.on_cycles = 20000;
-  bulk_cfg.off_cycles = 5000;
-  bulk_cfg.tenant = TenantId{2};
-  bulk_cfg.seed = 99;
-  workload::TrafficSource bulk(
-      "bulk", &nic.eth_port(1),
-      workload::make_udp_factory(kBulkClient, kServer, 1500), bulk_cfg);
-  sim.add(&bulk);
-
-  // Latency-sensitive tenant: sparse min-size requests.
-  workload::TrafficConfig mouse_cfg;
-  mouse_cfg.pattern = workload::ArrivalPattern::kPoisson;
-  mouse_cfg.mean_gap_cycles = 2000.0;
-  mouse_cfg.tenant = TenantId{1};
-  mouse_cfg.seed = 7;
-  workload::TrafficSource mouse(
-      "mouse", &nic.eth_port(0),
-      workload::make_min_frame_factory(kMouseClient, kServer), mouse_cfg);
-  sim.add(&mouse);
-
-  sim.run(400000);
-
-  const auto snap = sim.snapshot();
+  const auto snap = r.sim().snapshot();
   TenantLatency out;
   out.mouse = snap.at("engine.dma.host_latency.tenant.1");
   out.bulk = snap.at("engine.dma.host_latency.tenant.2");
@@ -74,8 +43,22 @@ TenantLatency run(engines::SchedPolicy policy, double bulk_gap) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  cli::ArgParser args("bench_isolation",
+                      "E4: per-tenant latency, slack vs FIFO");
+  args.parse(argc, argv);
+
+  std::string error;
+  const auto base = scenario::Scenario::load(
+      PANIC_SCENARIO_DIR "/bench_isolation.scenario", &error);
+  if (!base.has_value()) {
+    std::fprintf(stderr, "cannot load bench_isolation.scenario: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  scenario::RunOptions opts;
+  opts.mode = args.sim_mode();
+  opts.threads = args.threads();
+
   std::printf(
       "PANIC reproduction — E4: performance isolation (slack vs FIFO)\n");
   std::printf(
@@ -87,7 +70,7 @@ int main(int argc, char** argv) {
   for (double gap : {40.0, 20.0, 10.0}) {
     for (auto policy : {engines::SchedPolicy::kFifo,
                         engines::SchedPolicy::kSlackPriority}) {
-      const auto r = run(policy, gap);
+      const auto r = run(*base, opts, policy, gap);
       report.add_row(
           {strf("1/%.0f cyc", gap),
            policy == engines::SchedPolicy::kFifo ? "FIFO (baseline)"

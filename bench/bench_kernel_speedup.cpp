@@ -33,7 +33,7 @@
 #include <string>
 #include <thread>
 
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/message_pool.h"
 #include "workload/kvs_workload.h"
@@ -158,11 +158,12 @@ RunResult run_best(const Scenario& sc, SimMode mode, int threads = 0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = apply_seed_args(argc, argv);
-  const int requested_threads = apply_thread_args(argc, argv);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
-  }
+  cli::ArgParser args("bench_kernel_speedup",
+                      "dense vs event vs parallel kernel wall-clock");
+  args.flag("smoke", "divide horizons by 20 for CI", &g_smoke);
+  args.parse(argc, argv);
+  const std::uint64_t seed = args.seed();
+  const int requested_threads = args.threads();
 
   // ~2% duty cycle for the idle-heavy shape; the saturated shapes never
   // pause (off=0 keeps every burst back-to-back).  The 16x16 scenario has

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -114,8 +114,8 @@ KvsResult run(engines::KvsCacheMode mode, std::size_t cache_entries,
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_kvs_offload", "KVS offload hit-rate and latency");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — E7: on-NIC KVS cache (Sec 2.2 / 3.2)\n");
   std::printf("10k keys, Zipf(0.99) GETs, 128B values; replies served\n"
               "from the NIC via RDMA reads of host memory.\n");

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "noc/mesh.h"
@@ -87,8 +88,8 @@ Point run(int k, std::uint32_t width, double load_fraction) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_load_latency", "host-delivery latency vs offered load");
+  args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — mesh latency vs offered load (Table 3 basis)\n");
   std::printf("6x6 mesh, 128-bit channels, 64B messages, uniform random.\n");

@@ -10,7 +10,7 @@
 #include "baselines/manycore_nic.h"
 #include "baselines/pipeline_nic.h"
 #include "baselines/rmt_nic.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "engines/ipsec_engine.h"
 #include "net/packet.h"
@@ -49,8 +49,8 @@ double measure(Simulator& sim, InjectFn inject, const std::string& count_name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_orchestration_latency", "chain orchestration latency breakdown");
+  args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — E3: coordination latency per architecture\n");
   std::printf("(unloaded; mean of 20 packets; 1 cycle = 2 ns @ 500 MHz)\n");

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -123,8 +123,8 @@ ModeResult run(bool per_hop, int chain_len) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_rmt_passes", "RMT pass counts per packet class");
+  args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — E6: RMT passes with/without lookup tables\n");
 

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -55,8 +55,8 @@ double measure_rmt_rate(int rmt_engines, int ports) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_rmt_throughput", "RMT pipeline throughput");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — E1: RMT pipeline throughput = F x P\n");
 
   Report report({"RMT engines (P)", "Feeding ports", "Measured pkt/cycle",

@@ -6,15 +6,15 @@
 #include <cstdio>
 
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/offload_taxonomy.h"
 
 using namespace panic;
 using namespace panic::analysis;
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_table1", "paper Table 1 reproduction");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — Table 1 (offload taxonomy coverage)\n");
   Report report({"Project (paper)", "Scope", "Path", "Kind",
                  "Engine in this repo"});

@@ -5,14 +5,14 @@
 
 #include "analysis/line_rate.h"
 #include "analysis/report.h"
-#include "common/rng.h"
+#include "common/cli.h"
 
 using namespace panic;
 using namespace panic::analysis;
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_table2", "paper Table 2 reproduction");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — Table 2 (line-rate PPS requirements)\n");
   std::printf("Paper values: 240 / 480 / 300 / 600 Mpps (rounded).\n");
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "noc/mesh.h"
 #include "noc/mesh_model.h"
@@ -59,8 +60,8 @@ double simulate_saturation(int k, std::uint32_t bits, std::size_t payload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_table3", "paper Table 3 reproduction");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — Table 3 (mesh throughput / chain len)\n");
 
   Report report({"Line-rate", "Freq", "Bit Width", "Topo", "Bisec BW",

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "noc/mesh.h"
 #include "noc/mesh_model.h"
@@ -74,8 +75,8 @@ SweepResult run(int k, std::uint32_t width) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_topology_sweep", "mesh size / port count sweep");
+  args.parse(argc, argv);
   std::printf("PANIC reproduction — on-chip topology sweep (Sec 6)\n");
   std::printf("64B messages, 128-bit channels, uniform random traffic.\n");
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "noc/mesh.h"
 #include "sim/simulator.h"
@@ -87,8 +88,8 @@ double simulate(int k, std::uint32_t total_width, int meshes, Load load,
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("bench_unified_network", "unified NoC vs split networks");
+  args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — unified vs split on-chip network (footnote 1)\n");
   std::printf(

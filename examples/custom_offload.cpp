@@ -10,7 +10,7 @@
 
 #include <unordered_map>
 
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -64,8 +64,8 @@ class TelemetryEngine : public engines::Engine {
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("custom_offload", "attach a custom engine to a spare tile");
+  args.parse(argc, argv);
   Simulator sim(Frequency::megahertz(500), requested_sim_mode());
 
   core::PanicConfig config;

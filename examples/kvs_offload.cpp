@@ -7,7 +7,7 @@
 // clients' replies leave encrypted.
 #include <cstdio>
 
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
@@ -16,8 +16,8 @@
 using namespace panic;
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("kvs_offload", "KVS GET/SET offload walkthrough");
+  args.parse(argc, argv);
   Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig config;
   config.mesh.k = 4;

@@ -5,62 +5,39 @@
 //
 //   $ ./build/examples/multi_tenant_isolation            # slack (default)
 //   $ ./build/examples/multi_tenant_isolation policy=fifo
+//
+// The workloads live in multi_tenant_isolation.scenario; the policy=fifo
+// switch just flips the loaded scenario's `sched` line.
 #include <cstdio>
 
-#include "common/config.h"
-#include "common/rng.h"
-#include "core/panic_nic.h"
-#include "workload/kvs_workload.h"
-#include "workload/traffic_gen.h"
+#include "common/cli.h"
+#include "scenario/runner.h"
 
 using namespace panic;
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
-  const Config args = Config::from_args(argc, argv);
-  const bool fifo = args.get_string("policy", "slack") == "fifo";
+  cli::ArgParser args("multi_tenant_isolation",
+                      "slack vs FIFO isolation under shared DMA");
+  args.parse(argc, argv);
+  const bool fifo = args.config().get_string("policy", "slack") == "fifo";
 
-  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
-  core::PanicConfig config;
-  config.mesh.k = 4;
-  config.sched_policy = fifo ? engines::SchedPolicy::kFifo
-                             : engines::SchedPolicy::kSlackPriority;
-  // Interactive tenant 1 gets tight slack; bulk tenant 2 gets loose slack.
-  config.tenant_slacks = {{1, 10}, {2, 100000}};
-  config.dma.contention_mean = 150.0;  // variable DMA performance (§3.2)
-  core::PanicNic nic(config, sim);
+  std::string error;
+  auto s = scenario::Scenario::load(
+      PANIC_SCENARIO_DIR "/multi_tenant_isolation.scenario", &error);
+  if (!s.has_value()) {
+    std::fprintf(stderr, "cannot load multi_tenant_isolation.scenario: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  if (fifo) s->sched_policy = engines::SchedPolicy::kFifo;
 
-  const Ipv4Addr interactive_client(10, 1, 0, 2);
-  const Ipv4Addr bulk_client(10, 2, 0, 9);
-  const Ipv4Addr server(10, 0, 0, 1);
+  scenario::RunOptions opts;
+  opts.mode = args.sim_mode();
+  opts.threads = args.threads();
+  scenario::ScenarioRun run(*s, opts);
+  run.run_all();
 
-  // Bulk tenant: bursts of 1500B frames.
-  workload::TrafficConfig bulk_traffic;
-  bulk_traffic.pattern = workload::ArrivalPattern::kOnOff;
-  bulk_traffic.mean_gap_cycles = 15.0;
-  bulk_traffic.on_cycles = 20000;
-  bulk_traffic.off_cycles = 10000;
-  bulk_traffic.tenant = TenantId{2};
-  workload::TrafficSource bulk(
-      "bulk", &nic.eth_port(1),
-      workload::make_udp_factory(bulk_client, server, 1500), bulk_traffic);
-  sim.add(&bulk);
-
-  // Interactive tenant: sparse small requests.
-  workload::TrafficConfig inter_traffic;
-  inter_traffic.pattern = workload::ArrivalPattern::kPoisson;
-  inter_traffic.mean_gap_cycles = 2500.0;
-  inter_traffic.tenant = TenantId{1};
-  workload::TrafficSource interactive(
-      "interactive", &nic.eth_port(0),
-      workload::make_min_frame_factory(interactive_client, server),
-      inter_traffic);
-  sim.add(&interactive);
-
-  sim.run(500000);  // 1 ms at 500 MHz
-
-  const auto snap = sim.snapshot();
+  const auto snap = run.sim().snapshot();
   const auto& t1 = snap.at("engine.dma.host_latency.tenant.1");
   const auto& t2 = snap.at("engine.dma.host_latency.tenant.2");
   std::printf("--- scheduling policy: %s ---\n", fifo ? "FIFO" : "slack");

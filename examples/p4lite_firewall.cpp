@@ -6,7 +6,7 @@
 // follows the default program.
 #include <cstdio>
 
-#include "common/rng.h"
+#include "common/cli.h"
 #include "core/panic_nic.h"
 #include "net/packet.h"
 #include "rmt/p4lite.h"
@@ -14,8 +14,8 @@
 using namespace panic;
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
+  panic::cli::ArgParser args("p4lite_firewall", "p4lite-programmed firewall stages");
+  args.parse(argc, argv);
   Simulator sim(Frequency::megahertz(500), requested_sim_mode());
   core::PanicConfig config;
   config.mesh.k = 4;

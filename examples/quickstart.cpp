@@ -3,56 +3,50 @@
 //
 //   $ ./build/examples/quickstart
 //
-// What happens: three frames enter Ethernet port 0.  The heavyweight RMT
-// pipeline parses each one and stamps a chain header; the mesh carries it
-// to the engines on its chain; the DMA engine delivers host-bound traffic
-// and raises (coalesced) interrupts via the PCIe engine.
+// The traffic lives in quickstart.scenario — three frames into Ethernet
+// port 0 — and runs through the shared scenario runner, so the identical
+// simulation is also one `panic_run examples/quickstart.scenario` away.
+// This wrapper only adds the narrated statistics printout and the TX-sink
+// commentary.
 #include <cstdio>
 
-#include "common/rng.h"
-#include "core/panic_nic.h"
+#include "common/cli.h"
 #include "net/packet.h"
+#include "scenario/runner.h"
 
 using namespace panic;
 
 int main(int argc, char** argv) {
-  panic::apply_seed_args(argc, argv);
-  panic::apply_thread_args(argc, argv);
-  // A 4x4-mesh NIC: 2x100G ports, 2 RMT engines, the full offload set.
-  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
-  // Opt-in per-message tracing: every RMT pass, NoC hop, queue event and
-  // service window is recorded and exported below for chrome://tracing.
-  sim.telemetry().tracer().enable();
-  core::PanicConfig config;
-  config.mesh.k = 4;
-  config.mesh.channel_bits = 128;
-  core::PanicNic nic(config, sim);
+  cli::ArgParser args("quickstart", "three frames through a 4x4-mesh NIC");
+  args.parse(argc, argv);
 
-  const Ipv4Addr client(10, 1, 0, 2);
-  const Ipv4Addr server(10, 0, 0, 1);
+  std::string error;
+  auto s = scenario::Scenario::load(PANIC_SCENARIO_DIR "/quickstart.scenario",
+                                    &error);
+  if (!s.has_value()) {
+    std::fprintf(stderr, "cannot load quickstart.scenario: %s\n",
+                 error.c_str());
+    return 1;
+  }
+
+  scenario::RunOptions opts;
+  opts.mode = args.sim_mode();
+  opts.threads = args.threads();
+  // Opt-in per-message tracing: every RMT pass, NoC hop, queue event and
+  // service window is recorded and exported for chrome://tracing.
+  opts.trace_path = "quickstart.trace.json";
+  scenario::ScenarioRun run(*s, opts);
+  Simulator& sim = run.sim();
 
   // Watch transmitted frames (NIC-generated replies leave here).
-  nic.eth_port(0).set_tx_sink([&](const Message& msg, Cycle now) {
+  run.nic().eth_port(0).set_tx_sink([&](const Message& msg, Cycle now) {
     const auto parsed = parse_frame(msg.data);
-    std::printf("[%6.0f ns] TX frame, %zu bytes%s\n", sim.clock().cycles_to_ns(now),
-                msg.data.size(),
+    std::printf("[%6.0f ns] TX frame, %zu bytes%s\n",
+                sim.clock().cycles_to_ns(now), msg.data.size(),
                 parsed && parsed->kvs ? " (KVS reply)" : "");
   });
 
-  // 1. A plain UDP packet -> host receive queue.
-  nic.inject_rx(0, frames::min_udp(client, server), sim.now());
-
-  // 2. A KVS SET installs a value (and continues to the host log).
-  nic.inject_rx(0, frames::kvs_set(client, server, /*tenant=*/1, /*key=*/7,
-                                   /*request_id=*/1, /*value_size=*/64),
-                sim.now());
-
-  // 3. A KVS GET for the same key: served entirely on the NIC (location
-  //    cache -> RDMA -> DMA read -> reply out the wire).
-  sim.run(2000);
-  nic.inject_rx(0, frames::kvs_get(client, server, 1, 7, 2), sim.now());
-
-  sim.run(5000);
+  run.run_all();
 
   // Every component published its counters into the simulator's metrics
   // registry; one snapshot() call reads them all by hierarchical name.
@@ -84,12 +78,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(lat.p99),
               static_cast<unsigned long long>(lat.max));
 
-  // Dump the message timeline: open chrome://tracing (or ui.perfetto.dev)
-  // and load quickstart.trace.json to see each packet hop engine to engine.
-  if (sim.telemetry().tracer().write_chrome_json("quickstart.trace.json",
-                                                 sim.clock())) {
-    std::printf("wrote quickstart.trace.json (%zu events)\n",
-                sim.telemetry().tracer().events().size());
-  }
+  // The timeline was written by run_all(): open chrome://tracing (or
+  // ui.perfetto.dev) and load quickstart.trace.json to see each packet hop
+  // engine to engine.
+  std::printf("wrote quickstart.trace.json (%zu events)\n",
+              sim.telemetry().tracer().events().size());
   return 0;
 }

@@ -1,0 +1,201 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace panic::cli {
+
+namespace {
+
+bool parse_int(const char* text, std::int64_t* out) {
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_uint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis)) {}
+
+void ArgParser::add(std::string_view name, std::string_view doc, Kind kind,
+                    void* out) {
+  specs_.push_back(Spec{std::string(name), std::string(doc), kind, out});
+}
+
+void ArgParser::flag(std::string_view name, std::string_view doc, bool* out) {
+  add(name, doc, Kind::kBool, out);
+}
+void ArgParser::option(std::string_view name, std::string_view doc,
+                       std::string* out) {
+  add(name, doc, Kind::kString, out);
+}
+void ArgParser::option(std::string_view name, std::string_view doc,
+                       std::int64_t* out) {
+  add(name, doc, Kind::kInt, out);
+}
+void ArgParser::option(std::string_view name, std::string_view doc,
+                       std::uint64_t* out) {
+  add(name, doc, Kind::kUint, out);
+}
+void ArgParser::option(std::string_view name, std::string_view doc,
+                       double* out) {
+  add(name, doc, Kind::kDouble, out);
+}
+
+std::string ArgParser::usage() const {
+  std::string out = "usage: " + program_ +
+                    " [flags] [key=value ...] [file ...]\n  " + synopsis_ +
+                    "\n\nflags:\n";
+  auto line = [&out](const char* flag, const char* doc) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  %-22s %s\n", flag, doc);
+    out += buf;
+  };
+  line("--seed <n>", "global simulation seed (decimal or 0x-hex)");
+  line("--threads <n>", "shard count; > 1 selects the parallel kernel");
+  line("--mode <m>", "kernel: dense | event | parallel");
+  line("--help", "print this message and exit");
+  for (const Spec& s : specs_) {
+    const std::string flag =
+        "--" + s.name + (s.kind == Kind::kBool ? "" : " <v>");
+    line(flag.c_str(), s.doc.c_str());
+  }
+  return out;
+}
+
+void ArgParser::fail(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), message.c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      // Bare token: key=value goes to the config, the rest are
+      // positionals.  A leading '-' without '--' is a typo worth
+      // rejecting, not a positional.
+      if (arg[0] == '-' && arg[1] != '\0') {
+        fail(std::string("unknown argument '") + arg +
+             "' (flags are spelled --name)");
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq != nullptr && eq != arg) {
+        config_.set(std::string(arg, eq), eq + 1);
+      } else {
+        positionals_.emplace_back(arg);
+      }
+      continue;
+    }
+    // "--name" or "--name=value".
+    std::string name = arg + 2;
+    const char* inline_value = nullptr;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = arg + 2 + eq + 1;
+      name.resize(eq);
+    }
+    // Consumes the flag's value: inline (--name=v) or the next token.
+    auto take_value = [&]() -> const char* {
+      if (inline_value != nullptr) return inline_value;
+      if (i + 1 >= argc) fail("--" + name + " expects a value");
+      return argv[++i];
+    };
+
+    if (name == "help") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (name == "seed") {
+      std::uint64_t v = 0;
+      if (!parse_uint(take_value(), &v)) fail("--seed expects an integer");
+      set_sim_seed(v);
+      seed_given_ = true;
+      continue;
+    }
+    if (name == "threads") {
+      std::int64_t v = 0;
+      if (!parse_int(take_value(), &v) || v < 0) {
+        fail("--threads expects a non-negative integer");
+      }
+      set_sim_threads(static_cast<int>(v));
+      continue;
+    }
+    if (name == "mode") {
+      const char* value = take_value();
+      const auto mode = sim_mode_from_string(value);
+      if (!mode) {
+        fail(std::string("--mode expects dense|event|parallel, got '") +
+             value + "'");
+      }
+      mode_ = *mode;
+      mode_given_ = true;
+      set_sim_mode(*mode);
+      continue;
+    }
+    const Spec* match = nullptr;
+    for (const Spec& s : specs_) {
+      if (s.name == name) {
+        match = &s;
+        break;
+      }
+    }
+    if (match == nullptr) fail("unknown flag --" + name);
+    switch (match->kind) {
+      case Kind::kBool:
+        if (inline_value != nullptr) fail("--" + name + " takes no value");
+        *static_cast<bool*>(match->out) = true;
+        break;
+      case Kind::kString:
+        *static_cast<std::string*>(match->out) = take_value();
+        break;
+      case Kind::kInt:
+        if (!parse_int(take_value(), static_cast<std::int64_t*>(match->out))) {
+          fail("--" + name + " expects an integer");
+        }
+        break;
+      case Kind::kUint:
+        if (!parse_uint(take_value(),
+                        static_cast<std::uint64_t*>(match->out))) {
+          fail("--" + name + " expects an unsigned integer");
+        }
+        break;
+      case Kind::kDouble:
+        if (!parse_double(take_value(), static_cast<double*>(match->out))) {
+          fail("--" + name + " expects a number");
+        }
+        break;
+    }
+  }
+  seed_ = sim_seed();
+  threads_ = sim_threads();
+}
+
+SimMode ArgParser::sim_mode(SimMode fallback) const {
+  if (mode_given_) return mode_;
+  return requested_sim_mode(fallback);
+}
+
+}  // namespace panic::cli

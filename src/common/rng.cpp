@@ -39,24 +39,6 @@ std::uint64_t sim_seed() { return sim_seed_storage(); }
 
 void set_sim_seed(std::uint64_t seed) { sim_seed_storage() = seed; }
 
-std::uint64_t apply_seed_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--seed=", 7) == 0) {
-      value = arg + 7;
-    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
-      value = argv[i + 1];
-    }
-    if (value != nullptr) {
-      char* end = nullptr;
-      const std::uint64_t v = std::strtoull(value, &end, 0);
-      if (end != value) set_sim_seed(v);
-    }
-  }
-  return sim_seed();
-}
-
 namespace {
 
 int& sim_threads_storage() {
@@ -78,24 +60,6 @@ int sim_threads() { return sim_threads_storage(); }
 void set_sim_threads(int threads) {
   if (threads < 0) threads = 0;
   sim_threads_storage() = threads;
-}
-
-int apply_thread_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--threads=", 10) == 0) {
-      value = arg + 10;
-    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-      value = argv[i + 1];
-    }
-    if (value != nullptr) {
-      char* end = nullptr;
-      const long v = std::strtol(value, &end, 10);
-      if (end != value) set_sim_threads(static_cast<int>(v));
-    }
-  }
-  return sim_threads();
 }
 
 std::uint64_t derive_seed(std::uint64_t stream) {

@@ -30,12 +30,6 @@ void set_sim_seed(std::uint64_t seed);
 /// shifts every stream deterministically.
 std::uint64_t derive_seed(std::uint64_t stream);
 
-/// Scans argv for `--seed <n>` / `--seed=<n>` (decimal or 0x-hex) and
-/// applies it via set_sim_seed.  Benches and examples call this first
-/// thing in main; returns the resolved sim_seed() either way so callers
-/// can print it / embed it in result JSON.
-std::uint64_t apply_seed_args(int argc, char** argv);
-
 // --- Worker-thread plumbing (the --threads twin of the seed above). ---
 //
 // The process-wide shard/thread count for SimMode::kParallelShards.
@@ -52,11 +46,6 @@ int sim_threads();
 /// Overrides the global thread count (benches/examples call this from a
 /// --threads argument before constructing any Simulator).
 void set_sim_threads(int threads);
-
-/// Scans argv for `--threads <n>` / `--threads=<n>` and applies it via
-/// set_sim_threads.  Returns the resolved sim_threads() either way so
-/// callers can pick a kernel mode and record the count in result JSON.
-int apply_thread_args(int argc, char** argv);
 
 /// xoshiro256** 1.0 — fast, high-quality, reproducible across platforms.
 /// Satisfies the UniformRandomBitGenerator concept.

@@ -101,16 +101,6 @@ class Engine : public Component {
     return in_service_ != nullptr || !queue_.empty() || !out_.empty();
   }
 
-  // --- Deprecated counter getters. ---
-  // Kept for one release as thin forwarders; new code reads the registry
-  // via Simulator::snapshot() ("engine.<name>.processed" etc.).  See the
-  // deprecation note in DESIGN.md §Telemetry.
-  std::uint64_t messages_processed() const { return processed_; }
-  /// Total service cycles of messages whose service started (accrued at
-  /// service start so it is independent of the kernel's tick schedule).
-  std::uint64_t busy_cycles() const { return busy_cycles_; }
-  const Histogram& service_histogram() const { return service_hist_; }
-
  protected:
   /// Cycles this engine needs to process `msg` (>= 1).  Called once when
   /// service starts.

@@ -30,7 +30,7 @@ MinimizeResult minimize(const Scenario& failing, int max_tests) {
   // Accepts `candidate` iff it is feasible and still fails some oracle.
   const auto try_reduce = [&](Scenario candidate) {
     if (result.tested >= max_tests) return false;
-    if (!candidate.feasible()) return false;
+    if (!candidate.feasible(/*strict_finite=*/true)) return false;
     ++result.tested;
     auto violations = check_scenario(candidate);
     if (violations.empty()) return false;

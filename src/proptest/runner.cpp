@@ -1,38 +1,14 @@
 #include "proptest/runner.h"
 
 #include <map>
-#include <memory>
-#include <utility>
+#include <vector>
 
-#include "core/panic_nic.h"
 #include "engines/sched_queue.h"
-#include "net/addr.h"
-#include "workload/kvs_workload.h"
+#include "scenario/runner.h"
 
 namespace panic::proptest {
 
 namespace {
-
-workload::FrameFactory make_factory(const WorkloadSpec& w) {
-  const Ipv4Addr client(10, static_cast<std::uint8_t>(w.tenant), 0, 2);
-  const Ipv4Addr server(10, 0, 0, 1);
-  switch (w.kind) {
-    case WorkloadSpec::Kind::kUdp:
-      return workload::make_udp_factory(client, server, w.frame_bytes,
-                                        w.dst_port);
-    case WorkloadSpec::Kind::kMinFrame:
-      return workload::make_min_frame_factory(client, server);
-    case WorkloadSpec::Kind::kKvs: {
-      workload::KvsWorkloadConfig kvs;
-      kvs.client = client;
-      kvs.server = server;
-      kvs.tenant = w.tenant;
-      kvs.wan_fraction = w.wan_fraction;
-      return workload::make_kvs_factory(kvs);
-    }
-  }
-  return nullptr;
-}
 
 /// Arms the SchedulerQueue dequeue audit for one scope, restoring the
 /// previous setting on exit (the audit switch is process-wide).
@@ -52,13 +28,14 @@ class AuditScope {
 RunResult run_scenario(const Scenario& s, SimMode mode) {
   AuditScope audit;
   // The window opens before any message of this run is created, and the
-  // delta is read before the NIC/simulator locals unwind — teardown
-  // destroys in-flight messages, which must not land in this window.
+  // delta is read before the NIC/simulator unwind — teardown destroys
+  // in-flight messages, which must not land in this window.
   fault::ConservationChecker conservation;
 
-  Simulator sim(Frequency::megahertz(500), mode,
-                mode == SimMode::kParallelShards ? s.threads : 0);
-  core::PanicNic nic(s.to_config(), sim);
+  scenario::RunOptions opts;
+  opts.mode = mode;
+  opts.threads = mode == SimMode::kParallelShards ? s.threads : 0;
+  scenario::ScenarioRun run(s, opts);
 
   // Per-(port, tenant) egress-order tracking.  One tenant is one flow on
   // one path by generator construction, so frames of a tenant must leave
@@ -73,46 +50,29 @@ RunResult run_scenario(const Scenario& s, SimMode mode) {
     std::uint64_t violations = 0;
   };
   std::vector<PortOrder> port_order(
-      static_cast<std::size_t>(nic.num_eth_ports()));
-  for (int p = 0; p < nic.num_eth_ports(); ++p) {
+      static_cast<std::size_t>(run.nic().num_eth_ports()));
+  for (int p = 0; p < run.nic().num_eth_ports(); ++p) {
     PortOrder* po = &port_order[static_cast<std::size_t>(p)];
-    nic.eth_port(p).set_tx_sink([po](const Message& msg, Cycle) {
+    run.nic().eth_port(p).set_tx_sink([po](const Message& msg, Cycle) {
       Cycle& last = po->last_created[msg.tenant.value];
       if (msg.created_at < last) ++po->violations;
       if (msg.created_at > last) last = msg.created_at;
     });
   }
 
-  std::vector<std::unique_ptr<workload::TrafficSource>> sources;
-  sources.reserve(s.workloads.size());
-  for (std::size_t i = 0; i < s.workloads.size(); ++i) {
-    const WorkloadSpec& w = s.workloads[i];
-    workload::TrafficConfig tc;
-    tc.pattern = w.pattern;
-    tc.mean_gap_cycles = w.mean_gap_cycles;
-    tc.on_cycles = w.on_cycles;
-    tc.off_cycles = w.off_cycles;
-    tc.max_frames = w.max_frames;
-    tc.tenant = TenantId{w.tenant};
-    tc.seed = w.seed;
-    sources.push_back(std::make_unique<workload::TrafficSource>(
-        "w" + std::to_string(i), &nic.eth_port(w.port), make_factory(w), tc));
-    sim.add(sources.back().get());
-  }
-
-  sim.run(s.budget_cycles);
+  run.run_all();
 
   for (const PortOrder& po : port_order) r.order_violations += po.violations;
-  r.final_cycle = sim.now();
-  r.events = sim.events_executed();
-  r.ticks = sim.component_ticks();
-  for (const auto& src : sources) r.generated += src->generated();
-  r.delivered = nic.dma().packets_to_host();
-  r.flits_routed = nic.mesh().total_flits_routed();
-  r.rmt_passes = nic.total_rmt_passes();
-  r.snapshot = sim.snapshot();
-  r.tx_packets =
-      static_cast<std::uint64_t>(r.snapshot.sum("engine.eth", ".tx_packets"));
+  const scenario::Outcome o = run.outcome();
+  r.final_cycle = o.final_cycle;
+  r.events = o.events;
+  r.ticks = o.ticks;
+  r.generated = o.generated;
+  r.delivered = run.nic().dma().packets_to_host();
+  r.flits_routed = run.nic().mesh().total_flits_routed();
+  r.rmt_passes = o.rmt_passes;
+  r.snapshot = o.snapshot;
+  r.tx_packets = o.tx_packets;
   r.credit_violations = static_cast<std::uint64_t>(
       r.snapshot.sum("noc.router.", ".credit_violations"));
   r.audit_violations =

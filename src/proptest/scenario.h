@@ -1,138 +1,17 @@
-// A fuzz scenario: one complete, self-describing PANIC configuration —
-// mesh dimensions, engine mix, scheduling/drop policy, workload traces and
-// an optional fault plan — everything the oracle suite needs to build and
-// run a NIC in both kernel modes.
-//
-// Scenarios are data.  They serialize to a line-oriented replay file
-// (`panic_fuzz --replay case.panic`) that round-trips through parse(), so
-// a violation found by the nightly soak reproduces bit-identically from
-// the file alone: every random draw in a run derives from the seeds
-// recorded here (workload seeds, the fault plan's seed, the DMA
-// contention stream).
-//
-// Format (one scalar per line; order of scalars is free, `workload`/
-// `slack`/`fault` lines repeat, `end` terminates):
-//
-//   panicfuzz 1
-//   seed 42
-//   mesh_k 4
-//   eth_ports 2
-//   rmt_engines 2
-//   aux_engines 0
-//   sched slack|fifo
-//   drop arrival|evict
-//   queue_capacity 256
-//   rmt_input_queue 512
-//   dma_contention 150
-//   default_slack 1000
-//   budget 50000
-//   threads 2
-//   slack <tenant> <slack>
-//   workload port=0 kind=udp|min|kvs tenant=1 pattern=const|poisson|onoff
-//            gap=500 on=1000 off=9000 frames=100 bytes=256 dport=9
-//            wan=0 seed=7
-//   fault_seed 99
-//   fault kill aux0 @15000
-//   end
+// The fuzz harness's scenario type IS the unified scenario language
+// (src/scenario/) — a `.panic` replay file is an ordinary scenario file.
+// This header keeps the historic panic::proptest spellings working for
+// the generator, oracles, minimizer and panic_fuzz.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "common/units.h"
-#include "core/panic_config.h"
-#include "fault/fault_plan.h"
-#include "workload/traffic_gen.h"
+#include "scenario/scenario.h"
 
 namespace panic::proptest {
 
-/// One open-loop traffic source feeding one Ethernet port.
-struct WorkloadSpec {
-  enum class Kind : std::uint8_t {
-    kUdp,       ///< fixed-size UDP frames (make_udp_factory)
-    kMinFrame,  ///< minimum-size frames (make_min_frame_factory)
-    kKvs,       ///< GET/SET mix with Zipf keys (make_kvs_factory)
-  };
-
-  int port = 0;  ///< Ethernet port index in [0, Scenario::eth_ports)
-  Kind kind = Kind::kUdp;
-  std::uint16_t tenant = 1;
-  workload::ArrivalPattern pattern = workload::ArrivalPattern::kPoisson;
-  double mean_gap_cycles = 500.0;
-  Cycles on_cycles = 1000;
-  Cycles off_cycles = 9000;
-  /// Always non-zero: finite traces keep runs short and shrinkable.
-  std::uint64_t max_frames = 100;
-  std::size_t frame_bytes = 256;  ///< kUdp payload frame size
-  std::uint16_t dst_port = 9;
-  /// kKvs: fraction of requests arriving WAN-encrypted.  The generator
-  /// only emits 0.0 or 1.0 so every flow has a single chain (mixed
-  /// fractions would legitimately reorder a tenant's replies between the
-  /// plain and IPSec paths, blinding the ordering oracle).
-  double wan_fraction = 0.0;
-  std::uint64_t seed = 1;
-};
-
-const char* to_string(WorkloadSpec::Kind kind);
-
-struct Scenario {
-  /// The generator seed this scenario was drawn from (0 = hand-written).
-  /// Recorded for provenance; replay does not re-generate.
-  std::uint64_t seed = 0;
-
-  // --- Topology. ---
-  int mesh_k = 4;
-  int eth_ports = 2;
-  int rmt_engines = 2;
-  int aux_engines = 0;
-
-  // --- Scheduling / queueing. ---
-  engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
-  engines::DropPolicy drop_policy = engines::DropPolicy::kDropArrival;
-  std::size_t engine_queue_capacity = 256;
-  std::size_t rmt_input_queue = 512;
-  double dma_contention_mean = 0.0;
-  std::uint32_t default_slack = 1000;
-  std::vector<std::pair<std::uint16_t, std::uint32_t>> tenant_slacks;
-
-  /// Cycles to simulate.
-  Cycles budget_cycles = 50000;
-
-  /// Shard count for the kParallelShards leg of the three-way oracle
-  /// (replay files written before the parallel kernel omit the line and
-  /// default to 2).
-  int threads = 2;
-
-  std::vector<WorkloadSpec> workloads;
-  fault::FaultPlan faults;
-
-  /// Whether this scenario can be built at all: the 11 fixed engines plus
-  /// ports/RMT/aux must fit the k*k mesh (PanicNic::plan_topology throws
-  /// otherwise), every workload must reference an existing port, and every
-  /// trace must be finite.
-  bool feasible() const;
-
-  /// Sum of max_frames across workloads (the <=10-packet shrink target of
-  /// the harness self-test).
-  std::uint64_t total_frames() const;
-
-  /// The PanicConfig this scenario builds (topology, policies, faults).
-  core::PanicConfig to_config() const;
-
-  /// Replay-file rendering; round-trips through parse().
-  std::string to_string() const;
-
-  /// Parses the replay format.  nullopt (and "line N: reason" in *error
-  /// when non-null) on malformed input.
-  static std::optional<Scenario> parse(const std::string& text,
-                                       std::string* error = nullptr);
-
-  /// to_string() to / parse() from a file.
-  bool save(const std::string& path) const;
-  static std::optional<Scenario> load(const std::string& path,
-                                      std::string* error = nullptr);
-};
+using Scenario = panic::scenario::Scenario;
+using WorkloadSpec = panic::scenario::WorkloadSpec;
+using InjectSpec = panic::scenario::InjectSpec;
+using HostTxSpec = panic::scenario::HostTxSpec;
+using panic::scenario::to_string;
 
 }  // namespace panic::proptest

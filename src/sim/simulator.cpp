@@ -13,19 +13,6 @@ namespace panic {
 
 thread_local Simulator::ShardState* Simulator::tls_shard_ = nullptr;
 
-const char* to_string(SimMode mode) {
-  switch (mode) {
-    case SimMode::kEventDriven: return "event";
-    case SimMode::kStrictTick: return "dense";
-    case SimMode::kParallelShards: return "parallel";
-  }
-  return "?";
-}
-
-SimMode requested_sim_mode(SimMode fallback) {
-  return sim_threads() > 1 ? SimMode::kParallelShards : fallback;
-}
-
 void Component::request_wake(Cycle at) {
   if (sim_ != nullptr) sim_->wake(this, at);
 }

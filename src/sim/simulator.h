@@ -48,27 +48,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/sim_mode.h"
 #include "common/units.h"
 #include "sim/component.h"
 #include "telemetry/telemetry.h"
 
 namespace panic {
-
-/// Kernel scheduling discipline.
-enum class SimMode : std::uint8_t {
-  kEventDriven,     ///< tick only active components; fast-forward idle gaps
-  kStrictTick,      ///< tick every component every cycle (reference mode)
-  kParallelShards,  ///< event kernel, sharded across worker threads
-};
-
-const char* to_string(SimMode mode);
-
-/// The kernel mode a bench/example should construct given the process-wide
-/// --threads / PANIC_THREADS request (common/rng.h): kParallelShards when
-/// more than one shard was asked for, else `fallback` (the caller's usual
-/// single-threaded kernel).  Mode-explicit differential tests must NOT use
-/// this — they pass their mode directly so the comparison stays meaningful.
-SimMode requested_sim_mode(SimMode fallback = SimMode::kEventDriven);
 
 class Simulator {
  public:

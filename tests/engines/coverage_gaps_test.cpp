@@ -77,10 +77,12 @@ TEST(EngineCounters, BusyCyclesAndServiceHistogram) {
     m.send(std::move(msg), src, worker);
   }
   m.sim.run(1000);
-  EXPECT_EQ(engine.messages_processed(), 3u);
-  EXPECT_GE(engine.busy_cycles(), 3u * 40u);
-  EXPECT_EQ(engine.service_histogram().count(), 3u);
-  EXPECT_EQ(engine.service_histogram().min(), 40u);
+  const auto snap = m.sim.snapshot();
+  EXPECT_EQ(snap.counter("engine.delay.processed"), 3u);
+  EXPECT_GE(snap.counter("engine.delay.busy_cycles"), 3u * 40u);
+  const auto& service = snap.at("engine.delay.service_cycles");
+  EXPECT_EQ(service.count, 3u);
+  EXPECT_EQ(service.min, 40u);
 }
 
 TEST(EngineBackpressure, OutputStagingHoldsWhenMeshIsBlocked) {

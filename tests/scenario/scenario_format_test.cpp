@@ -1,0 +1,305 @@
+// The scenario-language contract: canonical serialization is a parse
+// fixpoint (parse -> to_string -> parse is byte-identical), malformed
+// input fails with a line-numbered error, and the legacy `panicfuzz 1`
+// replay header still parses.
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace panic::scenario {
+namespace {
+
+/// A scenario exercising every serializable feature: non-default scalars,
+/// per-tenant slacks, all workload kinds' conditional keys, all four
+/// inject kinds, host TX, a fault plan, and a p4lite program block.
+Scenario make_full_scenario() {
+  Scenario s;
+  s.name = "format_full";
+  s.seed = 42;
+  s.mesh_k = 5;
+  s.channel_bits = 64;
+  s.freq_mhz = 800;
+  s.eth_ports = 3;
+  s.rmt_engines = 2;
+  s.aux_engines = 2;
+  s.spare_tiles = 1;
+  s.sched_policy = engines::SchedPolicy::kFifo;
+  s.drop_policy = engines::DropPolicy::kEvictLoosest;
+  s.engine_queue_capacity = 128;
+  s.rmt_input_queue = 256;
+  s.dma_base_latency = 90;
+  s.dma_contention_mean = 25.5;
+  s.default_slack = 500;
+  s.tenant_slacks = {{1, 10}, {2, 100000}};
+  s.warmup_cycles = 1000;
+  s.budget_cycles = 30000;
+  s.mode = SimMode::kParallelShards;
+  s.threads = 4;
+
+  WorkloadSpec udp;
+  udp.name = "bulk";
+  udp.port = 1;
+  udp.kind = WorkloadSpec::Kind::kUdp;
+  udp.tenant = 2;
+  udp.pattern = workload::ArrivalPattern::kOnOff;
+  udp.mean_gap_cycles = 12.5;
+  udp.on_cycles = 20000;
+  udp.off_cycles = 5000;
+  udp.max_frames = 0;
+  udp.frame_bytes = 1500;
+  udp.seed = 99;
+  udp.src = "10.2.0.9";
+  s.workloads.push_back(udp);
+
+  WorkloadSpec esp;
+  esp.name = "wan";
+  esp.kind = WorkloadSpec::Kind::kEsp;
+  esp.pattern = workload::ArrivalPattern::kPoisson;
+  esp.mean_gap_cycles = 500;
+  esp.max_frames = 1000;
+  esp.src_port = 50000;  // non-default -> serialized
+  esp.dst_port = 8080;
+  esp.src = "198.51.100.9";
+  esp.dst = "10.0.0.1";
+  esp.spi = 8193;
+  s.workloads.push_back(esp);
+
+  WorkloadSpec kvs;
+  kvs.name = "cache";
+  kvs.kind = WorkloadSpec::Kind::kKvs;
+  kvs.pattern = workload::ArrivalPattern::kConstantRate;
+  kvs.mean_gap_cycles = 2500;
+  kvs.max_frames = 64;
+  kvs.wan_fraction = 1.0;
+  s.workloads.push_back(kvs);
+
+  InjectSpec udp_inj;
+  udp_inj.at = 100;
+  udp_inj.kind = InjectSpec::Kind::kUdp;
+  udp_inj.src_port = 1234;  // non-default -> serialized
+  udp_inj.dst_port = 53;
+  s.injects.push_back(udp_inj);
+
+  InjectSpec set_inj;
+  set_inj.at = 200;
+  set_inj.kind = InjectSpec::Kind::kKvsSet;
+  set_inj.tenant = 1;
+  set_inj.key = 7;
+  set_inj.request_id = 1;
+  set_inj.value_bytes = 64;
+  s.injects.push_back(set_inj);
+
+  InjectSpec get_inj;
+  get_inj.at = 2000;
+  get_inj.kind = InjectSpec::Kind::kKvsGet;
+  get_inj.tenant = 1;
+  get_inj.key = 7;
+  get_inj.request_id = 2;
+  s.injects.push_back(get_inj);
+
+  InjectSpec esp_inj;
+  esp_inj.at = 25000;
+  esp_inj.kind = InjectSpec::Kind::kEsp;
+  esp_inj.src = "198.51.100.9";
+  esp_inj.spi = 8193;
+  esp_inj.seq = 1001;
+  esp_inj.tamper = true;
+  s.injects.push_back(esp_inj);
+
+  HostTxSpec tx;
+  tx.at = 15000;
+  tx.port = 2;
+  tx.dst = "203.0.113.80";
+  tx.src_port = 9001;
+  tx.payload_bytes = 300;
+  s.host_txs.push_back(tx);
+
+  s.faults.seed = 7;
+  s.faults.kill("aux0", 5000, "aux1").stall("dma", 1000, 200);
+
+  s.program =
+      "stage acl {\n"
+      "  # drop discard-port traffic\n"
+      "  match udp.dport == 9 -> drop\n"
+      "}\n";
+  return s;
+}
+
+TEST(ScenarioFormat, SerializeParseIsByteIdenticalFixpoint) {
+  const Scenario s = make_full_scenario();
+  const std::string text = s.to_string();
+
+  std::string error;
+  const auto parsed = Scenario::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_string(), text);
+
+  // Spot-check that the reparse reconstructed the struct, not just the
+  // text (kind-conditional keys are where round-trips usually break).
+  EXPECT_EQ(parsed->name, "format_full");
+  EXPECT_EQ(parsed->mode, SimMode::kParallelShards);
+  EXPECT_EQ(parsed->tenant_slacks, s.tenant_slacks);
+  ASSERT_EQ(parsed->workloads.size(), 3u);
+  EXPECT_EQ(parsed->workloads[0].max_frames, 0u);
+  EXPECT_EQ(parsed->workloads[1].src_port, 50000);
+  EXPECT_EQ(parsed->workloads[1].spi, 8193u);
+  EXPECT_EQ(parsed->workloads[2].wan_fraction, 1.0);
+  ASSERT_EQ(parsed->injects.size(), 4u);
+  EXPECT_EQ(parsed->injects[0].src_port, 1234);
+  EXPECT_EQ(parsed->injects[1].value_bytes, 64u);
+  EXPECT_TRUE(parsed->injects[3].tamper);
+  ASSERT_EQ(parsed->host_txs.size(), 1u);
+  EXPECT_EQ(parsed->host_txs[0].payload_bytes, 300u);
+  EXPECT_EQ(parsed->faults.seed, 7u);
+  EXPECT_EQ(parsed->faults.faults().size(), 2u);
+  EXPECT_EQ(parsed->program, s.program);
+}
+
+TEST(ScenarioFormat, MinimalScenarioRoundTripsWithDefaults) {
+  std::string error;
+  const auto parsed = Scenario::parse("panic_scenario 1\nend\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->mesh_k, 4);
+  EXPECT_EQ(parsed->budget_cycles, 50000u);
+  EXPECT_EQ(parsed->mode, SimMode::kEventDriven);
+  EXPECT_TRUE(parsed->workloads.empty());
+
+  const std::string canonical = parsed->to_string();
+  const auto again = Scenario::parse(canonical, &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_string(), canonical);
+}
+
+TEST(ScenarioFormat, NonCanonicalInputNormalizes) {
+  // Comments, blank lines, CRLF endings and leading whitespace all parse;
+  // re-serialization is the same canonical text as the tidy version.
+  const std::string messy =
+      "# a hand-edited file\r\n"
+      "panic_scenario 1\r\n"
+      "\r\n"
+      "  seed 5\r\n"
+      "\tbudget 1234   \r\n"
+      "inject at=0 port=0 kind=udp\r\n"
+      "end\r\n";
+  std::string error;
+  const auto parsed = Scenario::parse(messy, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->seed, 5u);
+  EXPECT_EQ(parsed->budget_cycles, 1234u);
+
+  Scenario tidy;
+  tidy.seed = 5;
+  tidy.budget_cycles = 1234;
+  tidy.injects.push_back(InjectSpec{});
+  EXPECT_EQ(parsed->to_string(), tidy.to_string());
+}
+
+TEST(ScenarioFormat, LegacyPanicfuzzHeaderStillAccepted) {
+  std::string error;
+  const auto parsed = Scenario::parse("panicfuzz 1\nseed 9\nend\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->seed, 9u);
+  // Canonical output upgrades to the new header.
+  EXPECT_EQ(parsed->to_string().substr(0, 16), "panic_scenario 1");
+}
+
+TEST(ScenarioFormat, ProgramHeredocPreservesBodyVerbatim) {
+  const std::string text =
+      "panic_scenario 1\n"
+      "program <<END\n"
+      "stage acl {\n"
+      "\n"
+      "  # comment lines inside the heredoc are payload, not comments\n"
+      "  match udp.dport == 9 -> drop\n"
+      "}\n"
+      "END\n"
+      "end\n";
+  std::string error;
+  const auto parsed = Scenario::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->program,
+            "stage acl {\n"
+            "\n"
+            "  # comment lines inside the heredoc are payload, not comments\n"
+            "  match udp.dport == 9 -> drop\n"
+            "}\n");
+  const auto again = Scenario::parse(parsed->to_string(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->program, parsed->program);
+}
+
+// --- Schema violations: every failure carries "line N: reason". ---
+
+std::string parse_error(const std::string& text) {
+  std::string error;
+  const auto parsed = Scenario::parse(text, &error);
+  EXPECT_FALSE(parsed.has_value()) << "unexpectedly parsed:\n" << text;
+  return error;
+}
+
+TEST(ScenarioFormat, UnknownKeyReportsLineNumber) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nbogus 3\nend\n"),
+            "line 2: unknown key 'bogus'");
+}
+
+TEST(ScenarioFormat, BadScalarValueReportsLineNumber) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nmesh_k banana\nend\n"),
+            "line 2: bad value for 'mesh_k': 'banana'");
+}
+
+TEST(ScenarioFormat, CommentsAndBlanksCountTowardLineNumbers) {
+  // The error is on physical line 4; comments/blanks must not shift it.
+  EXPECT_EQ(parse_error("panic_scenario 1\n# comment\n\nsched bogus\nend\n"),
+            "line 4: unknown sched policy 'bogus'");
+}
+
+TEST(ScenarioFormat, BadEnumValuesReportAlternatives) {
+  EXPECT_EQ(parse_error("panic_scenario 1\ndrop sometimes\nend\n"),
+            "line 2: unknown drop policy 'sometimes'");
+  EXPECT_EQ(parse_error("panic_scenario 1\nmode warp\nend\n"),
+            "line 2: unknown mode 'warp' (dense|event|parallel)");
+}
+
+TEST(ScenarioFormat, WrongHeaderFails) {
+  EXPECT_EQ(parse_error("hello world\n"),
+            "line 1: expected 'panic_scenario 1' header");
+  EXPECT_NE(parse_error("").find("missing 'panic_scenario 1' header"),
+            std::string::npos);
+}
+
+TEST(ScenarioFormat, MissingEndTerminatorFails) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nseed 1\n"),
+            "line 2: missing 'end' terminator");
+}
+
+TEST(ScenarioFormat, UnterminatedProgramBlockFails) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nprogram <<END\nstage x {\n"),
+            "line 3: program block missing END terminator");
+}
+
+TEST(ScenarioFormat, InjectWithoutKindFails) {
+  EXPECT_EQ(parse_error("panic_scenario 1\ninject at=5\nend\n"),
+            "line 2: inject line needs kind=udp|kvs_get|kvs_set|esp");
+}
+
+TEST(ScenarioFormat, BadWorkloadAddressFails) {
+  EXPECT_EQ(
+      parse_error("panic_scenario 1\nworkload src=999.1.2.3\nend\n"),
+      "line 2: bad IPv4 address for 'src': '999.1.2.3'");
+}
+
+TEST(ScenarioFormat, MalformedKeyValueTokenFails) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nhost_tx at\nend\n"),
+            "line 2: expected key=value, got 'at'");
+}
+
+TEST(ScenarioFormat, BadFaultLineSurfacesFaultPlanError) {
+  const std::string error =
+      parse_error("panic_scenario 1\nfault kill aux0\nend\n");
+  EXPECT_EQ(error.rfind("fault plan: ", 0), 0u) << error;
+}
+
+}  // namespace
+}  // namespace panic::scenario

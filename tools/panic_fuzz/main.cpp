@@ -27,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "proptest/generator.h"
 #include "proptest/minimizer.h"
@@ -58,63 +59,33 @@ void apply_threads(const Options& opt, Scenario* s) {
   else if (panic::sim_threads() > 0) s->threads = panic::sim_threads();
 }
 
-void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--runs N] [--seed S] [--budget-cycles C] [--threads T]\n"
-      "          [--out FILE]\n"
-      "       %s --replay FILE\n"
-      "       %s --selftest\n",
-      argv0, argv0, argv0);
-}
-
-bool parse_args(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--runs") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt->runs = std::atoi(v);
-    } else if (arg == "--seed") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt->seed = std::strtoull(v, nullptr, 0);
-      opt->seed_given = true;
-    } else if (arg == "--budget-cycles") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt->budget_cycles = std::strtoull(v, nullptr, 0);
-    } else if (arg == "--threads") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt->threads = std::atoi(v);
-    } else if (arg == "--out") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt->out = v;
-    } else if (arg == "--replay") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt->replay = v;
-    } else if (arg == "--selftest") {
-      opt->selftest = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-      usage(argv[0]);
-      return false;
-    }
+/// panic_fuzz's --seed names the GENERATOR base seed (scenario files must
+/// reproduce from disk alone, so the process-wide sim seed stays at its
+/// default — a shifted global would change every derived stream without
+/// being recorded in the replay file).
+Options parse_args(int argc, char** argv) {
+  panic::cli::ArgParser args(
+      "panic_fuzz", "randomized differential fuzzing with oracle suite");
+  Options opt;
+  std::int64_t runs = opt.runs;
+  std::uint64_t budget = 0;
+  args.option("runs", "scenarios to generate (seed S, S+1, ...)", &runs);
+  args.option("budget-cycles", "per-scenario cycle budget (0 = generator)",
+              &budget);
+  args.option("out", "replay file for a minimized failure", &opt.out);
+  args.option("replay", "re-run a saved replay file", &opt.replay);
+  args.flag("selftest", "verify the harness against a planted bug",
+            &opt.selftest);
+  args.parse(argc, argv);
+  opt.runs = static_cast<int>(runs);
+  opt.budget_cycles = budget;
+  opt.threads = args.threads();
+  if (args.seed_given()) {
+    opt.seed = args.seed();
+    opt.seed_given = true;
+    panic::set_sim_seed(panic::kDefaultSimSeed);
   }
-  return true;
+  return opt;
 }
 
 void print_violations(const std::vector<Violation>& violations) {
@@ -153,7 +124,7 @@ int run_replay(const Options& opt) {
                  error.c_str());
     return 2;
   }
-  if (!scenario->feasible()) {
+  if (!scenario->feasible(/*strict_finite=*/true)) {
     std::fprintf(stderr, "%s: scenario is not feasible\n",
                  opt.replay.c_str());
     return 2;
@@ -250,8 +221,7 @@ int run_selftest(Options opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  if (!parse_args(argc, argv, &opt)) return 2;
+  const Options opt = parse_args(argc, argv);
   if (opt.selftest) return run_selftest(opt);
   if (!opt.replay.empty()) return run_replay(opt);
   return run_fuzz(opt);
