@@ -3,74 +3,92 @@
 // host.  Each chain hop is one more mesh traversal, so beyond a knee the
 // on-chip network saturates and delivered throughput falls below offered.
 // Wider channels (the paper's "Bit Width" column) push the knee out.
+//
+// Each design point is expressed as a Scenario — the same schema
+// `panic_run` executes — built programmatically (the chain program is a
+// p4lite `program` block parameterized by chain length) and run through
+// ScenarioRun.  Every point is round-tripped through the scenario text
+// format first, so the sweep doubles as a serialization check and any
+// point can be dumped and re-run standalone with `panic_run`.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "analysis/report.h"
 #include "common/cli.h"
-#include "core/panic_nic.h"
-#include "net/packet.h"
-#include "workload/kvs_workload.h"
-#include "workload/traffic_gen.h"
+#include "scenario/runner.h"
 
 using namespace panic;
 using namespace panic::analysis;
 
 namespace {
 
-const Ipv4Addr kClient(10, 1, 0, 2);
-const Ipv4Addr kServer(10, 0, 0, 1);
-
 struct RunResult {
   double delivered_ratio;
   std::uint64_t p99;
 };
 
-RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
-              std::uint64_t frames) {
-  Simulator sim(Frequency::megahertz(500), requested_sim_mode());
-  core::PanicConfig cfg;
-  cfg.mesh.k = 5;
-  cfg.mesh.channel_bits = channel_bits;
-  cfg.aux_engines = 8;
-  cfg.aux_fixed_cycles = 1;  // pass-through: the NoC is the resource
-  cfg.dma.base_latency = 2;  // fast host path so DMA never dominates
-  cfg.dma.bytes_per_cycle = 256.0;
-  cfg.customize_program = [chain_len](rmt::RmtProgram& program,
-                                      const core::PanicTopology& topo) {
-    auto& stage = program.add_stage("chain");
-    rmt::MatchTable t("chain", rmt::MatchKind::kTernary,
-                      {rmt::Field::kMetaMsgKind});
-    rmt::Action chain("chain");
-    chain.clear_chain();
-    for (int i = 0; i < chain_len; ++i) {
-      chain.push_hop(topo.aux[static_cast<std::size_t>(i)].value);
-    }
-    chain.push_hop(topo.dma.value);
-    t.add_ternary(0, ~0ull, 1, std::move(chain));  // kPacket == 0
-    stage.tables.push_back(std::move(t));
-  };
-  core::PanicNic nic(cfg, sim);
-
-  workload::TrafficConfig tcfg;
-  tcfg.mean_gap_cycles = gap;
-  tcfg.max_frames = frames;
-  workload::TrafficSource src(
-      "gen", &nic.eth_port(0),
-      workload::make_min_frame_factory(kClient, kServer), tcfg);
-  sim.add(&src);
-
+/// One design point of the sweep as a self-contained scenario.
+scenario::Scenario make_point(std::uint32_t channel_bits, int chain_len,
+                              double gap, std::uint64_t frames) {
+  scenario::Scenario s;
+  s.name = strf("chain_scaling_w%u_n%d", channel_bits, chain_len);
+  s.mesh_k = 5;
+  s.channel_bits = static_cast<int>(channel_bits);
+  s.aux_engines = 8;
+  s.aux_fixed_cycles = 1;  // pass-through: the NoC is the resource
+  s.dma_base_latency = 2;  // fast host path so DMA never dominates
+  s.dma_bytes_per_cycle = 256.0;
   // Fixed horizon: just enough to emit every frame plus a short drain.
   // A chain the mesh can sustain delivers ~everything inside it; an
   // unsustainable one leaves a backlog (and queue drops).
-  const auto horizon =
+  s.budget_cycles =
       static_cast<Cycles>(gap * static_cast<double>(frames)) + 5000;
-  sim.run(horizon);
 
-  const auto snap = sim.snapshot();
+  scenario::WorkloadSpec w;
+  w.name = "gen";
+  w.port = 0;
+  w.kind = scenario::WorkloadSpec::Kind::kMinFrame;
+  w.pattern = workload::ArrivalPattern::kConstantRate;
+  w.mean_gap_cycles = gap;
+  w.max_frames = frames;
+  s.workloads.push_back(w);
+
+  // The chain program: every packet walks n pass-through aux engines,
+  // then DMA.  aux<N>/dma resolve through the topology symbol table.
+  std::string hops;
+  for (int i = 0; i < chain_len; ++i) hops += strf("aux%d, ", i);
+  s.program = strf(
+      "stage chain {\n"
+      "  table chain ternary(meta.msg_kind) {\n"
+      "    0 prio 1 -> clear_chain, chain(%sdma);\n"
+      "  }\n"
+      "}\n",
+      hops.c_str());
+  return s;
+}
+
+RunResult run(const scenario::Scenario& s) {
+  // Round-trip through the text format: the sweep's design points must be
+  // expressible (and re-parseable) as ordinary scenario files.
+  std::string error;
+  const auto reparsed = scenario::Scenario::parse(s.to_string(), &error);
+  if (!reparsed.has_value() || reparsed->to_string() != s.to_string()) {
+    std::fprintf(stderr, "scenario round-trip failed for %s: %s\n",
+                 s.name.c_str(), error.c_str());
+    std::exit(EXIT_FAILURE);
+  }
+
+  scenario::RunOptions opts;
+  opts.mode = requested_sim_mode();
+  scenario::ScenarioRun run(*reparsed, opts);
+  run.run_all();
+
+  const auto snap = run.sim().snapshot();
   RunResult r;
   r.delivered_ratio =
       static_cast<double>(snap.counter("engine.dma.packets_to_host")) /
-      static_cast<double>(frames);
+      static_cast<double>(s.workloads[0].max_frames);
   r.p99 = static_cast<std::uint64_t>(snap.at("engine.dma.host_latency").p99);
   return r;
 }
@@ -78,7 +96,8 @@ RunResult run(std::uint32_t channel_bits, int chain_len, double gap,
 }  // namespace
 
 int main(int argc, char** argv) {
-  panic::cli::ArgParser args("bench_chain_scaling", "latency/throughput vs offload-chain length");
+  panic::cli::ArgParser args("bench_chain_scaling",
+                             "latency/throughput vs offload-chain length");
   args.parse(argc, argv);
   std::printf(
       "PANIC reproduction — E5: chain length vs delivered throughput\n");
@@ -91,7 +110,7 @@ int main(int argc, char** argv) {
   Report report({"Width", "Chain len", "Delivered/Offered", "p99 (cyc)"});
   for (std::uint32_t width : {64u, 128u}) {
     for (int n : {0, 1, 2, 3, 4, 6, 8}) {
-      const auto r = run(width, n, gap, frames);
+      const auto r = run(make_point(width, n, gap, frames));
       report.add_row({strf("%u-bit", width), strf("%d", n),
                       strf("%.3f", r.delivered_ratio),
                       strf("%llu", static_cast<unsigned long long>(r.p99))});

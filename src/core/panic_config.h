@@ -16,6 +16,7 @@
 #include "fault/fault_plan.h"
 #include "fault/watchdog.h"
 #include "noc/mesh.h"
+#include "rmt/flow_cache.h"
 #include "rmt/pipeline.h"
 
 namespace panic::core {
@@ -54,6 +55,11 @@ struct PanicConfig {
   engines::DropPolicy drop_policy = engines::DropPolicy::kDropArrival;
   std::size_t engine_queue_capacity = 256;
   std::size_t rmt_input_queue = 512;
+
+  /// Per-RMT-engine flow-signature resolution cache (rmt/flow_cache.h).
+  /// Host wall-clock optimization only: simulated stats are bit-identical
+  /// with the cache off.  Default on.
+  rmt::FlowCacheConfig rmt_cache;
 
   engines::DmaConfig dma;
   engines::PcieConfig pcie;

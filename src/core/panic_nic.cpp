@@ -86,6 +86,7 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
   RmtEngineConfig rcfg;
   rcfg.input_queue = config_.rmt_input_queue;
   rcfg.sched_policy = config_.sched_policy;
+  rcfg.cache = config_.rmt_cache;
   for (int i = 0; i < config_.rmt_engines; ++i) {
     auto* engine = adopt(new RmtEngine(
         "rmt" + std::to_string(i),

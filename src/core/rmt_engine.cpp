@@ -16,6 +16,9 @@ RmtEngine::RmtEngine(std::string name, noc::NetworkInterface* ni,
       queue_(config.sched_policy, config.input_queue) {
   assert(ni_ != nullptr);
   ni_->set_client(this);
+  if (config.cache.enabled) {
+    pipeline_.enable_flow_cache(config.cache);
+  }
 }
 
 void RmtEngine::tick(Cycle now) {
@@ -112,6 +115,21 @@ void RmtEngine::register_telemetry(telemetry::Telemetry& t) {
   m.expose_gauge(prefix + "staging_high_watermark", [this] {
     return static_cast<double>(out_.high_watermark());
   });
+  // Flow-cache telemetry lives under its own `rmt.cache.` prefix: the only
+  // metrics allowed to differ between cache-on and cache-off runs, so one
+  // prefix filter excludes them from every differential gate.  Registered
+  // only when the cache is enabled — cache-off runs publish nothing here.
+  if (rmt::FlowCache* cache = pipeline_.flow_cache()) {
+    const std::string cp = "rmt.cache." + name() + ".";
+    rmt::FlowCache::Counters& c = cache->counters();
+    m.expose_counter(cp + "hits", &c.hits);
+    m.expose_counter(cp + "misses", &c.misses);
+    m.expose_counter(cp + "inserts", &c.inserts);
+    m.expose_counter(cp + "evictions", &c.evictions);
+    m.expose_counter(cp + "flushes", &c.flushes);
+    m.expose_gauge(cp + "cacheable",
+                   [cache] { return cache->active() ? 1.0 : 0.0; });
+  }
   queue_.register_metrics(m, prefix + "queue");
   queue_.bind_tracer(tracer(), trace_tag());
 }

@@ -17,6 +17,7 @@
 #include "engines/sched_queue.h"
 #include "fault/steering.h"
 #include "noc/network_interface.h"
+#include "rmt/flow_cache.h"
 #include "rmt/pipeline.h"
 #include "sim/component.h"
 #include "sim/timed_queue.h"
@@ -26,6 +27,10 @@ namespace panic::core {
 struct RmtEngineConfig {
   std::size_t input_queue = 256;  ///< messages buffered before the parser
   engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
+  /// Flow-signature resolution cache (rmt/flow_cache.h).  Host wall-clock
+  /// optimization only — simulated behaviour is bit-identical with the
+  /// cache off.  Default on.
+  rmt::FlowCacheConfig cache;
 };
 
 class RmtEngine : public Component {
@@ -55,6 +60,11 @@ class RmtEngine : public Component {
   /// the pipeline that computes chains (§3.1.2).
   void set_steering(const fault::SteeringDirectory* steering) {
     steering_ = steering;
+    // The cache gates cached chains on the directory's generation: any
+    // later re-steer flushes memoized resolutions.
+    if (rmt::FlowCache* cache = pipeline_.flow_cache()) {
+      cache->set_steering(steering);
+    }
   }
   std::uint64_t resteered() const { return resteered_; }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -32,18 +33,32 @@ class SteeringDirectory {
   }
 
   void mark_dead(EngineId id) {
-    if (!is_dead(id)) dead_.push_back(id.value);
+    if (!is_dead(id)) {
+      dead_.push_back(id.value);
+      gen_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Declares a set of interchangeable engines (parallel instances of the
   /// same offload).  A dead member re-steers to the first live member.
   void add_equivalence_group(std::vector<EngineId> group) {
     groups_.push_back(std::move(group));
+    gen_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Explicit one-off fallback (overrides group resolution).
   void set_fallback(EngineId dead, EngineId equivalent) {
     fallbacks_.push_back({dead.value, equivalent.value});
+    gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bumped on every state change (death, new group, new fallback).
+  /// Caches that memoize routing decisions (rmt::FlowCache) compare this
+  /// stamp and flush when it moves, so a cached chain can never resurrect
+  /// a dead engine.  Relaxed atomic: bumps happen in the serial event
+  /// phase at a cycle boundary; shard threads only read it.
+  std::uint64_t generation() const {
+    return gen_.load(std::memory_order_relaxed);
   }
 
   /// Resolves a proposed next hop: the hop itself when alive, a live
@@ -73,6 +88,7 @@ class SteeringDirectory {
   std::vector<std::uint16_t> dead_;  // tiny: linear scan beats hashing
   std::vector<std::pair<std::uint16_t, std::uint16_t>> fallbacks_;
   std::vector<std::vector<EngineId>> groups_;
+  std::atomic<std::uint64_t> gen_{0};
 };
 
 }  // namespace panic::fault

@@ -65,6 +65,30 @@ void MessagePool::release(Message* msg) noexcept {
   ++free_count_;
 }
 
+void MessagePool::reserve(std::size_t target) {
+  std::size_t deficit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_count_ < target) deficit = target - free_count_;
+  }
+  if (deficit == 0) return;
+  // Heap work outside the lock; splice the chain in with one swap.
+  Message* head = nullptr;
+  Message* tail = nullptr;
+  for (std::size_t i = 0; i < deficit; ++i) {
+    Message* msg = new Message();
+    msg->in_pool = true;
+    msg->pool_next = head;
+    head = msg;
+    if (tail == nullptr) tail = msg;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tail->pool_next = free_head_;
+  free_head_ = head;
+  free_count_ += deficit;
+  stats_.prewarmed += deficit;
+}
+
 void MessagePool::trim() {
   std::lock_guard<std::mutex> lock(mu_);
   while (free_head_ != nullptr) {

@@ -41,6 +41,7 @@ class MessagePool {
     std::uint64_t bytes_reused = 0;  ///< data-buffer capacity handed back out
     std::uint64_t live = 0;          ///< messages currently outside the pool
     std::uint64_t live_high_watermark = 0;
+    std::uint64_t prewarmed = 0;     ///< messages pre-allocated via reserve()
   };
 
   /// The process-wide pool (leaky singleton; never destroyed).
@@ -72,6 +73,14 @@ class MessagePool {
   /// Frees the entire free list (tests that want a cold pool).  Live
   /// messages are unaffected.
   void trim();
+
+  /// Pre-warms the free list up to `target` entries so a saturated run's
+  /// working set never touches the heap (pool-miss-free from cycle 0, not
+  /// just after warmup).  Only the free list and the `prewarmed` stat are
+  /// touched — live/recycled accounting and the conservation ledger never
+  /// see these messages until they are acquired normally.  No-op when the
+  /// free list already holds `target` or more.
+  void reserve(std::size_t target);
 
  private:
   MessagePool() = default;

@@ -47,6 +47,10 @@ WorkloadSpec generate_workload(Rng& rng, int index, int eth_ports,
                                  w.mean_gap_cycles) + 2;
   w.max_frames = std::min<std::uint64_t>(rng.uniform_int(20, 300), rate_bound);
   w.frame_bytes = pick(rng, {64, 128, 256, 512, 1024, 1500});
+  // Flow locality: small values make the RMT flow cache actually hit, so
+  // the cache_differential oracle exercises the replay path, not just the
+  // all-miss path.
+  w.flows = static_cast<std::uint32_t>(pick(rng, {1, 4, 16, 1024}));
   w.dst_port = static_cast<std::uint16_t>(pick(rng, {9, 5353, 8080}));
   // All-or-nothing WAN so a tenant's replies take a single chain.
   w.wan_fraction =
@@ -156,6 +160,17 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
   }
 
   if (rng.bernoulli(0.5)) generate_faults(rng, s);
+
+  // Flow-cache knob: usually on (the default), sometimes off (exercising
+  // the uncached path), sometimes a degenerate geometry — a single set or
+  // way forces constant evictions, and the cache_differential oracle must
+  // hold regardless.
+  if (rng.bernoulli(0.2)) {
+    s.rmt_cache_enabled = false;
+  } else if (rng.bernoulli(0.4)) {
+    s.rmt_cache_sets = static_cast<std::uint32_t>(pick(rng, {1, 2, 8, 64}));
+    s.rmt_cache_ways = static_cast<std::uint32_t>(pick(rng, {1, 2, 4}));
+  }
   return s;
 }
 

@@ -21,12 +21,12 @@ void add(std::vector<Violation>* out, const std::string& oracle,
 }
 
 template <typename T>
-void expect_eq(std::vector<Violation>* out, const char* what, const char* na,
-               T a, const char* nb, T b) {
+void expect_eq(std::vector<Violation>* out, const char* oracle,
+               const char* what, const char* na, T a, const char* nb, T b) {
   if (a != b) {
     std::ostringstream os;
     os << what << ": " << na << "=" << a << " " << nb << "=" << b;
-    add(out, "differential", os.str());
+    add(out, oracle, os.str());
   }
 }
 
@@ -37,18 +37,26 @@ bool excluded_from_diff(const std::string& name) {
   return name.rfind("kernel.", 0) == 0;
 }
 
+/// rmt.cache.* is the flow cache's own bookkeeping — present only on the
+/// cache-on side and the single namespace allowed to differ between
+/// cache-on and cache-off runs.
+bool excluded_from_cache_diff(const std::string& name) {
+  return excluded_from_diff(name) || name.rfind("rmt.cache.", 0) == 0;
+}
+
 void check_differential(const RunResult& a, const RunResult& b,
+                        const char* oracle, const char* na, const char* nb,
+                        bool (*excluded)(const std::string&),
                         std::vector<Violation>* out) {
-  const char* na = mode_name(a.mode);
-  const char* nb = mode_name(b.mode);
-  expect_eq(out, "final_cycle", na, a.final_cycle, nb, b.final_cycle);
-  expect_eq(out, "events", na, a.events, nb, b.events);
-  expect_eq(out, "generated", na, a.generated, nb, b.generated);
-  expect_eq(out, "delivered", na, a.delivered, nb, b.delivered);
-  expect_eq(out, "tx_packets", na, a.tx_packets, nb, b.tx_packets);
-  expect_eq(out, "flits_routed", na, a.flits_routed, nb, b.flits_routed);
-  expect_eq(out, "rmt_passes", na, a.rmt_passes, nb, b.rmt_passes);
-  const auto diff = a.snapshot.diff_names(b.snapshot, excluded_from_diff);
+  expect_eq(out, oracle, "final_cycle", na, a.final_cycle, nb, b.final_cycle);
+  expect_eq(out, oracle, "events", na, a.events, nb, b.events);
+  expect_eq(out, oracle, "generated", na, a.generated, nb, b.generated);
+  expect_eq(out, oracle, "delivered", na, a.delivered, nb, b.delivered);
+  expect_eq(out, oracle, "tx_packets", na, a.tx_packets, nb, b.tx_packets);
+  expect_eq(out, oracle, "flits_routed", na, a.flits_routed, nb,
+            b.flits_routed);
+  expect_eq(out, oracle, "rmt_passes", na, a.rmt_passes, nb, b.rmt_passes);
+  const auto diff = a.snapshot.diff_names(b.snapshot, excluded);
   if (!diff.empty()) {
     std::string names;
     for (std::size_t i = 0; i < diff.size() && i < 8; ++i) {
@@ -56,10 +64,16 @@ void check_differential(const RunResult& a, const RunResult& b,
       names += diff[i];
     }
     if (diff.size() > 8) names += ", ...";
-    add(out, "differential",
+    add(out, oracle,
         std::string(na) + " vs " + nb + ": snapshots differ on " +
             std::to_string(diff.size()) + " metric(s): " + names);
   }
+}
+
+void check_differential(const RunResult& a, const RunResult& b,
+                        std::vector<Violation>* out) {
+  check_differential(a, b, "differential", mode_name(a.mode),
+                     mode_name(b.mode), excluded_from_diff, out);
 }
 
 }  // namespace
@@ -133,6 +147,16 @@ std::vector<Violation> check_scenario(const Scenario& s, RunResult* dense_out,
   check_single_run(s, dense, &violations);
   check_single_run(s, event, &violations);
   check_single_run(s, parallel, &violations);
+  // Cache differential: the flow cache must be semantically invisible.
+  // One extra event-kernel leg with the cache forced off, compared modulo
+  // the cache's own rmt.cache.* telemetry.
+  if (s.rmt_cache_enabled) {
+    Scenario off = s;
+    off.rmt_cache_enabled = false;
+    RunResult event_off = run_scenario(off, SimMode::kEventDriven);
+    check_differential(event, event_off, "cache_differential", "cache-on",
+                       "cache-off", excluded_from_cache_diff, &violations);
+  }
   if (dense_out != nullptr) *dense_out = std::move(dense);
   if (event_out != nullptr) *event_out = std::move(event);
   if (parallel_out != nullptr) *parallel_out = std::move(parallel);

@@ -20,6 +20,11 @@
 //   ledger_telemetry — the conservation ledger and the telemetry counters
 //                      agree on the delivered/dropped/faulted totals
 //                      (each fate has exactly one legal counting site).
+//   cache_differential — the RMT flow cache is semantically invisible:
+//                      when the scenario runs cache-on, one extra
+//                      event-kernel leg with the cache forced off must be
+//                      bit-identical (minus the cache's own rmt.cache.*
+//                      telemetry, which only exists on the cache-on side).
 #pragma once
 
 #include <string>

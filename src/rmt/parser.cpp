@@ -7,22 +7,51 @@ namespace panic::rmt {
 void Parser::add_state(ParserState state) {
   if (states_.empty()) start_ = state.name;
   states_[state.name] = std::move(state);
+  // Recompiling on every add is O(states^2) — fine: graphs are built once
+  // at program-construction time and are a handful of states.
+  compile();
+}
+
+void Parser::compile() {
+  compiled_.clear();
+  std::map<std::string, std::int32_t> index;
+  for (const auto& [name, state] : states_) {
+    index[name] = static_cast<std::int32_t>(index.size());
+  }
+  const auto resolve = [&](const std::string& name) -> std::int32_t {
+    if (name.empty()) return kAccept;
+    const auto it = index.find(name);
+    return it != index.end() ? it->second : kMissing;
+  };
+  for (const auto& [name, state] : states_) {
+    CompiledState c;
+    c.set_valid = state.set_valid;
+    c.extracts = state.extracts;
+    c.header_bytes = state.header_bytes;
+    c.select = state.select;
+    for (const ParserTransition& t : state.transitions) {
+      c.transitions.push_back(
+          CompiledTransition{t.value, t.mask, resolve(t.next_state)});
+    }
+    c.default_next = resolve(state.default_next);
+    compiled_.push_back(std::move(c));
+  }
+  start_index_ = resolve(start_);
 }
 
 bool Parser::parse(std::span<const std::uint8_t> frame, Phv& phv,
-                   std::map<Field, FieldLocation>* locations) const {
-  if (states_.empty()) return false;
+                   FieldLocations* locations) const {
+  if (compiled_.empty()) return false;
 
   std::size_t cursor = 0;
-  std::string current = start_;
+  std::int32_t current = start_index_;
   // A parse graph over a finite frame terminates as long as every state
   // advances; bound the walk to catch zero-advance loops in bad programs.
-  const std::size_t max_states = states_.size() + 4;
+  const std::size_t max_states = compiled_.size() + 4;
 
   for (std::size_t depth = 0; depth < max_states; ++depth) {
-    const auto it = states_.find(current);
-    if (it == states_.end()) return false;
-    const ParserState& state = it->second;
+    if (current < 0) return false;  // kMissing (kAccept exits below)
+    const CompiledState& state = compiled_[static_cast<std::size_t>(current)];
 
     if (state.set_valid) phv.set_parsed(*state.set_valid, 1);
 
@@ -37,9 +66,9 @@ bool Parser::parse(std::span<const std::uint8_t> frame, Phv& phv,
       }
       phv.set_parsed(ex.field, v);
       if (locations) {
-        (*locations)[ex.field] =
-            FieldLocation{static_cast<std::uint32_t>(cursor + ex.offset),
-                          ex.width_bytes};
+        locations->set(ex.field,
+                       static_cast<std::uint32_t>(cursor + ex.offset),
+                       ex.width_bytes);
       }
       if (state.select && *state.select == ex.field) {
         select_value = v;
@@ -54,16 +83,16 @@ bool Parser::parse(std::span<const std::uint8_t> frame, Phv& phv,
     if (cursor + state.header_bytes > frame.size()) return false;
     cursor += state.header_bytes;
 
-    std::string next = state.default_next;
+    std::int32_t next = state.default_next;
     if (state.select) {
-      for (const ParserTransition& t : state.transitions) {
+      for (const CompiledTransition& t : state.transitions) {
         if ((select_value & t.mask) == (t.value & t.mask)) {
-          next = t.next_state;
+          next = t.next;
           break;
         }
       }
     }
-    if (next.empty()) return true;  // accept
+    if (next == kAccept) return true;
     current = next;
   }
   return false;  // too many transitions: malformed graph

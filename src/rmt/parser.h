@@ -9,6 +9,7 @@
 // deparser can write modified fields back.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -56,6 +57,27 @@ struct FieldLocation {
   std::uint8_t width_bytes = 0;
 };
 
+/// Per-packet record of where each extracted field sits in the frame,
+/// indexed by field (width_bytes == 0 => not extracted).  A flat array
+/// that lives on the process() stack: the std::map<Field, FieldLocation>
+/// it replaced cost one tree-node allocation per extracted field per
+/// packet on the simulation hot path.
+class FieldLocations {
+ public:
+  void set(Field f, std::uint32_t offset, std::uint8_t width) {
+    at_[static_cast<std::size_t>(f)] = FieldLocation{offset, width};
+  }
+  bool has(Field f) const {
+    return at_[static_cast<std::size_t>(f)].width_bytes != 0;
+  }
+  const FieldLocation& operator[](Field f) const {
+    return at_[static_cast<std::size_t>(f)];
+  }
+
+ private:
+  std::array<FieldLocation, kFieldCount> at_{};
+};
+
 class Parser {
  public:
   /// Adds a state; the first state added is the start state.
@@ -70,13 +92,36 @@ class Parser {
   /// the end of the frame.  On success, `locations` (if non-null) receives
   /// the byte location of every extracted field.
   bool parse(std::span<const std::uint8_t> frame, Phv& phv,
-             std::map<Field, FieldLocation>* locations = nullptr) const;
+             FieldLocations* locations = nullptr) const;
 
   std::size_t num_states() const { return states_.size(); }
 
  private:
+  /// The name-linked graph is compiled into index-linked states once per
+  /// add_state (build time), so the per-packet walk does no string
+  /// hashing, map lookups or std::string copies.
+  struct CompiledTransition {
+    std::uint64_t value;
+    std::uint64_t mask;
+    std::int32_t next;
+  };
+  struct CompiledState {
+    std::optional<Field> set_valid;
+    std::vector<ParserExtract> extracts;
+    std::uint16_t header_bytes = 0;
+    std::optional<Field> select;
+    std::vector<CompiledTransition> transitions;
+    std::int32_t default_next = kAccept;
+  };
+  static constexpr std::int32_t kAccept = -1;   ///< empty next: done
+  static constexpr std::int32_t kMissing = -2;  ///< unresolved state name
+
+  void compile();
+
   std::string start_;
   std::map<std::string, ParserState> states_;
+  std::vector<CompiledState> compiled_;
+  std::int32_t start_index_ = kMissing;
 };
 
 /// The default parse graph for the protocol set in src/net: Ethernet →

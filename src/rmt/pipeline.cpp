@@ -2,11 +2,23 @@
 
 #include <cassert>
 
+#include "rmt/flow_cache.h"
+
 namespace panic::rmt {
 
 Pipeline::Pipeline(std::shared_ptr<const RmtProgram> program)
     : program_(std::move(program)) {
   assert(program_ != nullptr);
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::enable_flow_cache(const FlowCacheConfig& config) {
+  if (!config.enabled) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<FlowCache>(config, *program_);
 }
 
 void Pipeline::seed_metadata(const Message& msg, Phv& phv) const {
@@ -51,11 +63,14 @@ void Pipeline::fill_message_meta(const Phv& phv, Message& msg) const {
   }
 }
 
-void Pipeline::deparse(const Phv& phv,
-                       const std::map<Field, FieldLocation>& locations,
+void Pipeline::deparse(const Phv& phv, const FieldLocations& locations,
                        Message& msg) const {
-  for (const auto& [field, loc] : locations) {
-    if (!phv.modified(field)) continue;
+  // Field-index order, matching the std::map<Field, ...> iteration order
+  // this replaced, so rewrites land in the same byte order.
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    const Field field = static_cast<Field>(i);
+    if (!phv.modified(field) || !locations.has(field)) continue;
+    const FieldLocation& loc = locations[field];
     if (loc.offset + loc.width_bytes > msg.data.size()) continue;
     std::uint64_t v = phv.get(field);
     for (int b = loc.width_bytes - 1; b >= 0; --b) {
@@ -68,7 +83,7 @@ void Pipeline::deparse(const Phv& phv,
 ProcessResult Pipeline::process(Message& msg) {
   ProcessResult result;
   Phv phv;
-  std::map<Field, FieldLocation> locations;
+  FieldLocations locations;
 
   seed_metadata(msg, phv);
   if (msg.kind == MessageKind::kPacket && !msg.data.empty()) {
@@ -79,17 +94,47 @@ ProcessResult Pipeline::process(Message& msg) {
     result.parsed = true;
   }
 
+  // Flow-cache fast path: replay a memoized resolution for this signature.
+  // Simulated behaviour is untouched — the same PHV writes, chain, table
+  // tallies and counters as a real stage walk; only host time is saved.
+  if (cache_ != nullptr) {
+    cache_->refresh_generations();
+    if (const CachedResolution* hit = cache_->lookup(phv)) {
+      std::size_t t = 0;
+      for (const Stage& stage : program_->stages) {
+        for (const MatchTable& table : stage.tables) {
+          table.record_lookup(hit->table_matched[t++] != 0);
+        }
+      }
+      for (const auto& [field, value] : hit->writes) phv.set(field, value);
+      if (hit->chain.total_hops() > 0) msg.chain = hit->chain;
+      result.drop = phv.get(Field::kMetaDrop) != 0;
+      result.queue = phv.get(Field::kMetaQueue);
+      fill_message_meta(phv, msg);
+      deparse(phv, locations, msg);
+      ++msg.rmt_passes;
+      ++processed_;
+      return result;
+    }
+  }
+
   // The pipeline recomputes the route: any hops remaining from a previous
   // pass were consumed up to this point; actions build the new chain.
   ChainHeader new_chain;
   ActionContext ctx{phv, new_chain, regs_};
+  const bool capture = cache_ != nullptr && cache_->active();
+  if (capture) matched_scratch_.clear();
   for (const Stage& stage : program_->stages) {
     for (const MatchTable& table : stage.tables) {
-      if (const Action* action = table.lookup(phv)) {
+      bool matched = false;
+      if (const Action* action =
+              table.lookup(phv, capture ? &matched : nullptr)) {
         apply_action(*action, ctx);
       }
+      if (capture) matched_scratch_.push_back(matched ? 1 : 0);
     }
   }
+  if (capture) cache_->insert(matched_scratch_, phv, new_chain);
 
   if (new_chain.total_hops() > 0) {
     msg.chain = std::move(new_chain);

@@ -46,9 +46,13 @@ struct ProcessResult {
   std::uint64_t queue = 0;  ///< selected receive queue (kMetaQueue)
 };
 
+class FlowCache;
+struct FlowCacheConfig;
+
 class Pipeline {
  public:
   explicit Pipeline(std::shared_ptr<const RmtProgram> program);
+  ~Pipeline();
 
   /// End-to-end latency of one message through the pipeline, in cycles.
   Cycles latency_cycles() const { return program_->stages.size() + 2; }
@@ -64,16 +68,24 @@ class Pipeline {
 
   std::uint64_t messages_processed() const { return processed_; }
 
+  /// Attaches a flow-signature resolution cache (rmt/flow_cache.h).  A
+  /// host wall-clock optimization only: hits replay the memoized
+  /// resolution, but every observable stat stays bit-identical to a
+  /// cache-less run.
+  void enable_flow_cache(const FlowCacheConfig& config);
+  FlowCache* flow_cache() { return cache_.get(); }
+
  private:
   void seed_metadata(const Message& msg, Phv& phv) const;
   void fill_message_meta(const Phv& phv, Message& msg) const;
-  void deparse(const Phv& phv,
-               const std::map<Field, FieldLocation>& locations,
+  void deparse(const Phv& phv, const FieldLocations& locations,
                Message& msg) const;
 
   std::shared_ptr<const RmtProgram> program_;
   RegisterFile regs_;
   std::uint64_t processed_ = 0;
+  std::unique_ptr<FlowCache> cache_;
+  std::vector<std::uint8_t> matched_scratch_;  // per-miss capture buffer
 };
 
 }  // namespace panic::rmt

@@ -5,6 +5,18 @@
 
 namespace panic::rmt {
 
+namespace {
+std::atomic<std::uint64_t> g_table_epoch{0};
+}  // namespace
+
+std::uint64_t table_mutation_epoch() {
+  return g_table_epoch.load(std::memory_order_relaxed);
+}
+
+void bump_table_mutation_epoch() {
+  g_table_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
 MatchTable::MatchTable(std::string name, MatchKind kind,
                        std::vector<Field> key_fields)
     : name_(std::move(name)), kind_(kind), key_fields_(std::move(key_fields)) {
@@ -44,6 +56,7 @@ void MatchTable::add_entry(TableEntry entry) {
     exact_index_[exact_hash(entry.key)] = entries_.size();
   }
   entries_.push_back(std::move(entry));
+  bump_table_mutation_epoch();
   if (kind_ == MatchKind::kLpm) {
     // Longest prefix first: sort by descending mask population.
     std::sort(entries_.begin(), entries_.end(),
@@ -91,11 +104,12 @@ void MatchTable::add_ternary(std::uint64_t key, std::uint64_t mask,
   add_entry(std::move(e));
 }
 
-const Action* MatchTable::lookup(const Phv& phv) const {
+const Action* MatchTable::lookup(const Phv& phv, bool* matched) const {
   std::vector<std::uint64_t> key;
   key.reserve(key_fields_.size());
   for (Field f : key_fields_) key.push_back(phv.get(f));
 
+  if (matched != nullptr) *matched = true;
   switch (kind_) {
     case MatchKind::kExact: {
       const auto it = exact_index_.find(exact_hash(key));
@@ -132,6 +146,7 @@ const Action* MatchTable::lookup(const Phv& phv) const {
       break;
     }
   }
+  if (matched != nullptr) *matched = false;
   misses_.fetch_add(1, std::memory_order_relaxed);
   return default_action_ ? &*default_action_ : nullptr;
 }

@@ -15,6 +15,16 @@
 
 namespace panic::rmt {
 
+/// Process-wide table-mutation epoch.  Every entry insertion or
+/// default-action change on any MatchTable bumps it; the flow cache
+/// (rmt/flow_cache.h) compares the stamp once per processed message and
+/// flushes when it moved, so memoized resolutions can never outlive the
+/// tables they were derived from.  Relaxed atomic: mutations happen during
+/// program construction or in the serial event phase, never concurrently
+/// with a shard's read.
+std::uint64_t table_mutation_epoch();
+void bump_table_mutation_epoch();
+
 enum class MatchKind : std::uint8_t { kExact, kLpm, kTernary };
 
 /// One table entry.  For kExact, `masks` is ignored.  For kLpm (single key
@@ -62,6 +72,8 @@ class MatchTable {
   MatchKind kind() const { return kind_; }
   const std::vector<Field>& key_fields() const { return key_fields_; }
   std::size_t size() const { return entries_.size(); }
+  /// Read-only entry view (flow-cache key-mask derivation walks actions).
+  const std::vector<TableEntry>& entries() const { return entries_; }
 
   /// Adds an entry.  Preconditions: key size matches the table's key
   /// fields; for kLpm the table has exactly one key field.
@@ -82,14 +94,29 @@ class MatchTable {
   /// Action to run when nothing matches (defaults to no-op / miss).
   void set_default_action(Action action) {
     default_action_ = std::move(action);
+    bump_table_mutation_epoch();
   }
   const Action* default_action() const {
     return default_action_ ? &*default_action_ : nullptr;
   }
 
   /// Looks up the PHV; returns the matching entry's action, the default
-  /// action on miss, or nullptr when there is no default either.
-  const Action* lookup(const Phv& phv) const;
+  /// action on miss, or nullptr when there is no default either.  When
+  /// `matched` is non-null it is set to whether an entry matched (the
+  /// hit/miss tally outcome), so callers can memoize and later replay the
+  /// tally via record_lookup().
+  const Action* lookup(const Phv& phv, bool* matched = nullptr) const;
+
+  /// Replays the hit/miss accounting of a memoized lookup without
+  /// performing it (flow-cache hit path) — keeps table tallies identical
+  /// between cache-on and cache-off runs.
+  void record_lookup(bool matched) const {
+    if (matched) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {

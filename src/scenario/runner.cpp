@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "engines/ipsec_engine.h"
+#include "net/message_pool.h"
 #include "net/packet.h"
 #include "workload/kvs_workload.h"
 
@@ -25,9 +26,9 @@ workload::FrameFactory make_factory(const WorkloadSpec& w) {
   switch (w.kind) {
     case WorkloadSpec::Kind::kUdp:
       return workload::make_udp_factory(client, server, w.frame_bytes,
-                                        w.dst_port);
+                                        w.dst_port, w.flows);
     case WorkloadSpec::Kind::kMinFrame:
-      return workload::make_min_frame_factory(client, server);
+      return workload::make_min_frame_factory(client, server, w.flows);
     case WorkloadSpec::Kind::kKvs: {
       workload::KvsWorkloadConfig kvs;
       kvs.client = client;
@@ -61,9 +62,9 @@ workload::FrameFiller make_filler(const WorkloadSpec& w) {
   switch (w.kind) {
     case WorkloadSpec::Kind::kUdpFill:
       return workload::make_udp_filler(client, server, w.frame_bytes,
-                                       w.dst_port);
+                                       w.dst_port, w.flows);
     case WorkloadSpec::Kind::kMinFill:
-      return workload::make_min_frame_filler(client, server);
+      return workload::make_min_frame_filler(client, server, w.flows);
     default:
       return nullptr;
   }
@@ -126,6 +127,9 @@ ScenarioRun::ScenarioRun(const Scenario& s, const RunOptions& opts)
                              "' is not feasible (topology/ports/queues)");
   }
   if (!opts_.trace_path.empty()) sim_.telemetry().tracer().enable();
+  if (scenario_.pool_reserve > 0) {
+    MessagePool::instance().reserve(scenario_.pool_reserve);
+  }
   nic_ = std::make_unique<core::PanicNic>(scenario_.to_config(), sim_);
   build_sources();
   schedule_frames();

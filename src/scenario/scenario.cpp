@@ -110,7 +110,9 @@ bool parse_workload_line(const std::string& rest, WorkloadSpec* spec,
       else if (key == "off") spec->off_cycles = std::stoull(val);
       else if (key == "frames") spec->max_frames = std::stoull(val);
       else if (key == "bytes") spec->frame_bytes = std::stoull(val);
-      else if (key == "sport") {
+      else if (key == "flows") {
+        spec->flows = static_cast<std::uint32_t>(std::stoul(val));
+      } else if (key == "sport") {
         spec->src_port = static_cast<std::uint16_t>(std::stoul(val));
       } else if (key == "dport") {
         spec->dst_port = static_cast<std::uint16_t>(std::stoul(val));
@@ -267,6 +269,8 @@ const std::vector<FieldDoc>& field_reference() {
       {"scalar", "rmt_engines", "<int>", "2", "RMT pipeline engine count"},
       {"scalar", "aux_engines", "<int>", "0",
        "extra pass-through delay engines"},
+      {"scalar", "aux_fixed_cycles", "<cycles>", "100",
+       "aux engine fixed service latency"},
       {"scalar", "spare_tiles", "<int>", "0",
        "tiles reserved for caller-attached engines"},
       {"scalar", "sched", "slack | fifo", "slack",
@@ -277,12 +281,19 @@ const std::vector<FieldDoc>& field_reference() {
        "per-engine queue capacity"},
       {"scalar", "rmt_input_queue", "<size>", "512",
        "RMT engine input queue capacity"},
+      {"scalar", "rmt_cache", "off | sets=<n> ways=<n>", "sets=64 ways=4",
+       "RMT flow-signature resolution cache (host-time only; rmt.cache.* "
+       "metrics)"},
       {"scalar", "dma_base_latency", "<cycles>", "75",
        "DMA fixed service latency"},
+      {"scalar", "dma_bytes_per_cycle", "<double>", "32",
+       "DMA payload bandwidth per cycle"},
       {"scalar", "dma_contention", "<double>", "0",
        "mean of the DMA contention jitter (0 = none)"},
       {"scalar", "default_slack", "<uint32>", "1000",
        "slack for tenants without an explicit entry"},
+      {"scalar", "pool_reserve", "<count>", "0",
+       "pre-warm the MessagePool free list to this depth before the run"},
       {"scalar", "warmup", "<cycles>", "0",
        "cycles before the measured window"},
       {"scalar", "budget", "<cycles>", "50000", "measured cycles"},
@@ -313,6 +324,8 @@ const std::vector<FieldDoc>& field_reference() {
       {"workload", "frames", "<uint64>", "100",
        "stop after this many frames (0 = unlimited)"},
       {"workload", "bytes", "<size>", "256", "udp/udp_fill frame size"},
+      {"workload", "flows", "<uint32>", "1024",
+       "distinct 5-tuples cycled (sport 40000+seq%flows); flow locality"},
       {"workload", "sport", "<uint16>", "40000", "UDP source port (esp)"},
       {"workload", "dport", "<uint16>", "9", "UDP destination port"},
       {"workload", "wan", "<double>", "0",
@@ -362,6 +375,9 @@ bool Scenario::feasible(bool strict_finite) const {
     return false;
   }
   if (engine_queue_capacity == 0 || rmt_input_queue == 0) return false;
+  if (rmt_cache_sets == 0 || rmt_cache_sets > (1u << 20)) return false;
+  if (rmt_cache_ways == 0 || rmt_cache_ways > 1024) return false;
+  if (dma_bytes_per_cycle <= 0.0) return false;
   if (budget_cycles == 0) return false;
   if (threads < 1 || threads > 64) return false;
   if (channel_bits <= 0 || freq_mhz <= 0) return false;
@@ -369,6 +385,9 @@ bool Scenario::feasible(bool strict_finite) const {
     if (w.port < 0 || w.port >= eth_ports) return false;
     if (strict_finite && w.max_frames == 0) return false;  // must terminate
     if (w.mean_gap_cycles <= 0.0) return false;
+    // Source ports stay inside [40000, 41024): the range the default
+    // program's LB hash was tuned against.
+    if (w.flows == 0 || w.flows > 1024) return false;
   }
   for (const InjectSpec& i : injects) {
     if (i.port < 0 || i.port >= eth_ports) return false;
@@ -398,7 +417,12 @@ core::PanicConfig Scenario::to_config() const {
   cfg.drop_policy = drop_policy;
   cfg.engine_queue_capacity = engine_queue_capacity;
   cfg.rmt_input_queue = rmt_input_queue;
+  cfg.rmt_cache.enabled = rmt_cache_enabled;
+  cfg.rmt_cache.sets = rmt_cache_sets;
+  cfg.rmt_cache.ways = rmt_cache_ways;
+  cfg.aux_fixed_cycles = aux_fixed_cycles;
   cfg.dma.base_latency = dma_base_latency;
+  cfg.dma.bytes_per_cycle = dma_bytes_per_cycle;
   cfg.dma.contention_mean = dma_contention_mean;
   cfg.default_slack = default_slack;
   cfg.tenant_slacks = tenant_slacks;
@@ -450,6 +474,9 @@ std::string Scenario::to_string() const {
   out << "eth_ports " << eth_ports << "\n";
   out << "rmt_engines " << rmt_engines << "\n";
   out << "aux_engines " << aux_engines << "\n";
+  if (aux_fixed_cycles != 100) {
+    out << "aux_fixed_cycles " << aux_fixed_cycles << "\n";
+  }
   if (spare_tiles != 0) out << "spare_tiles " << spare_tiles << "\n";
   out << "sched "
       << (sched_policy == engines::SchedPolicy::kSlackPriority ? "slack"
@@ -461,11 +488,21 @@ std::string Scenario::to_string() const {
       << "\n";
   out << "queue_capacity " << engine_queue_capacity << "\n";
   out << "rmt_input_queue " << rmt_input_queue << "\n";
+  if (!rmt_cache_enabled) {
+    out << "rmt_cache off\n";
+  } else if (rmt_cache_sets != 64 || rmt_cache_ways != 4) {
+    out << "rmt_cache sets=" << rmt_cache_sets << " ways=" << rmt_cache_ways
+        << "\n";
+  }
   if (dma_base_latency != 75) {
     out << "dma_base_latency " << dma_base_latency << "\n";
   }
+  if (dma_bytes_per_cycle != 32.0) {
+    out << "dma_bytes_per_cycle " << dma_bytes_per_cycle << "\n";
+  }
   out << "dma_contention " << dma_contention_mean << "\n";
   out << "default_slack " << default_slack << "\n";
+  if (pool_reserve != 0) out << "pool_reserve " << pool_reserve << "\n";
   if (warmup_cycles != 0) out << "warmup " << warmup_cycles << "\n";
   out << "budget " << budget_cycles << "\n";
   out << "threads " << threads << "\n";
@@ -483,6 +520,7 @@ std::string Scenario::to_string() const {
         << " gap=" << w.mean_gap_cycles << " on=" << w.on_cycles
         << " off=" << w.off_cycles << " frames=" << w.max_frames
         << " bytes=" << w.frame_bytes;
+    if (w.flows != 1024) out << " flows=" << w.flows;
     if (w.src_port != 40000) out << " sport=" << w.src_port;
     out << " dport=" << w.dst_port << " wan=" << w.wan_fraction
         << " seed=" << w.seed;
@@ -598,10 +636,50 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
         s.engine_queue_capacity = std::stoull(rest);
       } else if (key == "rmt_input_queue") {
         s.rmt_input_queue = std::stoull(rest);
+      } else if (key == "rmt_cache") {
+        if (rest == "off") {
+          s.rmt_cache_enabled = false;
+        } else if (rest == "on") {
+          s.rmt_cache_enabled = true;
+        } else {
+          std::istringstream rs(rest);
+          std::string tok;
+          bool saw_any = false;
+          while (rs >> tok) {
+            std::string k, v;
+            if (!split_kv(tok, &k, &v)) {
+              fail(error, lineno,
+                   "expected 'rmt_cache off' or 'rmt_cache sets=<n> "
+                   "ways=<n>'");
+              return std::nullopt;
+            }
+            if (k == "sets") {
+              s.rmt_cache_sets = static_cast<std::uint32_t>(std::stoul(v));
+            } else if (k == "ways") {
+              s.rmt_cache_ways = static_cast<std::uint32_t>(std::stoul(v));
+            } else {
+              fail(error, lineno, "unknown rmt_cache key '" + k + "'");
+              return std::nullopt;
+            }
+            saw_any = true;
+          }
+          if (!saw_any) {
+            fail(error, lineno,
+                 "expected 'rmt_cache off' or 'rmt_cache sets=<n> ways=<n>'");
+            return std::nullopt;
+          }
+          s.rmt_cache_enabled = true;
+        }
+      } else if (key == "aux_fixed_cycles") {
+        s.aux_fixed_cycles = std::stoull(rest);
       } else if (key == "dma_base_latency") {
         s.dma_base_latency = std::stoull(rest);
+      } else if (key == "dma_bytes_per_cycle") {
+        s.dma_bytes_per_cycle = std::stod(rest);
       } else if (key == "dma_contention") {
         s.dma_contention_mean = std::stod(rest);
+      } else if (key == "pool_reserve") {
+        s.pool_reserve = std::stoull(rest);
       } else if (key == "default_slack") {
         s.default_slack = static_cast<std::uint32_t>(std::stoul(rest));
       } else if (key == "warmup") {

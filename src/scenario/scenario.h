@@ -81,6 +81,11 @@ struct WorkloadSpec {
   /// 0 = unlimited (fuzz scenarios must be finite; see feasible()).
   std::uint64_t max_frames = 100;
   std::size_t frame_bytes = 256;  ///< kUdp/kUdpFill payload frame size
+  /// kUdp/kMinFrame/kUdpFill/kMinFill: distinct 5-tuples the source cycles
+  /// through (UDP source port `40000 + seq % flows`).  Sets the traffic's
+  /// flow locality — small values model steady flows (RMT flow-cache
+  /// friendly), the 1024 default models a wide per-packet flow churn.
+  std::uint32_t flows = 1024;
   std::uint16_t src_port = 40000;
   std::uint16_t dst_port = 9;
   /// kKvs: fraction of requests arriving WAN-encrypted.  The generator
@@ -178,10 +183,21 @@ struct Scenario {
   engines::DropPolicy drop_policy = engines::DropPolicy::kDropArrival;
   std::size_t engine_queue_capacity = 256;
   std::size_t rmt_input_queue = 512;
+  /// RMT flow-signature resolution cache (rmt/flow_cache.h).  `rmt_cache
+  /// off` disables it; `rmt_cache sets=N ways=N` sizes it.  Semantically
+  /// invisible either way (host wall-clock optimization only).
+  bool rmt_cache_enabled = true;
+  std::uint32_t rmt_cache_sets = 64;
+  std::uint32_t rmt_cache_ways = 4;
+  Cycles aux_fixed_cycles = 100;
   Cycles dma_base_latency = 75;
+  double dma_bytes_per_cycle = 32.0;
   double dma_contention_mean = 0.0;
   std::uint32_t default_slack = 1000;
   std::vector<std::pair<std::uint16_t, std::uint32_t>> tenant_slacks;
+  /// Pre-warm the MessagePool free list to this many entries before the
+  /// run (0 = none) so saturated windows are pool-miss-free.
+  std::uint64_t pool_reserve = 0;
 
   // --- Execution. ---
   /// Cycles before the measured window (pool fill / cache warm).

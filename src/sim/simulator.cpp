@@ -94,6 +94,9 @@ Simulator::Simulator(Frequency clock, SimMode mode, int threads)
     return static_cast<double>(
         MessagePool::instance().stats().live_high_watermark);
   });
+  m.expose_gauge("kernel.alloc.prewarmed", [] {
+    return static_cast<double>(MessagePool::instance().stats().prewarmed);
+  });
 }
 
 Simulator::~Simulator() { stop_workers(); }

@@ -33,7 +33,8 @@ FrameFactory make_kvs_factory(const KvsWorkloadConfig& config) {
 
 FrameFactory make_udp_factory(Ipv4Addr src, Ipv4Addr dst,
                               std::size_t frame_bytes,
-                              std::uint16_t dst_port) {
+                              std::uint16_t dst_port, std::uint32_t flows) {
+  if (flows == 0) flows = 1;
   return [=](Rng& rng, std::uint64_t seq) {
     (void)rng;
     const std::size_t headers =
@@ -44,36 +45,39 @@ FrameFactory make_udp_factory(Ipv4Addr src, Ipv4Addr dst,
         .eth(*MacAddr::parse("02:00:00:00:00:01"),
              *MacAddr::parse("02:00:00:00:00:02"))
         .ipv4(src, dst)
-        .udp(static_cast<std::uint16_t>(40000 + seq % 1024), dst_port)
+        .udp(static_cast<std::uint16_t>(40000 + seq % flows), dst_port)
         .payload_size(payload)
         .build(frame_bytes);
   };
 }
 
-FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst) {
-  return make_udp_factory(src, dst, kMinFrameBytes);
+FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst,
+                                    std::uint32_t flows) {
+  return make_udp_factory(src, dst, kMinFrameBytes, 9, flows);
 }
 
 FrameFiller make_udp_filler(Ipv4Addr src, Ipv4Addr dst,
                             std::size_t frame_bytes,
-                            std::uint16_t dst_port) {
-  // The factory's frames depend on seq only through `40000 + seq % 1024`
-  // (the UDP source port), so 1024 cached prototypes cover every frame the
-  // filler will ever emit; prototypes are built lazily with the factory
-  // itself, which guarantees byte equality.
-  auto factory = make_udp_factory(src, dst, frame_bytes, dst_port);
+                            std::uint16_t dst_port, std::uint32_t flows) {
+  if (flows == 0) flows = 1;
+  // The factory's frames depend on seq only through `40000 + seq % flows`
+  // (the UDP source port), so `flows` cached prototypes cover every frame
+  // the filler will ever emit; prototypes are built lazily with the
+  // factory itself, which guarantees byte equality.
+  auto factory = make_udp_factory(src, dst, frame_bytes, dst_port, flows);
   auto protos =
-      std::make_shared<std::vector<std::vector<std::uint8_t>>>(1024);
-  return [factory = std::move(factory), protos = std::move(protos)](
+      std::make_shared<std::vector<std::vector<std::uint8_t>>>(flows);
+  return [factory = std::move(factory), protos = std::move(protos), flows](
              Rng& rng, std::uint64_t seq, std::vector<std::uint8_t>& out) {
-    auto& proto = (*protos)[seq % 1024];
+    auto& proto = (*protos)[seq % flows];
     if (proto.empty()) proto = factory(rng, seq);
     out.assign(proto.begin(), proto.end());
   };
 }
 
-FrameFiller make_min_frame_filler(Ipv4Addr src, Ipv4Addr dst) {
-  return make_udp_filler(src, dst, kMinFrameBytes);
+FrameFiller make_min_frame_filler(Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint32_t flows) {
+  return make_udp_filler(src, dst, kMinFrameBytes, 9, flows);
 }
 
 }  // namespace panic::workload

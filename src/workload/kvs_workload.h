@@ -29,25 +29,32 @@ struct KvsWorkloadConfig {
 FrameFactory make_kvs_factory(const KvsWorkloadConfig& config);
 
 /// Frame factory producing plain UDP frames of `frame_bytes` (background /
-/// bulk traffic).
+/// bulk traffic).  `flows` is the number of distinct 5-tuples the source
+/// cycles through (UDP source port `40000 + seq % flows`) — the knob that
+/// sets the traffic's flow locality, e.g. for RMT flow-cache working-set
+/// studies.
 FrameFactory make_udp_factory(Ipv4Addr src, Ipv4Addr dst,
                               std::size_t frame_bytes,
-                              std::uint16_t dst_port = 9);
+                              std::uint16_t dst_port = 9,
+                              std::uint32_t flows = 1024);
 
 /// Frame factory producing minimum-size frames (Table 2 stress).
-FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst);
+FrameFactory make_min_frame_factory(Ipv4Addr src, Ipv4Addr dst,
+                                    std::uint32_t flows = 1024);
 
 /// Zero-allocation counterparts of the UDP factories: the frame bytes are
 /// written into the recycled message buffer in place.  The filler caches
 /// one prototype frame per distinct source port (the only seq-dependent
-/// field, `40000 + seq % 1024`), so after at most 1024 builds the steady
-/// state is a pure memcpy into reused capacity.  Byte-identical to the
-/// factory's output for every seq.
+/// field, `40000 + seq % flows`), so after at most `flows` builds the
+/// steady state is a pure memcpy into reused capacity.  Byte-identical to
+/// the factory's output for every seq.
 FrameFiller make_udp_filler(Ipv4Addr src, Ipv4Addr dst,
                             std::size_t frame_bytes,
-                            std::uint16_t dst_port = 9);
+                            std::uint16_t dst_port = 9,
+                            std::uint32_t flows = 1024);
 
 /// Zero-allocation counterpart of make_min_frame_factory.
-FrameFiller make_min_frame_filler(Ipv4Addr src, Ipv4Addr dst);
+FrameFiller make_min_frame_filler(Ipv4Addr src, Ipv4Addr dst,
+                                  std::uint32_t flows = 1024);
 
 }  // namespace panic::workload

@@ -108,14 +108,14 @@ TEST(Parser, RecordsFieldLocations) {
   const auto frame = frames::min_udp(kSrc, kDst);
   const Parser p = make_default_parser();
   Phv phv;
-  std::map<Field, FieldLocation> locs;
+  FieldLocations locs;
   ASSERT_TRUE(p.parse(frame, phv, &locs));
   // IPv4 dst is at offset 14 (eth) + 16 = 30, width 4.
-  ASSERT_TRUE(locs.count(Field::kIpDst));
+  ASSERT_TRUE(locs.has(Field::kIpDst));
   EXPECT_EQ(locs[Field::kIpDst].offset, 30u);
   EXPECT_EQ(locs[Field::kIpDst].width_bytes, 4u);
   // UDP dst port at 14 + 20 + 2 = 36.
-  ASSERT_TRUE(locs.count(Field::kL4DstPort));
+  ASSERT_TRUE(locs.has(Field::kL4DstPort));
   EXPECT_EQ(locs[Field::kL4DstPort].offset, 36u);
 }
 

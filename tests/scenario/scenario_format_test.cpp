@@ -29,10 +29,15 @@ Scenario make_full_scenario() {
   s.drop_policy = engines::DropPolicy::kEvictLoosest;
   s.engine_queue_capacity = 128;
   s.rmt_input_queue = 256;
+  s.rmt_cache_sets = 32;
+  s.rmt_cache_ways = 2;
+  s.aux_fixed_cycles = 1;
   s.dma_base_latency = 90;
+  s.dma_bytes_per_cycle = 256.0;
   s.dma_contention_mean = 25.5;
   s.default_slack = 500;
   s.tenant_slacks = {{1, 10}, {2, 100000}};
+  s.pool_reserve = 4096;
   s.warmup_cycles = 1000;
   s.budget_cycles = 30000;
   s.mode = SimMode::kParallelShards;
@@ -49,6 +54,7 @@ Scenario make_full_scenario() {
   udp.off_cycles = 5000;
   udp.max_frames = 0;
   udp.frame_bytes = 1500;
+  udp.flows = 16;
   udp.seed = 99;
   udp.src = "10.2.0.9";
   s.workloads.push_back(udp);
@@ -141,8 +147,15 @@ TEST(ScenarioFormat, SerializeParseIsByteIdenticalFixpoint) {
   EXPECT_EQ(parsed->name, "format_full");
   EXPECT_EQ(parsed->mode, SimMode::kParallelShards);
   EXPECT_EQ(parsed->tenant_slacks, s.tenant_slacks);
+  EXPECT_TRUE(parsed->rmt_cache_enabled);
+  EXPECT_EQ(parsed->rmt_cache_sets, 32u);
+  EXPECT_EQ(parsed->rmt_cache_ways, 2u);
+  EXPECT_EQ(parsed->aux_fixed_cycles, 1u);
+  EXPECT_EQ(parsed->dma_bytes_per_cycle, 256.0);
+  EXPECT_EQ(parsed->pool_reserve, 4096u);
   ASSERT_EQ(parsed->workloads.size(), 3u);
   EXPECT_EQ(parsed->workloads[0].max_frames, 0u);
+  EXPECT_EQ(parsed->workloads[0].flows, 16u);
   EXPECT_EQ(parsed->workloads[1].src_port, 50000);
   EXPECT_EQ(parsed->workloads[1].spi, 8193u);
   EXPECT_EQ(parsed->workloads[2].wan_fraction, 1.0);
@@ -230,6 +243,67 @@ TEST(ScenarioFormat, ProgramHeredocPreservesBodyVerbatim) {
   EXPECT_EQ(again->program, parsed->program);
 }
 
+TEST(ScenarioFormat, RmtCacheKnobRoundTrips) {
+  std::string error;
+  const auto off = Scenario::parse("panic_scenario 1\nrmt_cache off\nend\n",
+                                   &error);
+  ASSERT_TRUE(off.has_value()) << error;
+  EXPECT_FALSE(off->rmt_cache_enabled);
+  EXPECT_NE(off->to_string().find("rmt_cache off"), std::string::npos);
+
+  const auto sized = Scenario::parse(
+      "panic_scenario 1\nrmt_cache sets=8 ways=1\nend\n", &error);
+  ASSERT_TRUE(sized.has_value()) << error;
+  EXPECT_TRUE(sized->rmt_cache_enabled);
+  EXPECT_EQ(sized->rmt_cache_sets, 8u);
+  EXPECT_EQ(sized->rmt_cache_ways, 1u);
+  const auto again = Scenario::parse(sized->to_string(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_string(), sized->to_string());
+
+  // The default cache (on, 64x4) is canonical silence: no line emitted.
+  EXPECT_EQ(Scenario{}.to_string().find("rmt_cache"), std::string::npos);
+}
+
+TEST(ScenarioFormat, PoolReserveRoundTrips) {
+  std::string error;
+  const auto parsed = Scenario::parse(
+      "panic_scenario 1\npool_reserve 61440\nend\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->pool_reserve, 61440u);
+  EXPECT_NE(parsed->to_string().find("pool_reserve 61440"),
+            std::string::npos);
+  // Default 0 is omitted.
+  EXPECT_EQ(Scenario{}.to_string().find("pool_reserve"), std::string::npos);
+}
+
+TEST(ScenarioFormat, WorkloadFlowsRoundTripsAndBounds) {
+  std::string error;
+  const auto parsed = Scenario::parse(
+      "panic_scenario 1\nworkload kind=udp flows=16 frames=10\nend\n",
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->workloads.size(), 1u);
+  EXPECT_EQ(parsed->workloads[0].flows, 16u);
+  EXPECT_NE(parsed->to_string().find("flows=16"), std::string::npos);
+
+  // Default 1024 is canonical silence.
+  Scenario s;
+  WorkloadSpec w;
+  w.max_frames = 10;
+  s.workloads.push_back(w);
+  EXPECT_EQ(s.to_string().find("flows="), std::string::npos);
+  EXPECT_TRUE(s.feasible());
+
+  // flows must keep the source port inside [40000, 41024).
+  s.workloads[0].flows = 0;
+  EXPECT_FALSE(s.feasible());
+  s.workloads[0].flows = 2000;
+  EXPECT_FALSE(s.feasible());
+  s.workloads[0].flows = 1024;
+  EXPECT_TRUE(s.feasible());
+}
+
 // --- Schema violations: every failure carries "line N: reason". ---
 
 std::string parse_error(const std::string& text) {
@@ -253,6 +327,15 @@ TEST(ScenarioFormat, CommentsAndBlanksCountTowardLineNumbers) {
   // The error is on physical line 4; comments/blanks must not shift it.
   EXPECT_EQ(parse_error("panic_scenario 1\n# comment\n\nsched bogus\nend\n"),
             "line 4: unknown sched policy 'bogus'");
+}
+
+TEST(ScenarioFormat, BadRmtCacheValueReportsLineNumber) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nrmt_cache banana\nend\n"),
+            "line 2: expected 'rmt_cache off' or 'rmt_cache sets=<n> "
+            "ways=<n>'");
+  EXPECT_EQ(
+      parse_error("panic_scenario 1\nrmt_cache sets=8 frobs=2\nend\n"),
+      "line 2: unknown rmt_cache key 'frobs'");
 }
 
 TEST(ScenarioFormat, BadEnumValuesReportAlternatives) {

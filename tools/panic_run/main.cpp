@@ -95,12 +95,22 @@ int cmd_fields() {
 }
 
 int cmd_run(const Scenario& loaded, const panic::cli::ArgParser& args,
-            const std::string& trace_path, const std::string& out_path) {
+            const std::string& trace_path, const std::string& out_path,
+            const std::string& rmt_cache) {
   Scenario s = loaded;
   // --seed/--threads were applied to the process-wide globals by parse();
   // a scenario's own `seed` line fills in only when --seed was absent.
   if (!args.seed_given() && s.seed != 0) panic::set_sim_seed(s.seed);
   if (args.threads() > 0) s.threads = args.threads();
+  if (rmt_cache == "on") {
+    s.rmt_cache_enabled = true;
+  } else if (rmt_cache == "off") {
+    s.rmt_cache_enabled = false;
+  } else if (!rmt_cache.empty()) {
+    std::fprintf(stderr, "--rmt-cache takes on|off, got '%s'\n",
+                 rmt_cache.c_str());
+    return 2;
+  }
 
   panic::scenario::RunOptions opts;
   // Explicit --mode wins, then --threads > 1 selects the parallel kernel,
@@ -137,6 +147,11 @@ int main(int argc, char** argv) {
   std::string out_path;
   args.option("trace", "write chrome://tracing JSON here", &trace_path);
   args.option("out", "also write result JSON to this file", &out_path);
+  std::string rmt_cache;
+  args.option("rmt-cache",
+              "override the scenario's rmt_cache knob (on|off); the result "
+              "JSON must be identical either way modulo rmt.cache.*",
+              &rmt_cache);
   args.parse(argc, argv);
 
   std::vector<std::string> rest = args.positionals();
@@ -158,5 +173,5 @@ int main(int argc, char** argv) {
   }
   auto s = load_or_complain(rest[0]);
   if (!s.has_value()) return 1;
-  return cmd_run(*s, args, trace_path, out_path);
+  return cmd_run(*s, args, trace_path, out_path, rmt_cache);
 }
