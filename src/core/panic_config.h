@@ -14,6 +14,8 @@
 #include "engines/rdma_engine.h"
 #include "engines/sched_queue.h"
 #include "fault/fault_plan.h"
+#include "fault/recovery.h"
+#include "fault/steering.h"
 #include "fault/watchdog.h"
 #include "noc/mesh.h"
 #include "rmt/flow_cache.h"
@@ -108,6 +110,17 @@ struct PanicConfig {
   /// Forces host-driver TX timeout/retry on even with an empty plan.
   bool enable_tx_retry = false;
   engines::HostDriverConfig host_driver;
+
+  /// Degraded-mode admission when a kill empties an equivalence group:
+  /// drop (fail fast, the default) or bounded backpressure (park up to
+  /// `no_route_depth` messages per steering tile until a revive/spare
+  /// re-opens the route; overflow is shed with fate kShed).
+  fault::NoRoutePolicy on_no_route = fault::NoRoutePolicy::kDrop;
+  std::size_t no_route_depth = 64;
+
+  /// Recovery-time telemetry sampling (fault.recovery.*), armed alongside
+  /// the injector whenever a fault plan is present.
+  fault::RecoveryConfig recovery;
 };
 
 }  // namespace panic::core

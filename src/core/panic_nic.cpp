@@ -55,6 +55,8 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
   ecfg.sched_policy = config_.sched_policy;
   ecfg.drop_policy = config_.drop_policy;
   ecfg.queue_capacity = config_.engine_queue_capacity;
+  ecfg.no_route = config_.on_no_route;
+  ecfg.no_route_depth = config_.no_route_depth;
 
   // Round-robin assignment of a "home" RMT engine, spreading load across
   // the parallel pipelines.
@@ -87,6 +89,8 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
   rcfg.input_queue = config_.rmt_input_queue;
   rcfg.sched_policy = config_.sched_policy;
   rcfg.cache = config_.rmt_cache;
+  rcfg.no_route = config_.on_no_route;
+  rcfg.no_route_depth = config_.no_route_depth;
   for (int i = 0; i < config_.rmt_engines; ++i) {
     auto* engine = adopt(new RmtEngine(
         "rmt" + std::to_string(i),
@@ -210,7 +214,25 @@ PanicNic::PanicNic(const PanicConfig& config, Simulator& sim)
 
   const bool faulty = !config_.faults.empty();
   if (faulty || config_.enable_watchdog) {
+    // Recovery-time telemetry: delivered == everything that reached a
+    // terminal sink (host RX via DMA, wire TX via the MACs) — the same
+    // "delivered" the conservation ledger counts.  The tracker and
+    // watchdog stay serial components in the parallel kernel.
+    recovery_ = adopt(new fault::RecoveryTracker(config_.recovery));
+    recovery_->set_throughput_probe([this] {
+      std::uint64_t delivered = dma_->packets_to_host();
+      for (const auto* port : eth_ports_) {
+        delivered += port->tx_meter().packets();
+      }
+      return delivered;
+    });
+    injector_->set_recovery_tracker(recovery_);
+
     watchdog_ = adopt(new fault::Watchdog(config_.watchdog));
+    watchdog_->set_escalation(
+        [this](const std::string& probe, Cycle at, bool flagged) {
+          recovery_->on_watchdog(probe, at, flagged);
+        });
     for (auto* engine : all_engines) {
       watchdog_->add_probe(
           engine->name(), [engine] { return engine->progress(); },

@@ -24,6 +24,7 @@
 #include "engines/regex_engine.h"
 #include "engines/tso_engine.h"
 #include "fault/fault_injector.h"
+#include "fault/recovery.h"
 #include "fault/watchdog.h"
 #include "sim/simulator.h"
 
@@ -68,6 +69,9 @@ class PanicNic {
   fault::FaultInjector& fault_injector() { return *injector_; }
   /// Non-null when config.faults is non-empty or enable_watchdog is set.
   fault::Watchdog* watchdog() { return watchdog_; }
+  /// Recovery-time telemetry (fault.recovery.*); non-null whenever the
+  /// watchdog is (same arming condition).
+  fault::RecoveryTracker* recovery_tracker() { return recovery_; }
 
   /// Delivers a frame into Ethernet port `port` (the wire side).
   void inject_rx(int port, std::vector<std::uint8_t> frame, Cycle now,
@@ -110,7 +114,8 @@ class PanicNic {
   std::unique_ptr<engines::HostDriver> host_driver_;
 
   std::unique_ptr<fault::FaultInjector> injector_;
-  fault::Watchdog* watchdog_ = nullptr;  ///< owned via owned_
+  fault::Watchdog* watchdog_ = nullptr;          ///< owned via owned_
+  fault::RecoveryTracker* recovery_ = nullptr;   ///< owned via owned_
   std::string shard_layout_ = "none";
 
   std::vector<std::unique_ptr<Component>> owned_;

@@ -10,6 +10,7 @@
 // across the parallel pipelines.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <utility>
 
@@ -31,6 +32,12 @@ struct RmtEngineConfig {
   /// optimization only — simulated behaviour is bit-identical with the
   /// cache off.  Default on.
   rmt::FlowCacheConfig cache;
+
+  /// Degraded-mode admission when a kill empties an equivalence group:
+  /// drop completions with no live route, or park up to `no_route_depth`
+  /// of them until a revive/spare re-opens the route (overflow sheds).
+  fault::NoRoutePolicy no_route = fault::NoRoutePolicy::kDrop;
+  std::size_t no_route_depth = 64;
 };
 
 class RmtEngine : public Component {
@@ -71,13 +78,20 @@ class RmtEngine : public Component {
   // --- Watchdog probes (fault/watchdog.h). ---
   std::uint64_t progress() const { return processed_ + dropped_; }
   bool has_pending_work() const {
-    return !queue_.empty() || !in_flight_.empty() || !out_.empty();
+    return !queue_.empty() || !in_flight_.empty() || !out_.empty() ||
+           !parked_.empty();
   }
 
   /// Publishes `rmt.<name>.*` metrics and attaches the message tracer.
   void register_telemetry(telemetry::Telemetry& t) override;
 
  private:
+  /// Routes a pipeline completion onward: chain hop / lookup route with
+  /// steering resolution, degraded-mode parking, and fault accounting.
+  void route_completion(MessagePtr msg, Cycle now);
+  /// Re-routes parked completions when the steering generation has moved.
+  void retry_parked(Cycle now);
+
   noc::NetworkInterface* ni_;
   rmt::Pipeline pipeline_;
   engines::SchedulerQueue queue_;
@@ -99,6 +113,16 @@ class RmtEngine : public Component {
   const fault::SteeringDirectory* steering_ = nullptr;
   std::uint64_t resteered_ = 0;
   std::uint64_t faulted_drops_ = 0;
+
+  /// Degraded-mode admission (no_route = kBackpressure): completions with
+  /// no live route wait here, bounded by `config_.no_route_depth`, and are
+  /// re-routed when the steering generation moves.
+  RmtEngineConfig config_;
+  std::deque<MessagePtr> parked_;
+  std::uint64_t parked_gen_ = 0;
+  std::size_t parked_watermark_ = 0;
+  std::uint64_t no_route_parked_ = 0;
+  std::uint64_t no_route_shed_ = 0;
 };
 
 }  // namespace panic::core

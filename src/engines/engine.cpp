@@ -19,6 +19,11 @@ void Engine::register_telemetry(telemetry::Telemetry& t) {
   m.expose_counter(p + "faulted_discards", &faulted_discards_);
   m.expose_counter(p + "corrupted", &corrupted_);
   m.expose_counter(p + "resteered", &resteered_);
+  m.expose_counter(p + "no_route_parked", &no_route_parked_);
+  m.expose_counter(p + "no_route_shed", &no_route_shed_);
+  m.expose_gauge(p + "no_route_watermark", [this] {
+    return static_cast<double>(parked_watermark_);
+  });
   queue_.register_metrics(m, "engine." + name() + ".queue");
   queue_.bind_tracer(tracer(), trace_tag());
 }
@@ -83,6 +88,23 @@ void Engine::forward_along_chain(MessagePtr msg, Cycle now) {
       steering_->is_dead(*next)) {
     const auto fallback = steering_->resolve(*next);
     if (!fallback.has_value()) {
+      if (config_.no_route == fault::NoRoutePolicy::kBackpressure) {
+        // Degraded-mode admission: hold the message (bounded) until a
+        // revive/spare re-opens a route; shed when the buffer is full.
+        if (parked_.size() < config_.no_route_depth) {
+          parked_gen_ = steering_->generation();
+          parked_.push_back(std::move(msg));
+          ++no_route_parked_;
+          if (parked_.size() > parked_watermark_) {
+            parked_watermark_ = parked_.size();
+          }
+          return;
+        }
+        msg->set_fate(MessageFate::kShed);
+        trace(telemetry::TraceEventKind::kFault, now, msg->id, next->value);
+        ++no_route_shed_;
+        return;
+      }
       // No live equivalent exists: the message dies here, attributed to
       // the injected fault (not lost).
       msg->set_fate(MessageFate::kFaulted);
@@ -120,6 +142,7 @@ void Engine::tick(Cycle now) {
   }
   if (now < stalled_until_) return;  // frozen: observable no-op
 
+  retry_parked(now);
   drain_arrivals(now);
 
   // Complete the in-service message.
@@ -168,6 +191,10 @@ void Engine::discard_all(Cycle now) {
   while (MessagePtr msg = ni_->try_receive(now)) discard(std::move(msg));
   for (MessagePtr& msg : queue_.evict_all()) discard(std::move(msg));
   discard(std::move(in_service_));
+  while (!parked_.empty()) {
+    discard(std::move(parked_.front()));
+    parked_.pop_front();
+  }
   // Staged outbounds were pushed with ready cycles <= now, so this drains
   // the staging buffer completely.
   while (auto ob = out_.try_pop(now)) discard(std::move(ob->msg));
@@ -176,6 +203,27 @@ void Engine::discard_all(Cycle now) {
 void Engine::fault_kill(Cycle now) {
   dead_ = true;
   discard_all(now);
+}
+
+void Engine::fault_revive(Cycle now) {
+  dead_ = false;
+  stalled_until_ = 0;
+  degrade_factor_ = 1.0;
+  degrade_until_ = 0;
+  corrupt_p_ = 0.0;
+  corrupt_until_ = 0;
+  request_wake(now);
+}
+
+void Engine::retry_parked(Cycle now) {
+  if (parked_.empty() || steering_ == nullptr) return;
+  if (steering_->generation() == parked_gen_) return;
+  parked_gen_ = steering_->generation();
+  // Re-forward in arrival order; unresolved messages re-park (the swap
+  // keeps the loop finite when the route is still closed).
+  std::deque<MessagePtr> retry;
+  retry.swap(parked_);
+  for (MessagePtr& msg : retry) forward_along_chain(std::move(msg), now);
 }
 
 void Engine::fault_stall(Cycle now, Cycles duration) {
@@ -197,6 +245,9 @@ void Engine::fault_corrupt(double probability, Cycle until,
 Cycle Engine::next_wake(Cycle now) const {
   if (dead_) return kNeverWake;  // arrivals wake us through the NI
   if (now < stalled_until_) return stalled_until_;
+  // Parked no-route messages poll for a steering-generation change (the
+  // retry itself is a cheap stamp compare while the route stays closed).
+  if (!parked_.empty()) return now + 1;
   // Staging buffer drains one message per tick while the NI has room, and
   // the NI can free a slot any cycle — retry every cycle until empty.
   if (!out_.empty()) return now + 1;

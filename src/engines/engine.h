@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,12 @@ struct EngineConfig {
   DropPolicy drop_policy = DropPolicy::kDropArrival;
   std::size_t queue_capacity = 64;   ///< scheduler queue depth (messages)
   std::size_t output_staging = 16;   ///< completed messages awaiting inject
+
+  /// Degraded-mode admission when steering resolution fails (a kill left
+  /// the equivalence group empty): drop immediately, or park up to
+  /// `no_route_depth` messages until a revive/spare re-opens a route.
+  fault::NoRoutePolicy no_route = fault::NoRoutePolicy::kDrop;
+  std::size_t no_route_depth = 64;
 };
 
 class Engine : public Component {
@@ -81,6 +88,12 @@ class Engine : public Component {
   /// `probability` until cycle `until`, drawing from a dedicated stream.
   void fault_corrupt(double probability, Cycle until, std::uint64_t seed);
 
+  /// Recovery: a killed engine accepts work again from `now` on, with all
+  /// fault modifiers (stall/degrade/corrupt) cleared — a warm restart.
+  /// Steering-level reintegration (new chains routing back here) is the
+  /// FaultInjector's job via SteeringDirectory::mark_alive.
+  void fault_revive(Cycle now);
+
   bool faulted_dead() const { return dead_; }
 
   /// Outbound routing consults `steering` (when set) to re-steer messages
@@ -98,7 +111,8 @@ class Engine : public Component {
   /// True when the engine holds undone work (a busy probe; an idle engine
   /// making no progress is healthy).
   bool has_pending_work() const {
-    return in_service_ != nullptr || !queue_.empty() || !out_.empty();
+    return in_service_ != nullptr || !queue_.empty() || !out_.empty() ||
+           !parked_.empty();
   }
 
  protected:
@@ -135,6 +149,9 @@ class Engine : public Component {
  private:
   void drain_arrivals(Cycle now);
   void drain_output(Cycle now);
+  /// Re-forwards parked (no-live-route) messages when the steering
+  /// generation has moved since they were parked.
+  void retry_parked(Cycle now);
   /// Dead-engine behaviour: destroy all held work + arrivals (fate
   /// kFaulted, counted in faulted_discards_).
   void discard_all(Cycle now);
@@ -177,6 +194,16 @@ class Engine : public Component {
   std::uint64_t faulted_discards_ = 0;  ///< messages destroyed by faults here
   std::uint64_t corrupted_ = 0;         ///< payloads flipped on arrival
   std::uint64_t resteered_ = 0;         ///< sends redirected around dead tiles
+
+  /// Degraded-mode admission (no_route = kBackpressure): messages whose
+  /// next hop has no live equivalent wait here, bounded by
+  /// `config_.no_route_depth`, and are re-forwarded when the steering
+  /// generation moves (a revive/spare re-opened a route).
+  std::deque<MessagePtr> parked_;
+  std::uint64_t parked_gen_ = 0;        ///< steering generation at last park
+  std::size_t parked_watermark_ = 0;
+  std::uint64_t no_route_parked_ = 0;   ///< park events (incl. re-parks)
+  std::uint64_t no_route_shed_ = 0;     ///< overflow sheds (fate kShed)
 };
 
 }  // namespace panic::engines

@@ -4,9 +4,38 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/rng.h"
 #include "sim/simulator.h"
 
 namespace panic::engines {
+
+Cycles backoff_delay(const HostDriverConfig& config, std::uint64_t stream,
+                     int attempt) {
+  // Exponential base, capped: tx_timeout << (attempt-1), saturating the
+  // shift so a pathological max_retries can't overflow.
+  const int shift = attempt > 1 ? attempt - 1 : 0;
+  Cycles base = config.tx_timeout;
+  if (shift >= 63 || (base << shift) >> shift != base ||
+      (base << shift) > config.max_backoff) {
+    base = config.max_backoff;
+  } else {
+    base <<= shift;
+  }
+  if (config.jitter <= 0.0) return base > 0 ? base : 1;
+
+  // One fresh draw per (stream, attempt): splitmix-style mixing keeps
+  // adjacent descriptors/attempts decorrelated, derive_seed folds in the
+  // global sim seed.
+  std::uint64_t mixed = config.seed;
+  mixed ^= stream * 0x9E3779B97F4A7C15ull;
+  mixed ^= static_cast<std::uint64_t>(attempt) * 0xBF58476D1CE4E5B9ull;
+  Rng rng(derive_seed(mixed));
+  const double factor =
+      rng.uniform_real(1.0 - config.jitter, 1.0 + config.jitter);
+  const auto delayed =
+      static_cast<Cycles>(static_cast<double>(base) * factor);
+  return delayed > 0 ? delayed : 1;
+}
 
 HostDriver::HostDriver(HostMemory* host, PcieEngine* pcie,
                        HostDriverConfig config)
@@ -63,7 +92,8 @@ void HostDriver::on_launched(std::uint64_t desc_addr) {
 
 void HostDriver::arm_timeout(std::uint64_t desc_addr) {
   const int attempt = pending_[desc_addr].attempts;
-  sim_->schedule_in(config_.tx_timeout, [this, desc_addr, attempt] {
+  const Cycles delay = backoff_delay(config_, desc_addr, attempt);
+  sim_->schedule_in(delay, [this, desc_addr, attempt] {
     const auto it = pending_.find(desc_addr);
     // Completed, or a newer attempt already re-armed its own timer.
     if (it == pending_.end() || it->second.attempts != attempt) return;

@@ -5,11 +5,16 @@
 // Fault tolerance: a posted TX whose launch confirmation (the PCIe
 // engine's TxLaunchCallback) never arrives — because an engine on the
 // descriptor/frame-fetch path died or wedged — is retried by re-ringing
-// the doorbell after `tx_timeout` cycles, up to `max_retries` times, then
-// abandoned (counted in frames_failed).  Timers run through
-// Simulator::schedule_in, so retry behaviour is identical in both kernel
-// modes.  Without attach(), post_tx behaves exactly as before (fire and
-// forget).
+// the doorbell, up to `max_retries` times, then abandoned (counted in
+// frames_failed).  Retry delays follow seeded exponential backoff with
+// jitter: attempt n waits tx_timeout << (n-1) cycles (capped at
+// max_backoff) plus a deterministic jitter drawn from derive_seed, so a
+// storm of simultaneous posts doesn't re-ring in lockstep — yet the
+// whole schedule is a pure function of (config, descriptor, attempt) and
+// therefore bit-identical across kernels and re-runs (backoff_delay is
+// the unit-testable core).  Timers run through Simulator::schedule_in,
+// so retry behaviour is identical in every kernel mode.  Without
+// attach(), post_tx behaves exactly as before (fire and forget).
 #pragma once
 
 #include <cstdint>
@@ -27,9 +32,28 @@ class Simulator;
 namespace panic::engines {
 
 struct HostDriverConfig {
-  Cycles tx_timeout = 20000;  ///< cycles before a posted TX is re-rung
+  Cycles tx_timeout = 20000;  ///< base timeout before the first re-ring
   int max_retries = 3;        ///< re-rings before giving up
+  /// Exponential-backoff ceiling: attempt n waits
+  /// min(tx_timeout << (n-1), max_backoff) before jitter.
+  Cycles max_backoff = 160000;
+  /// Jitter amplitude as a fraction of the (capped) delay: the drawn
+  /// delay lands in [(1-j)*base, (1+j)*base).  0 disables jitter.
+  double jitter = 0.25;
+  /// Per-driver jitter stream, combined with the global sim seed via
+  /// derive_seed — shift PANIC_SEED and every retry schedule shifts
+  /// deterministically with it.
+  std::uint64_t seed = 0x7D17;
 };
+
+/// The retry delay armed after doorbell ring number `attempt` (1-based)
+/// for descriptor stream `stream` (the descriptor address).  Pure:
+/// exponential base capped at max_backoff, jittered by a fresh Rng
+/// seeded from derive_seed of (config.seed, stream, attempt) mixed —
+/// no state, so the schedule is reproducible and unit-testable in
+/// isolation.
+Cycles backoff_delay(const HostDriverConfig& config, std::uint64_t stream,
+                     int attempt);
 
 class HostDriver {
  public:

@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "engines/engine.h"
+#include "fault/recovery.h"
 #include "noc/router.h"
 #include "sim/simulator.h"
 
@@ -39,11 +40,14 @@ void FaultInjector::register_router(int tile, noc::Router* router) {
 bool FaultInjector::arm(Simulator& sim) {
   auto& metrics = sim.telemetry().metrics();
   metrics.expose_counter("fault.injected", &injected_);
-  static constexpr const char* kKindMetric[6] = {
+  static constexpr const char* kKindMetric[kFaultKindCount] = {
       "fault.injected.kill",    "fault.injected.stall",
       "fault.injected.degrade", "fault.injected.flaky",
-      "fault.injected.corrupt", "fault.injected.leak"};
-  for (int k = 0; k < 6; ++k) metrics.expose_counter(kKindMetric[k], &by_kind_[k]);
+      "fault.injected.corrupt", "fault.injected.leak",
+      "fault.injected.revive",  "fault.injected.spare"};
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    metrics.expose_counter(kKindMetric[k], &by_kind_[k]);
+  }
   metrics.expose_gauge("fault.engines_dead", [this] {
     return static_cast<double>(steering_.dead_count());
   });
@@ -77,6 +81,13 @@ bool FaultInjector::arm(Simulator& sim) {
         all_resolved = false;
         continue;
       }
+      if (spec.kind == FaultKind::kSpareActivate &&
+          engines_.find(spec.spare_for) == engines_.end()) {
+        PANIC_ERROR("fault", "plan names unknown spare target '%s'",
+                    spec.spare_for.c_str());
+        all_resolved = false;
+        continue;
+      }
     }
     const std::uint64_t stream = fault_stream(plan_seed, i);
     sim.schedule_at(spec.at, [this, &sim, spec, stream] {
@@ -103,6 +114,7 @@ void FaultInjector::apply(Simulator& sim, const FaultSpec& spec,
       }
       steering_.mark_dead(e->id());
       e->fault_kill(now);
+      if (recovery_ != nullptr) recovery_->on_incident(spec.engine, now);
       break;
     }
     case FaultKind::kEngineStall: {
@@ -145,6 +157,48 @@ void FaultInjector::apply(Simulator& sim, const FaultSpec& spec,
                  static_cast<unsigned long long>(now), spec.router_tile,
                  spec.amount);
       r->fault_leak_credits(spec.port, spec.amount);
+      break;
+    }
+    case FaultKind::kEngineRevive: {
+      engines::Engine* e = engines_.at(spec.engine);
+      PANIC_INFO("fault", "cycle %llu: engine %s revives (warmup %llu)",
+                 static_cast<unsigned long long>(now), spec.engine.c_str(),
+                 static_cast<unsigned long long>(spec.warmup));
+      // The tile accepts work again immediately; the steering directory
+      // keeps routing new chains away until the warmup window elapses
+      // (cold caches / re-initialized state), then the generation bump
+      // flushes routing caches and new chains steer back.  In-flight
+      // re-steered messages drain on the old path either way.
+      e->fault_revive(now);
+      const std::string name = spec.engine;
+      const EngineId id = e->id();
+      auto rejoin = [this, name, id](Cycle at) {
+        steering_.mark_alive(id);
+        if (recovery_ != nullptr) recovery_->on_restored(name, at);
+      };
+      if (spec.warmup == 0) {
+        rejoin(now);
+      } else {
+        const Cycle at = now + spec.warmup;
+        sim.schedule_at(at, [rejoin, at] { rejoin(at); });
+      }
+      break;
+    }
+    case FaultKind::kSpareActivate: {
+      engines::Engine* spare = engines_.at(spec.engine);
+      engines::Engine* dead = engines_.at(spec.spare_for);
+      PANIC_INFO("fault", "cycle %llu: engine %s activates as spare for %s",
+                 static_cast<unsigned long long>(now), spec.engine.c_str(),
+                 spec.spare_for.c_str());
+      // The standby is revived if it was itself killed, marked alive so it
+      // resolves, and installed as the explicit fallback for the dead
+      // engine — fallbacks take precedence over group resolution, so
+      // traffic addressed to the dead tile flows to the spare even when
+      // the equivalence group is otherwise empty.
+      if (spare->faulted_dead()) spare->fault_revive(now);
+      steering_.mark_alive(spare->id());
+      steering_.set_fallback(dead->id(), spare->id());
+      if (recovery_ != nullptr) recovery_->on_restored(spec.spare_for, now);
       break;
     }
   }

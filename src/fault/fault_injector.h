@@ -36,6 +36,8 @@ class Router;
 
 namespace panic::fault {
 
+class RecoveryTracker;
+
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan = {});
@@ -57,6 +59,11 @@ class FaultInjector {
   void register_engine(engines::Engine* engine);
   void register_router(int tile, noc::Router* router);
 
+  /// Optional recovery-time telemetry sink: kills open incidents,
+  /// revives/spares close them (fault/recovery.h).  Must outlive arm()'d
+  /// events.
+  void set_recovery_tracker(RecoveryTracker* tracker) { recovery_ = tracker; }
+
   /// Resolves every spec and schedules its application.  Returns false
   /// (with kError logs) if any spec names an unknown target; the
   /// resolvable remainder is still armed.  Call after every target is
@@ -73,9 +80,10 @@ class FaultInjector {
   SteeringDirectory steering_;
   std::unordered_map<std::string, engines::Engine*> engines_;
   std::unordered_map<int, noc::Router*> routers_;
+  RecoveryTracker* recovery_ = nullptr;
 
   std::uint64_t injected_ = 0;
-  std::uint64_t by_kind_[6] = {};
+  std::uint64_t by_kind_[kFaultKindCount] = {};
 };
 
 }  // namespace panic::fault

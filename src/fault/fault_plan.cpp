@@ -13,6 +13,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLinkFlaky: return "flaky";
     case FaultKind::kCorruption: return "corrupt";
     case FaultKind::kCreditLeak: return "leak";
+    case FaultKind::kEngineRevive: return "revive";
+    case FaultKind::kSpareActivate: return "spare";
   }
   return "?";
 }
@@ -89,6 +91,12 @@ std::string FaultSpec::to_string() const {
     case FaultKind::kCreditLeak:
       os << " credits=" << amount;
       break;
+    case FaultKind::kEngineRevive:
+      if (warmup > 0) os << " warmup=" << warmup;
+      break;
+    case FaultKind::kSpareActivate:
+      os << " for=" << spare_for;
+      break;
   }
   return os.str();
 }
@@ -164,6 +172,27 @@ FaultPlan& FaultPlan::leak_credits(int router_tile, int port, Cycle at,
   return *this;
 }
 
+FaultPlan& FaultPlan::revive(std::string engine, Cycle at, Cycles warmup) {
+  FaultSpec s;
+  s.kind = FaultKind::kEngineRevive;
+  s.engine = std::move(engine);
+  s.at = at;
+  s.warmup = warmup;
+  add(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::spare(std::string engine, std::string dead_engine,
+                            Cycle at) {
+  FaultSpec s;
+  s.kind = FaultKind::kSpareActivate;
+  s.engine = std::move(engine);
+  s.spare_for = std::move(dead_engine);
+  s.at = at;
+  add(std::move(s));
+  return *this;
+}
+
 std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
                                           std::string* error) {
   FaultPlan plan;
@@ -209,6 +238,10 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
       spec.kind = FaultKind::kCorruption;
     } else if (tok[0] == "leak") {
       spec.kind = FaultKind::kCreditLeak;
+    } else if (tok[0] == "revive") {
+      spec.kind = FaultKind::kEngineRevive;
+    } else if (tok[0] == "spare") {
+      spec.kind = FaultKind::kSpareActivate;
     } else {
       return fail("unknown fault kind '" + tok[0] + "'");
     }
@@ -233,7 +266,13 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
         if (!parse_u64(t.substr(1), &spec.at)) return fail("bad cycle in " + t);
         saw_at = true;
       } else if (t.rfind("for=", 0) == 0) {
-        if (!parse_u64(t.substr(4), &spec.duration)) return fail("bad " + t);
+        if (spec.kind == FaultKind::kSpareActivate) {
+          spec.spare_for = t.substr(4);  // an engine name, not a duration
+        } else if (!parse_u64(t.substr(4), &spec.duration)) {
+          return fail("bad " + t);
+        }
+      } else if (t.rfind("warmup=", 0) == 0) {
+        if (!parse_u64(t.substr(7), &spec.warmup)) return fail("bad " + t);
       } else if (t.rfind("x=", 0) == 0) {
         if (!parse_double(t.substr(2), &spec.factor)) return fail("bad " + t);
       } else if (t.rfind("p=", 0) == 0) {
@@ -259,6 +298,9 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
     }
     if (spec.kind == FaultKind::kCreditLeak && spec.amount == 0) {
       return fail("leak requires credits=<n>");
+    }
+    if (spec.kind == FaultKind::kSpareActivate && spec.spare_for.empty()) {
+      return fail("spare requires for=<dead_engine>");
     }
     plan.add(std::move(spec));
   }

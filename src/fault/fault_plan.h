@@ -24,10 +24,20 @@
 //            delay=<cycles> [for=<cycles>]
 //   corrupt  <engine> @<cycle> p=<prob> [for=<cycles>]
 //   leak     <router-tile> [port=<n|e|s|w|local>] @<cycle> credits=<n>
+//   revive   <engine> @<cycle> [warmup=<cycles>]
+//   spare    <engine> for=<dead_engine> @<cycle>
 //
 // `for=0` / omitted duration means "until the end of the run" (permanent).
+// `revive` brings a killed engine back: it accepts work again at <cycle>,
+// and after `warmup` further cycles the SteeringDirectory marks it alive so
+// new chains steer back to it (in-flight messages drain on the old path).
+// `spare` activates <engine> as the standby for <dead_engine>: it is
+// revived if dead and installed as the steering fallback, so traffic that
+// targeted <dead_engine> flows to the spare from <cycle> on.  For `spare`
+// the for= value is an engine name, not a duration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -44,7 +54,12 @@ enum class FaultKind : std::uint8_t {
   kLinkFlaky,      ///< router input port delays flits w.p. `probability`
   kCorruption,     ///< arriving payload bytes flip w.p. `probability`
   kCreditLeak,     ///< router input port permanently loses `amount` credits
+  kEngineRevive,   ///< recovery: a killed engine rejoins after `warmup`
+  kSpareActivate,  ///< recovery: engine becomes the standby for `spare_for`
 };
+
+/// Number of FaultKind values (sized arrays in the injector telemetry).
+inline constexpr std::size_t kFaultKindCount = 8;
 
 const char* to_string(FaultKind kind);
 
@@ -68,6 +83,14 @@ struct FaultSpec {
   /// Optional explicit fallback engine for kEngineDeath (overrides
   /// equivalence-group resolution in the SteeringDirectory).
   std::string fallback;
+
+  /// kEngineRevive: cycles between the engine accepting work again and the
+  /// SteeringDirectory steering new chains back to it (cold-start window).
+  Cycles warmup = 0;
+
+  /// kSpareActivate: the dead engine this spare stands in for (the
+  /// `for=<engine>` operand — a name, unlike the duration `for=` elsewhere).
+  std::string spare_for;
 
   /// Round-trips through FaultPlan::parse.
   std::string to_string() const;
@@ -98,6 +121,8 @@ class FaultPlan {
                      Cycles duration = 0);
   FaultPlan& leak_credits(int router_tile, int port, Cycle at,
                           std::uint32_t amount);
+  FaultPlan& revive(std::string engine, Cycle at, Cycles warmup = 0);
+  FaultPlan& spare(std::string engine, std::string dead_engine, Cycle at);
 
   /// Parses the line-oriented config format above.  Returns nullopt (and
   /// fills *error with "line N: reason" when non-null) on malformed input.

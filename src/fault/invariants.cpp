@@ -12,8 +12,8 @@ std::string ConservationChecker::Delta::to_string() const {
   std::ostringstream os;
   os << "created=" << created << " delivered=" << delivered
      << " dropped=" << dropped << " consumed=" << consumed
-     << " faulted=" << faulted << " lost=" << lost << " live=" << live
-     << (conserved() ? " [conserved]" : " [VIOLATED]");
+     << " faulted=" << faulted << " shed=" << shed << " lost=" << lost
+     << " live=" << live << (conserved() ? " [conserved]" : " [VIOLATED]");
   return os.str();
 }
 
@@ -26,6 +26,7 @@ void ConservationChecker::rebase() {
   base_.dropped = r.dropped;
   base_.consumed = r.consumed;
   base_.faulted = r.faulted;
+  base_.shed = r.shed;
   base_.lost = r.lost;
   base_.live = static_cast<std::int64_t>(r.live);
 }
@@ -38,6 +39,7 @@ ConservationChecker::Delta ConservationChecker::delta() const {
   d.dropped = static_cast<std::int64_t>(r.dropped - base_.dropped);
   d.consumed = static_cast<std::int64_t>(r.consumed - base_.consumed);
   d.faulted = static_cast<std::int64_t>(r.faulted - base_.faulted);
+  d.shed = static_cast<std::int64_t>(r.shed - base_.shed);
   d.lost = static_cast<std::int64_t>(r.lost - base_.lost);
   d.live = static_cast<std::int64_t>(r.live) - base_.live;
   return d;
@@ -63,6 +65,8 @@ void ConservationChecker::publish(telemetry::Telemetry& t) {
                  [this] { return static_cast<double>(delta().consumed); });
   m.expose_gauge("fault.conservation.faulted",
                  [this] { return static_cast<double>(delta().faulted); });
+  m.expose_gauge("fault.conservation.shed",
+                 [this] { return static_cast<double>(delta().shed); });
   m.expose_gauge("fault.conservation.lost",
                  [this] { return static_cast<double>(delta().lost); });
   m.expose_gauge("fault.conservation.live",

@@ -34,12 +34,13 @@ class ConservationChecker {
     std::int64_t dropped = 0;
     std::int64_t consumed = 0;
     std::int64_t faulted = 0;
+    std::int64_t shed = 0;
     std::int64_t lost = 0;
     std::int64_t live = 0;
 
     bool conserved() const {
-      return lost == 0 &&
-             created == delivered + dropped + consumed + faulted + live;
+      return lost == 0 && created == delivered + dropped + consumed +
+                                         faulted + shed + live;
     }
     std::string to_string() const;
   };
@@ -71,6 +72,7 @@ class ConservationChecker {
     std::uint64_t dropped = 0;
     std::uint64_t consumed = 0;
     std::uint64_t faulted = 0;
+    std::uint64_t shed = 0;
     std::uint64_t lost = 0;
     std::int64_t live = 0;
   };

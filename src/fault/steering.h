@@ -23,6 +23,18 @@
 
 namespace panic::fault {
 
+/// Degraded-mode admission policy when steering resolution fails (a kill
+/// emptied the equivalence group).  kDrop keeps the original fail-fast
+/// behaviour: the message dies with fault accounting at the steering tile.
+/// kBackpressure parks it in a bounded per-tile buffer until the steering
+/// generation moves (a revive/spare re-opens a route); when the buffer is
+/// full, further messages are shed — bounded backpressure, never unbounded
+/// queueing.
+enum class NoRoutePolicy : std::uint8_t {
+  kDrop,
+  kBackpressure,
+};
+
 class SteeringDirectory {
  public:
   /// True when no engine is dead — the single branch live hot paths pay.
@@ -35,6 +47,18 @@ class SteeringDirectory {
   void mark_dead(EngineId id) {
     if (!is_dead(id)) {
       dead_.push_back(id.value);
+      gen_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Recovery: a revived (or spare-activated) engine rejoins its
+  /// equivalence group.  The generation bump flushes routing caches, so
+  /// new chains steer back to it immediately; messages already re-steered
+  /// drain on the old path.
+  void mark_alive(EngineId id) {
+    const auto it = std::find(dead_.begin(), dead_.end(), id.value);
+    if (it != dead_.end()) {
+      dead_.erase(it);
       gen_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -33,12 +33,21 @@ void Watchdog::tick(Cycle now) {
         p.flagged = false;
         ++recoveries_;
         PANIC_INFO("watchdog", "%s making progress again", p.name.c_str());
+        if (escalate_) escalate_(p.name, now, false);
       }
       continue;
     }
     if (!p.busy()) {
       // Idle with no progress is healthy; clear any partial suspicion.
+      // A flagged probe whose work drained (e.g. a kill discarded it)
+      // recovers too: it no longer holds anything it could be stuck on.
       p.stuck_since = kNeverWake;
+      if (p.flagged) {
+        p.flagged = false;
+        ++recoveries_;
+        PANIC_INFO("watchdog", "%s drained; no longer stuck", p.name.c_str());
+        if (escalate_) escalate_(p.name, now, false);
+      }
       continue;
     }
     if (p.stuck_since == kNeverWake) {
@@ -50,6 +59,7 @@ void Watchdog::tick(Cycle now) {
                  "%s holds work but made no progress for %llu cycles",
                  p.name.c_str(),
                  static_cast<unsigned long long>(now - p.stuck_since));
+      if (escalate_) escalate_(p.name, now, true);
     }
   }
   while (next_check_ <= now) next_check_ += config_.period;

@@ -41,6 +41,15 @@ class Watchdog : public Component {
   void add_probe(std::string name, std::function<std::uint64_t()> progress,
                  std::function<bool()> busy);
 
+  /// Escalation hook: invoked with (probe name, check cycle, flagged) on
+  /// every healthy->flagged transition (flagged=true) and every recovery
+  /// (flagged=false).  The RecoveryTracker subscribes here so stuck
+  /// engines open fault.recovery.* incidents.
+  void set_escalation(
+      std::function<void(const std::string&, Cycle, bool)> fn) {
+    escalate_ = std::move(fn);
+  }
+
   void tick(Cycle now) override;
   Cycle next_wake(Cycle /*now*/) const override { return next_check_; }
 
@@ -68,6 +77,7 @@ class Watchdog : public Component {
   WatchdogConfig config_;
   Cycle next_check_;
   std::vector<Probe> probes_;
+  std::function<void(const std::string&, Cycle, bool)> escalate_;
 
   std::uint64_t checks_ = 0;
   std::uint64_t flags_raised_ = 0;

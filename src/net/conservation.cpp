@@ -18,6 +18,7 @@ void ConservationLedger::reset() {
   dropped_ = 0;
   consumed_ = 0;
   faulted_ = 0;
+  shed_ = 0;
   lost_ = 0;
 }
 
@@ -28,6 +29,7 @@ ConservationLedger::Report ConservationLedger::report() const {
   r.dropped = dropped_;
   r.consumed = consumed_;
   r.faulted = faulted_;
+  r.shed = shed_;
   r.lost = lost_;
   r.live = created_ >= destroyed_ ? created_ - destroyed_ : 0;
   return r;
@@ -37,7 +39,8 @@ std::string ConservationLedger::Report::to_string() const {
   std::ostringstream os;
   os << "created=" << created << " delivered=" << delivered
      << " dropped=" << dropped << " consumed=" << consumed
-     << " faulted=" << faulted << " lost=" << lost << " live=" << live
+     << " faulted=" << faulted << " shed=" << shed << " lost=" << lost
+     << " live=" << live
      << (conserved() ? " [conserved]" : " [VIOLATED]");
   return os.str();
 }

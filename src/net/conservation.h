@@ -34,6 +34,7 @@ class ConservationLedger {
     std::uint64_t dropped = 0;
     std::uint64_t consumed = 0;
     std::uint64_t faulted = 0;
+    std::uint64_t shed = 0;  ///< degraded-mode backpressure overflow
     std::uint64_t lost = 0;  ///< destroyed while still kInFlight
     std::uint64_t live = 0;  ///< created but not yet destroyed
 
@@ -42,7 +43,7 @@ class ConservationLedger {
     /// was destroyed fate-less.
     bool conserved() const {
       return lost == 0 &&
-             created == delivered + dropped + consumed + faulted + live;
+             created == delivered + dropped + consumed + faulted + shed + live;
     }
 
     std::string to_string() const;
@@ -77,6 +78,9 @@ class ConservationLedger {
       case MessageFate::kFaulted:
         faulted_.fetch_add(1, std::memory_order_relaxed);
         break;
+      case MessageFate::kShed:
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
     destroyed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -98,6 +102,7 @@ class ConservationLedger {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> consumed_{0};
   std::atomic<std::uint64_t> faulted_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> lost_{0};
 };
 

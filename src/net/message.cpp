@@ -28,6 +28,7 @@ const char* to_string(MessageFate fate) {
     case MessageFate::kDropped: return "dropped";
     case MessageFate::kConsumed: return "consumed";
     case MessageFate::kFaulted: return "faulted";
+    case MessageFate::kShed: return "shed";
   }
   return "?";
 }

@@ -40,6 +40,8 @@ enum class MessageFate : std::uint8_t {
   kConsumed,      ///< terminally processed (request absorbed, reply emitted)
   kFaulted,       ///< destroyed because of an injected fault (dead engine,
                   ///< re-steer with no fallback) — attributed, not lost
+  kShed,          ///< shed by degraded-mode admission: no live route and the
+                  ///< bounded backpressure buffer was full (on_no_route)
 };
 
 const char* to_string(MessageFate fate);

@@ -160,6 +160,14 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
   }
 
   if (rng.bernoulli(0.5)) generate_faults(rng, s);
+  // Degraded-mode admission gets occasional coverage outside chaos mode
+  // too: with no kill in the plan the parking path is simply never taken,
+  // and with an uncovered kill the parked messages count as live (the
+  // conservation oracle still balances them).
+  if (rng.bernoulli(0.25)) {
+    s.on_no_route = fault::NoRoutePolicy::kBackpressure;
+    s.no_route_depth = pick(rng, {4, 16, 64});
+  }
 
   // Flow-cache knob: usually on (the default), sometimes off (exercising
   // the uncached path), sometimes a degenerate geometry — a single set or
@@ -171,6 +179,137 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
     s.rmt_cache_sets = static_cast<std::uint32_t>(pick(rng, {1, 2, 8, 64}));
     s.rmt_cache_ways = static_cast<std::uint32_t>(pick(rng, {1, 2, 4}));
   }
+  return s;
+}
+
+Scenario generate_chaos_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+
+  // Topology: enough aux engines for overlapping kills plus a never-killed
+  // standby.  Chains nominally route through aux0 (the program below), so
+  // killing aux0 is always load-bearing.
+  s.eth_ports = static_cast<int>(rng.uniform_int(1, 2));
+  s.rmt_engines = static_cast<int>(rng.uniform_int(1, 2));
+  s.aux_engines = static_cast<int>(rng.uniform_int(2, 4));
+  const int need =
+      kFixedEngineTiles + s.eth_ports + s.rmt_engines + s.aux_engines;
+  int min_k = 2;
+  while (min_k * min_k < need) ++min_k;
+  s.mesh_k = static_cast<int>(rng.uniform_int(min_k, 6));
+  s.threads = static_cast<int>(pick(rng, {1, 2, 3, 4}));
+
+  // Half the storms run degraded-mode parking instead of fail-fast drops,
+  // with a small enough depth that overflow shedding (fate kShed) happens
+  // under a long dead window.
+  if (rng.bernoulli(0.5)) {
+    s.on_no_route = fault::NoRoutePolicy::kBackpressure;
+    s.no_route_depth = pick(rng, {4, 16, 64});
+  }
+
+  // Workloads: udp/min only — kvs replies take tenant-specific egress
+  // paths that a mid-storm re-steer would legitimately reorder, blinding
+  // the per-tenant ordering oracle.  Every workload is finite and at
+  // least one (always w0) sends to the offload port, so the aux chain
+  // carries real traffic when the kills land.
+  const std::uint16_t offload_port = 7777;
+  const int n_workloads = static_cast<int>(rng.uniform_int(1, 3));
+  Cycle active_end = 0;
+  for (int i = 0; i < n_workloads; ++i) {
+    WorkloadSpec w;
+    w.port = static_cast<int>(rng.uniform_int(0, s.eth_ports - 1));
+    w.tenant = static_cast<std::uint16_t>(1 + i);
+    w.kind = rng.bernoulli(0.5) ? WorkloadSpec::Kind::kUdp
+                                : WorkloadSpec::Kind::kMinFrame;
+    w.pattern = rng.bernoulli(0.5) ? workload::ArrivalPattern::kConstantRate
+                                   : workload::ArrivalPattern::kPoisson;
+    w.mean_gap_cycles = 120.0 + rng.uniform01() * 280.0;
+    w.max_frames = rng.uniform_int(40, 120);
+    w.frame_bytes = pick(rng, {64, 256, 512});
+    w.flows = static_cast<std::uint32_t>(pick(rng, {1, 4, 16, 1024}));
+    w.dst_port = (i == 0 || rng.bernoulli(0.67)) ? offload_port
+                                                 : static_cast<std::uint16_t>(9);
+    w.seed = rng.next();
+    active_end = std::max(
+        active_end, static_cast<Cycle>(static_cast<double>(w.max_frames) *
+                                       w.mean_gap_cycles));
+    s.workloads.push_back(w);
+  }
+
+  s.program =
+      "stage chaos_offload {\n"
+      "  table chaos_port exact(l4.dport) {\n"
+      "    7777 -> clear_chain, chain(aux0, dma);\n"
+      "  }\n"
+      "}\n";
+
+  // The storm: every kill is later undone — by a revive of the same
+  // engine or by activating the reserved standby — so the plan is
+  // recoverable and the convergence oracle applies.  Kill windows overlap
+  // freely; killing every killable aux at once empties the equivalence
+  // group and exercises the no-route admission path.
+  fault::FaultPlan plan;
+  plan.seed = rng.next();
+  const Cycle window_lo = active_end / 8 + 1;
+  const Cycle window_hi = std::max<Cycle>(window_lo + 1, active_end * 3 / 4);
+  const bool use_spares = rng.bernoulli(0.5);
+  const int killable = use_spares ? s.aux_engines - 1 : s.aux_engines;
+  const int n_kills = static_cast<int>(
+      rng.uniform_int(1, static_cast<std::uint64_t>(killable)));
+  const std::string standby = "aux" + std::to_string(s.aux_engines - 1);
+  for (int k = 0; k < n_kills; ++k) {
+    const std::string victim = "aux" + std::to_string(k);
+    const Cycle kill_at = rng.uniform_int(window_lo, window_hi);
+    const Cycle recover_at =
+        kill_at + rng.uniform_int(500, std::max<Cycle>(501, active_end / 4));
+    plan.kill(victim, kill_at);
+    if (use_spares && rng.bernoulli(0.5)) {
+      plan.spare(standby, victim, recover_at);
+    } else {
+      plan.revive(victim, recover_at, pick(rng, {0, 0, 200, 500}));
+    }
+  }
+
+  // Chaff: transient non-capacity faults layered over the kills.  All
+  // finite, so they never block convergence.
+  const int n_chaff = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < n_chaff; ++i) {
+    const Cycle at = rng.uniform_int(window_lo, window_hi);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        plan.stall(kFixedEngines[rng.uniform_int(0, 10)], at,
+                   rng.uniform_int(200, 2000));
+        break;
+      case 1:
+        plan.degrade(kFixedEngines[rng.uniform_int(0, 10)], at,
+                     1.5 + rng.uniform01() * 2.5, rng.uniform_int(500, 5000));
+        break;
+      case 2:
+        plan.corrupt(kFixedEngines[rng.uniform_int(0, 10)], at,
+                     0.01 + rng.uniform01() * 0.1,
+                     rng.uniform_int(500, 5000));
+        break;
+      case 3:
+        plan.flaky_link(
+            static_cast<int>(rng.uniform_int(
+                0, static_cast<std::uint64_t>(s.mesh_k * s.mesh_k) - 1)),
+            rng.bernoulli(0.5) ? -1 : static_cast<int>(rng.uniform_int(0, 4)),
+            at, 0.05 + rng.uniform01() * 0.2, rng.uniform_int(1, 8),
+            rng.uniform_int(1000, 8000));
+        break;
+    }
+  }
+  s.faults = std::move(plan);
+
+  // Budget: 3x the expected workload end (Poisson-tail margin), plus the
+  // last fault/recovery event, plus a drain window for parked and queued
+  // work to reach terminal fates after the final recovery.
+  Cycle last_event = 0;
+  for (const fault::FaultSpec& f : s.faults.faults()) {
+    last_event = std::max(last_event, f.at + f.duration + f.warmup);
+  }
+  s.budget_cycles = 3 * active_end + last_event + 60000;
   return s;
 }
 

@@ -34,4 +34,16 @@ namespace panic::proptest {
 /// pick (20k-100k); non-zero pins it (the CLI's --budget-cycles).
 Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles = 0);
 
+/// Draws a chaos-mode scenario: an overlapping fault storm (aux-engine
+/// kills with revive/spare recoveries, plus stall/degrade/corrupt/flaky
+/// chaff) over traffic whose chains route through the aux equivalence
+/// group, so every kill is load-bearing.  Plans are recoverable by
+/// construction (oracles.h plan_recoverable) and the budget covers the
+/// full workload, the last recovery, and a drain window — so the
+/// convergence oracle applies to every storm: all messages reach a
+/// terminal fate and the ledger closes, in all three kernels.  Half the
+/// storms run `on_no_route backpressure` to exercise degraded-mode
+/// parking and shedding.
+Scenario generate_chaos_scenario(std::uint64_t seed);
+
 }  // namespace panic::proptest

@@ -78,6 +78,44 @@ void check_differential(const RunResult& a, const RunResult& b,
 
 }  // namespace
 
+bool plan_recoverable(const Scenario& s) {
+  const auto& faults = s.faults.faults();
+  bool any_kill = false;
+  for (const auto& f : faults) {
+    switch (f.kind) {
+      case fault::FaultKind::kCreditLeak:
+        return false;  // leaked credits never come back
+      case fault::FaultKind::kEngineStall:
+        if (f.duration == 0) return false;  // a forever-stall never drains
+        break;
+      case fault::FaultKind::kEngineDeath: {
+        any_kill = true;
+        bool covered = false;
+        for (const auto& g : faults) {
+          if (g.at < f.at) continue;
+          if (g.kind == fault::FaultKind::kEngineRevive &&
+              g.engine == f.engine) {
+            covered = true;
+          }
+          if (g.kind == fault::FaultKind::kSpareActivate &&
+              g.spare_for == f.engine) {
+            covered = true;
+          }
+        }
+        if (!covered) return false;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!any_kill) return false;
+  for (const auto& w : s.workloads) {
+    if (w.max_frames == 0) return false;  // must be able to drain
+  }
+  return true;
+}
+
 void check_single_run(const Scenario& s, const RunResult& r,
                       std::vector<Violation>* out) {
   const std::string mode = mode_name(r.mode);
@@ -110,16 +148,19 @@ void check_single_run(const Scenario& s, const RunResult& r,
   const auto delivered_tel = static_cast<std::int64_t>(
       snap.counter("engine.dma.packets_to_host") +
       static_cast<std::uint64_t>(snap.sum("engine.eth", ".tx_packets")));
-  double rmt_dropped = 0.0, rmt_faulted = 0.0;
+  double rmt_dropped = 0.0, rmt_faulted = 0.0, rmt_shed = 0.0;
   for (int i = 0; i < s.rmt_engines; ++i) {
     const std::string p = "rmt.rmt" + std::to_string(i) + ".";
     rmt_dropped += snap.value(p + "dropped");
     rmt_faulted += snap.value(p + "faulted_drops");
+    rmt_shed += snap.value(p + "no_route_shed");
   }
   const auto dropped_tel = static_cast<std::int64_t>(
       snap.sum("", ".queue.dropped") + rmt_dropped);
   const auto faulted_tel = static_cast<std::int64_t>(
       snap.sum("engine.", ".faulted_discards") + rmt_faulted);
+  const auto shed_tel = static_cast<std::int64_t>(
+      snap.sum("engine.", ".no_route_shed") + rmt_shed);
 
   const auto mismatch = [&](const char* what, std::int64_t ledger,
                             std::int64_t telemetry) {
@@ -133,6 +174,35 @@ void check_single_run(const Scenario& s, const RunResult& r,
   mismatch("delivered", r.conservation.delivered, delivered_tel);
   mismatch("dropped", r.conservation.dropped, dropped_tel);
   mismatch("faulted", r.conservation.faulted, faulted_tel);
+  mismatch("shed", r.conservation.shed, shed_tel);
+
+  // Convergence: on a recoverable plan (every kill later undone, finite
+  // workload), the run must return to steady state before the budget
+  // expires — every message reaches a terminal fate (nothing parked or
+  // queued forever), the ledger closes, and every kill-opened incident
+  // was closed by its revive/spare.
+  if (plan_recoverable(s)) {
+    if (r.conservation.live != 0) {
+      add(out, "convergence",
+          mode + ": " + std::to_string(r.conservation.live) +
+              " message(s) still live at end of a recoverable plan " +
+              "(parked or queued work never drained after recovery)");
+    }
+    if (!r.conserved) {
+      add(out, "convergence",
+          mode + ": ledger failed to close after recovery: " +
+              r.conservation.to_string());
+    }
+    if (snap.counter("fault.recovery.restored") <
+        snap.counter("fault.injected.kill")) {
+      add(out, "convergence",
+          mode + ": only " +
+              std::to_string(snap.counter("fault.recovery.restored")) +
+              " restore(s) recorded for " +
+              std::to_string(snap.counter("fault.injected.kill")) +
+              " kill(s)");
+    }
+  }
 }
 
 std::vector<Violation> check_scenario(const Scenario& s, RunResult* dense_out,

@@ -25,6 +25,14 @@
 //                      event-kernel leg with the cache forced off must be
 //                      bit-identical (minus the cache's own rmt.cache.*
 //                      telemetry, which only exists on the cache-on side).
+//   convergence      — on a *recoverable* plan (every kill later undone by
+//                      a revive or spare, finite stalls, no credit leaks,
+//                      finite workloads) the run converges before the
+//                      budget expires: every message reaches a terminal
+//                      fate (live == 0 — nothing parked forever), the
+//                      ledger closes, and every kill's incident was
+//                      closed.  The chaos generator only emits recoverable
+//                      plans, so every chaos storm is held to this.
 #pragma once
 
 #include <string>
@@ -51,9 +59,16 @@ std::vector<Violation> check_scenario(const Scenario& s,
                                       RunResult* parallel_out = nullptr);
 
 /// The oracles that apply to a single run (conservation, lossless NoC,
-/// ordering, ledger-vs-telemetry) — check_scenario applies these to all
-/// modes and adds the differential comparisons.
+/// ordering, ledger-vs-telemetry, convergence) — check_scenario applies
+/// these to all modes and adds the differential comparisons.
 void check_single_run(const Scenario& s, const RunResult& r,
                       std::vector<Violation>* out);
+
+/// True when the fault plan's capacity losses are all later undone —
+/// every kill is followed by a revive of the same engine or a spare
+/// activation covering it, stalls are finite, there are no credit leaks —
+/// and the workloads are finite, so the run is required to converge (the
+/// convergence oracle applies).
+bool plan_recoverable(const Scenario& s);
 
 }  // namespace panic::proptest

@@ -273,6 +273,9 @@ const std::vector<FieldDoc>& field_reference() {
        "aux engine fixed service latency"},
       {"scalar", "spare_tiles", "<int>", "0",
        "tiles reserved for caller-attached engines"},
+      {"scalar", "routing", "xy | westfirst", "xy",
+       "NoC routing algorithm (dimension-ordered XY or west-first "
+       "turn-model)"},
       {"scalar", "sched", "slack | fifo", "slack",
        "engine queue scheduling policy"},
       {"scalar", "drop", "arrival | evict", "arrival",
@@ -303,9 +306,16 @@ const std::vector<FieldDoc>& field_reference() {
        "default kernel; panic_run --mode overrides"},
       {"scalar", "slack", "<tenant> <slack>", "(none)",
        "per-tenant slack entry; repeats"},
+      {"scalar", "on_no_route", "drop | backpressure", "drop",
+       "degraded-mode admission when steering has no live route: drop "
+       "(fate kFaulted) or bounded parking until a revive/spare re-opens "
+       "the route (overflow fate kShed)"},
+      {"scalar", "no_route_depth", "<size>", "64",
+       "backpressure parking capacity per steering tile"},
       {"scalar", "fault_seed", "<uint64>", "1", "fault plan seed"},
       {"scalar", "fault", "<fault-plan line>", "(none)",
-       "fault/fault_plan.h grammar, e.g. 'kill aux0 @15000'; repeats"},
+       "fault/fault_plan.h grammar, e.g. 'kill aux0 @15000', 'revive aux0 "
+       "@30000 warmup=500', 'spare aux1 for=aux0 @30000'; repeats"},
       {"scalar", "program", "<<END ... END", "(none)",
        "p4lite stages appended to the default RMT program"},
       {"scalar", "end", "", "", "mandatory terminator"},
@@ -375,6 +385,10 @@ bool Scenario::feasible(bool strict_finite) const {
     return false;
   }
   if (engine_queue_capacity == 0 || rmt_input_queue == 0) return false;
+  if (on_no_route == fault::NoRoutePolicy::kBackpressure &&
+      no_route_depth == 0) {
+    return false;  // a zero-depth parking buffer sheds everything
+  }
   if (rmt_cache_sets == 0 || rmt_cache_sets > (1u << 20)) return false;
   if (rmt_cache_ways == 0 || rmt_cache_ways > 1024) return false;
   if (dma_bytes_per_cycle <= 0.0) return false;
@@ -408,6 +422,7 @@ core::PanicConfig Scenario::to_config() const {
   core::PanicConfig cfg;
   cfg.mesh.k = mesh_k;
   cfg.mesh.channel_bits = channel_bits;
+  cfg.mesh.routing = routing;
   cfg.freq = Frequency::megahertz(freq_mhz);
   cfg.eth_ports = eth_ports;
   cfg.rmt_engines = rmt_engines;
@@ -427,6 +442,8 @@ core::PanicConfig Scenario::to_config() const {
   cfg.default_slack = default_slack;
   cfg.tenant_slacks = tenant_slacks;
   cfg.faults = faults;
+  cfg.on_no_route = on_no_route;
+  cfg.no_route_depth = no_route_depth;
   if (!program.empty()) {
     // Compiled against the NIC's actual tile placement once the default
     // program exists.  The full engine namespace is exposed; a compile
@@ -478,6 +495,7 @@ std::string Scenario::to_string() const {
     out << "aux_fixed_cycles " << aux_fixed_cycles << "\n";
   }
   if (spare_tiles != 0) out << "spare_tiles " << spare_tiles << "\n";
+  if (routing != noc::RoutingAlgo::kXY) out << "routing westfirst\n";
   out << "sched "
       << (sched_policy == engines::SchedPolicy::kSlackPriority ? "slack"
                                                                : "fifo")
@@ -557,6 +575,10 @@ std::string Scenario::to_string() const {
     out << " sport=" << t.src_port << " dport=" << t.dst_port
         << " bytes=" << t.payload_bytes << "\n";
   }
+  if (on_no_route != fault::NoRoutePolicy::kDrop) {
+    out << "on_no_route backpressure\n";
+  }
+  if (no_route_depth != 64) out << "no_route_depth " << no_route_depth << "\n";
   if (!faults.empty()) {
     out << "fault_seed " << faults.seed << "\n";
     for (const fault::FaultSpec& spec : faults.faults()) {
@@ -618,6 +640,14 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
       else if (key == "rmt_engines") s.rmt_engines = std::stoi(rest);
       else if (key == "aux_engines") s.aux_engines = std::stoi(rest);
       else if (key == "spare_tiles") s.spare_tiles = std::stoi(rest);
+      else if (key == "routing") {
+        if (rest == "xy") s.routing = noc::RoutingAlgo::kXY;
+        else if (rest == "westfirst") s.routing = noc::RoutingAlgo::kWestFirst;
+        else {
+          fail(error, lineno, "unknown routing '" + rest + "' (xy|westfirst)");
+          return std::nullopt;
+        }
+      }
       else if (key == "sched") {
         if (rest == "slack") s.sched_policy = engines::SchedPolicy::kSlackPriority;
         else if (rest == "fifo") s.sched_policy = engines::SchedPolicy::kFifo;
@@ -729,6 +759,17 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
           return std::nullopt;
         }
         s.host_txs.push_back(spec);
+      } else if (key == "on_no_route") {
+        if (rest == "drop") s.on_no_route = fault::NoRoutePolicy::kDrop;
+        else if (rest == "backpressure") {
+          s.on_no_route = fault::NoRoutePolicy::kBackpressure;
+        } else {
+          fail(error, lineno,
+               "unknown on_no_route '" + rest + "' (drop|backpressure)");
+          return std::nullopt;
+        }
+      } else if (key == "no_route_depth") {
+        s.no_route_depth = std::stoull(rest);
       } else if (key == "fault_seed") {
         fault_seed = std::stoull(rest);
       } else if (key == "fault") {

@@ -177,6 +177,9 @@ struct Scenario {
   int rmt_engines = 2;
   int aux_engines = 0;
   int spare_tiles = 0;
+  /// NoC routing algorithm (`routing xy | westfirst`); the topology-sweep
+  /// ablation axis.
+  noc::RoutingAlgo routing = noc::RoutingAlgo::kXY;
 
   // --- Scheduling / queueing. ---
   engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
@@ -214,6 +217,14 @@ struct Scenario {
   std::vector<InjectSpec> injects;
   std::vector<HostTxSpec> host_txs;
   fault::FaultPlan faults;
+
+  /// Degraded-mode admission when steering finds no live route
+  /// (`on_no_route drop | backpressure`): drop sheds immediately with
+  /// fate kFaulted; backpressure parks up to `no_route_depth` messages
+  /// per steering tile until a revive/spare bumps the steering
+  /// generation, shedding overflow with fate kShed.
+  fault::NoRoutePolicy on_no_route = fault::NoRoutePolicy::kDrop;
+  std::size_t no_route_depth = 64;
 
   /// p4lite source compiled into extra RMT stages after the default
   /// program (the `program <<END ... END` block); empty = stock program.

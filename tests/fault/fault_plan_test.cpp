@@ -53,6 +53,37 @@ leak 3 port=local @0 credits=8
   EXPECT_EQ(f[5].amount, 8u);
 }
 
+TEST(FaultPlan, ParsesRecoveryVerbs) {
+  const std::string text =
+      "kill aux0 @5000\n"
+      "revive aux0 @9000 warmup=500\n"
+      "spare aux1 for=aux0 @9100\n";
+  std::string error;
+  const auto plan = FaultPlan::parse(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->size(), 3u);
+
+  const auto& f = plan->faults();
+  EXPECT_EQ(f[1].kind, FaultKind::kEngineRevive);
+  EXPECT_EQ(f[1].engine, "aux0");
+  EXPECT_EQ(f[1].at, 9000u);
+  EXPECT_EQ(f[1].warmup, 500u);
+
+  EXPECT_EQ(f[2].kind, FaultKind::kSpareActivate);
+  EXPECT_EQ(f[2].engine, "aux1");
+  EXPECT_EQ(f[2].spare_for, "aux0");  // for= is a name here, not cycles
+  EXPECT_EQ(f[2].at, 9100u);
+
+  // Default warmup is zero (rejoin the instant the revive lands).
+  const auto bare = FaultPlan::parse("revive dma @10\n");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->faults()[0].warmup, 0u);
+
+  // spare without its standby target is malformed.
+  EXPECT_FALSE(FaultPlan::parse("spare aux1 @10\n", &error).has_value());
+  EXPECT_EQ(error, "line 1: spare requires for=<dead_engine>");
+}
+
 TEST(FaultPlan, DefaultPortIsAllPorts) {
   const auto plan = FaultPlan::parse("flaky 2 @10 p=0.5 delay=3\n");
   ASSERT_TRUE(plan.has_value());
@@ -67,7 +98,9 @@ TEST(FaultPlan, RoundTripsThroughToString) {
       .degrade("kvs", 2000, 2.0, 500)
       .flaky_link(6, 3, 1500, 0.25, 12, 4000)
       .corrupt("eth0", 100, 0.5)
-      .leak_credits(3, 4, 0, 8);
+      .leak_credits(3, 4, 0, 8)
+      .revive("aux0", 9000, 500)
+      .spare("aux1", "aux0", 9100);
 
   const auto reparsed = FaultPlan::parse(plan.to_string());
   ASSERT_TRUE(reparsed.has_value());

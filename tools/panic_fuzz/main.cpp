@@ -1,7 +1,7 @@
 // panic_fuzz: randomized differential property-testing harness.
 //
 //   panic_fuzz [--runs N] [--seed S] [--budget-cycles C] [--threads T]
-//              [--out FILE]
+//              [--out FILE] [--chaos]
 //   panic_fuzz --replay FILE
 //   panic_fuzz --selftest
 //
@@ -10,6 +10,14 @@
 // applies the oracle suite.  On the first violation it greedily minimizes
 // the scenario and writes a self-contained replay file (default
 // panic_fuzz_min.panic), then exits 1.
+//
+// --chaos swaps in the chaos generator: overlapping fault storms (kills +
+// revive/spare recoveries, stall/degrade/corrupt/flaky chaff) over
+// aux-chained traffic, half of them under `on_no_route backpressure`.
+// Every storm is recoverable by construction, so the convergence oracle
+// applies on top of the usual suite; failures minimize to
+// panic_chaos_min.panic (replay files are ordinary scenarios — --replay
+// needs no flag).
 //
 // --threads overrides the generator's per-scenario shard count for the
 // parallel leg (PANIC_THREADS works too).
@@ -47,8 +55,10 @@ struct Options {
   bool seed_given = false;
   panic::Cycles budget_cycles = 0;  // 0 = generator picks per scenario
   std::string out = "panic_fuzz_min.panic";
+  bool out_given = false;
   std::string replay;
   bool selftest = false;
+  bool chaos = false;
   int max_shrink_tests = 300;
   int threads = 0;  // 0 = scenario's own draw; >0 forces the parallel leg
 };
@@ -76,9 +86,13 @@ Options parse_args(int argc, char** argv) {
   args.option("replay", "re-run a saved replay file", &opt.replay);
   args.flag("selftest", "verify the harness against a planted bug",
             &opt.selftest);
+  args.flag("chaos", "overlapping fault storms with recovery convergence",
+            &opt.chaos);
   args.parse(argc, argv);
   opt.runs = static_cast<int>(runs);
   opt.budget_cycles = budget;
+  opt.out_given = opt.out != "panic_fuzz_min.panic";
+  if (opt.chaos && !opt.out_given) opt.out = "panic_chaos_min.panic";
   opt.threads = args.threads();
   if (args.seed_given()) {
     opt.seed = args.seed();
@@ -148,11 +162,14 @@ int run_fuzz(const Options& opt) {
   for (int i = 0; i < opt.runs; ++i) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     Scenario scenario =
-        panic::proptest::generate_scenario(seed, opt.budget_cycles);
+        opt.chaos
+            ? panic::proptest::generate_chaos_scenario(seed)
+            : panic::proptest::generate_scenario(seed, opt.budget_cycles);
     apply_threads(opt, &scenario);
     const auto violations = panic::proptest::check_scenario(scenario);
-    std::printf("run %d/%d seed=%llu frames=%llu faults=%zu %s\n", i + 1,
-                opt.runs, static_cast<unsigned long long>(seed),
+    std::printf("%s %d/%d seed=%llu frames=%llu faults=%zu %s\n",
+                opt.chaos ? "storm" : "run", i + 1, opt.runs,
+                static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(scenario.total_frames()),
                 scenario.faults.size(),
                 violations.empty() ? "ok" : "VIOLATION");
