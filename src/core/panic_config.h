@@ -53,7 +53,7 @@ struct PanicConfig {
   int eth_ports = 2;
   int rmt_engines = 2;
 
-  engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
+  engines::SchedSpec sched_policy = engines::SchedKind::kSlack;
   engines::DropPolicy drop_policy = engines::DropPolicy::kDropArrival;
   std::size_t engine_queue_capacity = 256;
   std::size_t rmt_input_queue = 512;

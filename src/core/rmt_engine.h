@@ -27,7 +27,7 @@ namespace panic::core {
 
 struct RmtEngineConfig {
   std::size_t input_queue = 256;  ///< messages buffered before the parser
-  engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
+  engines::SchedSpec sched_policy = engines::SchedKind::kSlack;
   /// Flow-signature resolution cache (rmt/flow_cache.h).  Host wall-clock
   /// optimization only — simulated behaviour is bit-identical with the
   /// cache off.  Default on.

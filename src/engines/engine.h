@@ -35,7 +35,7 @@
 namespace panic::engines {
 
 struct EngineConfig {
-  SchedPolicy sched_policy = SchedPolicy::kSlackPriority;
+  SchedSpec sched_policy = SchedKind::kSlack;
   DropPolicy drop_policy = DropPolicy::kDropArrival;
   std::size_t queue_capacity = 64;   ///< scheduler queue depth (messages)
   std::size_t output_staging = 16;   ///< completed messages awaiting inject

@@ -1,0 +1,74 @@
+#include "engines/pifo_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace panic::engines {
+
+PifoTree::PifoTree(const SchedSpec& root, const SchedSpec& leaf,
+                   std::size_t leaf_capacity)
+    : root_spec_(root),
+      leaf_spec_(leaf),
+      leaf_capacity_(leaf_capacity ? leaf_capacity : 1) {
+  std::string error;
+  root_program_ = RankProgram::compile_spec(root_spec_, &error);
+  if (root_program_ == nullptr) {
+    throw std::runtime_error("pifo tree root rank program: " + error);
+  }
+}
+
+SchedulerQueue& PifoTree::leaf_for(std::uint16_t klass) {
+  auto it = leaves_.find(klass);
+  if (it == leaves_.end()) {
+    it = leaves_
+             .emplace(klass, std::make_unique<SchedulerQueue>(
+                                 leaf_spec_, leaf_capacity_))
+             .first;
+  }
+  return *it->second;
+}
+
+bool PifoTree::try_enqueue(MessagePtr msg, Cycle now, std::uint16_t klass) {
+  // Rank the CLASS first: the root program sees the message with tenant
+  // rebound to the class id, so per-class weights resolve naturally.
+  RankInputs in;
+  in.slack = msg->slack;
+  in.tenant = klass;
+  in.flow = msg->flow.value;
+  in.bytes = msg->wire_size();
+  in.now = now;
+  in.created = msg->created_at;
+  in.seq = next_seq_;
+  in.vtime = root_vtime_;
+  in.weight = root_spec_.weight_for(klass);
+  in.kind = static_cast<std::uint64_t>(msg->kind);
+  const std::uint64_t rank =
+      root_program_->evaluate(in, root_state_, root_scratch_);
+
+  SchedulerQueue& leaf = leaf_for(klass);
+  if (!leaf.try_enqueue(std::move(msg), now)) {
+    // Leaf tail-dropped: no root entry, no root state advance.
+    ++dropped_;
+    return false;
+  }
+  if (root_program_->stateful()) {
+    root_program_->commit(root_state_, root_scratch_,
+                          root_program_->state_key(in));
+  }
+  root_.push_back(RootItem{rank, next_seq_++, klass});
+  std::push_heap(root_.begin(), root_.end(), RootOrder{});
+  return true;
+}
+
+MessagePtr PifoTree::dequeue(Cycle now) {
+  if (root_.empty()) return nullptr;
+  std::pop_heap(root_.begin(), root_.end(), RootOrder{});
+  const RootItem item = root_.back();
+  root_.pop_back();
+  root_vtime_ = std::max(root_vtime_, item.rank);
+  // Every root entry matches one admitted leaf message, so the leaf is
+  // never empty here.
+  return leaf_for(item.klass).dequeue(now);
+}
+
+}  // namespace panic::engines

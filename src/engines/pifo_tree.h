@@ -1,0 +1,79 @@
+// A small PIFO tree (Programmable Packet Scheduling, PAPERS.md) for
+// hierarchical policies: a root PIFO schedules CLASSES while one leaf
+// PIFO per class schedules the messages inside it.  Each enqueue inserts
+// one element at both levels; each dequeue pops the root to pick the
+// winning class, then pops that class's leaf.
+//
+// Both levels run ordinary rank programs (SchedSpec), so e.g. weighted
+// fair queueing ACROSS tenants composed with earliest-deadline-first
+// WITHIN each tenant is `PifoTree(wfq_spec, edf_spec, cap)`.  The root
+// program sees the enqueued message with `tenant` rebound to the class
+// id, which is what lets the stock wfq/stfq/prio built-ins (and their
+// `weight` tables) express inter-class policy unchanged.
+//
+// This is the hierarchy block ROADMAP item 2 (SuperNIC-style per-tenant
+// policy composition) builds on; the flat SchedulerQueue stays the
+// per-engine hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "engines/sched_queue.h"
+
+namespace panic::engines {
+
+class PifoTree {
+ public:
+  /// `leaf_capacity` bounds each class's leaf queue; a full leaf
+  /// tail-drops the arrival (the root never holds an entry for a message
+  /// that was not admitted).
+  PifoTree(const SchedSpec& root, const SchedSpec& leaf,
+           std::size_t leaf_capacity);
+
+  /// Enqueues `msg` into class `klass`.  Returns false (and drops the
+  /// message) if that class's leaf is full.
+  bool try_enqueue(MessagePtr msg, Cycle now, std::uint16_t klass);
+
+  /// Pops the root to pick a class, then that class's minimum-rank
+  /// message (nullptr if the tree is empty).
+  MessagePtr dequeue(Cycle now);
+
+  std::size_t size() const { return root_.size(); }
+  bool empty() const { return root_.empty(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct RootItem {
+    std::uint64_t rank;
+    std::uint64_t seq;
+    std::uint16_t klass;
+  };
+  struct RootOrder {
+    // Heap comparator: true when a dequeues later than b — (rank, seq)
+    // total order, same contract as SchedulerQueue.
+    bool operator()(const RootItem& a, const RootItem& b) const {
+      if (a.rank != b.rank) return a.rank > b.rank;
+      return a.seq > b.seq;
+    }
+  };
+
+  SchedulerQueue& leaf_for(std::uint16_t klass);
+
+  SchedSpec root_spec_;
+  SchedSpec leaf_spec_;
+  std::size_t leaf_capacity_;
+  std::shared_ptr<const RankProgram> root_program_;
+  std::vector<RootItem> root_;  // heap under RootOrder
+  RankState root_state_;
+  std::vector<std::uint64_t> root_scratch_;
+  std::uint64_t root_vtime_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::map<std::uint16_t, std::unique_ptr<SchedulerQueue>> leaves_;
+};
+
+}  // namespace panic::engines

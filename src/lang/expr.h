@@ -1,0 +1,79 @@
+// Compiled integer expressions over named variables — the expression
+// language shared by p4lite RMT actions (set_expr) and the scheduler's
+// rank programs (src/engines/rank_program).
+//
+// Values are uint64 with TOTAL semantics so any well-formed expression is
+// safe to evaluate on any input (the fuzz generator emits random rank
+// programs): x/0 == 0, x%0 == 0, shift counts are masked to 6 bits,
+// add/sub/mul wrap mod 2^64.  Comparisons and logical ops yield 0/1.
+//
+// Grammar (C precedence):  ?:  ||  &&  |  ^  &  == !=  < <= > >=  << >>
+// + -  * / %  unary ! ~ -  and primaries: numbers (42, 0x1F, dotted
+// quads), variables, min(a,b), max(a,b), parentheses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/lexer.h"
+
+namespace panic::lang {
+
+/// Maps a variable name to its slot in the caller's value array; nullopt
+/// rejects the name (the parser reports "unknown variable").
+using VarResolver =
+    std::function<std::optional<std::uint32_t>(std::string_view)>;
+
+class Expr {
+ public:
+  /// Compiles `src` as one complete expression (trailing tokens are an
+  /// error).  On failure returns nullopt and sets *error to a bare
+  /// reason — callers that know the line prepend "line N: ".
+  static std::optional<Expr> compile(std::string_view src,
+                                     const VarResolver& resolver,
+                                     std::string* error);
+
+  /// Parses one expression from an in-progress token cursor, stopping at
+  /// the first token that cannot extend it (')', ',', ';', ...).  This is
+  /// how p4lite embeds expressions mid-program.
+  static std::optional<Expr> parse(Cursor& cur, const VarResolver& resolver,
+                                   std::string* error);
+
+  /// Evaluates against `vars`, indexed by the resolver's slot numbers.
+  /// Only slots listed in reads() are accessed.
+  std::uint64_t eval(const std::uint64_t* vars) const;
+
+  /// Slots referenced, sorted and deduplicated (flow-cache key masks,
+  /// scratch sizing).
+  const std::vector<std::uint32_t>& reads() const { return reads_; }
+
+  /// True when the expression is exactly one variable / one constant —
+  /// the scheduler compiles those to allocation-free fast paths.
+  bool is_var(std::uint32_t* slot) const;
+  bool is_const(std::uint64_t* value) const;
+
+ private:
+  enum class Op : std::uint8_t {
+    kConst, kVar,
+    kAdd, kSub, kMul, kDiv, kMod,
+    kAnd, kOr, kXor, kShl, kShr,
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kLAnd, kLOr,
+    kNot, kBitNot, kNeg,
+    kMin, kMax, kSelect,
+  };
+  struct Ins {
+    Op op;
+    std::uint64_t arg = 0;  // kConst: value; kVar: slot
+  };
+  friend class ExprParser;
+
+  std::vector<Ins> code_;            // postfix program
+  std::vector<std::uint32_t> reads_;  // sorted unique var slots
+};
+
+}  // namespace panic::lang

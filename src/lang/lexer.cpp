@@ -1,0 +1,172 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace panic::lang {
+
+void Lexer::skip_ws() {
+  while (pos_ < src_.size()) {
+    const char c = src_[pos_];
+    if (c == '\n') {
+      ++line_;
+      ++pos_;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '#' ||
+               (c == '/' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] == '/')) {
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::lex_number() {
+  Token t;
+  t.line = line_;
+  t.kind = TokKind::kNumber;
+  const std::size_t start = pos_;
+  // Dotted quad?  Exactly three dots with digits between reads as an IPv4
+  // address literal (p4lite table keys).
+  std::size_t probe = pos_;
+  int dots = 0;
+  while (probe < src_.size() &&
+         (std::isdigit(static_cast<unsigned char>(src_[probe])) ||
+          src_[probe] == '.')) {
+    if (src_[probe] == '.') ++dots;
+    ++probe;
+  }
+  if (dots == 3) {
+    std::uint64_t value = 0;
+    std::uint64_t octet = 0;
+    for (; pos_ < probe; ++pos_) {
+      if (src_[pos_] == '.') {
+        value = (value << 8) | octet;
+        octet = 0;
+      } else {
+        octet = octet * 10 + static_cast<std::uint64_t>(src_[pos_] - '0');
+      }
+    }
+    t.value = (value << 8) | octet;
+    t.text = std::string(src_.substr(start, pos_ - start));
+    return t;
+  }
+  if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+      (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+    pos_ += 2;
+    std::uint64_t value = 0;
+    while (pos_ < src_.size() &&
+           std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+      const char d = src_[pos_++];
+      value = value * 16 +
+              static_cast<std::uint64_t>(
+                  d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10);
+    }
+    t.value = value;
+    t.text = std::string(src_.substr(start, pos_ - start));
+    return t;
+  }
+  std::uint64_t value = 0;
+  while (pos_ < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+    value = value * 10 + static_cast<std::uint64_t>(src_[pos_++] - '0');
+  }
+  t.value = value;
+  t.text = std::string(src_.substr(start, pos_ - start));
+  return t;
+}
+
+Token Lexer::lex_ident() {
+  Token t;
+  t.line = line_;
+  t.kind = TokKind::kIdent;
+  const std::size_t start = pos_;
+  while (pos_ < src_.size() &&
+         (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+          src_[pos_] == '_' || src_[pos_] == '.')) {
+    ++pos_;
+  }
+  t.text = std::string(src_.substr(start, pos_ - start));
+  return t;
+}
+
+Token Lexer::next() {
+  skip_ws();
+  Token t;
+  t.line = line_;
+  if (pos_ >= src_.size()) {
+    t.kind = TokKind::kEnd;
+    return t;
+  }
+  const char c = src_[pos_];
+  auto two = [&](char second) {
+    return pos_ + 1 < src_.size() && src_[pos_ + 1] == second;
+  };
+  auto one = [&](TokKind k, const char* text) {
+    ++pos_;
+    t.kind = k;
+    t.text = text;
+    return t;
+  };
+  auto pair = [&](TokKind k, const char* text) {
+    pos_ += 2;
+    t.kind = k;
+    t.text = text;
+    return t;
+  };
+  switch (c) {
+    case '{': return one(TokKind::kLBrace, "{");
+    case '}': return one(TokKind::kRBrace, "}");
+    case '(': return one(TokKind::kLParen, "(");
+    case ')': return one(TokKind::kRParen, ")");
+    case ',': return one(TokKind::kComma, ",");
+    case ';': return one(TokKind::kSemi, ";");
+    case '+': return one(TokKind::kPlus, "+");
+    case '*': return one(TokKind::kStar, "*");
+    case '%': return one(TokKind::kPercent, "%");
+    case '^': return one(TokKind::kCaret, "^");
+    case '~': return one(TokKind::kTilde, "~");
+    case '?': return one(TokKind::kQuestion, "?");
+    case ':': return one(TokKind::kColon, ":");
+    case '-':
+      if (two('>')) return pair(TokKind::kArrow, "->");
+      return one(TokKind::kMinus, "-");
+    case '/':
+      // '//' comments were consumed by skip_ws; a lone slash is p4lite's
+      // value/mask separator and lang::Expr's division.
+      return one(TokKind::kSlash, "/");
+    case '&':
+      if (two('&')) return pair(TokKind::kAndAnd, "&&");
+      return one(TokKind::kAmp, "&");
+    case '|':
+      if (two('|')) return pair(TokKind::kOrOr, "||");
+      return one(TokKind::kPipe, "|");
+    case '<':
+      if (two('<')) return pair(TokKind::kShl, "<<");
+      if (two('=')) return pair(TokKind::kLe, "<=");
+      return one(TokKind::kLt, "<");
+    case '>':
+      if (two('>')) return pair(TokKind::kShr, ">>");
+      if (two('=')) return pair(TokKind::kGe, ">=");
+      return one(TokKind::kGt, ">");
+    case '=':
+      if (two('=')) return pair(TokKind::kEqEq, "==");
+      return one(TokKind::kAssign, "=");
+    case '!':
+      if (two('=')) return pair(TokKind::kNe, "!=");
+      return one(TokKind::kBang, "!");
+    default:
+      break;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_ident();
+  }
+  ++pos_;
+  t.kind = TokKind::kError;
+  t.text = std::string(1, c);
+  return t;
+}
+
+}  // namespace panic::lang

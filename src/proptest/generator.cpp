@@ -136,8 +136,29 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
   while (min_k * min_k < need) ++min_k;
   s.mesh_k = static_cast<int>(rng.uniform_int(min_k, 6));
 
-  s.sched_policy = rng.bernoulli(0.75) ? engines::SchedPolicy::kSlackPriority
-                                       : engines::SchedPolicy::kFifo;
+  // Rank policy: the legacy slack/fifo kinds keep most of the weight
+  // (they carry the regression goldens), the programmable built-ins share
+  // the rest.  Every built-in is per-tenant monotone — within one tenant
+  // ranks never decrease — which is the precondition of the per-tenant
+  // egress ordering oracle (one tenant == one flow == one path).
+  switch (rng.uniform_int(0, 9)) {
+    case 0: case 1: case 2: case 3: case 4:
+      s.sched_policy = engines::SchedKind::kSlack;
+      break;
+    case 5: case 6:
+      s.sched_policy = engines::SchedKind::kFifo;
+      break;
+    case 7:
+      s.sched_policy = engines::SchedKind::kWfq;
+      break;
+    case 8:
+      s.sched_policy = engines::SchedKind::kStfq;
+      break;
+    default:
+      s.sched_policy = rng.bernoulli(0.5) ? engines::SchedKind::kEdf
+                                          : engines::SchedKind::kPrio;
+      break;
+  }
   s.drop_policy = rng.bernoulli(0.5) ? engines::DropPolicy::kDropArrival
                                      : engines::DropPolicy::kEvictLoosest;
   // Small capacities force the legal drop point; large ones test lossless
@@ -157,6 +178,16 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
     s.tenant_slacks.emplace_back(
         s.workloads.back().tenant,
         static_cast<std::uint32_t>(pick(rng, {10, 100, 1000, 100000})));
+  }
+  if (s.sched_policy.kind == engines::SchedKind::kWfq) {
+    // Skewed weights so WFQ actually reorders across tenants (absent
+    // entries weigh 1, so only some tenants get one).
+    for (const WorkloadSpec& w : s.workloads) {
+      if (rng.bernoulli(0.75)) {
+        s.sched_policy.set_weight(
+            w.tenant, static_cast<std::uint32_t>(pick(rng, {1, 2, 4, 8})));
+      }
+    }
   }
 
   if (rng.bernoulli(0.5)) generate_faults(rng, s);
@@ -178,6 +209,74 @@ Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles) {
   } else if (rng.bernoulli(0.4)) {
     s.rmt_cache_sets = static_cast<std::uint32_t>(pick(rng, {1, 2, 8, 64}));
     s.rmt_cache_ways = static_cast<std::uint32_t>(pick(rng, {1, 2, 4}));
+  }
+  return s;
+}
+
+Scenario generate_rank_scenario(std::uint64_t seed, Cycles budget_cycles) {
+  Scenario s = generate_scenario(seed, budget_cycles);
+  // Independent stream: the base scenario stays whatever its seed draws,
+  // the rank program is layered on top.
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+
+  // Every emitted program is per-tenant MONOTONE: with flow.* state keyed
+  // by tenant (the default key), a tenant's ranks never decrease, so the
+  // per-tenant egress ordering oracle stays sound (messages of one tenant
+  // dequeue in (rank, seq) = arrival order at every queue).  `key flow`
+  // is deliberately never emitted — workloads cycle several 5-tuples per
+  // tenant, and independent per-flow accumulators would legitimately
+  // reorder a tenant's messages.
+  const auto number = [&rng](std::initializer_list<std::uint64_t> c) {
+    return std::to_string(pick(rng, c));
+  };
+  // A non-negative per-message term; constant within a tenant or
+  // monotone in arrival, never decreasing an accumulator.
+  const auto term = [&]() -> std::string {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: return "(bytes * " + number({256, 512, 1024}) + ") / weight";
+      case 1: return "bytes + " + number({0, 7, 64});
+      case 2: return "slack / " + number({2, 8}) + " + 1";
+      case 3: return "min(bytes, " + number({128, 600}) + ") + 1";
+      default: return "max(bytes, " + number({64, 300}) + ")";
+    }
+  };
+
+  std::string prog;
+  if (rng.bernoulli(0.3)) prog += "key tenant\n";  // the default, spelled out
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      // Accumulator family: virtual-finish-time shape (the WFQ/STFQ
+      // skeleton) with a randomized increment.
+      prog += "flow.acc = max(flow.acc, vtime) + " + term() + "\n";
+      prog += "rank = flow.acc\n";
+      break;
+    case 1:
+      // Created-linear family: deadline shape — monotone in creation
+      // time, offset by per-tenant constants.
+      prog += "rank = created * " + number({1, 2, 4}) + " + slack / " +
+              number({1, 2, 8}) + "\n";
+      break;
+    default:
+      // Now-linear family: enqueue times never decrease within a tenant.
+      prog += "rank = now + tenant * " + number({0, 3, 17}) + "\n";
+      break;
+  }
+  if (rng.bernoulli(0.4)) {
+    // Harmless extra statements: per-queue state and a ternary over a
+    // per-tenant constant (adds the same amount to every rank of a
+    // tenant, so monotonicity is untouched).
+    prog += "queue.n = queue.n + 1\n";
+    prog += "rank = rank + (tenant > " + number({0, 2}) + " ? " +
+            number({1, 5}) + " : 0)\n";
+  }
+  s.sched_policy.kind = engines::SchedKind::kCustom;
+  s.sched_policy.rank_source = prog;
+  s.sched_policy.weights.clear();
+  for (const WorkloadSpec& w : s.workloads) {
+    if (rng.bernoulli(0.5)) {
+      s.sched_policy.set_weight(
+          w.tenant, static_cast<std::uint32_t>(pick(rng, {1, 2, 4, 8})));
+    }
   }
   return s;
 }

@@ -34,6 +34,15 @@ namespace panic::proptest {
 /// pick (20k-100k); non-zero pins it (the CLI's --budget-cycles).
 Scenario generate_scenario(std::uint64_t seed, Cycles budget_cycles = 0);
 
+/// Draws a scenario whose scheduler runs a RANDOM custom rank program
+/// (`sched pifo rank=<<END`), built from per-tenant-monotone families —
+/// virtual-finish-time accumulators, created-linear deadlines and
+/// now-linear offsets — so the per-tenant egress ordering oracle stays
+/// sound while the PIFO program path (compiler, interpreter, state
+/// commit, shadow audit) gets arbitrary-program coverage.  The base
+/// scenario is generate_scenario(seed); only the sched spec is replaced.
+Scenario generate_rank_scenario(std::uint64_t seed, Cycles budget_cycles = 0);
+
 /// Draws a chaos-mode scenario: an overlapping fault storm (aux-engine
 /// kills with revive/spare recoveries, plus stall/degrade/corrupt/flaky
 /// chaff) over traffic whose chains route through the aux equivalence

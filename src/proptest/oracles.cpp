@@ -132,7 +132,8 @@ void check_single_run(const Scenario& s, const RunResult& r,
   if (r.audit_violations != 0) {
     add(out, "ordering",
         mode + ": " + std::to_string(r.audit_violations) +
-            " scheduler dequeue(s) violated slack/FIFO priority");
+            " scheduler dequeue(s) violated the (rank, seq) PIFO order "
+            "or its rank program's reference evaluation");
   }
   if (r.order_violations != 0) {
     add(out, "ordering",

@@ -14,9 +14,14 @@
 //                      destroyed fate-less (per mode).
 //   lossless_noc     — no router ever accepted a flit without a free
 //                      credit (Router::credit_violations == 0).
-//   ordering         — no SchedulerQueue dequeue broke slack monotonicity
-//                      or FIFO (the per-dequeue audit), and no tenant's
-//                      frames left an Ethernet port out of creation order.
+//   ordering         — no SchedulerQueue dequeue broke the (rank, seq)
+//                      PIFO total order or diverged from an independent
+//                      interpreted evaluation of the queue's rank program
+//                      (the per-dequeue audit + shadow queue), and no
+//                      tenant's frames left an Ethernet port out of
+//                      creation order.  Sound for any per-tenant-monotone
+//                      rank policy — all built-ins, and everything the
+//                      rank-program generator emits.
 //   ledger_telemetry — the conservation ledger and the telemetry counters
 //                      agree on the delivered/dropped/faulted totals
 //                      (each fate has exactly one legal counting site).

@@ -2,82 +2,102 @@
 
 namespace panic::rmt {
 
+namespace {
+
+ActionPrimitive prim(ActionOp op, Field dst, Field src, Field src2,
+                     std::uint64_t imm, std::uint64_t imm2) {
+  ActionPrimitive p;
+  p.op = op;
+  p.dst = dst;
+  p.src = src;
+  p.src2 = src2;
+  p.imm = imm;
+  p.imm2 = imm2;
+  return p;
+}
+
+}  // namespace
+
 Action& Action::set_field(Field dst, std::uint64_t imm) {
-  primitives.push_back({ActionOp::kSetField, dst, Field::kCount,
-                        Field::kCount, imm, 0});
+  primitives.push_back(prim(ActionOp::kSetField, dst, Field::kCount,
+                        Field::kCount, imm, 0));
   return *this;
 }
 
 Action& Action::copy_field(Field dst, Field src) {
-  primitives.push_back(
-      {ActionOp::kCopyField, dst, src, Field::kCount, 0, 0});
+  primitives.push_back(prim(ActionOp::kCopyField, dst, src, Field::kCount, 0, 0));
   return *this;
 }
 
 Action& Action::add_imm(Field dst, std::uint64_t imm) {
-  primitives.push_back(
-      {ActionOp::kAddImm, dst, Field::kCount, Field::kCount, imm, 0});
+  primitives.push_back(prim(ActionOp::kAddImm, dst, Field::kCount, Field::kCount, imm, 0));
   return *this;
 }
 
 Action& Action::and_imm(Field dst, std::uint64_t imm) {
-  primitives.push_back(
-      {ActionOp::kAndImm, dst, Field::kCount, Field::kCount, imm, 0});
+  primitives.push_back(prim(ActionOp::kAndImm, dst, Field::kCount, Field::kCount, imm, 0));
   return *this;
 }
 
 Action& Action::hash_fields(Field dst, Field a, Field b,
                             std::uint64_t modulo) {
-  primitives.push_back({ActionOp::kHashFields, dst, a, b, modulo, 0});
+  primitives.push_back(prim(ActionOp::kHashFields, dst, a, b, modulo, 0));
   return *this;
 }
 
 Action& Action::push_hop(std::uint16_t engine) {
-  primitives.push_back({ActionOp::kPushChainHop, Field::kCount, Field::kCount,
-                        Field::kCount, engine, 0});
+  primitives.push_back(prim(ActionOp::kPushChainHop, Field::kCount, Field::kCount,
+                        Field::kCount, engine, 0));
   return *this;
 }
 
 Action& Action::push_hop_from(Field engine_field) {
-  primitives.push_back({ActionOp::kPushChainHopFromField, Field::kCount,
-                        engine_field, Field::kCount, 0, 0});
+  primitives.push_back(prim(ActionOp::kPushChainHopFromField, Field::kCount,
+                        engine_field, Field::kCount, 0, 0));
   return *this;
 }
 
 Action& Action::clear_chain() {
-  primitives.push_back({ActionOp::kClearChain, Field::kCount, Field::kCount,
-                        Field::kCount, 0, 0});
+  primitives.push_back(prim(ActionOp::kClearChain, Field::kCount, Field::kCount,
+                        Field::kCount, 0, 0));
   return *this;
 }
 
 Action& Action::set_slack(std::uint64_t slack) {
-  primitives.push_back({ActionOp::kSetSlack, Field::kCount, Field::kCount,
-                        Field::kCount, slack, 0});
+  primitives.push_back(prim(ActionOp::kSetSlack, Field::kCount, Field::kCount,
+                        Field::kCount, slack, 0));
   return *this;
 }
 
 Action& Action::mark_drop() {
-  primitives.push_back({ActionOp::kMarkDrop, Field::kCount, Field::kCount,
-                        Field::kCount, 0, 0});
+  primitives.push_back(prim(ActionOp::kMarkDrop, Field::kCount, Field::kCount,
+                        Field::kCount, 0, 0));
   return *this;
 }
 
 Action& Action::reg_read(Field dst, std::uint32_t reg, Field index) {
-  primitives.push_back(
-      {ActionOp::kRegRead, dst, index, Field::kCount, reg, 0});
+  primitives.push_back(prim(ActionOp::kRegRead, dst, index, Field::kCount, reg, 0));
   return *this;
 }
 
 Action& Action::reg_write(std::uint32_t reg, Field index, Field value) {
-  primitives.push_back(
-      {ActionOp::kRegWrite, Field::kCount, index, value, reg, 0});
+  primitives.push_back(prim(ActionOp::kRegWrite, Field::kCount, index, value, reg, 0));
   return *this;
 }
 
 Action& Action::reg_add(Field dst, std::uint32_t reg, Field index,
                         std::uint64_t delta) {
-  primitives.push_back({ActionOp::kRegAdd, dst, index, Field::kCount, reg,
-                        delta});
+  primitives.push_back(prim(ActionOp::kRegAdd, dst, index, Field::kCount, reg,
+                        delta));
+  return *this;
+}
+
+Action& Action::set_expr(Field dst, std::shared_ptr<const lang::Expr> expr) {
+  ActionPrimitive p;
+  p.op = ActionOp::kEvalExpr;
+  p.dst = dst;
+  p.expr = std::move(expr);
+  primitives.push_back(std::move(p));
   return *this;
 }
 
@@ -174,6 +194,16 @@ void apply_action(const Action& action, ActionContext& ctx) {
             ctx.regs.add(static_cast<std::uint32_t>(p.imm),
                          ctx.phv.get(p.src), p.imm2);
         if (p.dst != Field::kCount) ctx.phv.set(p.dst, v);
+        break;
+      }
+      case ActionOp::kEvalExpr: {
+        // Expression variable slots ARE Field indices; only the fields the
+        // expression reads need to be materialized.
+        std::uint64_t vars[kFieldCount] = {};
+        for (const std::uint32_t slot : p.expr->reads()) {
+          vars[slot] = ctx.phv.get(static_cast<Field>(slot));
+        }
+        ctx.phv.set(p.dst, p.expr->eval(vars));
         break;
       }
     }

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "lang/expr.h"
 #include "net/chain_header.h"
 #include "rmt/phv.h"
 
@@ -33,6 +35,7 @@ enum class ActionOp : std::uint8_t {
   kRegRead,        ///< dst = reg[imm][phv[src]]
   kRegWrite,       ///< reg[imm][phv[src]] = phv[src2]
   kRegAdd,         ///< reg[imm][phv[src]] += imm2; dst = new value
+  kEvalExpr,       ///< dst = expr(PHV) — a compiled lang::Expr over fields
 };
 
 struct ActionPrimitive {
@@ -42,6 +45,9 @@ struct ActionPrimitive {
   Field src2 = Field::kCount;
   std::uint64_t imm = 0;
   std::uint64_t imm2 = 0;
+  /// kEvalExpr only: compiled expression whose variable slots are Field
+  /// indices.  Shared because Actions are copied into table entries.
+  std::shared_ptr<const lang::Expr> expr;
 };
 
 /// A named action: an ordered list of primitives (all of which a hardware
@@ -67,6 +73,9 @@ struct Action {
   Action& reg_write(std::uint32_t reg, Field index, Field value);
   Action& reg_add(Field dst, std::uint32_t reg, Field index,
                   std::uint64_t delta);
+  /// dst = expr evaluated over the PHV (expression variables are field
+  /// names resolved to Field slots at compile time).
+  Action& set_expr(Field dst, std::shared_ptr<const lang::Expr> expr);
 };
 
 /// Stateful register file shared by the stages of one pipeline (per-stage

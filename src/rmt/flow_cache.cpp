@@ -51,6 +51,13 @@ void collect_reads(const ActionPrimitive& p, std::uint64_t& mask,
       // signature cannot cover.
       *cacheable = false;
       break;
+    case ActionOp::kEvalExpr:
+      // Pure over the PHV: every field the expression reads joins the
+      // signature, so the cached result stays a function of the key.
+      for (const std::uint32_t slot : p.expr->reads()) {
+        mask_in(mask, static_cast<Field>(slot));
+      }
+      break;
   }
 }
 

@@ -1,8 +1,11 @@
 #include "rmt/p4lite.h"
 
-#include <cctype>
 #include <cstdio>
+#include <memory>
 #include <vector>
+
+#include "lang/expr.h"
+#include "lang/lexer.h"
 
 namespace panic::rmt {
 
@@ -16,178 +19,33 @@ std::optional<Field> field_from_name(std::string_view name) {
 
 namespace {
 
-// ---------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------
-
-enum class TokKind {
-  kIdent,    // identifiers and dotted field names: stage, ipv4.dst
-  kNumber,   // 42, 0x1F, 10.0.0.1 (dotted quad)
-  kArrow,    // ->
-  kLBrace, kRBrace, kLParen, kRParen,
-  kComma, kSemi, kSlash,
-  kEnd,
-};
-
-struct Token {
-  TokKind kind = TokKind::kEnd;
-  std::string text;
-  std::uint64_t value = 0;  // for kNumber
-  int line = 0;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view src) : src_(src) {}
-
-  Token next() {
-    skip_ws();
-    Token t;
-    t.line = line_;
-    if (pos_ >= src_.size()) {
-      t.kind = TokKind::kEnd;
-      return t;
-    }
-    const char c = src_[pos_];
-    if (c == '{') { ++pos_; t.kind = TokKind::kLBrace; return t; }
-    if (c == '}') { ++pos_; t.kind = TokKind::kRBrace; return t; }
-    if (c == '(') { ++pos_; t.kind = TokKind::kLParen; return t; }
-    if (c == ')') { ++pos_; t.kind = TokKind::kRParen; return t; }
-    if (c == ',') { ++pos_; t.kind = TokKind::kComma; return t; }
-    if (c == ';') { ++pos_; t.kind = TokKind::kSemi; return t; }
-    if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] != '/') {
-      ++pos_;
-      t.kind = TokKind::kSlash;
-      return t;
-    }
-    if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
-      pos_ += 2;
-      t.kind = TokKind::kArrow;
-      return t;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      return lex_ident();
-    }
-    t.kind = TokKind::kEnd;
-    t.text = std::string(1, c);
-    error_ = true;
-    return t;
-  }
-
-  bool had_error() const { return error_; }
-
- private:
-  void skip_ws() {
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-      } else if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '#' ||
-                 (c == '/' && pos_ + 1 < src_.size() &&
-                  src_[pos_ + 1] == '/')) {
-        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
-      } else {
-        break;
-      }
-    }
-  }
-
-  Token lex_number() {
-    Token t;
-    t.line = line_;
-    t.kind = TokKind::kNumber;
-    const std::size_t start = pos_;
-    // Dotted quad?
-    std::size_t probe = pos_;
-    int dots = 0;
-    while (probe < src_.size() &&
-           (std::isdigit(static_cast<unsigned char>(src_[probe])) ||
-            src_[probe] == '.')) {
-      if (src_[probe] == '.') ++dots;
-      ++probe;
-    }
-    if (dots == 3) {
-      std::uint64_t value = 0;
-      std::uint64_t octet = 0;
-      for (; pos_ < probe; ++pos_) {
-        if (src_[pos_] == '.') {
-          value = (value << 8) | octet;
-          octet = 0;
-        } else {
-          octet = octet * 10 + static_cast<std::uint64_t>(src_[pos_] - '0');
-        }
-      }
-      t.value = (value << 8) | octet;
-      t.text = std::string(src_.substr(start, pos_ - start));
-      return t;
-    }
-    if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
-        (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
-      pos_ += 2;
-      std::uint64_t value = 0;
-      while (pos_ < src_.size() &&
-             std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
-        const char d = src_[pos_++];
-        value = value * 16 +
-                static_cast<std::uint64_t>(
-                    d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10);
-      }
-      t.value = value;
-      return t;
-    }
-    std::uint64_t value = 0;
-    while (pos_ < src_.size() &&
-           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
-      value = value * 10 + static_cast<std::uint64_t>(src_[pos_++] - '0');
-    }
-    t.value = value;
-    return t;
-  }
-
-  Token lex_ident() {
-    Token t;
-    t.line = line_;
-    t.kind = TokKind::kIdent;
-    const std::size_t start = pos_;
-    while (pos_ < src_.size() &&
-           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
-            src_[pos_] == '_' || src_[pos_] == '.')) {
-      ++pos_;
-    }
-    t.text = std::string(src_.substr(start, pos_ - start));
-    return t;
-  }
-
-  std::string_view src_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  bool error_ = false;
-};
+using lang::TokKind;
 
 // ---------------------------------------------------------------------
 // Parser / compiler
+//
+// Tokenization lives in the shared src/lang lexer (extracted from here so
+// the scheduler's rank-program compiler speaks the same language); this
+// file keeps only the p4lite grammar.
 // ---------------------------------------------------------------------
 
 class Compiler {
  public:
   Compiler(std::string_view src, const SymbolTable& symbols)
-      : lexer_(src), symbols_(symbols) {
-    advance();
-  }
+      : cursor_(src), symbols_(symbols) {}
 
   bool compile_into(RmtProgram& program, bool require_parser) {
     bool saw_parser = false;
-    while (cur_.kind != TokKind::kEnd) {
-      if (cur_.kind == TokKind::kIdent && cur_.text == "parser") {
+    while (cur().kind != TokKind::kEnd) {
+      if (cur().kind == TokKind::kError) {
+        return fail("bad character in input");
+      }
+      if (cur().kind == TokKind::kIdent && cur().text == "parser") {
         advance();
         if (!expect_ident("default") || !expect(TokKind::kSemi)) return false;
         program.parser = make_default_parser();
         saw_parser = true;
-      } else if (cur_.kind == TokKind::kIdent && cur_.text == "stage") {
+      } else if (cur().kind == TokKind::kIdent && cur().text == "stage") {
         if (!parse_stage(program)) return false;
       } else {
         return fail("expected 'parser' or 'stage'");
@@ -196,18 +54,19 @@ class Compiler {
     if (require_parser && !saw_parser) {
       return fail("program must declare 'parser default;'");
     }
-    return !lexer_.had_error() || fail("bad character in input");
+    return true;
   }
 
   const std::string& error() const { return error_; }
 
  private:
-  void advance() { cur_ = lexer_.next(); }
+  const lang::Token& cur() const { return cursor_.cur; }
+  void advance() { cursor_.advance(); }
 
   bool fail(const std::string& message) {
     if (error_.empty()) {
       char buf[160];
-      std::snprintf(buf, sizeof(buf), "p4lite:%d: %s", cur_.line,
+      std::snprintf(buf, sizeof(buf), "p4lite:%d: %s", cur().line,
                     message.c_str());
       error_ = buf;
     }
@@ -215,13 +74,15 @@ class Compiler {
   }
 
   bool expect(TokKind kind) {
-    if (cur_.kind != kind) return fail("unexpected token '" + cur_.text + "'");
+    if (cur().kind != kind) {
+      return fail("unexpected token '" + cur().text + "'");
+    }
     advance();
     return true;
   }
 
   bool expect_ident(const std::string& word) {
-    if (cur_.kind != TokKind::kIdent || cur_.text != word) {
+    if (cur().kind != TokKind::kIdent || cur().text != word) {
       return fail("expected '" + word + "'");
     }
     advance();
@@ -229,28 +90,28 @@ class Compiler {
   }
 
   bool parse_field(Field* out) {
-    if (cur_.kind != TokKind::kIdent) return fail("expected field name");
-    const auto f = field_from_name(cur_.text);
-    if (!f.has_value()) return fail("unknown field '" + cur_.text + "'");
+    if (cur().kind != TokKind::kIdent) return fail("expected field name");
+    const auto f = field_from_name(cur().text);
+    if (!f.has_value()) return fail("unknown field '" + cur().text + "'");
     *out = *f;
     advance();
     return true;
   }
 
   bool parse_number(std::uint64_t* out) {
-    if (cur_.kind != TokKind::kNumber) return fail("expected number");
-    *out = cur_.value;
+    if (cur().kind != TokKind::kNumber) return fail("expected number");
+    *out = cur().value;
     advance();
     return true;
   }
 
   bool parse_stage(RmtProgram& program) {
     advance();  // 'stage'
-    if (cur_.kind != TokKind::kIdent) return fail("expected stage name");
-    Stage& stage = program.add_stage(cur_.text);
+    if (cur().kind != TokKind::kIdent) return fail("expected stage name");
+    Stage& stage = program.add_stage(cur().text);
     advance();
     if (!expect(TokKind::kLBrace)) return false;
-    while (cur_.kind != TokKind::kRBrace) {
+    while (cur().kind != TokKind::kRBrace) {
       if (!parse_table(stage)) return false;
     }
     return expect(TokKind::kRBrace);
@@ -258,17 +119,17 @@ class Compiler {
 
   bool parse_table(Stage& stage) {
     if (!expect_ident("table")) return false;
-    if (cur_.kind != TokKind::kIdent) return fail("expected table name");
-    const std::string name = cur_.text;
+    if (cur().kind != TokKind::kIdent) return fail("expected table name");
+    const std::string name = cur().text;
     advance();
 
     MatchKind kind;
-    if (cur_.kind != TokKind::kIdent) return fail("expected match kind");
-    if (cur_.text == "exact") {
+    if (cur().kind != TokKind::kIdent) return fail("expected match kind");
+    if (cur().text == "exact") {
       kind = MatchKind::kExact;
-    } else if (cur_.text == "lpm") {
+    } else if (cur().text == "lpm") {
       kind = MatchKind::kLpm;
-    } else if (cur_.text == "ternary") {
+    } else if (cur().text == "ternary") {
       kind = MatchKind::kTernary;
     } else {
       return fail("match kind must be exact/lpm/ternary");
@@ -281,7 +142,7 @@ class Compiler {
       Field f;
       if (!parse_field(&f)) return false;
       key_fields.push_back(f);
-      if (cur_.kind == TokKind::kComma) {
+      if (cur().kind == TokKind::kComma) {
         advance();
         continue;
       }
@@ -294,8 +155,8 @@ class Compiler {
 
     MatchTable table(name, kind, key_fields);
     if (!expect(TokKind::kLBrace)) return false;
-    while (cur_.kind != TokKind::kRBrace) {
-      if (cur_.kind == TokKind::kIdent && cur_.text == "default") {
+    while (cur().kind != TokKind::kRBrace) {
+      if (cur().kind == TokKind::kIdent && cur().text == "default") {
         advance();
         if (!expect(TokKind::kArrow)) return false;
         Action action("default");
@@ -315,7 +176,7 @@ class Compiler {
                         bool* has_mask) {
     if (!parse_number(value)) return false;
     *has_mask = false;
-    if (cur_.kind == TokKind::kSlash) {
+    if (cur().kind == TokKind::kSlash) {
       advance();
       if (!parse_number(mask)) return false;
       *has_mask = true;
@@ -338,11 +199,11 @@ class Compiler {
       return true;
     };
 
-    if (cur_.kind == TokKind::kLParen) {
+    if (cur().kind == TokKind::kLParen) {
       advance();
       while (true) {
         if (!read_one()) return false;
-        if (cur_.kind == TokKind::kComma) {
+        if (cur().kind == TokKind::kComma) {
           advance();
           continue;
         }
@@ -356,7 +217,7 @@ class Compiler {
       return fail("entry key arity does not match the table");
     }
 
-    if (cur_.kind == TokKind::kIdent && cur_.text == "prio") {
+    if (cur().kind == TokKind::kIdent && cur().text == "prio") {
       advance();
       std::uint64_t prio = 0;
       if (!parse_number(&prio)) return false;
@@ -394,7 +255,7 @@ class Compiler {
   bool parse_actions(Action* action) {
     while (true) {
       if (!parse_action(action)) return false;
-      if (cur_.kind == TokKind::kComma) {
+      if (cur().kind == TokKind::kComma) {
         advance();
         continue;
       }
@@ -403,15 +264,15 @@ class Compiler {
   }
 
   bool resolve_engine(std::uint16_t* out) {
-    if (cur_.kind == TokKind::kNumber) {
-      *out = static_cast<std::uint16_t>(cur_.value);
+    if (cur().kind == TokKind::kNumber) {
+      *out = static_cast<std::uint16_t>(cur().value);
       advance();
       return true;
     }
-    if (cur_.kind != TokKind::kIdent) return fail("expected engine name");
-    const auto it = symbols_.find(cur_.text);
+    if (cur().kind != TokKind::kIdent) return fail("expected engine name");
+    const auto it = symbols_.find(cur().text);
     if (it == symbols_.end()) {
-      return fail("unknown engine '" + cur_.text + "'");
+      return fail("unknown engine '" + cur().text + "'");
     }
     *out = it->second;
     advance();
@@ -419,8 +280,8 @@ class Compiler {
   }
 
   bool parse_action(Action* action) {
-    if (cur_.kind != TokKind::kIdent) return fail("expected action");
-    const std::string op = cur_.text;
+    if (cur().kind != TokKind::kIdent) return fail("expected action");
+    const std::string op = cur().text;
     advance();
 
     if (op == "drop") {
@@ -451,6 +312,23 @@ class Compiler {
         return false;
       }
       action->copy_field(dst, src);
+    } else if (op == "set_expr") {
+      // set_expr(dst, <expression over PHV fields>) — the shared lang
+      // expression language, same as scheduler rank programs.
+      Field dst;
+      if (!parse_field(&dst) || !expect(TokKind::kComma)) return false;
+      std::string expr_error;
+      auto expr = lang::Expr::parse(
+          cursor_,
+          [](std::string_view name) -> std::optional<std::uint32_t> {
+            const auto f = field_from_name(name);
+            if (!f.has_value()) return std::nullopt;
+            return static_cast<std::uint32_t>(*f);
+          },
+          &expr_error);
+      if (!expr.has_value()) return fail("set_expr: " + expr_error);
+      action->set_expr(dst,
+                       std::make_shared<const lang::Expr>(std::move(*expr)));
     } else if (op == "lb") {
       Field dst, a, b;
       std::uint64_t buckets = 0;
@@ -465,7 +343,7 @@ class Compiler {
         std::uint16_t engine = 0;
         if (!resolve_engine(&engine)) return false;
         action->push_hop(engine);
-        if (cur_.kind == TokKind::kComma) {
+        if (cur().kind == TokKind::kComma) {
           advance();
           continue;
         }
@@ -491,8 +369,7 @@ class Compiler {
     return expect(TokKind::kRParen);
   }
 
-  Lexer lexer_;
-  Token cur_;
+  lang::Cursor cursor_;
   const SymbolTable& symbols_;
   std::string error_;
 };

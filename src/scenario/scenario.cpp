@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "engines/rank_program.h"
 #include "net/addr.h"
 #include "rmt/p4lite.h"
 
@@ -276,8 +277,14 @@ const std::vector<FieldDoc>& field_reference() {
       {"scalar", "routing", "xy | westfirst", "xy",
        "NoC routing algorithm (dimension-ordered XY or west-first "
        "turn-model)"},
-      {"scalar", "sched", "slack | fifo", "slack",
-       "engine queue scheduling policy"},
+      {"scalar", "sched",
+       "slack | fifo | wfq | stfq | edf | prio | pifo rank=<<END ... END",
+       "slack",
+       "engine queue PIFO rank policy; `pifo rank=<<END` opens a heredoc "
+       "holding a custom rank program (engines/rank_program.h)"},
+      {"scalar", "weight", "<tenant> <weight>", "(none; absent tenants = 1)",
+       "per-tenant wfq weight entry, read by rank programs as `weight`; "
+       "repeats"},
       {"scalar", "drop", "arrival | evict", "arrival",
        "full-queue drop policy"},
       {"scalar", "queue_capacity", "<size>", "256",
@@ -385,6 +392,16 @@ bool Scenario::feasible(bool strict_finite) const {
     return false;
   }
   if (engine_queue_capacity == 0 || rmt_input_queue == 0) return false;
+  for (const auto& [tenant, weight] : sched_policy.weights) {
+    (void)tenant;
+    if (weight == 0) return false;  // wfq divides by weight (total, but silly)
+  }
+  if (sched_policy.kind == engines::SchedKind::kCustom) {
+    std::string perror;
+    if (engines::RankProgram::compile_spec(sched_policy, &perror) == nullptr) {
+      return false;  // SchedulerQueue construction would throw
+    }
+  }
   if (on_no_route == fault::NoRoutePolicy::kBackpressure &&
       no_route_depth == 0) {
     return false;  // a zero-depth parking buffer sheds everything
@@ -496,10 +513,19 @@ std::string Scenario::to_string() const {
   }
   if (spare_tiles != 0) out << "spare_tiles " << spare_tiles << "\n";
   if (routing != noc::RoutingAlgo::kXY) out << "routing westfirst\n";
-  out << "sched "
-      << (sched_policy == engines::SchedPolicy::kSlackPriority ? "slack"
-                                                               : "fifo")
-      << "\n";
+  if (sched_policy.kind == engines::SchedKind::kCustom) {
+    out << "sched pifo rank=<<END\n" << sched_policy.rank_source;
+    if (!sched_policy.rank_source.empty() &&
+        sched_policy.rank_source.back() != '\n') {
+      out << "\n";
+    }
+    out << "END\n";
+  } else {
+    out << "sched " << engines::to_string(sched_policy.kind) << "\n";
+  }
+  for (const auto& [tenant, weight] : sched_policy.weights) {
+    out << "weight " << tenant << " " << weight << "\n";
+  }
   out << "drop "
       << (drop_policy == engines::DropPolicy::kDropArrival ? "arrival"
                                                            : "evict")
@@ -649,12 +675,65 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
         }
       }
       else if (key == "sched") {
-        if (rest == "slack") s.sched_policy = engines::SchedPolicy::kSlackPriority;
-        else if (rest == "fifo") s.sched_policy = engines::SchedPolicy::kFifo;
-        else {
-          fail(error, lineno, "unknown sched policy '" + rest + "'");
+        if (rest == "pifo rank=<<END") {
+          // Custom rank program, heredoc like `program <<END`.
+          const int open_line = lineno;
+          std::string body;
+          bool closed = false;
+          while (std::getline(in, line)) {
+            ++lineno;
+            std::string trimmed = line;
+            if (!trimmed.empty() && trimmed.back() == '\r') trimmed.pop_back();
+            if (trimmed == "END") {
+              closed = true;
+              break;
+            }
+            body += trimmed;
+            body += '\n';
+          }
+          if (!closed) {
+            fail(error, lineno, "sched rank block missing END terminator");
+            return std::nullopt;
+          }
+          // Validate up front so a bad program fails at parse time with
+          // the compiler's own "line N: reason" (N into the heredoc).
+          std::string perror;
+          if (!engines::RankProgram::compile(body, &perror).has_value()) {
+            fail(error, open_line, "sched rank program: " + perror);
+            return std::nullopt;
+          }
+          s.sched_policy.kind = engines::SchedKind::kCustom;
+          s.sched_policy.rank_source = body;
+        } else if (const auto kind = engines::sched_kind_from_name(rest);
+                   kind.has_value() && *kind != engines::SchedKind::kCustom) {
+          s.sched_policy.kind = *kind;
+          s.sched_policy.rank_source.clear();
+        } else {
+          fail(error, lineno,
+               "unknown sched policy '" + rest +
+                   "' (slack|fifo|wfq|stfq|edf|prio|pifo rank=<<END)");
           return std::nullopt;
         }
+      } else if (key == "weight") {
+        std::istringstream rs(rest);
+        unsigned tenant = 0, weight = 0;
+        if (!(rs >> tenant >> weight) || tenant > 0xFFFF) {
+          fail(error, lineno, "expected 'weight <tenant> <weight>'");
+          return std::nullopt;
+        }
+        if (weight == 0) {
+          fail(error, lineno, "weight must be positive");
+          return std::nullopt;
+        }
+        for (const auto& [t, w] : s.sched_policy.weights) {
+          if (t == tenant) {
+            fail(error, lineno,
+                 "duplicate weight for tenant " + std::to_string(tenant));
+            return std::nullopt;
+          }
+        }
+        s.sched_policy.set_weight(static_cast<std::uint16_t>(tenant),
+                                  static_cast<std::uint32_t>(weight));
       } else if (key == "drop") {
         if (rest == "arrival") s.drop_policy = engines::DropPolicy::kDropArrival;
         else if (rest == "evict") s.drop_policy = engines::DropPolicy::kEvictLoosest;

@@ -25,7 +25,8 @@
 //   seed 42                    # generator provenance (0 = hand-written)
 //   mesh_k 4
 //   eth_ports 2
-//   sched slack                # slack | fifo
+//   sched slack                # slack | fifo | wfq | stfq | edf | prio
+//   weight 1 4                 # wfq weight for tenant 1 (default 1)
 //   drop arrival               # arrival | evict
 //   mode event                 # dense | event | parallel (CLI overrides)
 //   warmup 0                   # cycles before the measured window
@@ -182,7 +183,11 @@ struct Scenario {
   noc::RoutingAlgo routing = noc::RoutingAlgo::kXY;
 
   // --- Scheduling / queueing. ---
-  engines::SchedPolicy sched_policy = engines::SchedPolicy::kSlackPriority;
+  /// The PIFO rank policy every engine queue runs (`sched slack | fifo |
+  /// wfq | stfq | edf | prio | pifo rank=<<END`).  Custom programs carry
+  /// their source in the spec; `weight <tenant> <w>` lines fill the
+  /// spec's weight table (read by the wfq built-in as `weight`).
+  engines::SchedSpec sched_policy = engines::SchedKind::kSlack;
   engines::DropPolicy drop_policy = engines::DropPolicy::kDropArrival;
   std::size_t engine_queue_capacity = 256;
   std::size_t rmt_input_queue = 512;

@@ -304,6 +304,62 @@ TEST(ScenarioFormat, WorkloadFlowsRoundTripsAndBounds) {
   EXPECT_TRUE(s.feasible());
 }
 
+TEST(ScenarioFormat, SchedPolicyAndWeightsRoundTrip) {
+  Scenario s;
+  s.sched_policy = engines::SchedSpec(engines::SchedKind::kWfq);
+  s.sched_policy.set_weight(2, 1);
+  s.sched_policy.set_weight(1, 4);
+  const std::string text = s.to_string();
+  // Weights serialize sorted by tenant, one line each.
+  EXPECT_NE(text.find("sched wfq\nweight 1 4\nweight 2 1\n"),
+            std::string::npos);
+
+  std::string error;
+  const auto parsed = Scenario::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->sched_policy, s.sched_policy);
+  EXPECT_EQ(parsed->to_string(), text);
+
+  // Every named built-in round-trips through its keyword.
+  for (const char* name : {"slack", "fifo", "wfq", "stfq", "edf", "prio"}) {
+    const auto p = Scenario::parse(
+        "panic_scenario 1\nsched " + std::string(name) + "\nend\n", &error);
+    ASSERT_TRUE(p.has_value()) << name << ": " << error;
+    EXPECT_EQ(std::string(engines::to_string(p->sched_policy.kind)), name);
+  }
+}
+
+TEST(ScenarioFormat, SchedRankHeredocRoundTrips) {
+  const std::string text =
+      "panic_scenario 1\n"
+      "sched pifo rank=<<END\n"
+      "# deadline with a per-tenant bump\n"
+      "rank = created + slack + tenant * 7\n"
+      "END\n"
+      "end\n";
+  std::string error;
+  const auto parsed = Scenario::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->sched_policy.kind, engines::SchedKind::kCustom);
+  EXPECT_EQ(parsed->sched_policy.rank_source,
+            "# deadline with a per-tenant bump\n"
+            "rank = created + slack + tenant * 7\n");
+  // Canonical serialization reproduces the heredoc byte-identically.
+  const auto again = Scenario::parse(parsed->to_string(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_string(), parsed->to_string());
+  EXPECT_TRUE(parsed->feasible());
+
+  // A source built in code without a trailing newline still serializes as
+  // a well-formed heredoc.
+  Scenario s;
+  s.sched_policy = engines::SchedSpec(engines::SchedKind::kCustom);
+  s.sched_policy.rank_source = "rank = slack";
+  const auto reparsed = Scenario::parse(s.to_string(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->sched_policy.rank_source, "rank = slack\n");
+}
+
 // --- Schema violations: every failure carries "line N: reason". ---
 
 std::string parse_error(const std::string& text) {
@@ -326,7 +382,8 @@ TEST(ScenarioFormat, BadScalarValueReportsLineNumber) {
 TEST(ScenarioFormat, CommentsAndBlanksCountTowardLineNumbers) {
   // The error is on physical line 4; comments/blanks must not shift it.
   EXPECT_EQ(parse_error("panic_scenario 1\n# comment\n\nsched bogus\nend\n"),
-            "line 4: unknown sched policy 'bogus'");
+            "line 4: unknown sched policy 'bogus' "
+            "(slack|fifo|wfq|stfq|edf|prio|pifo rank=<<END)");
 }
 
 TEST(ScenarioFormat, BadRmtCacheValueReportsLineNumber) {
@@ -376,6 +433,36 @@ TEST(ScenarioFormat, BadWorkloadAddressFails) {
 TEST(ScenarioFormat, MalformedKeyValueTokenFails) {
   EXPECT_EQ(parse_error("panic_scenario 1\nhost_tx at\nend\n"),
             "line 2: expected key=value, got 'at'");
+}
+
+TEST(ScenarioFormat, UnterminatedSchedRankBlockFails) {
+  EXPECT_EQ(
+      parse_error("panic_scenario 1\nsched pifo rank=<<END\nrank = slack\n"),
+      "line 3: sched rank block missing END terminator");
+}
+
+TEST(ScenarioFormat, BadRankProgramSurfacesCompilerError) {
+  // The rank compiler's own "line N: reason" (N into the heredoc) rides
+  // inside the scenario parser's error for the opening line.
+  EXPECT_EQ(parse_error("panic_scenario 1\nsched pifo rank=<<END\n"
+                        "rank = bogus\nEND\nend\n"),
+            "line 2: sched rank program: line 1: unknown variable 'bogus'");
+  EXPECT_EQ(parse_error("panic_scenario 1\nsched pifo rank=<<END\n"
+                        "flow.x = 1\nEND\nend\n"),
+            "line 2: sched rank program: line 1: program never assigns "
+            "'rank'");
+}
+
+TEST(ScenarioFormat, BadWeightLinesFail) {
+  EXPECT_EQ(parse_error("panic_scenario 1\nweight banana\nend\n"),
+            "line 2: expected 'weight <tenant> <weight>'");
+  EXPECT_EQ(parse_error("panic_scenario 1\nweight 70000 2\nend\n"),
+            "line 2: expected 'weight <tenant> <weight>'");
+  EXPECT_EQ(parse_error("panic_scenario 1\nweight 1 0\nend\n"),
+            "line 2: weight must be positive");
+  EXPECT_EQ(
+      parse_error("panic_scenario 1\nweight 1 4\nweight 1 2\nend\n"),
+      "line 3: duplicate weight for tenant 1");
 }
 
 TEST(ScenarioFormat, BadFaultLineSurfacesFaultPlanError) {

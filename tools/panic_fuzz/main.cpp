@@ -1,9 +1,10 @@
 // panic_fuzz: randomized differential property-testing harness.
 //
 //   panic_fuzz [--runs N] [--seed S] [--budget-cycles C] [--threads T]
-//              [--out FILE] [--chaos]
+//              [--out FILE] [--chaos | --sched]
 //   panic_fuzz --replay FILE
 //   panic_fuzz --selftest
+//   panic_fuzz --selftest-tie
 //
 // Default mode generates N seeded scenarios (seed S, S+1, ...), runs each
 // under all three kernel modes (dense, event-driven, sharded parallel) and
@@ -19,6 +20,13 @@
 // panic_chaos_min.panic (replay files are ordinary scenarios — --replay
 // needs no flag).
 //
+// --sched swaps in the rank-program generator: each scenario's scheduler
+// runs a RANDOM custom rank program (per-tenant-monotone by construction,
+// so the ordering oracle stays sound) and the SchedulerQueue shadow audit
+// cross-checks every dequeue against an independent interpreted
+// evaluation of the same program.  Failures minimize to
+// panic_sched_min.panic.
+//
 // --threads overrides the generator's per-scenario shard count for the
 // parallel leg (PANIC_THREADS works too).
 //
@@ -30,6 +38,14 @@
 // end to end: the bug must be detected, shrink to a <=10-packet scenario,
 // and the emitted replay must still reproduce it.  Exits 0 only if the
 // whole pipeline works.
+//
+// --selftest-tie is the same drill against the second planted bug — a
+// tie-break off-by-one INSIDE the heap comparator (PANIC_FUZZ_TIE_SELFTEST
+// in engines/sched_queue.h): equal-rank messages dequeue newest-first.
+// Only an audit that re-derives the (rank, seq) order independently of the
+// comparator can see it, which is precisely what the dequeue audit does.
+// The hunt pins `sched prio` (constant rank per tenant, so ties are
+// guaranteed under any queue buildup).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,7 +74,9 @@ struct Options {
   bool out_given = false;
   std::string replay;
   bool selftest = false;
+  bool selftest_tie = false;
   bool chaos = false;
+  bool sched = false;
   int max_shrink_tests = 300;
   int threads = 0;  // 0 = scenario's own draw; >0 forces the parallel leg
 };
@@ -86,13 +104,20 @@ Options parse_args(int argc, char** argv) {
   args.option("replay", "re-run a saved replay file", &opt.replay);
   args.flag("selftest", "verify the harness against a planted bug",
             &opt.selftest);
+  args.flag("selftest-tie",
+            "verify the harness against a planted tie-break comparator bug",
+            &opt.selftest_tie);
   args.flag("chaos", "overlapping fault storms with recovery convergence",
             &opt.chaos);
+  args.flag("sched", "random PIFO rank-program scenarios",
+            &opt.sched);
   args.parse(argc, argv);
   opt.runs = static_cast<int>(runs);
   opt.budget_cycles = budget;
   opt.out_given = opt.out != "panic_fuzz_min.panic";
   if (opt.chaos && !opt.out_given) opt.out = "panic_chaos_min.panic";
+  if (opt.sched && !opt.out_given) opt.out = "panic_sched_min.panic";
+  if (opt.selftest_tie && !opt.out_given) opt.out = "panic_tie_min.panic";
   opt.threads = args.threads();
   if (args.seed_given()) {
     opt.seed = args.seed();
@@ -162,13 +187,17 @@ int run_fuzz(const Options& opt) {
   for (int i = 0; i < opt.runs; ++i) {
     const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
     Scenario scenario =
-        opt.chaos
-            ? panic::proptest::generate_chaos_scenario(seed)
+        opt.chaos ? panic::proptest::generate_chaos_scenario(seed)
+        : opt.sched
+            ? panic::proptest::generate_rank_scenario(seed, opt.budget_cycles)
             : panic::proptest::generate_scenario(seed, opt.budget_cycles);
     apply_threads(opt, &scenario);
     const auto violations = panic::proptest::check_scenario(scenario);
     std::printf("%s %d/%d seed=%llu frames=%llu faults=%zu %s\n",
-                opt.chaos ? "storm" : "run", i + 1, opt.runs,
+                opt.chaos   ? "storm"
+                : opt.sched ? "rank"
+                            : "run",
+                i + 1, opt.runs,
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(scenario.total_frames()),
                 scenario.faults.size(),
@@ -235,11 +264,66 @@ int run_selftest(Options opt) {
   return 0;
 }
 
+int run_selftest_tie(Options opt) {
+  // The planted comparator bug dequeues equal-rank messages newest-first.
+  // Arm it and hunt under `sched prio`: rank == tenant is constant per
+  // tenant, so any queue holding two messages of one tenant is a tie the
+  // bug inverts — caught by the audit's explicit (rank, seq) re-derivation
+  // (the comparator itself cannot be trusted to judge its own tie-break)
+  // and, at egress, by the per-tenant ordering oracle.
+  panic::engines::SchedulerQueue::set_selftest_tiebug(true);
+  std::printf("selftest-tie: planted tie-break comparator bug armed\n");
+
+  Scenario failing;
+  bool found = false;
+  const int hunt_runs = opt.runs > 0 ? opt.runs : 50;
+  for (int i = 0; i < hunt_runs && !found; ++i) {
+    Scenario s = panic::proptest::generate_scenario(
+        opt.seed + static_cast<std::uint64_t>(i), opt.budget_cycles);
+    s.sched_policy = panic::engines::SchedKind::kPrio;
+    if (!panic::proptest::check_scenario(s).empty()) {
+      failing = s;
+      found = true;
+      std::printf("selftest-tie: detected by seed %llu (run %d)\n",
+                  static_cast<unsigned long long>(opt.seed + i), i + 1);
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "selftest-tie FAILED: planted bug not detected in %d runs\n",
+                 hunt_runs);
+    return 1;
+  }
+
+  const MinimizeResult min = shrink_and_save(failing, opt);
+  if (min.scenario.total_frames() > 10) {
+    std::fprintf(stderr,
+                 "selftest-tie FAILED: minimized scenario still has %llu "
+                 "frames (want <= 10)\n",
+                 static_cast<unsigned long long>(
+                     min.scenario.total_frames()));
+    return 1;
+  }
+
+  Options replay_opt = opt;
+  replay_opt.replay = opt.out;
+  if (run_replay(replay_opt) != 1) {
+    std::fprintf(stderr,
+                 "selftest-tie FAILED: replay file did not reproduce\n");
+    return 1;
+  }
+  std::printf("selftest-tie PASSED: detected, shrunk to %llu frame(s), "
+              "replay reproduces\n",
+              static_cast<unsigned long long>(min.scenario.total_frames()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   if (opt.selftest) return run_selftest(opt);
+  if (opt.selftest_tie) return run_selftest_tie(opt);
   if (!opt.replay.empty()) return run_replay(opt);
   return run_fuzz(opt);
 }
